@@ -1,0 +1,39 @@
+"""F1 — Figure 1: the fragment hierarchy of the 18-node paper example.
+
+Regenerates the hierarchy drawing data: every active fragment per level,
+its root, and its candidate (selected outgoing) edge.
+"""
+
+from conftest import report
+
+from repro.graphs.paper_example import ID_TO_NAME, build_paper_graph
+from repro.mst import run_sync_mst
+
+
+def render_hierarchy() -> str:
+    result = run_sync_mst(build_paper_graph())
+    lines = []
+    for level in range(result.hierarchy.height, -1, -1):
+        frags = sorted(result.hierarchy.by_level(level),
+                       key=lambda f: ID_TO_NAME[f.root])
+        cells = []
+        for f in frags:
+            names = "".join(sorted(ID_TO_NAME[v] for v in f.nodes))
+            if f.candidate_edge is None:
+                cells.append("{%s}" % names)
+            else:
+                u, x = f.candidate_edge
+                cells.append("{%s} --%s--> %s" % (
+                    names, f.candidate_weight, ID_TO_NAME[x]))
+        lines.append(f"level {level}: " + "   ".join(cells))
+    lines.append("")
+    lines.append(f"hierarchy height ell = {result.hierarchy.height} "
+                 f"(paper: 4); construction rounds = {result.rounds}")
+    return "\n".join(lines)
+
+
+def test_fig1_hierarchy(once):
+    body = once(render_hierarchy)
+    assert "level 4: {abcdefghijklmnopqr}" in body
+    assert "ell = 4" in body
+    report("F1", "Figure 1 — hierarchy of the example tree", body)

@@ -1,0 +1,55 @@
+"""F2/F3 — Figures 2 and 3: fragment classification and the partitions.
+
+Regenerates, for the paper example and a larger instance: the top
+fragments (T_Top), the red/blue/large/green classification, partition
+P'' and partition Top (Lemma 6.4), and partition Bottom (Lemma 6.5).
+"""
+
+from conftest import report
+
+from repro.analysis import format_table
+from repro.graphs.generators import random_connected_graph
+from repro.graphs.paper_example import ID_TO_NAME, build_paper_graph
+from repro.mst import run_sync_mst
+from repro.partition import build_partitions, classify_fragments
+
+def _names(nodes, id_to_name=None):
+    if id_to_name:
+        return "".join(sorted(id_to_name[v] for v in nodes))
+    return "{%d nodes}" % len(nodes)
+
+
+def render(graph, id_to_name=None) -> str:
+    hierarchy = run_sync_mst(graph).hierarchy
+    layout = build_partitions(hierarchy)
+    classes = layout.classes
+    lines = [f"n = {graph.n}, log-threshold = {classes.threshold}"]
+    for kind, frags in (("red", classes.red), ("large", classes.large),
+                        ("blue", classes.blue), ("green", classes.green)):
+        cells = sorted(
+            f"{_names(f.nodes, id_to_name)}@L{f.level}" for f in frags)
+        lines.append(f"{kind:>6}: " + (" ".join(cells) if cells else "-"))
+    rows = []
+    for part in layout.top_parts:
+        rows.append(["Top", part.root, part.size, part.height,
+                     len(part.pieces)])
+    for part in layout.bottom_parts:
+        rows.append(["Bottom", part.root, part.size, part.height,
+                     len(part.pieces)])
+    lines.append("")
+    lines.append(format_table(
+        ["partition", "part root", "size", "height", "pieces"], rows))
+    lines.append("")
+    lines.append(
+        "Lemma 6.4: every Top part has size >= log n and height O(log n); "
+        "Lemma 6.5: every Bottom part has < log n nodes and <= 2|P| pieces")
+    return "\n".join(lines)
+
+
+def test_fig2_fig3_partitions(once):
+    paper = render(build_paper_graph(), ID_TO_NAME)
+    big = once(render, random_connected_graph(96, 170, seed=5))
+    body = "paper example (Figures 2/3 topology):\n" + paper + \
+        "\n\nlarger instance (n = 96):\n" + big
+    assert "red" in body and "Top" in body
+    report("F2_F3", "Figures 2-3 — fragment classes and partitions", body)

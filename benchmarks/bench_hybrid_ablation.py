@@ -1,0 +1,70 @@
+"""E11 — ablation: the hybrid scheme (memory for detection locality).
+
+The paper's Section-1.3 remark — detection time/distance improve "at the
+expense of some increase in the memory" — quantified: replicating each
+node's bottom-fragment pieces locally buys 1-round detection for bottom
+faults and a shorter Ask rotation for top levels, at a measured memory
+premium.
+"""
+
+from conftest import lie_about_used_piece, report
+
+from repro.analysis import format_table
+from repro.graphs.generators import random_connected_graph
+from repro.sim import (FaultInjector, Network, SynchronousScheduler,
+                       first_alarm)
+from repro.verification import make_network, run_detection
+from repro.verification.hybrid import (REG_OWN_BOT, HybridVerifierProtocol,
+                                       run_hybrid_marker)
+
+SIZES = (32, 64, 128)
+
+
+def hybrid_bottom_detection(g):
+    """Memory and 1-round bottom detection of the hybrid scheme."""
+    marker = run_hybrid_marker(g)
+    net = Network(g)
+    net.install(marker.labels)
+    sched = SynchronousScheduler(net, HybridVerifierProtocol(static_every=2))
+    sched.run(600, stop_when=first_alarm)
+    assert not net.alarms(), net.alarms()
+    memory = net.max_memory_bits()
+    inj = FaultInjector(net, seed=1)
+    victim = next(v for v in g.nodes() if net.registers[v][REG_OWN_BOT])
+    pieces = net.registers[victim][REG_OWN_BOT]
+    z, lvl, w = pieces[0]
+    inj.corrupt_register(victim, REG_OWN_BOT,
+                         ((z, lvl, (w or 0) + 1),) + tuple(pieces[1:]))
+    rounds = sched.run(100, stop_when=first_alarm)
+    assert net.alarms()
+    return memory, rounds
+
+
+def measure():
+    rows = []
+    for n in SIZES:
+        g = random_connected_graph(n, 2 * n, seed=20)
+        pure = run_detection(g, lie_about_used_piece, synchronous=True,
+                             max_rounds=60_000, static_every=2, seed=1)
+        assert pure.detected
+        hy_mem, hy_rounds = hybrid_bottom_detection(g)
+        rows.append([n, pure.max_memory_bits, pure.rounds_to_detection,
+                     hy_mem, hy_rounds])
+    return rows
+
+
+def test_hybrid_ablation(once):
+    rows = once(measure)
+    table = format_table(
+        ["n", "pure bits", "pure detection", "hybrid bits",
+         "hybrid bottom detection"], rows)
+    body = (table +
+            "\n\nshape: bottom-fragment faults drop to 1-round detection "
+            "(the paper's memory-for-locality trade, Section 1.3).  The "
+            "replicated pieces cost O(log n loglog n) bits asymptotically; "
+            "at these sizes the hybrid even measures *smaller* because "
+            "dropping the Bottom train's working registers outweighs the "
+            "replication — the asymmetry reverses as log log n grows.")
+    for _n, _pb, _pd, _hm, hd in rows:
+        assert hd <= 4
+    report("E11", "hybrid scheme ablation (memory for locality)", body)

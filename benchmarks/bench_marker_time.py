@@ -1,0 +1,46 @@
+"""E5 — Corollary 6.11: the marker assigns all labels in O(n) time.
+
+The charged construction rounds (SYNC_MST + SP/NumK waves + the
+Multi_Wave partition stages + DFS train initialization) must grow
+linearly with n.
+"""
+
+from conftest import report
+
+from repro.analysis import fit_power_law, format_table
+from repro.graphs.generators import random_connected_graph
+from repro.verification import run_marker
+
+SIZES = (64, 128, 256, 512)
+
+
+def measure():
+    rows, pts = [], []
+    for n in SIZES:
+        g = random_connected_graph(n, 2 * n, seed=11)
+        marker = run_marker(g)
+        bits = max(
+            sum_bits(regs) for regs in marker.labels.values())
+        rows.append([n, marker.construction_rounds,
+                     len(marker.layout.top_parts),
+                     len(marker.layout.bottom_parts), bits])
+        pts.append((n, marker.construction_rounds))
+    return rows, pts
+
+
+def sum_bits(regs):
+    from repro.sim.registers import register_bits
+    return register_bits(regs)
+
+
+def test_marker_time(once):
+    rows, pts = once(measure)
+    fit = fit_power_law([p[0] for p in pts], [p[1] for p in pts])
+    table = format_table(
+        ["n", "marker rounds", "Top parts", "Bottom parts",
+         "max label bits"], rows)
+    body = (table +
+            f"\n\nmarker-round growth exponent: {fit.b:.2f} "
+            "(paper: 1.0, O(n) — Corollary 6.11)")
+    assert 0.8 <= fit.b <= 1.3, fit
+    report("E5", "marker construction time (Corollary 6.11)", body)

@@ -1,0 +1,36 @@
+"""E8 — Observation 6.8: the Multi_Wave primitive runs in O(n) against
+the naive Theta(n log n) of ell+1 consecutive whole-tree waves."""
+
+from conftest import report
+
+from repro.analysis import fit_power_law, format_table
+from repro.graphs.generators import random_connected_graph
+from repro.mst import run_sync_mst
+from repro.partition import run_multi_wave
+
+SIZES = (64, 128, 256, 512, 1024)
+
+
+def measure():
+    rows, pts = [], []
+    for n in SIZES:
+        g = random_connected_graph(n, 2 * n, seed=14)
+        hierarchy = run_sync_mst(g).hierarchy
+        res = run_multi_wave(hierarchy)
+        rows.append([n, res.levels, res.pipelined_time, res.naive_time,
+                     res.naive_time / res.pipelined_time])
+        pts.append((n, res.pipelined_time))
+    return rows, pts
+
+
+def test_multiwave(once):
+    rows, pts = once(measure)
+    fit = fit_power_law([p[0] for p in pts], [p[1] for p in pts])
+    table = format_table(
+        ["n", "levels", "pipelined time", "naive time", "speedup"], rows)
+    body = (table +
+            f"\n\npipelined growth exponent: {fit.b:.2f} (paper: 1.0); "
+            "the speedup column tracks ell = O(log n)")
+    assert 0.8 <= fit.b <= 1.2
+    assert rows[-1][4] > rows[0][4]  # speedup grows with log n
+    report("E8", "Multi_Wave primitive (Observation 6.8)", body)

@@ -1,0 +1,87 @@
+"""T1/E9 — Table 1: self-stabilizing MST construction algorithms.
+
+Measured rows (this repository):
+
+* **Current paper (KKM)** — the transformer with SYNC_MST + the train
+  verifier: measured stabilization rounds and measured memory;
+* **[48]/[18]-style cycle rule** — the low-memory baseline engine:
+  measured repair rounds (Theta(n |E|) shape);
+* **1-PLS + transformer** — O(log^2 n) bits, detection 1.
+
+Historical rows ([52]+[3]+[9], [47], [17], ...) are evaluated from their
+asymptotic space/time models at the same (n, |E|), as reported in the
+paper's Table 1.
+"""
+
+from conftest import report
+
+from repro.analysis import format_table
+from repro.baselines import evaluate_rows, run_low_memory_mst, sqlog_labels
+from repro.graphs.generators import random_connected_graph
+from repro.selfstab import run_self_stabilizing_mst
+from repro.sim import Network
+
+N, EXTRA = 96, 160
+
+
+def measure():
+    g = random_connected_graph(N, EXTRA, seed=15)
+    m = g.m
+
+    kkm = run_self_stabilizing_mst(g, synchronous=True, static_every=4)
+    assert kkm.correct
+    low = run_low_memory_mst(g)
+    sq = Network(g)
+    sq.install(sqlog_labels(g))
+
+    measured = [
+        ["Current paper (KKM) [measured]", kkm.max_memory_bits,
+         kkm.trace.total_rounds, "yes", "O(log n) bits, O(n) time"],
+        ["[48]/[18]-style cycle rule [measured]", low.memory_bits,
+         low.rounds, "yes", f"{low.swaps} swaps, Theta(n|E|) shape"],
+        ["1-PLS [54] + transformer [measured]", sq.max_memory_bits(),
+         kkm.trace.construction_rounds, "yes",
+         "O(log^2 n) bits, detection 1"],
+    ]
+    model = [
+        [r["name"] + " [model]", round(r["space_bits"]),
+         round(r["time_rounds"]), "yes" if r["asynchronous"] else "no",
+         r["comment"]]
+        for r in evaluate_rows(N, m)
+        if "Current paper" not in r["name"]
+    ]
+    return measured, model, m, kkm, low
+
+
+def test_table1(once):
+    measured, model, m, kkm, low = once(measure)
+    rows = measured + model
+    table = format_table(
+        ["algorithm", "space (bits/node)", "time (rounds)", "async",
+         "comment"], rows)
+    # memory growth check: the KKM footprint grows like log n while the
+    # 1-PLS piece table grows like log^2 n (constants favour the 1-PLS
+    # at small n; the asymptotic ordering is what Table 1 reports).
+    from repro.baselines import sqlog_labels as _sq
+    from repro.verification import run_completeness as _rc
+    growth = {}
+    for nn in (32, 256):
+        gg = random_connected_graph(nn, 2 * nn, seed=19)
+        kkm_bits = _rc(gg, rounds=4, synchronous=True,
+                       static_every=4).max_memory_bits
+        sq2 = Network(gg)
+        sq2.install(_sq(gg))
+        growth[nn] = (kkm_bits, sq2.max_memory_bits())
+    kkm_growth = growth[256][0] / growth[32][0]
+    sq_growth = growth[256][1] / growth[32][1]
+
+    body = (f"workload: n = {N}, |E| = {m}\n" + table +
+            f"\n\nmemory growth n=32 -> n=256: KKM x{kkm_growth:.2f}, "
+            f"1-PLS x{sq_growth:.2f} (log vs log^2 shape)"
+            "\npaper shape: the current paper is the only row with "
+            "both O(log n) space and O(n) time")
+    # who-wins assertions: KKM beats the equal-memory cycle rule on time
+    assert kkm.trace.total_rounds < low.rounds
+    # and its memory grows strictly slower than the 1-PLS piece table
+    assert kkm_growth < sq_growth
+    report("T1", "Table 1 — self-stabilizing MST algorithms", body)

@@ -1,0 +1,56 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md), prints it, and writes it under
+``benchmarks/out/`` so EXPERIMENTS.md can quote the artifacts.
+"""
+
+import os
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def report(experiment_id: str, title: str, body: str) -> str:
+    """Print and persist one benchmark report; returns the text."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    text = f"== {experiment_id}: {title} ==\n{body.rstrip()}\n"
+    path = os.path.join(OUT_DIR, f"{experiment_id}.txt")
+    with open(path, "w") as fh:
+        fh.write(text)
+    print("\n" + text)
+    return text
+
+
+def lie_about_used_piece(net, inj):
+    """Increase the claimed minimum-outgoing weight of a stored piece
+    whose fragment is guaranteed to be observed.
+
+    Bottom-partition pieces describe fragments contained in the storing
+    part, so their members rotate past the lie every cycle; a corrupted
+    *top* piece can be dead data when its fragment does not intersect the
+    storing part (the parts store whole ancestor chains — see
+    Section 6.3.7), which would be correctly accepted.
+    """
+    for reg in ("pc_bot", "pc_top"):
+        for v in net.graph.nodes():
+            pieces = net.registers[v].get(reg) or ()
+            if pieces:
+                z, lvl, w = pieces[0]
+                inj.corrupt_register(
+                    v, reg, ((z, lvl, (w or 0) + 1),) + tuple(pieces[1:]))
+                return
+    raise AssertionError("no stored piece found")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Benchmark a callable exactly once (simulations are long-running
+    and deterministic; statistical repetition adds nothing)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Synchronous vs asynchronous verification, across daemons.
+
+Runs the same detection experiment (a minimality lie on a stored piece)
+under the synchronous scheduler and several asynchronous daemons —
+including an adversarial one that slows down a subset of nodes — and
+reports detection times in rounds.
+
+Run:  python examples/async_vs_sync.py
+"""
+
+from repro.graphs import generators
+from repro.sim import PermutationDaemon, RandomDaemon, SlowNodesDaemon
+from repro.verification import run_detection
+
+
+def lie(net, inj):
+    for reg in ("pc_bot", "pc_top"):
+        for v in net.graph.nodes():
+            pieces = net.registers[v].get(reg) or ()
+            if pieces:
+                z, lvl, w = pieces[0]
+                inj.corrupt_register(
+                    v, reg, ((z, lvl, (w or 0) + 1),) + tuple(pieces[1:]))
+                return
+
+
+def main() -> None:
+    graph = generators.bounded_degree_graph(32, 5, seed=6)
+    print(f"network: n={graph.n}, |E|={graph.m}, Delta={graph.max_degree()}")
+    print(f"{'execution':<34} {'detected':<9} {'rounds':<7}")
+
+    cases = [
+        ("synchronous", True, None),
+        ("async / permutation daemon", False, PermutationDaemon(seed=1)),
+        ("async / random daemon", False, RandomDaemon(seed=2)),
+        ("async / 4 slow nodes (x5)", False,
+         SlowNodesDaemon(graph.nodes()[:4], slowdown=5, seed=3)),
+    ]
+    for name, sync, daemon in cases:
+        res = run_detection(graph, lie, synchronous=sync, daemon=daemon,
+                            max_rounds=200_000, static_every=4, seed=4)
+        print(f"{name:<34} {'yes' if res.detected else 'NO':<9} "
+              f"{res.rounds_to_detection}")
+
+    print("\nasynchronous rounds count full activation coverage; the "
+          "adversarial daemon stretches wall-clock activations, not "
+          "rounds — detection stays within the O(Delta log^3 n) budget.")
+
+
+if __name__ == "__main__":
+    main()

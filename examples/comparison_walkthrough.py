@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The Ask/Show/Want walk-through of Figures 4-9.
+
+Replays the paper's illustration of the asynchronous comparison
+mechanism on a small network: a node v holds a piece in Ask, reads its
+neighbour's Show, files a Want request when the levels don't match, and
+compares once the requested piece arrives — all while the trains keep
+rotating.
+
+Run:  python examples/comparison_walkthrough.py
+"""
+
+from repro.graphs import generators
+from repro.sim import AsynchronousScheduler, PermutationDaemon
+from repro.trains.comparison import REG_ASK, REG_WANT
+from repro.verification import make_network
+from repro.verification.verifier import MstVerifierProtocol
+
+
+def fmt_piece(piece):
+    if piece is None:
+        return "-"
+    z, lvl, w = piece
+    return f"I(root={z},lvl={lvl},w={w})"
+
+
+def main() -> None:
+    graph = generators.random_connected_graph(14, 22, seed=9)
+    network = make_network(graph)
+    protocol = MstVerifierProtocol(synchronous=False, static_every=4)
+    scheduler = AsynchronousScheduler(network, protocol,
+                                      PermutationDaemon(seed=1))
+
+    v = graph.nodes()[3]
+    u = graph.neighbors(v)[0]
+    print(f"watching node v={v} (neighbour u={u}) — Figures 4-9 replay\n")
+    print(f"{'round':>5}  {'Ask(v)':<24} {'Want(v)':<12} "
+          f"{'Show(u) top':<28} flag")
+
+    last = None
+    events = 0
+    scheduler.initialize()
+    for rnd in range(1, 2500):
+        scheduler.run(1)
+        ask = network.registers[v].get(REG_ASK)
+        want = network.registers[v].get(REG_WANT)
+        show = network.registers[u].get("tt_bbuf")
+        show_piece, show_flag = (show if isinstance(show, tuple) else
+                                 (None, False))
+        state = (ask, want, show_piece)
+        if state != last:
+            print(f"{rnd:>5}  {fmt_piece(ask):<24} "
+                  f"{str(want):<12} {fmt_piece(show_piece):<28} "
+                  f"{'on' if show_flag else 'off'}")
+            last = state
+            events += 1
+            if events >= 28:
+                break
+
+    assert not network.alarms(), network.alarms()
+    print("\nno alarms: every comparison E(v,u,j) succeeded "
+          "(a correct instance)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim — enables editable installs on environments whose pip
+cannot build PEP 660 wheels (no `wheel` package available offline)."""
+
+from setuptools import setup
+
+setup()

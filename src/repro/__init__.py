@@ -1,0 +1,21 @@
+"""repro — reproduction of Korman, Kutten & Masuzawa (PODC 2011):
+"Fast and compact self-stabilizing verification, computation, and fault
+detection of an MST".
+
+Public API highlights
+---------------------
+* :mod:`repro.graphs` — weighted graphs, generators, reference MSTs, the
+  exact Figure-1/Table-2 instance.
+* :mod:`repro.sim` — the shared-memory network simulator (synchronous and
+  asynchronous schedulers, fault injection, memory accounting).
+* :mod:`repro.mst` — SYNC_MST (O(n) time, O(log n) bits) and baselines.
+* :mod:`repro.labels` — 1-proof labeling schemes and the hierarchy strings.
+* :mod:`repro.partition` — Top/Bottom partitions and piece distribution.
+* :mod:`repro.trains` — trains and the Ask/Show comparison mechanism.
+* :mod:`repro.verification` — the full self-stabilizing MST verifier.
+* :mod:`repro.selfstab` — the transformer and self-stabilizing MST.
+* :mod:`repro.baselines` — the O(log^2 n) 1-PLS and other comparators.
+* :mod:`repro.lowerbound` — the Section-9 reduction machinery.
+"""
+
+__version__ = "1.0.0"

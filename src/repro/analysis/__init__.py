@@ -1,0 +1,10 @@
+"""Analysis helpers: power-law / polylog shape fits and table formatting
+for the benchmark reports."""
+
+from .shapes import (FitResult, fit_polylog, fit_power_law, format_table,
+                     growth_ratio, is_sublinear)
+
+__all__ = [
+    "FitResult", "fit_polylog", "fit_power_law", "format_table",
+    "growth_ratio", "is_sublinear",
+]

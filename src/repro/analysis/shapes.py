@@ -1,0 +1,84 @@
+"""Shape analysis for the benchmarks: fitting measured curves against the
+paper's asymptotic claims.
+
+The reproduction matches *shapes*, not the authors' constants: detection
+time should grow polylogarithmically, construction linearly, memory
+logarithmically.  The helpers below fit simple models by least squares
+over log-transformed data and compare growth ratios, so benchmarks and
+EXPERIMENTS.md can report "measured exponent" style evidence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+
+@dataclass
+class FitResult:
+    """y ~ a * x^b (power-law fit in log-log space)."""
+
+    a: float
+    b: float
+    r2: float
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Least-squares fit of log y = log a + b log x."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two points")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(max(1e-9, y)) for y in ys]
+    n = len(lx)
+    mx = sum(lx) / n
+    my = sum(ly) / n
+    sxx = sum((x - mx) ** 2 for x in lx)
+    sxy = sum((x - mx) * (y - my) for x, y in zip(lx, ly))
+    b = sxy / sxx if sxx else 0.0
+    a = math.exp(my - b * mx)
+    ss_res = sum((y - (math.log(a) + b * x)) ** 2 for x, y in zip(lx, ly))
+    ss_tot = sum((y - my) ** 2 for y in ly)
+    r2 = 1.0 - ss_res / ss_tot if ss_tot else 1.0
+    return FitResult(a=a, b=b, r2=r2)
+
+
+def fit_polylog(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Fit y ~ a * (log2 x)^b — the shape of the detection-time claims."""
+    lxs = [math.log2(max(2.0, x)) for x in xs]
+    return fit_power_law(lxs, ys)
+
+
+def growth_ratio(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """y_last/y_first normalized by x_last/x_first: ~1 for linear growth,
+    < 1 for sublinear, > 1 for superlinear."""
+    if xs[0] <= 0 or ys[0] <= 0:
+        raise ValueError("positive data required")
+    return (ys[-1] / ys[0]) / (xs[-1] / xs[0])
+
+
+def is_sublinear(xs: Sequence[float], ys: Sequence[float],
+                 tolerance: float = 0.6) -> bool:
+    """Whether y grows clearly slower than x (polylog vs linear test)."""
+    return growth_ratio(xs, ys) < tolerance
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text table used by the benchmark reports."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in r] for r in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    return str(value)

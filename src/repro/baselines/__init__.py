@@ -1,0 +1,17 @@
+"""Comparison baselines: the O(log^2 n) 1-round PLS [54/55], verification
+by recomputation [15], the low-memory cycle-rule algorithm [48/18], and
+the asymptotic models behind Table 1."""
+
+from .pls_sqlog import (REG_ALL_PIECES, SqLogPlsProtocol, sqlog_check,
+                        sqlog_labels, sqlog_marker_output)
+from .recompute import recompute_checker_metrics, recompute_detect
+from .low_memory import LowMemoryResult, run_low_memory_mst
+from .table1_models import HISTORICAL_ROWS, Table1Row, evaluate_rows
+
+__all__ = [
+    "REG_ALL_PIECES", "SqLogPlsProtocol", "sqlog_check", "sqlog_labels",
+    "sqlog_marker_output",
+    "recompute_checker_metrics", "recompute_detect",
+    "LowMemoryResult", "run_low_memory_mst",
+    "HISTORICAL_ROWS", "Table1Row", "evaluate_rows",
+]

@@ -1,0 +1,65 @@
+"""High-level facade: the paper's primary contribution in one namespace.
+
+``repro.core`` re-exports the handful of entry points a downstream user
+needs — construct an MST, label it, verify it, stabilize it — without
+navigating the subsystem packages:
+
+>>> from repro.core import (construct_mst, label_instance, verify,
+...                         self_stabilizing_mst)
+>>> from repro.graphs import generators
+>>> g = generators.random_connected_graph(30, 50, seed=1)
+>>> tree = construct_mst(g).tree
+>>> marker = label_instance(g)
+>>> result = verify(g, marker.labels, rounds=300)
+>>> result.detected
+False
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..graphs.weighted import NodeId, WeightedGraph
+from ..mst.sync_mst import SyncMstResult, run_sync_mst
+from ..selfstab.sst_mst import SelfStabMstResult, run_self_stabilizing_mst
+from ..verification.detection import DetectionResult, run_reject_instance
+from ..verification.marker import MarkerOutput, run_marker
+from ..verification.verifier import MstVerifierProtocol
+
+
+def construct_mst(graph: WeightedGraph) -> SyncMstResult:
+    """Run SYNC_MST (Section 4): O(n) rounds, O(log n) bits per node."""
+    return run_sync_mst(graph)
+
+
+def label_instance(graph: WeightedGraph) -> MarkerOutput:
+    """Run the full marker (Sections 5-6): all proof-label registers."""
+    return run_marker(graph)
+
+
+def verify(graph: WeightedGraph, labels: Dict[NodeId, Dict[str, Any]],
+           rounds: int, synchronous: bool = True) -> DetectionResult:
+    """Run the self-stabilizing verifier (Theorem 8.5) on given labels.
+
+    ``detected`` is False exactly when the labels describe this graph's
+    MST consistently (completeness); any non-MST or corrupted labeling is
+    rejected within the detection-time bounds (soundness).
+    """
+    return run_reject_instance(graph, labels, synchronous=synchronous,
+                               max_rounds=rounds)
+
+
+def self_stabilizing_mst(graph: WeightedGraph,
+                         synchronous: bool = True,
+                         initial_state: Optional[Dict[NodeId, Dict[str, Any]]] = None
+                         ) -> SelfStabMstResult:
+    """Run the self-stabilizing MST construction (Theorem 10.2)."""
+    return run_self_stabilizing_mst(graph, synchronous=synchronous,
+                                    initial_state=initial_state)
+
+
+__all__ = [
+    "construct_mst", "label_instance", "verify", "self_stabilizing_mst",
+    "MstVerifierProtocol", "SyncMstResult", "MarkerOutput",
+    "DetectionResult", "SelfStabMstResult",
+]

@@ -1,0 +1,19 @@
+"""Graph substrate: weighted graphs, spanning structures, generators,
+reference MST algorithms, the omega' weight modification, and the exact
+paper example of Figure 1 / Table 2."""
+
+from .weighted import Edge, GraphError, NodeId, Weight, WeightedGraph, edge_key
+from .spanning import Components, RootedTree, is_spanning_tree
+from .mst_reference import boruvka_mst, is_mst, kruskal_mst, mst_weight, prim_mst
+from .weights import (ensure_distinct_weights, lexicographic_weight,
+                      with_verification_weights)
+from . import generators, paper_example
+
+__all__ = [
+    "Edge", "GraphError", "NodeId", "Weight", "WeightedGraph", "edge_key",
+    "Components", "RootedTree", "is_spanning_tree",
+    "boruvka_mst", "is_mst", "kruskal_mst", "mst_weight", "prim_mst",
+    "ensure_distinct_weights", "lexicographic_weight",
+    "with_verification_weights",
+    "generators", "paper_example",
+]

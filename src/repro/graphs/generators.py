@@ -1,0 +1,214 @@
+"""Workload generators: graph families used by tests and benchmarks.
+
+All generators return connected :class:`WeightedGraph` instances with
+pairwise-distinct weights by default (distinct weights guarantee a unique
+MST, the standard assumption of Section 2.1).  Weight values are a random
+permutation of ``1..m`` — polynomial in ``n`` as the paper assumes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .weighted import GraphError, NodeId, WeightedGraph, edge_key
+
+
+def _apply_weights(edges: Sequence[Tuple[NodeId, NodeId]],
+                   rng: random.Random,
+                   distinct: bool = True) -> List[Tuple[NodeId, NodeId, int]]:
+    """Assign a random permutation of 1..m (distinct) or random ints."""
+    m = len(edges)
+    if distinct:
+        weights = list(range(1, m + 1))
+        rng.shuffle(weights)
+    else:
+        weights = [rng.randint(1, max(2, m // 2)) for _ in range(m)]
+    return [(u, v, w) for (u, v), w in zip(edges, weights)]
+
+
+def _build(nodes: Iterable[NodeId],
+           edges: Sequence[Tuple[NodeId, NodeId]],
+           rng: random.Random,
+           distinct: bool = True) -> WeightedGraph:
+    g = WeightedGraph()
+    for u in nodes:
+        g.add_node(u)
+    for u, v, w in _apply_weights(edges, rng, distinct):
+        g.add_edge(u, v, w)
+    return g
+
+
+def path_graph(n: int, seed: int = 0) -> WeightedGraph:
+    """A path on n nodes."""
+    rng = random.Random(seed)
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return _build(range(n), edges, rng)
+
+
+def ring_graph(n: int, seed: int = 0) -> WeightedGraph:
+    """A cycle on n nodes (n >= 3)."""
+    if n < 3:
+        raise GraphError("ring needs n >= 3")
+    rng = random.Random(seed)
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return _build(range(n), edges, rng)
+
+
+def star_graph(n: int, seed: int = 0) -> WeightedGraph:
+    """A star: node 0 joined to all others (max degree n-1)."""
+    rng = random.Random(seed)
+    edges = [(0, i) for i in range(1, n)]
+    return _build(range(n), edges, rng)
+
+
+def complete_graph(n: int, seed: int = 0) -> WeightedGraph:
+    """The complete graph K_n."""
+    rng = random.Random(seed)
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return _build(range(n), edges, rng)
+
+
+def grid_graph(rows: int, cols: int, seed: int = 0) -> WeightedGraph:
+    """A rows x cols grid (bounded degree 4)."""
+    rng = random.Random(seed)
+    def nid(r: int, c: int) -> int:
+        return r * cols + c
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((nid(r, c), nid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((nid(r, c), nid(r + 1, c)))
+    return _build(range(rows * cols), edges, rng)
+
+
+def random_tree(n: int, seed: int = 0) -> WeightedGraph:
+    """A uniformly random labelled tree (random attachment)."""
+    rng = random.Random(seed)
+    edges = []
+    for v in range(1, n):
+        edges.append((rng.randrange(v), v))
+    return _build(range(n), edges, rng)
+
+
+def caterpillar_graph(spine: int, legs_per_node: int, seed: int = 0) -> WeightedGraph:
+    """A caterpillar: a spine path with ``legs_per_node`` leaves each —
+    a high-degree, low-diameter stress case for the partitions."""
+    rng = random.Random(seed)
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    nxt = spine
+    for i in range(spine):
+        for _ in range(legs_per_node):
+            edges.append((i, nxt))
+            nxt += 1
+    return _build(range(nxt), edges, rng)
+
+
+def random_connected_graph(n: int, extra_edges: int, seed: int = 0,
+                           distinct: bool = True) -> WeightedGraph:
+    """A random tree plus ``extra_edges`` uniformly random non-tree edges.
+
+    The workhorse workload of the benchmarks: connectivity guaranteed,
+    density controlled, distinct weights by default.
+    """
+    rng = random.Random(seed)
+    edges = set()
+    for v in range(1, n):
+        edges.add(edge_key(rng.randrange(v), v))
+    max_extra = n * (n - 1) // 2 - len(edges)
+    extra_edges = min(extra_edges, max_extra)
+    while extra_edges > 0:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        e = edge_key(u, v)
+        if e in edges:
+            continue
+        edges.add(e)
+        extra_edges -= 1
+    ordered = sorted(edges)
+    rng.shuffle(ordered)
+    return _build(range(n), ordered, rng, distinct)
+
+
+def random_geometric_graph(n: int, radius: float, seed: int = 0) -> WeightedGraph:
+    """Random geometric graph on the unit square, patched to connectivity
+    by adding nearest-neighbour edges between components."""
+    rng = random.Random(seed)
+    pts = [(rng.random(), rng.random()) for _ in range(n)]
+    edges = set()
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = pts[i][0] - pts[j][0]
+            dy = pts[i][1] - pts[j][1]
+            if dx * dx + dy * dy <= radius * radius:
+                edges.add((i, j))
+    # patch connectivity: union-find over components, join closest pairs
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for (i, j) in edges:
+        parent[find(i)] = find(j)
+    while True:
+        comps = {}
+        for i in range(n):
+            comps.setdefault(find(i), []).append(i)
+        if len(comps) == 1:
+            break
+        groups = list(comps.values())
+        a, b = groups[0], groups[1]
+        best = None
+        for i in a:
+            for j in b:
+                dx = pts[i][0] - pts[j][0]
+                dy = pts[i][1] - pts[j][1]
+                d = dx * dx + dy * dy
+                if best is None or d < best[0]:
+                    best = (d, i, j)
+        assert best is not None
+        edges.add(edge_key(best[1], best[2]))
+        parent[find(best[1])] = find(best[2])
+    ordered = sorted(edges)
+    rng.shuffle(ordered)
+    return _build(range(n), ordered, rng)
+
+
+def bounded_degree_graph(n: int, degree: int, seed: int = 0) -> WeightedGraph:
+    """A connected graph with maximum degree <= ``degree`` (>= 2):
+    a random tree with attachment capped at ``degree - 1`` children,
+    plus random extra edges respecting the cap."""
+    if degree < 2:
+        raise GraphError("degree must be >= 2")
+    rng = random.Random(seed)
+    deg = [0] * n
+    edges = set()
+    for v in range(1, n):
+        candidates = [u for u in range(v) if deg[u] < degree - 1]
+        if not candidates:
+            candidates = [u for u in range(v) if deg[u] < degree]
+        u = rng.choice(candidates)
+        edges.add(edge_key(u, v))
+        deg[u] += 1
+        deg[v] += 1
+    attempts = 4 * n
+    while attempts > 0:
+        attempts -= 1
+        u, v = rng.randrange(n), rng.randrange(n)
+        e = edge_key(u, v)
+        if u == v or e in edges or deg[u] >= degree or deg[v] >= degree:
+            continue
+        edges.add(e)
+        deg[u] += 1
+        deg[v] += 1
+    ordered = sorted(edges)
+    rng.shuffle(ordered)
+    return _build(range(n), ordered, rng)

@@ -1,0 +1,132 @@
+"""Centralized reference MST algorithms (correctness oracles).
+
+These are the ground truth against which the distributed algorithms are
+checked.  With distinct edge weights the MST is unique, so set equality of
+edge sets is a complete correctness check.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Set, Tuple
+
+from .weighted import Edge, GraphError, NodeId, WeightedGraph, edge_key
+
+
+class _UnionFind:
+    """Union-find with path compression and union by rank."""
+
+    def __init__(self, items) -> None:
+        self.parent = {x: x for x in items}
+        self.rank = {x: 0 for x in items}
+
+    def find(self, x):
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a, b) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        return True
+
+
+def kruskal_mst(graph: WeightedGraph) -> Set[Edge]:
+    """The unique MST edge set via Kruskal (requires distinct weights for
+    uniqueness; works regardless, returning *an* MST)."""
+    uf = _UnionFind(graph.nodes())
+    mst: Set[Edge] = set()
+    for u, v, _w in sorted(graph.edges(), key=lambda e: e[2]):
+        if uf.union(u, v):
+            mst.add(edge_key(u, v))
+    if graph.n and len(mst) != graph.n - 1:
+        raise GraphError("graph is not connected; no spanning tree exists")
+    return mst
+
+
+def prim_mst(graph: WeightedGraph, start: Optional[NodeId] = None) -> Set[Edge]:
+    """The MST edge set via Prim's algorithm from ``start``."""
+    nodes = graph.nodes()
+    if not nodes:
+        return set()
+    start = nodes[0] if start is None else start
+    in_tree = {start}
+    mst: Set[Edge] = set()
+    heap: List[Tuple] = []
+    for v in graph.neighbors(start):
+        heapq.heappush(heap, (graph.weight(start, v), start, v))
+    while heap and len(in_tree) < graph.n:
+        w, u, v = heapq.heappop(heap)
+        if v in in_tree:
+            continue
+        in_tree.add(v)
+        mst.add(edge_key(u, v))
+        for x in graph.neighbors(v):
+            if x not in in_tree:
+                heapq.heappush(heap, (graph.weight(v, x), v, x))
+    if len(in_tree) != graph.n:
+        raise GraphError("graph is not connected; no spanning tree exists")
+    return mst
+
+
+def boruvka_mst(graph: WeightedGraph) -> Set[Edge]:
+    """The MST edge set via Boruvka phases (distinct weights required —
+    this mirrors the fragment/minimum-outgoing-edge view of GHS)."""
+    if not graph.has_distinct_weights():
+        raise GraphError("Boruvka requires distinct edge weights")
+    uf = _UnionFind(graph.nodes())
+    mst: Set[Edge] = set()
+    num_components = graph.n
+    while num_components > 1:
+        # minimum outgoing edge per component
+        best: Dict[NodeId, Tuple] = {}
+        for u, v, w in graph.edges():
+            ru, rv = uf.find(u), uf.find(v)
+            if ru == rv:
+                continue
+            for r in (ru, rv):
+                if r not in best or w < best[r][0]:
+                    best[r] = (w, u, v)
+        if not best:
+            raise GraphError("graph is not connected; no spanning tree exists")
+        for _w, u, v in best.values():
+            if uf.union(u, v):
+                mst.add(edge_key(u, v))
+                num_components -= 1
+    return mst
+
+
+def is_mst(graph: WeightedGraph, edges: Set[Edge]) -> bool:
+    """Whether ``edges`` is *the* MST (distinct weights) or *an* MST.
+
+    Uses the cycle property: a spanning tree is minimum iff every non-tree
+    edge is a maximum-weight edge on the cycle it closes.
+    """
+    from .spanning import RootedTree, is_spanning_tree
+
+    if not is_spanning_tree(graph, edges):
+        return False
+    if graph.n <= 1:
+        return True
+    root = graph.nodes()[0]
+    tree = RootedTree.from_edges(graph, edges, root)
+    for u, v, w in graph.edges():
+        if edge_key(u, v) in edges:
+            continue
+        if w < tree.tree_path_max_weight(u, v):
+            return False
+    return True
+
+
+def mst_weight(graph: WeightedGraph):
+    """Total weight of the MST."""
+    return graph.total_weight(kruskal_mst(graph))

@@ -1,0 +1,255 @@
+"""Distributed representation of spanning structures (Section 2.1).
+
+The network stores an object such as an MST *distributively*: the
+*component* ``c(v)`` at node ``v`` is a pointer (port number) to ``v``'s
+parent, or ``None`` when ``v`` is the root.  The collection of components
+induces a subgraph ``H(G)``: an edge is included iff at least one of its
+end-nodes points at the other.
+
+:class:`RootedTree` is the centralized view used by markers, verifiers'
+tests, and benchmarks: parent/children maps, depths, subtree sizes, DFS
+orders, and tree-path queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .weighted import Edge, GraphError, NodeId, WeightedGraph, edge_key
+
+
+class Components:
+    """The per-node parent-pointer components ``c(v)`` of Section 2.1.
+
+    ``parent_port[v]`` is the port number at ``v`` pointing at ``v``'s
+    parent, or ``None`` if ``v`` has no pointer (candidate root).
+    """
+
+    def __init__(self, graph: WeightedGraph,
+                 parent_port: Dict[NodeId, Optional[int]]) -> None:
+        self.graph = graph
+        self.parent_port = dict(parent_port)
+        for v in graph.nodes():
+            if v not in self.parent_port:
+                raise GraphError(f"node {v} has no component entry")
+
+    @classmethod
+    def from_parent_map(cls, graph: WeightedGraph,
+                        parent: Dict[NodeId, Optional[NodeId]]) -> "Components":
+        """Build components from a node->parent map (None for the root)."""
+        ports: Dict[NodeId, Optional[int]] = {}
+        for v, p in parent.items():
+            ports[v] = None if p is None else graph.port(v, p)
+        return cls(graph, ports)
+
+    def parent_of(self, v: NodeId) -> Optional[NodeId]:
+        """The node pointed at by ``v``'s component (or None)."""
+        port = self.parent_port[v]
+        if port is None:
+            return None
+        return self.graph.neighbor_at_port(v, port)
+
+    def induced_edges(self) -> Set[Edge]:
+        """Edges of H(G): included iff at least one endpoint points at the
+        other (paper, Section 2.1)."""
+        out: Set[Edge] = set()
+        for v in self.graph.nodes():
+            p = self.parent_of(v)
+            if p is not None:
+                out.add(edge_key(v, p))
+        return out
+
+    def roots(self) -> List[NodeId]:
+        """Nodes whose component holds no pointer."""
+        return [v for v, port in self.parent_port.items() if port is None]
+
+
+def is_spanning_tree(graph: WeightedGraph, edges: Set[Edge]) -> bool:
+    """Whether ``edges`` forms a spanning tree of ``graph``."""
+    if graph.n == 0:
+        return True
+    if len(edges) != graph.n - 1:
+        return False
+    adj: Dict[NodeId, List[NodeId]] = {v: [] for v in graph.nodes()}
+    for (u, v) in edges:
+        if not graph.has_edge(u, v):
+            return False
+        adj[u].append(v)
+        adj[v].append(u)
+    start = graph.nodes()[0]
+    seen = {start}
+    stack = [start]
+    while stack:
+        u = stack.pop()
+        for v in adj[u]:
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return len(seen) == graph.n
+
+
+class RootedTree:
+    """A rooted spanning tree of a :class:`WeightedGraph`.
+
+    Construction validates that the parent map describes a tree spanning
+    all graph nodes and that every parent edge exists in the graph.
+    """
+
+    def __init__(self, graph: WeightedGraph, root: NodeId,
+                 parent: Dict[NodeId, Optional[NodeId]]) -> None:
+        self.graph = graph
+        self.root = root
+        self.parent: Dict[NodeId, Optional[NodeId]] = dict(parent)
+        if self.parent.get(root, "missing") is not None:
+            raise GraphError("root must have parent None")
+        self.children: Dict[NodeId, List[NodeId]] = {v: [] for v in graph.nodes()}
+        for v in graph.nodes():
+            if v == root:
+                continue
+            p = self.parent.get(v)
+            if p is None:
+                raise GraphError(f"non-root node {v} lacks a parent")
+            if not graph.has_edge(v, p):
+                raise GraphError(f"parent edge ({v}, {p}) not in graph")
+            self.children[p].append(v)
+        # children in port order at the parent: deterministic DFS orders.
+        for p in self.children:
+            self.children[p].sort(key=lambda c: graph.port(p, c))
+        self.depth: Dict[NodeId, int] = {}
+        self._compute_depths()
+        if len(self.depth) != graph.n:
+            raise GraphError("parent map does not span the graph / has cycles")
+
+    # ------------------------------------------------------------------
+    def _compute_depths(self) -> None:
+        self.depth[self.root] = 0
+        stack = [self.root]
+        while stack:
+            u = stack.pop()
+            for c in self.children[u]:
+                self.depth[c] = self.depth[u] + 1
+                stack.append(c)
+
+    @classmethod
+    def from_edges(cls, graph: WeightedGraph, edges: Set[Edge],
+                   root: NodeId) -> "RootedTree":
+        """Orient an (unrooted) spanning-tree edge set away from ``root``."""
+        adj: Dict[NodeId, List[NodeId]] = {v: [] for v in graph.nodes()}
+        for (u, v) in edges:
+            adj[u].append(v)
+            adj[v].append(u)
+        parent: Dict[NodeId, Optional[NodeId]] = {root: None}
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            for v in adj[u]:
+                if v not in parent:
+                    parent[v] = u
+                    stack.append(v)
+        if len(parent) != graph.n:
+            raise GraphError("edge set does not span the graph")
+        return cls(graph, root, parent)
+
+    # ------------------------------------------------------------------
+    def nodes(self) -> List[NodeId]:
+        return self.graph.nodes()
+
+    def edge_set(self) -> Set[Edge]:
+        """Tree edges as canonical pairs."""
+        return {edge_key(v, p) for v, p in self.parent.items() if p is not None}
+
+    def components(self) -> Components:
+        """The distributed (parent-port) representation of this tree."""
+        return Components.from_parent_map(self.graph, self.parent)
+
+    def subtree_sizes(self) -> Dict[NodeId, int]:
+        """Size of the subtree hanging from each node (including itself)."""
+        sizes = {v: 1 for v in self.nodes()}
+        for v in self.dfs_postorder():
+            p = self.parent[v]
+            if p is not None:
+                sizes[p] += sizes[v]
+        return sizes
+
+    def height(self) -> int:
+        """Height of the tree (max depth)."""
+        return max(self.depth.values(), default=0)
+
+    def dfs_preorder(self, start: Optional[NodeId] = None) -> List[NodeId]:
+        """DFS preorder from ``start`` (default: the root), children in
+        port order — the order used to place train pieces (Section 6.2)."""
+        start = self.root if start is None else start
+        order: List[NodeId] = []
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            order.append(u)
+            for c in reversed(self.children[u]):
+                stack.append(c)
+        return order
+
+    def dfs_postorder(self) -> List[NodeId]:
+        """DFS postorder (children before parents)."""
+        order = self.dfs_preorder()
+        seen_children: List[NodeId] = []
+        # reverse preorder with reversed child expansion = postorder reversed
+        out: List[NodeId] = []
+        stack: List[Tuple[NodeId, bool]] = [(self.root, False)]
+        while stack:
+            u, expanded = stack.pop()
+            if expanded:
+                out.append(u)
+            else:
+                stack.append((u, True))
+                for c in reversed(self.children[u]):
+                    stack.append((c, False))
+        return out
+
+    def subtree_nodes(self, v: NodeId) -> List[NodeId]:
+        """All nodes in the subtree rooted at ``v`` (preorder)."""
+        return self.dfs_preorder(start=v)
+
+    def path_to_root(self, v: NodeId) -> List[NodeId]:
+        """Nodes on the path from ``v`` up to the root, inclusive."""
+        path = [v]
+        cur: Optional[NodeId] = v
+        while True:
+            cur = self.parent[path[-1]]
+            if cur is None:
+                return path
+            path.append(cur)
+
+    def tree_path(self, u: NodeId, v: NodeId) -> List[NodeId]:
+        """Nodes on the unique tree path between ``u`` and ``v``."""
+        pu = self.path_to_root(u)
+        pv = self.path_to_root(v)
+        set_u = {x: i for i, x in enumerate(pu)}
+        for j, x in enumerate(pv):
+            if x in set_u:
+                return pu[:set_u[x] + 1] + list(reversed(pv[:j]))
+        raise GraphError("nodes in different trees")
+
+    def tree_path_max_weight(self, u: NodeId, v: NodeId):
+        """Maximum edge weight on the tree path between u and v."""
+        path = self.tree_path(u, v)
+        return max(self.graph.weight(a, b) for a, b in zip(path, path[1:]))
+
+    def tree_neighbors(self, v: NodeId) -> List[NodeId]:
+        """Tree neighbours of v: parent (if any) followed by children."""
+        out: List[NodeId] = []
+        if self.parent[v] is not None:
+            out.append(self.parent[v])  # type: ignore[arg-type]
+        out.extend(self.children[v])
+        return out
+
+    def is_ancestor(self, anc: NodeId, v: NodeId) -> bool:
+        """Whether ``anc`` lies on the path from ``v`` to the root."""
+        cur: Optional[NodeId] = v
+        while cur is not None:
+            if cur == anc:
+                return True
+            cur = self.parent[cur]
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RootedTree(root={self.root}, n={self.graph.n})"

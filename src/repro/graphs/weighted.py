@@ -1,0 +1,196 @@
+"""Weighted undirected graphs with per-node port numbers.
+
+This module provides the graph model assumed by the paper (Section 2.1):
+
+* an edge-weighted graph ``G = (V, E)`` with weights polynomial in ``n``,
+* each node has a unique identity ``ID(v)`` encodable in O(log n) bits,
+* each incident edge of a node ``v`` carries a *port number* that is unique
+  at ``v`` and independent of the port number of the same edge at the other
+  endpoint.
+
+Weights may be ints, floats, or tuples (the lexicographic weights of
+:mod:`repro.graphs.weights` are tuples); they only need to be totally
+ordered and mutually comparable within one graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+Weight = Hashable  # totally ordered in practice (int, float, or tuple)
+NodeId = int
+Edge = Tuple[NodeId, NodeId]
+
+
+def edge_key(u: NodeId, v: NodeId) -> Edge:
+    """Return the canonical (sorted) form of an undirected edge."""
+    return (u, v) if u <= v else (v, u)
+
+
+class GraphError(ValueError):
+    """Raised on structurally invalid graph operations."""
+
+
+class WeightedGraph:
+    """An undirected edge-weighted graph with per-endpoint port numbers.
+
+    Nodes are integer identities.  Ports at each node are assigned in edge
+    insertion order (0, 1, 2, ...) which makes them deterministic for a
+    given construction sequence, mirroring the paper's assumption that the
+    port numbering is arbitrary but fixed.
+    """
+
+    def __init__(self) -> None:
+        self._adj: Dict[NodeId, Dict[NodeId, Weight]] = {}
+        self._ports: Dict[NodeId, List[NodeId]] = {}
+        self._port_of: Dict[NodeId, Dict[NodeId, int]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, u: NodeId) -> None:
+        """Add an isolated node (no-op if already present)."""
+        if u not in self._adj:
+            self._adj[u] = {}
+            self._ports[u] = []
+            self._port_of[u] = {}
+
+    def add_edge(self, u: NodeId, v: NodeId, weight: Weight) -> None:
+        """Add the undirected edge ``{u, v}`` with the given weight."""
+        if u == v:
+            raise GraphError(f"self-loop at node {u} is not allowed")
+        self.add_node(u)
+        self.add_node(v)
+        if v in self._adj[u]:
+            raise GraphError(f"duplicate edge ({u}, {v})")
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+        self._port_of[u][v] = len(self._ports[u])
+        self._ports[u].append(v)
+        self._port_of[v][u] = len(self._ports[v])
+        self._ports[v].append(u)
+
+    def copy(self) -> "WeightedGraph":
+        """Return a structural copy (same nodes, edges, weights, ports)."""
+        g = WeightedGraph()
+        for u in self.nodes():
+            g.add_node(u)
+        g._adj = {u: dict(nbrs) for u, nbrs in self._adj.items()}
+        g._ports = {u: list(ps) for u, ps in self._ports.items()}
+        g._port_of = {u: dict(pm) for u, pm in self._port_of.items()}
+        return g
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def nodes(self) -> List[NodeId]:
+        """All node identities, in insertion order."""
+        return list(self._adj.keys())
+
+    def has_node(self, u: NodeId) -> bool:
+        return u in self._adj
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, u: NodeId) -> List[NodeId]:
+        """Neighbours of ``u`` in port order."""
+        return list(self._ports[u])
+
+    def weight(self, u: NodeId, v: NodeId) -> Weight:
+        """Weight of edge ``{u, v}``; raises if absent."""
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise GraphError(f"no edge ({u}, {v})") from None
+
+    def degree(self, u: NodeId) -> int:
+        return len(self._adj[u])
+
+    def max_degree(self) -> int:
+        """The maximum degree Delta (0 for the empty graph)."""
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    def port(self, u: NodeId, v: NodeId) -> int:
+        """Port number of edge ``{u, v}`` at endpoint ``u``."""
+        return self._port_of[u][v]
+
+    def neighbor_at_port(self, u: NodeId, port: int) -> NodeId:
+        """The neighbour of ``u`` reached through the given port."""
+        return self._ports[u][port]
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self._adj)
+
+    @property
+    def m(self) -> int:
+        """Number of (undirected) edges."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def edges(self) -> Iterator[Tuple[NodeId, NodeId, Weight]]:
+        """Iterate each undirected edge once as ``(u, v, w)`` with u < v."""
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                if u < v:
+                    yield (u, v, w)
+
+    def edge_set(self) -> List[Edge]:
+        """All edges as canonical pairs."""
+        return [edge_key(u, v) for u, v, _ in self.edges()]
+
+    def total_weight(self, edges: Iterable[Edge]) -> Weight:
+        """Sum of weights over an iterable of edges (int/float weights)."""
+        return sum(self.weight(u, v) for u, v in edges)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (empty graph counts as connected)."""
+        nodes = self.nodes()
+        if not nodes:
+            return True
+        seen = {nodes[0]}
+        queue = deque([nodes[0]])
+        while queue:
+            u = queue.popleft()
+            for v in self._adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+        return len(seen) == self.n
+
+    def has_distinct_weights(self) -> bool:
+        """Whether all edge weights are pairwise distinct."""
+        weights = [w for _, _, w in self.edges()]
+        return len(weights) == len(set(weights))
+
+    def bfs_distances(self, source: NodeId) -> Dict[NodeId, int]:
+        """Unweighted hop distances from ``source`` to reachable nodes."""
+        dist = {source: 0}
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for v in self._adj[u]:
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+        return dist
+
+    def diameter(self) -> int:
+        """Hop diameter (exact; O(n * (n + m)), fine at simulation scale)."""
+        best = 0
+        for u in self.nodes():
+            dist = self.bfs_distances(u)
+            if len(dist) != self.n:
+                raise GraphError("diameter of a disconnected graph")
+            best = max(best, max(dist.values(), default=0))
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WeightedGraph(n={self.n}, m={self.m})"

@@ -1,0 +1,53 @@
+"""The verification-safe distinct-weight modification (footnote 1).
+
+The standard GHS trick of breaking weight ties by endpoint identities is
+*not* sufficient for verification: the given subgraph can be an MST of the
+original graph but not of the tie-broken one.  Kor, Korman and Peleg order
+edges lexicographically by
+
+    omega'(e) = ( omega(e), 1 - Y_e, IDmin(e), IDmax(e) )
+
+where ``Y_e`` indicates whether ``e`` belongs to the candidate tree T.
+Tree edges beat equal-weight non-tree edges, hence T is an MST of G under
+``omega`` iff T is an MST of G under ``omega'`` — and ``omega'`` is
+injective because it includes the endpoint identities.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+from .weighted import Edge, NodeId, WeightedGraph, edge_key
+
+LexWeight = Tuple
+
+
+def lexicographic_weight(weight, u: NodeId, v: NodeId,
+                         in_tree: bool) -> LexWeight:
+    """The tuple omega'(e) for edge (u, v) with indicator ``in_tree``."""
+    return (weight, 0 if in_tree else 1, min(u, v), max(u, v))
+
+
+def with_verification_weights(graph: WeightedGraph,
+                              tree_edges: Iterable[Edge]) -> WeightedGraph:
+    """Return a copy of ``graph`` re-weighted with omega'.
+
+    The returned graph always has distinct weights, and the candidate tree
+    is an MST of the original iff it is an MST of the returned graph.
+    """
+    tset: Set[Edge] = {edge_key(u, v) for (u, v) in tree_edges}
+    out = WeightedGraph()
+    for node in graph.nodes():
+        out.add_node(node)
+    for u, v, w in graph.edges():
+        out.add_edge(u, v, lexicographic_weight(w, u, v, edge_key(u, v) in tset))
+    return out
+
+
+def ensure_distinct_weights(graph: WeightedGraph,
+                            tree_edges: Iterable[Edge]) -> WeightedGraph:
+    """Return ``graph`` unchanged when weights are already distinct,
+    otherwise the omega'-re-weighted copy (the paper's Section 2.1 rule)."""
+    if graph.has_distinct_weights():
+        return graph
+    return with_verification_weights(graph, tree_edges)

@@ -1,0 +1,10 @@
+"""Fragment hierarchies: laminar families of subtrees with candidate
+functions (Definitions 5.1/5.2 and Lemma 5.1)."""
+
+from .fragments import (Fragment, FragmentId, Hierarchy,
+                        minimum_outgoing_edge, outgoing_edges)
+
+__all__ = [
+    "Fragment", "FragmentId", "Hierarchy",
+    "minimum_outgoing_edge", "outgoing_edges",
+]

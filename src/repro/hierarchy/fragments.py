@@ -1,0 +1,229 @@
+"""Fragments and fragment hierarchies (Definitions 5.1, 5.2).
+
+A *fragment* is a connected subtree of the spanning tree ``T``.  The
+fragments produced by SYNC_MST form a *laminar family* organized in a
+*hierarchy tree* H: ``T`` is the root, the singletons are the leaves, and a
+fragment's children are the fragments that merged to form it.
+
+The fragment *root* is the node of the fragment closest to the root of
+``T`` (its apex); the fragment identity of the paper is
+``ID(F) = (ID(root(F)), level(F))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..graphs.spanning import RootedTree
+from ..graphs.weighted import Edge, GraphError, NodeId, WeightedGraph, edge_key
+
+FragmentId = Tuple[NodeId, int]
+
+
+@dataclass(eq=False)
+class Fragment:
+    """One fragment of the hierarchy.
+
+    ``candidate_edge`` is oriented ``(inside, outside)``: the first endpoint
+    belongs to the fragment; it is ``None`` exactly for the whole tree.
+    Fragments hash by identity so they can live in sets and dict keys.
+    """
+
+    root: NodeId
+    level: int
+    nodes: FrozenSet[NodeId]
+    candidate_edge: Optional[Tuple[NodeId, NodeId]] = None
+    candidate_weight: Optional[object] = None
+    parent: Optional["Fragment"] = field(default=None, repr=False)
+    children: List["Fragment"] = field(default_factory=list, repr=False)
+
+    @property
+    def fragment_id(self) -> FragmentId:
+        """The paper's ID(F) = ID(root) composed with the level."""
+        return (self.root, self.level)
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def is_singleton(self) -> bool:
+        return len(self.nodes) == 1
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self.nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Fragment(root={self.root}, level={self.level}, "
+                f"size={self.size})")
+
+
+def outgoing_edges(graph: WeightedGraph,
+                   nodes: FrozenSet[NodeId]) -> List[Tuple[NodeId, NodeId, object]]:
+    """All graph edges with exactly one endpoint in ``nodes``, oriented
+    (inside, outside, weight)."""
+    out = []
+    for u in nodes:
+        for v in graph.neighbors(u):
+            if v not in nodes:
+                out.append((u, v, graph.weight(u, v)))
+    return out
+
+
+def minimum_outgoing_edge(graph: WeightedGraph, nodes: FrozenSet[NodeId]):
+    """The minimum outgoing edge of a node set as (inside, outside, weight),
+    or None when the set has no outgoing edge (spans the graph)."""
+    best = None
+    for u, v, w in outgoing_edges(graph, nodes):
+        if best is None or w < best[2]:
+            best = (u, v, w)
+    return best
+
+
+class Hierarchy:
+    """A hierarchy H for ``T`` (Definition 5.1) with a candidate function.
+
+    Invariants validated by :meth:`validate`:
+
+    1. ``T`` is in H, and for every node there is a singleton fragment.
+    2. Laminarity: any two fragments are nested or disjoint.
+    3. Every non-root fragment has a candidate edge, and every fragment is
+       precisely the union of its children's node sets, connected through
+       the children's candidate edges (Definition 5.2).
+    """
+
+    def __init__(self, tree: RootedTree, fragments: Iterable[Fragment]) -> None:
+        self.tree = tree
+        self.graph = tree.graph
+        self.fragments: List[Fragment] = sorted(
+            fragments, key=lambda f: (f.level, f.root))
+        self._by_node: Dict[NodeId, List[Fragment]] = {
+            v: [] for v in self.graph.nodes()}
+        for frag in self.fragments:
+            for v in frag.nodes:
+                self._by_node[v].append(frag)
+        for v in self._by_node:
+            self._by_node[v].sort(key=lambda f: f.level)
+        self._link_parents()
+
+    # ------------------------------------------------------------------
+    def _link_parents(self) -> None:
+        """Wire parent/children pointers by minimal strict superset."""
+        for frag in self.fragments:
+            frag.children = []
+            frag.parent = None
+        for frag in self.fragments:
+            best: Optional[Fragment] = None
+            for other in self._by_node[frag.root]:
+                if other is frag:
+                    continue
+                if frag.nodes < other.nodes:
+                    if best is None or other.nodes < best.nodes or \
+                            (len(other.nodes) < len(best.nodes)):
+                        best = other
+            frag.parent = best
+            if best is not None:
+                best.children.append(frag)
+        for frag in self.fragments:
+            frag.children.sort(key=lambda f: (f.level, f.root))
+
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        """The level of the whole-tree fragment (the paper's ell)."""
+        return max(f.level for f in self.fragments)
+
+    @property
+    def whole_tree_fragment(self) -> Fragment:
+        top = [f for f in self.fragments if len(f.nodes) == self.graph.n]
+        if len(top) != 1:
+            raise GraphError("hierarchy lacks a unique whole-tree fragment")
+        return top[0]
+
+    def fragments_of(self, node: NodeId) -> List[Fragment]:
+        """All fragments containing ``node``, by increasing level."""
+        return list(self._by_node[node])
+
+    def fragment_at_level(self, node: NodeId, level: int) -> Optional[Fragment]:
+        """The level-``level`` fragment containing ``node`` (or None —
+        nodes may skip levels, cf. the '*' entries of the Roots strings)."""
+        for frag in self._by_node[node]:
+            if frag.level == level:
+                return frag
+        return None
+
+    def levels_of(self, node: NodeId) -> List[int]:
+        """The set J(v) of levels at which ``node`` has a fragment."""
+        return [f.level for f in self._by_node[node]]
+
+    def by_level(self, level: int) -> List[Fragment]:
+        return [f for f in self.fragments if f.level == level]
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise GraphError when any Definition 5.1/5.2 invariant fails."""
+        nodes = set(self.graph.nodes())
+        whole = self.whole_tree_fragment  # raises when absent
+        singles = {next(iter(f.nodes)) for f in self.fragments if f.is_singleton()}
+        if singles != nodes:
+            raise GraphError("missing singleton fragments")
+        # laminarity
+        for i, f1 in enumerate(self.fragments):
+            for f2 in self.fragments[i + 1:]:
+                inter = f1.nodes & f2.nodes
+                if inter and not (f1.nodes <= f2.nodes or f2.nodes <= f1.nodes):
+                    raise GraphError(
+                        f"fragments {f1.fragment_id} and {f2.fragment_id} "
+                        "violate laminarity")
+        # roots are apexes
+        for frag in self.fragments:
+            apex = min(frag.nodes, key=lambda v: self.tree.depth[v])
+            if apex != frag.root:
+                raise GraphError(f"fragment {frag.fragment_id} root is not "
+                                 "its node closest to the tree root")
+        # candidate function: E(F) = { chi(F') : F' strictly inside F }
+        for frag in self.fragments:
+            if frag is whole:
+                if frag.candidate_edge is not None:
+                    raise GraphError("whole-tree fragment has a candidate")
+                continue
+            if frag.candidate_edge is None:
+                raise GraphError(f"fragment {frag.fragment_id} lacks candidate")
+            u, v = frag.candidate_edge
+            if u not in frag.nodes or v in frag.nodes:
+                raise GraphError(f"candidate of {frag.fragment_id} not outgoing")
+        for frag in self.fragments:
+            if frag.is_singleton():
+                continue
+            internal = {
+                edge_key(a, b)
+                for a in frag.nodes
+                for b in self.tree.children[a]
+                if b in frag.nodes
+            }
+            child_candidates = set()
+            for strict in self.fragments:
+                if strict.nodes < frag.nodes and strict.candidate_edge:
+                    child_candidates.add(edge_key(*strict.candidate_edge))
+            if internal != child_candidates:
+                raise GraphError(
+                    f"fragment {frag.fragment_id}: edges != union of strict "
+                    "descendants' candidates (Definition 5.2)")
+
+    def verify_minimality(self) -> bool:
+        """Lemma 5.1: every candidate is a minimum outgoing edge.
+
+        Together with a validated hierarchy this implies T is an MST.
+        """
+        whole = self.whole_tree_fragment
+        for frag in self.fragments:
+            if frag is whole:
+                continue
+            mo = minimum_outgoing_edge(self.graph, frag.nodes)
+            assert mo is not None
+            if frag.candidate_edge is None:
+                return False
+            u, v = frag.candidate_edge
+            if self.graph.weight(u, v) != mo[2]:
+                return False
+        return True

@@ -1,0 +1,29 @@
+"""Proof labeling: 1-PLS examples (SP / NumK / EDIAM), the hierarchy
+strings of Section 5, and the 1-round well-forming verifier."""
+
+from .strings import (ENDP_DISPLAY, ENDP_DOWN, ENDP_NONE, ENDP_STAR, ENDP_UP,
+                      NodeStrings, compute_node_strings, format_table2,
+                      levels_mask)
+from .views import StaticView, all_views, view_neighbor_at_port
+from .wellforming import (ALL_STATIC_CHECKS, check_ell, check_endp_parents,
+                          check_jmask_delim, check_partitions,
+                          check_roots_string, check_size,
+                          check_spanning_tree, level_is_bottom,
+                          log_threshold, sorted_levels, static_check,
+                          tree_children)
+from .examples import (EDIAM_SCHEME, NUMK_SCHEME, SP_SCHEME, MarkerResult,
+                       OneProofLabelingScheme)
+from . import registers
+
+__all__ = [
+    "ENDP_DISPLAY", "ENDP_DOWN", "ENDP_NONE", "ENDP_STAR", "ENDP_UP",
+    "NodeStrings", "compute_node_strings", "format_table2", "levels_mask",
+    "StaticView", "all_views", "view_neighbor_at_port",
+    "ALL_STATIC_CHECKS", "check_ell", "check_endp_parents",
+    "check_jmask_delim", "check_partitions", "check_roots_string",
+    "check_size", "check_spanning_tree", "level_is_bottom", "log_threshold",
+    "sorted_levels", "static_check", "tree_children",
+    "EDIAM_SCHEME", "NUMK_SCHEME", "SP_SCHEME", "MarkerResult",
+    "OneProofLabelingScheme",
+    "registers",
+]

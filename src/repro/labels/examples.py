@@ -1,0 +1,180 @@
+"""Self-contained 1-proof labeling schemes (Section 2.6 warm-ups).
+
+Each scheme packages a centralized-result *marker* (what the distributed
+marker would write, with its construction time charged per the paper) and
+a 1-round local *verifier*.  They exist as stand-alone, reusable schemes
+— the full MST scheme embeds equivalent checks via
+:mod:`repro.labels.wellforming` — and as the simplest instances of the
+proof-labeling-scheme interface used across the project.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from ..graphs.spanning import RootedTree
+from ..graphs.weighted import NodeId, WeightedGraph
+from .views import StaticView
+
+
+@dataclass
+class OneProofLabelingScheme:
+    """A 1-PLS: a marker producing labels and a 1-round local verifier.
+
+    ``marker(tree)`` returns ``{node: {register: value}}`` and the charged
+    construction time in ideal rounds; ``verify(view)`` returns failure
+    reasons for one node.
+    """
+
+    name: str
+    marker: Callable[[RootedTree], "MarkerResult"]
+    verify: Callable[[Any], List[str]]
+
+    def verify_all(self, graph: WeightedGraph,
+                   labels: Mapping[NodeId, Mapping[str, Any]]) -> Dict[NodeId, List[str]]:
+        """Run the verifier at every node; {node: reasons} for failures."""
+        out: Dict[NodeId, List[str]] = {}
+        for v in graph.nodes():
+            reasons = self.verify(StaticView(graph, v, labels))
+            if reasons:
+                out[v] = reasons
+        return out
+
+
+@dataclass
+class MarkerResult:
+    labels: Dict[NodeId, Dict[str, Any]]
+    construction_rounds: int
+
+
+# ---------------------------------------------------------------------------
+# Example SP: H(G) is a spanning tree
+# ---------------------------------------------------------------------------
+
+def sp_marker(tree: RootedTree) -> MarkerResult:
+    """Labels: root identity and distance to the root (O(n) time)."""
+    labels = {
+        v: {
+            "sp_root": tree.root,
+            "sp_dist": tree.depth[v],
+            "sp_parent": tree.parent[v],
+        }
+        for v in tree.nodes()
+    }
+    return MarkerResult(labels, construction_rounds=2 * tree.height() + 1)
+
+
+def sp_verify(view) -> List[str]:
+    bad: List[str] = []
+    root = view.get("sp_root")
+    dist = view.get("sp_dist")
+    parent = view.get("sp_parent")
+    if not isinstance(dist, int) or dist < 0:
+        return ["sp: malformed distance"]
+    for u in view.neighbors:
+        if view.read(u, "sp_root") != root:
+            bad.append("sp: root disagreement")
+            break
+    if dist == 0:
+        if root != view.node:
+            bad.append("sp: zero distance at a non-root")
+        if parent is not None:
+            bad.append("sp: root has a parent")
+    else:
+        if parent not in view.neighbors:
+            bad.append("sp: parent is not a neighbour")
+        elif view.read(parent, "sp_dist") != dist - 1:
+            bad.append("sp: parent distance mismatch")
+    return bad
+
+
+SP_SCHEME = OneProofLabelingScheme("spanning-tree", sp_marker, sp_verify)
+
+
+# ---------------------------------------------------------------------------
+# Example NumK: every node knows n
+# ---------------------------------------------------------------------------
+
+def numk_marker(tree: RootedTree) -> MarkerResult:
+    sizes = tree.subtree_sizes()
+    n = tree.graph.n
+    labels = {
+        v: {
+            "nk_n": n,
+            "nk_sub": sizes[v],
+            "nk_parent": tree.parent[v],
+        }
+        for v in tree.nodes()
+    }
+    return MarkerResult(labels, construction_rounds=2 * tree.height() + 1)
+
+
+def numk_verify(view) -> List[str]:
+    bad: List[str] = []
+    n = view.get("nk_n")
+    sub = view.get("nk_sub")
+    if not isinstance(n, int) or n < 1 or not isinstance(sub, int):
+        return ["numk: malformed labels"]
+    for u in view.neighbors:
+        if view.read(u, "nk_n") != n:
+            bad.append("numk: n disagreement")
+            break
+    total = 1
+    for u in view.neighbors:
+        if view.read(u, "nk_parent") == view.node:
+            child_sub = view.read(u, "nk_sub")
+            total += child_sub if isinstance(child_sub, int) else 0
+    if sub != total:
+        bad.append("numk: subtree aggregation mismatch")
+    if view.get("nk_parent") is None and sub != n:
+        bad.append("numk: root count differs from the claimed n")
+    return bad
+
+
+NUMK_SCHEME = OneProofLabelingScheme("number-of-nodes", numk_marker, numk_verify)
+
+
+# ---------------------------------------------------------------------------
+# Example EDIAM: an agreed upper bound on the tree height
+# ---------------------------------------------------------------------------
+
+def ediam_marker(tree: RootedTree, slack: int = 0) -> MarkerResult:
+    """Labels: the common bound x >= height, plus distances (O(n) time)."""
+    bound = tree.height() + slack
+    labels = {
+        v: {
+            "ed_bound": bound,
+            "ed_dist": tree.depth[v],
+            "ed_parent": tree.parent[v],
+        }
+        for v in tree.nodes()
+    }
+    return MarkerResult(labels, construction_rounds=2 * tree.height() + 1)
+
+
+def ediam_verify(view) -> List[str]:
+    bad: List[str] = []
+    bound = view.get("ed_bound")
+    dist = view.get("ed_dist")
+    parent = view.get("ed_parent")
+    if not isinstance(bound, int) or not isinstance(dist, int) or dist < 0:
+        return ["ediam: malformed labels"]
+    for u in view.neighbors:
+        if view.read(u, "ed_bound") != bound:
+            bad.append("ediam: bound disagreement")
+            break
+    if dist == 0:
+        if parent is not None:
+            bad.append("ediam: root has a parent")
+    else:
+        if parent not in view.neighbors:
+            bad.append("ediam: parent is not a neighbour")
+        elif view.read(parent, "ed_dist") != dist - 1:
+            bad.append("ediam: parent distance mismatch")
+    if dist > bound:
+        bad.append("ediam: distance exceeds the agreed bound")
+    return bad
+
+
+EDIAM_SCHEME = OneProofLabelingScheme("height-bound", ediam_marker, ediam_verify)

@@ -1,0 +1,143 @@
+"""The hierarchy strings of Section 5: Roots, EndP, Parents, Or-EndP.
+
+For a hierarchy of height ``ell`` every node carries four strings with one
+entry per level ``0..ell``:
+
+* ``Roots``   — '1' root of the level-j fragment, '0' member, '*' no
+  level-j fragment contains the node;
+* ``EndP``    — which node is the endpoint of the fragment's candidate
+  edge and in which direction it leaves ('u'p to the parent, 'd'own to a
+  child, 'n'one, '*' no fragment);
+* ``Parents`` — bit at ``x``: the edge (parent(x), x) is the candidate of
+  the level-j fragment containing parent(x) (the paper's trick to avoid
+  storing O(log n) child pointers at high-degree nodes);
+* ``Or-EndP`` — the per-subtree-within-fragment count of candidate
+  endpoints, capped at 2 (the paper presents the OR; the capped count is
+  what lets condition EPS1 check *exactly one* endpoint with O(log n)
+  bits, in the style of Example NumK).
+
+The module computes the strings from a hierarchy (the marker side) and
+formats them in the layout of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..graphs.spanning import RootedTree
+from ..graphs.weighted import NodeId
+from ..hierarchy.fragments import Fragment, Hierarchy
+
+#: compact EndP symbols used in the register encoding.
+ENDP_UP = "u"
+ENDP_DOWN = "d"
+ENDP_NONE = "n"
+ENDP_STAR = "*"
+
+#: mapping to the paper's presentation in Table 2.
+ENDP_DISPLAY = {ENDP_UP: "up", ENDP_DOWN: "down",
+                ENDP_NONE: "none", ENDP_STAR: "*"}
+
+
+@dataclass
+class NodeStrings:
+    """The four per-node strings (entries 0..ell, left to right)."""
+
+    roots: str
+    endp: str
+    parents: str
+    orendp: Tuple[int, ...]
+
+    def endp_display(self) -> Tuple[str, ...]:
+        """EndP in the paper's 'up/down/none/*' vocabulary."""
+        return tuple(ENDP_DISPLAY[c] for c in self.endp)
+
+    def orendp_display(self) -> str:
+        """Or-EndP as the paper's OR bits (count capped to 1)."""
+        return "".join("1" if c >= 1 else "0" for c in self.orendp)
+
+
+def compute_node_strings(hierarchy: Hierarchy) -> Dict[NodeId, NodeStrings]:
+    """The marker's string assignment for a (correct-instance) hierarchy."""
+    tree = hierarchy.tree
+    ell = hierarchy.height
+    width = ell + 1
+    roots = {v: ["*"] * width for v in tree.nodes()}
+    endp = {v: [ENDP_STAR] * width for v in tree.nodes()}
+    parents = {v: ["0"] * width for v in tree.nodes()}
+    orendp = {v: [0] * width for v in tree.nodes()}
+
+    for frag in hierarchy.fragments:
+        j = frag.level
+        for v in frag.nodes:
+            roots[v][j] = "1" if v == frag.root else "0"
+            endp[v][j] = ENDP_NONE
+        if frag.candidate_edge is None:
+            continue
+        u, x = frag.candidate_edge
+        if tree.parent[u] == x:
+            endp[u][j] = ENDP_UP
+        else:
+            # the candidate leaves downward: x must be u's tree child.
+            assert tree.parent[x] == u, "candidate edge is not a tree edge"
+            endp[u][j] = ENDP_DOWN
+            parents[x][j] = "1"
+
+    # Or-EndP: capped count of candidate endpoints in the subtree of v
+    # restricted to v's level-j fragment, aggregated bottom-up.
+    for v in tree.dfs_postorder():
+        for j in range(width):
+            if roots[v][j] == "*":
+                continue
+            count = 1 if endp[v][j] in (ENDP_UP, ENDP_DOWN) else 0
+            for c in tree.children[v]:
+                if j < len(roots[c]) and roots[c][j] == "0":
+                    count += orendp[c][j]
+            orendp[v][j] = min(2, count)
+
+    return {
+        v: NodeStrings(
+            roots="".join(roots[v]),
+            endp="".join(endp[v]),
+            parents="".join(parents[v]),
+            orendp=tuple(orendp[v]),
+        )
+        for v in tree.nodes()
+    }
+
+
+def levels_mask(roots_string: str) -> int:
+    """Bitmask of the levels at which the node has a fragment (J(v))."""
+    mask = 0
+    for j, c in enumerate(roots_string):
+        if c != "*":
+            mask |= 1 << j
+    return mask
+
+
+def format_table2(strings: Dict[NodeId, NodeStrings],
+                  names: Optional[Dict[NodeId, str]] = None) -> str:
+    """Render the four string tables in the layout of Table 2."""
+    nodes = sorted(strings, key=lambda v: (names or {}).get(v, str(v)))
+    width = len(strings[nodes[0]].roots)
+    header = " ".join(str(j) for j in range(width))
+
+    def name(v: NodeId) -> str:
+        return names[v] if names else str(v)
+
+    lines: List[str] = []
+    lines.append(f"Roots      {header}")
+    for v in nodes:
+        lines.append(f"  {name(v):>3} " + " ".join(strings[v].roots))
+    lines.append(f"EndP       {header}")
+    for v in nodes:
+        cells = " ".join(f"{c:>4}" for c in strings[v].endp_display())
+        lines.append(f"  {name(v):>3} {cells}")
+    lines.append(f"Parents    {header}")
+    for v in nodes:
+        lines.append(f"  {name(v):>3} " + " ".join(strings[v].parents))
+    lines.append(f"Or-EndP    {header}")
+    for v in nodes:
+        lines.append(f"  {name(v):>3} " + " ".join(strings[v].orendp_display()))
+    return "\n".join(lines)

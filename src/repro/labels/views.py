@@ -1,0 +1,69 @@
+"""Label views: one interface for centralized and protocol verification.
+
+All local checks are written against the small :class:`LabelView`
+interface.  During a simulation the verifier protocol passes the live
+:class:`repro.sim.NodeContext`; in tests and markers a :class:`StaticView`
+wraps a plain ``{node: {register: value}}`` mapping.  Either way a check
+sees exactly what the paper's verifier sees: the node's own registers and
+its neighbours' registers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..graphs.weighted import NodeId, WeightedGraph
+
+
+class StaticView:
+    """Read-only view over a centralized label assignment."""
+
+    def __init__(self, graph: WeightedGraph, node: NodeId,
+                 labels: Mapping[NodeId, Mapping[str, Any]]) -> None:
+        self.graph = graph
+        self.node = node
+        self._labels = labels
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._labels[self.node].get(name, default)
+
+    def read(self, neighbor: NodeId, name: str, default: Any = None) -> Any:
+        return self._labels[neighbor].get(name, default)
+
+    @property
+    def neighbors(self) -> List[NodeId]:
+        return self.graph.neighbors(self.node)
+
+    @property
+    def degree(self) -> int:
+        return self.graph.degree(self.node)
+
+    def weight(self, neighbor: NodeId):
+        return self.graph.weight(self.node, neighbor)
+
+    def port(self, neighbor: NodeId) -> int:
+        return self.graph.port(self.node, neighbor)
+
+    def neighbor_at_port(self, port: int) -> Optional[NodeId]:
+        nbrs = self.graph.neighbors(self.node)
+        if 0 <= port < len(nbrs):
+            return self.graph.neighbor_at_port(self.node, port)
+        return None
+
+
+def view_neighbor_at_port(view, port) -> Optional[NodeId]:
+    """``neighbor_at_port`` for any view (NodeContext lacks the method)."""
+    if hasattr(view, "neighbor_at_port"):
+        return view.neighbor_at_port(port)
+    graph = view.network.graph
+    if not isinstance(port, int):
+        return None
+    if 0 <= port < graph.degree(view.node):
+        return graph.neighbor_at_port(view.node, port)
+    return None
+
+
+def all_views(graph: WeightedGraph,
+              labels: Mapping[NodeId, Mapping[str, Any]]):
+    """One StaticView per node (centralized verification sweep)."""
+    return [StaticView(graph, v, labels) for v in graph.nodes()]

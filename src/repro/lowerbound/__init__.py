@@ -1,0 +1,11 @@
+"""Section 9: the edge-subdivision transformation G -> G' and the
+Lemma 9.1 reduction behind the Omega(log n) verification-time bound."""
+
+from .transform import (ReductionBound, SubdividedGraph, lemma_9_1,
+                        lift_tree, minimum_tau_for_memory, subdivide,
+                        transformation_preserves_mst)
+
+__all__ = [
+    "ReductionBound", "SubdividedGraph", "lemma_9_1", "lift_tree",
+    "minimum_tau_for_memory", "subdivide", "transformation_preserves_mst",
+]

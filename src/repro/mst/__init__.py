@@ -1,0 +1,14 @@
+"""MST construction: SYNC_MST (Section 4, O(n) time / O(log n) bits),
+the classic GHS baseline, and a register-level Boruvka protocol that runs
+on the simulator."""
+
+from .sync_mst import (SYNC_MST_REGISTER_SCHEMA, PhaseRecord, SyncMstResult,
+                       run_sync_mst)
+from .ghs_classic import GhsResult, run_ghs
+from .boruvka_protocol import BoruvkaProtocol, run_boruvka_protocol
+
+__all__ = [
+    "SYNC_MST_REGISTER_SCHEMA", "PhaseRecord", "SyncMstResult", "run_sync_mst",
+    "GhsResult", "run_ghs",
+    "BoruvkaProtocol", "run_boruvka_protocol",
+]

@@ -1,0 +1,147 @@
+"""A genuinely per-node synchronous MST protocol on the simulator.
+
+SYNC_MST itself is executed by the phase-exact engine of
+:mod:`repro.mst.sync_mst`; this module complements it with a *register
+level* MST construction that runs under
+:class:`repro.sim.SynchronousScheduler` — every decision is taken by a
+node reading only its neighbours' registers.  It follows the Boruvka
+fragment-merging pattern of GHS/SYNC_MST, synchronized by round counting:
+
+* each *super-phase* lasts exactly ``2 * horizon`` rounds (``horizon`` is
+  an upper bound on n, all nodes know it);
+* rounds ``0 .. horizon``: each node floods the minimum
+  ``(weight, u, v)`` outgoing candidate of its component along chosen
+  tree edges (component = nodes sharing ``comp`` after previous phases);
+* rounds ``horizon .. 2*horizon``: the endpoints of the agreed minimum
+  outgoing edge adopt it; component identifiers re-flood as
+  ``min(comp ids)``.
+
+This costs O(n log n) rounds — it is *not* the paper's O(n) algorithm; it
+exists to validate the simulator substrate end-to-end with a real
+distributed MST protocol and serves as a protocol-level baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..graphs.weighted import Edge, NodeId, WeightedGraph, edge_key
+from ..sim.network import Network, NodeContext, Protocol
+from ..sim.schedulers import SynchronousScheduler
+
+_INF = None  # encoded absence of a candidate
+
+
+class BoruvkaProtocol(Protocol):
+    """Register-level synchronous Boruvka.
+
+    Registers:
+
+    * ``comp``: current component identifier (min node ID of component),
+    * ``chosen``: tuple of ports selected as MST edges at this node,
+    * ``best``: the component's best-known minimum outgoing edge
+      ``(weight, inside, outside)`` during the flood,
+    * ``clock``: round counter mod the super-phase length,
+    * ``done``: set when the component spans the graph (stable phases).
+    """
+
+    def __init__(self, horizon: int) -> None:
+        if horizon < 1:
+            raise ValueError("horizon must be a positive bound on n")
+        self.horizon = horizon
+
+    # ------------------------------------------------------------------
+    def init_node(self, ctx: NodeContext) -> None:
+        ctx.set("comp", ctx.node)
+        ctx.set("chosen", ())
+        ctx.set("best", _INF)
+        ctx.set("clock", 0)
+        ctx.set("done", False)
+
+    # ------------------------------------------------------------------
+    def _tree_neighbors(self, ctx: NodeContext):
+        """Neighbours joined by already-chosen edges (either endpoint)."""
+        out = []
+        for v in ctx.neighbors:
+            if ctx.port(v) in ctx.get("chosen"):
+                out.append(v)
+            elif ctx.node in self._remote_chosen(ctx, v):
+                out.append(v)
+        return out
+
+    @staticmethod
+    def _remote_chosen(ctx: NodeContext, v: NodeId):
+        ports = ctx.read(v, "chosen", ())
+        graph = ctx.network.graph
+        return {graph.neighbor_at_port(v, p) for p in ports}
+
+    def _own_candidate(self, ctx: NodeContext):
+        """Node-local minimum outgoing candidate (weight, inside, outside)."""
+        comp = ctx.get("comp")
+        best = None
+        for v in ctx.neighbors:
+            if ctx.read(v, "comp") == comp:
+                continue
+            w = ctx.weight(v)
+            cand = (w, ctx.node, v)
+            if best is None or cand < best:
+                best = cand
+        return best
+
+    # ------------------------------------------------------------------
+    def step(self, ctx: NodeContext) -> None:
+        clock = ctx.get("clock")
+        half = self.horizon
+        tree_nbrs = self._tree_neighbors(ctx)
+
+        if clock == 0:
+            ctx.set("best", self._own_candidate(ctx))
+        elif clock < half:
+            # flood-minimize the candidate along tree edges
+            best = ctx.get("best")
+            for v in tree_nbrs:
+                other = ctx.read(v, "best")
+                if other is not None and (best is None or tuple(other) < best):
+                    best = tuple(other)
+            ctx.set("best", best)
+        elif clock == half:
+            best = ctx.get("best")
+            if best is None:
+                ctx.set("done", True)
+            else:
+                _w, u, v = best
+                if ctx.node == u:
+                    port = ctx.port(v)
+                    if port not in ctx.get("chosen"):
+                        ctx.set("chosen", ctx.get("chosen") + (port,))
+        else:
+            # flood-minimize component identifiers over the (new) tree edges
+            comp = ctx.get("comp")
+            for v in tree_nbrs:
+                comp = min(comp, ctx.read(v, "comp", v))
+            ctx.set("comp", comp)
+
+        ctx.set("clock", (clock + 1) % (2 * half))
+
+
+def run_boruvka_protocol(graph: WeightedGraph,
+                         max_rounds: Optional[int] = None):
+    """Run the protocol to completion; returns (edge set, rounds used)."""
+    horizon = graph.n + 1
+    network = Network(graph)
+    protocol = BoruvkaProtocol(horizon)
+    scheduler = SynchronousScheduler(network, protocol)
+    if max_rounds is None:
+        # log2(n) phases of 2*horizon rounds, generously rounded up
+        phases = max(1, graph.n.bit_length() + 1)
+        max_rounds = 2 * horizon * (phases + 1)
+
+    def finished(net: Network) -> bool:
+        return all(net.registers[v].get("done") for v in graph.nodes())
+
+    rounds = scheduler.run(max_rounds, stop_when=finished)
+    edges = set()
+    for v in graph.nodes():
+        for port in network.registers[v].get("chosen", ()):
+            edges.add(edge_key(v, graph.neighbor_at_port(v, port)))
+    return edges, rounds

@@ -1,0 +1,117 @@
+"""Classic GHS (Gallager–Humblet–Spira) — the O(n log n)-time baseline.
+
+SYNC_MST (Section 4) is a simplification of GHS; the paper contrasts its
+O(n) time against GHS's O(n log n).  This module runs a level-based GHS
+at fragment granularity with the classic timing model: every fragment
+operation (find-MOE wave, root transfer, merge) charges time proportional
+to the fragment size, and fragments at level ``j`` only merge with
+fragments at level ``>= j`` (absorb) or ``== j`` over a shared minimum
+edge (merge, level ``j + 1``).
+
+The purpose is the construction-time *shape* comparison of benchmark E4:
+GHS grows like n log n, SYNC_MST like n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..graphs.weighted import Edge, GraphError, NodeId, WeightedGraph, edge_key
+
+
+@dataclass
+class GhsResult:
+    """MST edge set plus the charged time units."""
+
+    edges: Set[Edge]
+    time: int
+    levels_used: int
+
+
+def run_ghs(graph: WeightedGraph) -> GhsResult:
+    """Run level-based GHS; returns the MST and charged time.
+
+    Time accounting: in each *pulse*, every fragment at the minimum level
+    currently present performs one find/merge step, charging
+    ``max(fragment sizes involved)`` time (the wave length); pulses of
+    independent fragments overlap, so we charge the maximum, not the sum —
+    the standard O(n log n) accounting for GHS.
+    """
+    if not graph.is_connected():
+        raise GraphError("GHS requires a connected graph")
+    if not graph.has_distinct_weights():
+        raise GraphError("GHS requires distinct edge weights")
+
+    comp: Dict[NodeId, int] = {v: i for i, v in enumerate(graph.nodes())}
+    members: Dict[int, Set[NodeId]] = {
+        i: {v} for i, v in enumerate(graph.nodes())}
+    level: Dict[int, int] = {i: 0 for i in members}
+    mst: Set[Edge] = set()
+    time = 0
+    max_level = 0
+
+    while len(members) > 1:
+        # every fragment finds its minimum outgoing edge (parallel waves):
+        # charge the largest wave in this pulse.
+        moe: Dict[int, Tuple] = {}
+        for cid, nodes in members.items():
+            best = None
+            for u in nodes:
+                for v in graph.neighbors(u):
+                    if comp[v] == cid:
+                        continue
+                    w = graph.weight(u, v)
+                    if best is None or w < best[0]:
+                        best = (w, u, v)
+            assert best is not None
+            moe[cid] = best
+        time += 2 * max(len(nodes) for nodes in members.values())
+
+        # merging rules: same level + same edge -> merge (level+1);
+        # lower level -> absorbed into the neighbour fragment.
+        order = sorted(members, key=lambda c: (level[c], c))
+        merged_into: Dict[int, int] = {}
+
+        def find(cid: int) -> int:
+            while cid in merged_into:
+                cid = merged_into[cid]
+            return cid
+
+        for cid in order:
+            cid = find(cid)
+            if cid not in moe:
+                continue
+            w, u, v = moe[cid]
+            other = find(comp[v])
+            if other == cid:
+                continue
+            if level[other] > level[cid]:
+                merged_into[cid] = other           # absorb (no level change)
+            elif level[other] == level[cid]:
+                ow, ou, ov = moe.get(other, (None, None, None))
+                if ow is not None and edge_key(ou, ov) == edge_key(u, v):
+                    merged_into[cid] = other       # symmetric merge
+                    level[other] += 1
+                    max_level = max(max_level, level[other])
+                # else: wait for ``other`` to rise — next pulse
+
+        # apply merges
+        changed = False
+        for cid in list(merged_into):
+            target = find(cid)
+            if cid == target or cid not in members:
+                continue
+            w, u, v = moe[cid]
+            mst.add(edge_key(u, v))
+            members[target] |= members.pop(cid)
+            changed = True
+        for cid, nodes in members.items():
+            for nvar in nodes:
+                comp[nvar] = cid
+        if not changed:
+            # deadlock of waiting chains cannot happen with distinct
+            # weights: the minimum-weight MOE pair is always mutual.
+            raise GraphError("GHS made no progress")  # pragma: no cover
+
+    return GhsResult(edges=mst, time=time, levels_used=max_level)

@@ -1,0 +1,242 @@
+"""SYNC_MST — the synchronous O(n)-time, O(log n)-bit MST construction
+of Section 4.
+
+The algorithm proceeds in phases; phase ``i`` starts at round ``11 * 2^i``
+and consists of:
+
+* **Count_Size** (rounds ``11*2^i .. (11+4)*2^i``): every fragment root
+  counts its fragment with a time-to-live ``2^(i+1) - 1`` wave.  The root
+  is *active* iff ``|F| <= 2^(i+1) - 1``; otherwise it bumps its level to
+  ``i + 1`` and sits the phase out.
+* **Find_Min_Out_Edge** (rounds ``(11+4)*2^i .. (11+8)*2^i``): active
+  fragments locate their minimum outgoing edge by a Wave&Echo; all of a
+  node's incident edges are tested simultaneously (no "reject"s — the
+  paper does not economize messages).
+* **Merging** (rounds ``(11+8)*2^i .. (11+11)*2^i - 1``): the fragment is
+  re-rooted at the inside endpoint ``w`` of its candidate ``(w, x)``; then
+  a handshake: if ``w`` is the pivot of ``x``'s fragment (i.e. the two
+  fragments chose the same edge) and ``ID(x) < ID(w)``, then ``x`` becomes
+  the child of ``w``; in every other case ``w`` hooks upon ``x``.
+
+This module executes the algorithm with a *phase-exact engine*: fragments
+are the unit of simulation and each phase charges the exact round window
+above, so decisions (fragments, hierarchy, candidate edges, final
+orientation) and the round count match a per-node execution.  Lemma 4.1
+(level-``i`` fragments have ``2^i <= |F| < 2^(i+1)``) and Theorem 4.4
+(O(n) rounds) are asserted by the test suite against this engine.
+
+The per-node memory cost is O(log n) bits (Observation 4.3): fragment
+level, root-ID estimate, stage flags, candidate edge, and the echo child
+pointer — :data:`SYNC_MST_REGISTER_SCHEMA` enumerates them so benchmarks
+can account the memory exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..graphs.spanning import RootedTree
+from ..graphs.weighted import GraphError, NodeId, WeightedGraph
+from ..hierarchy.fragments import Fragment, Hierarchy
+
+#: the registers a per-node execution keeps (all O(log n) bits); used by
+#: the memory benchmark to account SYNC_MST's footprint.
+SYNC_MST_REGISTER_SCHEMA = (
+    "parent_port",      # component c(v)
+    "level",            # fragment level estimate
+    "root_id",          # fragment root ID estimate
+    "stage",            # counting / searching / merging
+    "wave_state",       # wave vs echo
+    "echo_value",       # candidate edge (weight, port) passed upward
+    "candidate_child",  # port of the child that reported the candidate
+)
+
+
+@dataclass
+class _Component:
+    """A connected component of the evolving forest (engine state)."""
+
+    root: NodeId
+    nodes: Set[NodeId]
+    level: int = 0
+
+
+@dataclass
+class PhaseRecord:
+    """Trace of one phase (used by tests and the construction benchmark)."""
+
+    phase: int
+    start_round: int
+    end_round: int
+    active_fragments: List[FrozenSet[NodeId]]
+    inactive_roots: List[NodeId]
+
+
+@dataclass
+class SyncMstResult:
+    """Output of SYNC_MST: the MST, its hierarchy, and timing."""
+
+    tree: RootedTree
+    hierarchy: Hierarchy
+    rounds: int
+    phases: int
+    trace: List[PhaseRecord] = field(default_factory=list)
+
+
+def _minimum_outgoing(graph: WeightedGraph, comp: _Component,
+                      node_comp: Dict[NodeId, _Component]):
+    """(w, x, weight): minimum-weight edge leaving the component."""
+    best = None
+    for u in comp.nodes:
+        for v in graph.neighbors(u):
+            if node_comp[v] is comp:
+                continue
+            w = graph.weight(u, v)
+            if best is None or w < best[2]:
+                best = (u, v, w)
+    return best
+
+
+def run_sync_mst(graph: WeightedGraph) -> SyncMstResult:
+    """Execute SYNC_MST on ``graph`` (connected, distinct weights).
+
+    Returns the constructed MST (rooted as the execution roots it), the
+    hierarchy of active fragments H_M with its candidate function chi_M,
+    the exact ideal-time round count, and a per-phase trace.
+    """
+    if graph.n == 0:
+        raise GraphError("empty graph")
+    if not graph.is_connected():
+        raise GraphError("SYNC_MST requires a connected graph")
+    if not graph.has_distinct_weights():
+        raise GraphError("SYNC_MST requires distinct edge weights "
+                         "(apply repro.graphs.weights first)")
+
+    parent: Dict[NodeId, Optional[NodeId]] = {v: None for v in graph.nodes()}
+    components: List[_Component] = [
+        _Component(root=v, nodes={v}) for v in graph.nodes()
+    ]
+    node_comp: Dict[NodeId, _Component] = {
+        v: c for c, v in zip(components, graph.nodes())
+    }
+
+    recorded: List[Tuple[FrozenSet[NodeId], int,
+                         Optional[Tuple[NodeId, NodeId]], Optional[object]]] = []
+    trace: List[PhaseRecord] = []
+    phase = 0
+    final_root: Optional[NodeId] = None
+    total_rounds = 0
+
+    def reroot(comp: _Component, new_root: NodeId) -> None:
+        """Reverse parent pointers along the path new_root -> old root."""
+        path = [new_root]
+        while path[-1] != comp.root:
+            nxt = parent[path[-1]]
+            assert nxt is not None, "broken component orientation"
+            path.append(nxt)
+        for child, par in zip(path[1:], path):
+            parent[child] = par
+        parent[new_root] = None
+        comp.root = new_root
+
+    while True:
+        phase_start = 11 * (2 ** phase)
+        phase_end = 22 * (2 ** phase)
+        size_bound = 2 ** (phase + 1) - 1
+
+        for comp in components:
+            comp.level = phase
+
+        active = [c for c in components if len(c.nodes) <= size_bound]
+        inactive = [c for c in components if len(c.nodes) > size_bound]
+        for comp in inactive:
+            comp.level = phase + 1
+
+        trace.append(PhaseRecord(
+            phase=phase,
+            start_round=phase_start,
+            end_round=phase_end,
+            active_fragments=[frozenset(c.nodes) for c in active],
+            inactive_roots=[c.root for c in inactive],
+        ))
+
+        # Termination: an active fragment spans the graph — detected at the
+        # end of Count_Size, round (11+4)*2^phase.
+        spanning = [c for c in active if len(c.nodes) == graph.n]
+        if spanning:
+            comp = spanning[0]
+            recorded.append((frozenset(comp.nodes), phase, None, None))
+            final_root = comp.root
+            total_rounds = (11 + 4) * (2 ** phase)
+            break
+
+        # Find_Min_Out_Edge for active fragments; record them into H_M.
+        candidates: Dict[int, Tuple[NodeId, NodeId, object]] = {}
+        for comp in active:
+            moe = _minimum_outgoing(graph, comp, node_comp)
+            assert moe is not None, "non-spanning fragment with no outgoing edge"
+            candidates[id(comp)] = moe
+            recorded.append((frozenset(comp.nodes), phase,
+                             (moe[0], moe[1]), moe[2]))
+
+        # Merging: re-root at the inside endpoint, then handshake/hook.
+        for comp in active:
+            w, _x, _wt = candidates[id(comp)]
+            reroot(comp, w)
+        hooked: Dict[int, _Component] = {}
+        for comp in active:
+            w, x, _wt = candidates[id(comp)]
+            target = node_comp[x]
+            mutual = (id(target) in candidates
+                      and candidates[id(target)][0] == x
+                      and candidates[id(target)][1] == w)
+            if mutual and x < w:
+                # w is the pivot of x's fragment and ID(x) < ID(w):
+                # x becomes the child of w (handled from x's side below).
+                continue
+            parent[w] = x
+            hooked[id(comp)] = target
+
+        # Contract hooking chains into their sink components.
+        def sink_of(comp: _Component) -> _Component:
+            seen = set()
+            while id(comp) in hooked:
+                if id(comp) in seen:  # pragma: no cover - impossible by weights
+                    raise GraphError("hooking cycle")
+                seen.add(id(comp))
+                comp = hooked[id(comp)]
+            return comp
+
+        merged: Dict[int, _Component] = {}
+        new_components: List[_Component] = []
+        for comp in components:
+            s = sink_of(comp)
+            if id(s) not in merged:
+                merged[id(s)] = _Component(root=s.root, nodes=set(s.nodes),
+                                           level=s.level)
+                new_components.append(merged[id(s)])
+        for comp in components:
+            s = merged[id(sink_of(comp))]
+            if comp.nodes is not s.nodes:
+                s.nodes |= comp.nodes
+        components = new_components
+        for comp in components:
+            for v in comp.nodes:
+                node_comp[v] = comp
+
+        phase += 1
+        if phase > graph.n + 2:  # pragma: no cover - safety net
+            raise GraphError("SYNC_MST failed to terminate")
+
+    assert final_root is not None
+    tree = RootedTree(graph, final_root, parent)
+
+    fragments = []
+    for nodes, level, cand, weight in recorded:
+        apex = min(nodes, key=lambda v: tree.depth[v])
+        fragments.append(Fragment(root=apex, level=level, nodes=nodes,
+                                  candidate_edge=cand, candidate_weight=weight))
+    hierarchy = Hierarchy(tree, fragments)
+    return SyncMstResult(tree=tree, hierarchy=hierarchy, rounds=total_rounds,
+                         phases=phase + 1, trace=trace)

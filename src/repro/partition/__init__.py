@@ -1,0 +1,19 @@
+"""Partitions Top and Bottom, fragment classification, Procedure Merge,
+the Multi_Wave primitive, and the DFS distribution of pieces (Section 6)."""
+
+from .classify import (FragmentClasses, bottom_fragments_within,
+                       check_red_blue_partition, classify_fragments,
+                       top_ancestors_chain)
+from .parts import (MergedPart, Part, Piece, build_bottom_parts,
+                    merge_procedure, piece_of, split_into_top_parts)
+from .multiwave import MultiWaveResult, run_multi_wave
+from .distribution import PartitionLayout, build_partitions
+
+__all__ = [
+    "FragmentClasses", "bottom_fragments_within", "check_red_blue_partition",
+    "classify_fragments", "top_ancestors_chain",
+    "MergedPart", "Part", "Piece", "build_bottom_parts", "merge_procedure",
+    "piece_of", "split_into_top_parts",
+    "MultiWaveResult", "run_multi_wave",
+    "PartitionLayout", "build_partitions",
+]

@@ -1,0 +1,202 @@
+"""Partitions Top and Bottom (Sections 6.1.1, 6.1.2).
+
+Partition ``Top``: Procedure Merge coarsens the red/blue partition P' into
+P'' (one red fragment per part, blues annexed through touching siblings);
+each P'' part is then split into subtrees of size >= log n and height
+O(log n) whose union re-covers the part.
+
+Partition ``Bottom``: the blue fragments plus the green fragments (the
+children of red fragments); nodes not covered (possible only when even
+singletons are "top", i.e. n <= 2) receive degenerate singleton parts with
+no pieces.
+
+Lemmas 6.4 / 6.5 (sizes, heights, piece counts) are asserted by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..graphs.spanning import RootedTree
+from ..graphs.weighted import GraphError, NodeId
+from ..hierarchy.fragments import Fragment, Hierarchy
+from .classify import FragmentClasses
+
+#: a piece I(F) = (ID(root(F)), level(F), weight of the minimum outgoing
+#: edge); the whole-tree fragment carries weight None (no outgoing edge).
+Piece = Tuple[NodeId, int, Optional[object]]
+
+
+def piece_of(fragment: Fragment) -> Piece:
+    """I(F) = ID(F) concatenated with the candidate's weight."""
+    return (fragment.root, fragment.level, fragment.candidate_weight)
+
+
+@dataclass
+class Part:
+    """A part of either partition: a subtree of T with its piece list."""
+
+    root: NodeId
+    nodes: List[NodeId]
+    kind: str                       # 'top' | 'bottom'
+    pieces: List[Piece] = field(default_factory=list)
+    height: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass
+class MergedPart:
+    """A part of the intermediate partition P'' (red fragment + blues)."""
+
+    red: Fragment
+    nodes: Set[NodeId]
+
+
+def merge_procedure(hierarchy: Hierarchy,
+                    classes: FragmentClasses) -> List[MergedPart]:
+    """Procedure Merge (Section 6.1.1): coarsen P' into P''.
+
+    Every part contains exactly one red fragment; every blue fragment is
+    annexed to a part it touches inside the lowest large fragment whose
+    children are otherwise fully covered.
+    """
+    tree = hierarchy.tree
+    parts: List[MergedPart] = [
+        MergedPart(red=red, nodes=set(red.nodes)) for red in classes.red
+    ]
+    part_of: Dict[NodeId, MergedPart] = {}
+    for part in parts:
+        for v in part.nodes:
+            part_of[v] = part
+
+    larges = sorted(classes.large, key=lambda f: f.level)
+    for big in larges:
+        pending = [c for c in big.children if c in classes.blue]
+        while pending:
+            progressed = False
+            for blue in list(pending):
+                target: Optional[MergedPart] = None
+                for v in blue.nodes:
+                    for u in tree.tree_neighbors(v):
+                        if u in big.nodes and u not in blue.nodes \
+                                and u in part_of:
+                            target = part_of[u]
+                            break
+                    if target is not None:
+                        break
+                if target is None:
+                    continue
+                target.nodes |= blue.nodes
+                for v in blue.nodes:
+                    part_of[v] = target
+                pending.remove(blue)
+                progressed = True
+            if not progressed:  # pragma: no cover - Obs 6.2 forbids this
+                raise GraphError("Procedure Merge cannot place a blue "
+                                 "fragment (no touching covered part)")
+    return parts
+
+
+def _part_subtree_orders(tree: RootedTree,
+                         nodes: Set[NodeId]) -> Tuple[NodeId, Dict[NodeId, List[NodeId]]]:
+    """Root and within-part children map of a part (a subtree of T)."""
+    root = min(nodes, key=lambda v: tree.depth[v])
+    children = {v: [c for c in tree.children[v] if c in nodes] for v in nodes}
+    return root, children
+
+
+def _subtree_height(root: NodeId, children: Dict[NodeId, List[NodeId]]) -> int:
+    height = {v: 0 for v in children}
+    order: List[NodeId] = []
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        order.append(v)
+        stack.extend(children[v])
+    for v in reversed(order):
+        for c in children[v]:
+            height[v] = max(height[v], height[c] + 1)
+    return height[root]
+
+
+def split_into_top_parts(tree: RootedTree, merged: MergedPart,
+                         threshold: int) -> List[Part]:
+    """Split one P'' part into Top parts: size >= threshold, height O(log n).
+
+    Bottom-up carving: a subtree is carved as soon as its pending size
+    reaches the threshold; the leftover around the part root (if any) is
+    absorbed into an adjacent carved part.
+    """
+    nodes = merged.nodes
+    root, children = _part_subtree_orders(tree, nodes)
+
+    carved: List[List[NodeId]] = []
+    carved_root_of: Dict[NodeId, int] = {}
+    pend: Dict[NodeId, List[NodeId]] = {}
+
+    order: List[NodeId] = []
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        order.append(v)
+        stack.extend(children[v])
+    for v in reversed(order):  # postorder-ish: children first
+        bundle = [v]
+        for c in children[v]:
+            bundle.extend(pend.get(c, ()))
+        if len(bundle) >= threshold:
+            carved_root_of[v] = len(carved)
+            carved.append(bundle)
+            pend[v] = []
+        else:
+            pend[v] = bundle
+
+    leftover = pend.get(root, [])
+    if leftover:
+        if not carved:  # pragma: no cover - |P''| >= threshold always
+            carved.append(leftover)
+        else:
+            leftover_set = set(leftover)
+            target = None
+            for idx, bundle in enumerate(carved):
+                head = min(bundle, key=lambda v: tree.depth[v])
+                par = tree.parent[head]
+                if par is not None and par in leftover_set:
+                    target = idx
+                    break
+            if target is None:  # pragma: no cover - leftover always touches
+                raise GraphError("top-part leftover touches no carved part")
+            carved[target] = leftover + carved[target]
+
+    parts: List[Part] = []
+    for bundle in carved:
+        bset = set(bundle)
+        proot, pchildren = _part_subtree_orders(tree, bset)
+        parts.append(Part(root=proot, nodes=sorted(bset),
+                          kind="top",
+                          height=_subtree_height(proot, pchildren)))
+    return parts
+
+
+def build_bottom_parts(hierarchy: Hierarchy,
+                       classes: FragmentClasses) -> List[Part]:
+    """Partition Bottom: blue and green fragments, plus degenerate
+    singleton parts for nodes left uncovered (only when n <= 2)."""
+    tree = hierarchy.tree
+    parts: List[Part] = []
+    covered: Set[NodeId] = set()
+    for frag in sorted(classes.blue | classes.green,
+                       key=lambda f: (f.level, f.root)):
+        nodes = set(frag.nodes)
+        root, children = _part_subtree_orders(tree, nodes)
+        parts.append(Part(root=root, nodes=sorted(nodes), kind="bottom",
+                          height=_subtree_height(root, children)))
+        covered |= nodes
+    for v in hierarchy.graph.nodes():
+        if v not in covered:
+            parts.append(Part(root=v, nodes=[v], kind="bottom", height=0))
+    return parts

@@ -1,0 +1,15 @@
+"""Self-stabilization (Section 10): the enhanced Awerbuch-Varghese
+transformer, the pluggable checker interface, the reset wave, and the
+self-stabilizing MST construction algorithm."""
+
+from .transformer import (Checker, ResetWaveProtocol, Resynchronizer,
+                          StabilizationTrace, REG_RESET_EPOCH)
+from .sst_mst import (SelfStabMstResult, current_output_edges, mst_checker,
+                      run_self_stabilizing_mst)
+
+__all__ = [
+    "Checker", "ResetWaveProtocol", "Resynchronizer", "StabilizationTrace",
+    "REG_RESET_EPOCH",
+    "SelfStabMstResult", "current_output_edges", "mst_checker",
+    "run_self_stabilizing_mst",
+]

@@ -1,0 +1,192 @@
+"""The enhanced Awerbuch–Varghese transformer (Section 10).
+
+The Resynchronizer turns an input/output construction algorithm Pi plus a
+self-stabilizing verification scheme Pi' into a self-stabilizing
+algorithm (Theorem 10.3):
+
+* the verifier continuously checks the current output;
+* when some node raises an alarm (a *detecting node*), a **reset wave**
+  floods the network, clearing all output and verification registers;
+* after the reset, the construction re-runs and the marker re-labels;
+* the verifier resumes, silent until the next fault.
+
+The resulting complexities (Theorem 10.3): memory O(S_Pi + S_Pi' + log n);
+time O(T_Pi + T_Pi' + t_Pi' + n); and the detection time / detection
+distance of the verification scheme are inherited.
+
+Simulation fidelity: the verification phase and the reset wave run
+protocol-level on the simulator (per-node steps, real rounds).  The
+construction phase is charged its engine-accounted rounds (SYNC_MST's
+exact phase windows plus the marker's Multi_Wave times) and its labels
+are installed wholesale — the same substitution the marker module makes,
+documented in DESIGN.md.  The underlying synchronizer/reset machinery of
+[13]/[10] is represented by the reset-wave protocol below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..graphs.weighted import NodeId, WeightedGraph
+from ..sim.network import Network, NodeContext, Protocol, first_alarm
+from ..sim.schedulers import (AsynchronousScheduler, Daemon,
+                              SynchronousScheduler)
+
+REG_RESET_EPOCH = "rs_epoch"    # reset wave epoch (mod 64)
+RESET_MOD = 64
+
+
+@dataclass
+class Checker:
+    """The pluggable checker slot of the Resynchronizer.
+
+    * ``protocol_factory`` builds the per-node verification protocol;
+    * ``construct`` produces (labels, charged_rounds) for the current
+      graph — the construction algorithm Pi composed with the marker of
+      the verification scheme Pi'.
+    """
+
+    name: str
+    protocol_factory: Callable[[], Protocol]
+    construct: Callable[[WeightedGraph], Tuple[Dict[NodeId, Dict[str, Any]], int]]
+    #: labels' registers that constitute the *output* (the MST component);
+    #: used to check output stability across recomputations.
+    output_registers: Tuple[str, ...] = ("pid", "pport")
+
+
+class ResetWaveProtocol(Protocol):
+    """Flooding reset (the [13] reset service, simplified to one wave).
+
+    A node whose epoch differs from a neighbour's larger epoch adopts it
+    and clears every non-ghost register except the epoch — within
+    diameter rounds the whole network is clean.
+    """
+
+    def __init__(self) -> None:
+        self.triggered: List[NodeId] = []
+
+    def init_node(self, ctx: NodeContext) -> None:
+        if ctx.get(REG_RESET_EPOCH) is None:
+            ctx.set(REG_RESET_EPOCH, 0)
+
+    def step(self, ctx: NodeContext) -> None:
+        epoch = ctx.get(REG_RESET_EPOCH)
+        if not isinstance(epoch, int):
+            epoch = 0
+        best = epoch
+        for u in ctx.neighbors:
+            other = ctx.read(u, REG_RESET_EPOCH)
+            if isinstance(other, int) and (other - epoch) % RESET_MOD != 0 \
+                    and 0 < (other - epoch) % RESET_MOD < RESET_MOD // 2:
+                best = max(best, epoch + (other - epoch) % RESET_MOD)
+        if best != epoch:
+            regs = ctx.network.registers[ctx.node]
+            for name in list(regs):
+                if name != REG_RESET_EPOCH and not name.startswith("_"):
+                    del regs[name]
+            ctx.set(REG_RESET_EPOCH, best % RESET_MOD)
+
+
+@dataclass
+class StabilizationTrace:
+    """What happened during one ``run_until_stable`` execution."""
+
+    total_rounds: int
+    reset_waves: int
+    construction_rounds: int
+    verification_rounds: int
+    detections: List[Tuple[int, NodeId, str]] = field(default_factory=list)
+
+
+class Resynchronizer:
+    """Drives the detect -> reset -> reconstruct -> verify loop."""
+
+    def __init__(self, network: Network, checker: Checker,
+                 synchronous: bool = True,
+                 daemon: Optional[Daemon] = None) -> None:
+        self.network = network
+        self.checker = checker
+        self.synchronous = synchronous
+        self.daemon = daemon
+        self.trace = StabilizationTrace(0, 0, 0, 0)
+
+    # ------------------------------------------------------------------
+    def _run_protocol(self, protocol: Protocol, max_rounds: int,
+                      stop_when=None) -> int:
+        if self.synchronous:
+            sched = SynchronousScheduler(self.network, protocol)
+        else:
+            sched = AsynchronousScheduler(self.network, protocol, self.daemon)
+        return sched.run(max_rounds, stop_when=stop_when)
+
+    def reset(self) -> int:
+        """Flood a reset wave from the detecting nodes; returns rounds."""
+        # bump the epoch at every alarming node, then flood
+        alarming = list(self.network.alarms()) or [self.network.graph.nodes()[0]]
+        for v in alarming:
+            regs = self.network.registers[v]
+            epoch = regs.get(REG_RESET_EPOCH)
+            epoch = epoch if isinstance(epoch, int) else 0
+            # clear the detecting node itself
+            for name in list(regs):
+                if name != REG_RESET_EPOCH and not name.startswith("_"):
+                    del regs[name]
+            regs[REG_RESET_EPOCH] = (epoch + 1) % RESET_MOD
+        wave = ResetWaveProtocol()
+        diameter_bound = self.network.graph.n + 1
+        rounds = self._run_protocol(wave, diameter_bound)
+        self.trace.reset_waves += 1
+        return rounds
+
+    def construct(self) -> int:
+        """Re-run the construction + marker; install labels; charge time."""
+        labels, rounds = self.checker.construct(self.network.graph)
+        for v, regs in labels.items():
+            epoch = self.network.registers[v].get(REG_RESET_EPOCH, 0)
+            self.network.registers[v] = dict(regs)
+            self.network.registers[v][REG_RESET_EPOCH] = epoch
+        self.trace.construction_rounds += rounds
+        return rounds
+
+    def verify(self, max_rounds: int) -> Tuple[int, bool]:
+        """Run the verifier; returns (rounds, detected).
+
+        The silent window ends early once every node has completed two
+        full Ask rotations without an alarm — by then every comparison
+        event E(v, u, j) has occurred at least once.
+        """
+        protocol = self.checker.protocol_factory()
+        base = {v: regs.get("_rot") or 0
+                for v, regs in self.network.registers.items()}
+
+        def silent_and_steady(net: Network) -> bool:
+            if net.alarms():
+                return True
+            return all((regs.get("_rot") or 0) >= base[v] + 2
+                       for v, regs in net.registers.items())
+
+        rounds = self._run_protocol(protocol, max_rounds,
+                                    stop_when=silent_and_steady)
+        alarms = self.network.alarms()
+        for v, reason in alarms.items():
+            self.trace.detections.append((self.trace.total_rounds + rounds,
+                                          v, reason))
+        self.trace.verification_rounds += rounds
+        return rounds, bool(alarms)
+
+    # ------------------------------------------------------------------
+    def run_until_stable(self, verify_rounds: int,
+                         max_iterations: int = 8) -> StabilizationTrace:
+        """From the network's current (possibly adversarial) state:
+        verify; on detection reset + reconstruct; repeat until a full
+        verification window passes silently."""
+        for _ in range(max_iterations):
+            rounds, detected = self.verify(verify_rounds)
+            self.trace.total_rounds += rounds
+            if not detected:
+                return self.trace
+            self.trace.total_rounds += self.reset()
+            self.trace.total_rounds += self.construct()
+        raise AssertionError("resynchronizer failed to stabilize "
+                             f"within {max_iterations} iterations")

@@ -1,0 +1,18 @@
+"""Simulation substrate: the shared-memory network model, synchronous and
+asynchronous schedulers with pluggable daemons, register bit accounting,
+and transient-fault injection."""
+
+from .network import ALARM, Network, NodeContext, Protocol, first_alarm
+from .registers import bit_size, is_ghost, register_bits
+from .schedulers import (AsynchronousScheduler, Daemon, PermutationDaemon,
+                         RandomDaemon, RoundRobinDaemon, SlowNodesDaemon,
+                         SynchronousScheduler)
+from .faults import FAULT_MARK, FaultInjector, detection_distance
+
+__all__ = [
+    "ALARM", "Network", "NodeContext", "Protocol", "first_alarm",
+    "bit_size", "is_ghost", "register_bits",
+    "AsynchronousScheduler", "Daemon", "PermutationDaemon", "RandomDaemon",
+    "RoundRobinDaemon", "SlowNodesDaemon", "SynchronousScheduler",
+    "FAULT_MARK", "FaultInjector", "detection_distance",
+]

@@ -1,0 +1,134 @@
+"""Message-passing emulation over shared registers (Section 2.2).
+
+The paper reuses the Awerbuch–Varghese transformer, designed for message
+passing, inside a shared-memory model.  Synchronously a written register
+simply *is* the delivered message; asynchronously a reader could observe
+one write many times (duplication), so the emulation runs the toggle
+discipline of Afek–Kutten–Yung's data link: the sender attaches a
+sequence toggle taking one of **three** values, re-"sends" until the
+receiver's acknowledgement toggle matches, and the receiver consumes a
+message exactly once per toggle change.
+
+This module implements that unidirectional link as a register protocol:
+
+* sender registers: ``dl_msg`` (payload), ``dl_tog`` (0/1/2);
+* receiver registers: ``dl_ack`` (the last toggle consumed), plus the
+  delivery callback collecting consumed payloads.
+
+Self-stabilization: from arbitrary toggle/ack values the link delivers
+each subsequent message exactly once after at most one spurious
+delivery — the property the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..graphs.weighted import NodeId, WeightedGraph
+from .network import Network, NodeContext, Protocol
+from .schedulers import AsynchronousScheduler, Daemon
+
+TOGGLE_VALUES = 3
+
+
+@dataclass
+class LinkEndpoints:
+    """One unidirectional link inside a network."""
+
+    sender: NodeId
+    receiver: NodeId
+
+
+class DataLinkProtocol(Protocol):
+    """Sender/receiver pair running the toggle discipline.
+
+    The sender drains ``outbox`` (a Python-side queue — the application
+    handing messages to the link); the receiver appends consumed payloads
+    to ``inbox``.  Both queues are harness state; everything the nodes
+    exchange flows through the O(log n)-bit registers.
+    """
+
+    def __init__(self, link: LinkEndpoints, outbox: List[Any],
+                 inbox: List[Any]) -> None:
+        self.link = link
+        self.outbox = outbox
+        self.inbox = inbox
+
+    def init_node(self, ctx: NodeContext) -> None:
+        if ctx.node == self.link.sender:
+            ctx.set("dl_msg", None)
+            ctx.set("dl_tog", 0)
+        if ctx.node == self.link.receiver:
+            ctx.set("dl_ack", 0)
+
+    def step(self, ctx: NodeContext) -> None:
+        if ctx.node == self.link.sender:
+            self._sender_step(ctx)
+        elif ctx.node == self.link.receiver:
+            self._receiver_step(ctx)
+
+    # -- sender ----------------------------------------------------------
+    def _sender_step(self, ctx: NodeContext) -> None:
+        tog = ctx.get("dl_tog")
+        if not isinstance(tog, int) or not 0 <= tog < TOGGLE_VALUES:
+            tog = 0
+            ctx.set("dl_tog", 0)
+        ack = ctx.read(self.link.receiver, "dl_ack")
+        if ack == tog and self.outbox:
+            # previous message acknowledged: send the next one
+            ctx.set("dl_msg", self.outbox.pop(0))
+            ctx.set("dl_tog", (tog + 1) % TOGGLE_VALUES)
+        # otherwise keep re-exposing the current message (the "resend")
+
+    # -- receiver ---------------------------------------------------------
+    def _receiver_step(self, ctx: NodeContext) -> None:
+        ack = ctx.get("dl_ack")
+        if not isinstance(ack, int) or not 0 <= ack < TOGGLE_VALUES:
+            ack = 0
+        tog = ctx.read(self.link.sender, "dl_tog")
+        if not isinstance(tog, int) or not 0 <= tog < TOGGLE_VALUES:
+            return
+        if tog != ack:
+            # exactly one consumption per toggle change
+            self.inbox.append(ctx.read(self.link.sender, "dl_msg"))
+            ctx.set("dl_ack", tog)
+
+
+@dataclass
+class DataLinkRun:
+    delivered: List[Any]
+    rounds: int
+
+
+def run_data_link(graph: WeightedGraph, sender: NodeId, receiver: NodeId,
+                  messages: List[Any],
+                  daemon: Optional[Daemon] = None,
+                  corrupt_toggles: Optional[Tuple[int, int]] = None,
+                  max_rounds: int = 10_000) -> DataLinkRun:
+    """Ship ``messages`` across one link under an asynchronous daemon.
+
+    ``corrupt_toggles`` optionally sets adversarial initial (toggle, ack)
+    values to exercise self-stabilization; at most one spurious delivery
+    (a stale payload) may precede the correct stream.
+    """
+    if not graph.has_edge(sender, receiver):
+        raise ValueError("sender and receiver must be adjacent")
+    network = Network(graph)
+    outbox = list(messages)
+    inbox: List[Any] = []
+    protocol = DataLinkProtocol(LinkEndpoints(sender, receiver),
+                                outbox, inbox)
+    sched = AsynchronousScheduler(network, protocol, daemon)
+    sched.initialize()
+    if corrupt_toggles is not None:
+        network.registers[sender]["dl_tog"] = corrupt_toggles[0]
+        network.registers[receiver]["dl_ack"] = corrupt_toggles[1]
+
+    def done(net: Network) -> bool:
+        return not outbox and \
+            net.registers[receiver].get("dl_ack") == \
+            net.registers[sender].get("dl_tog")
+
+    rounds = sched.run(max_rounds, stop_when=done)
+    return DataLinkRun(delivered=inbox, rounds=rounds)

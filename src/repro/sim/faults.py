@@ -1,0 +1,115 @@
+"""Transient-fault injection (the adversary of Sections 2.4 and 8).
+
+Faults corrupt node registers arbitrarily: marker labels, train pieces,
+verifier working state — anything but the immutable topology/weights and
+the node identities (the paper's model: identities and edge weights are
+read-only inputs; everything stored is corruptible).
+
+Injectors record which nodes were hit (as ghost state) so the harness can
+compute detection distances.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..graphs.weighted import NodeId
+from .network import Network
+from .registers import is_ghost
+
+FAULT_MARK = "_faulty"
+
+
+def _perturb_value(value: Any, rng: random.Random) -> Any:
+    """Return a value of the same general shape but different content."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        delta = rng.choice([-1, 1]) * rng.randint(1, max(2, abs(value) + 1))
+        return value + delta
+    if isinstance(value, str):
+        if not value:
+            return "x"
+        i = rng.randrange(len(value))
+        alphabet = "01*updownne"
+        return value[:i] + rng.choice(alphabet) + value[i + 1:]
+    if isinstance(value, tuple):
+        if not value:
+            return (0,)
+        i = rng.randrange(len(value))
+        return value[:i] + (_perturb_value(value[i], rng),) + value[i + 1:]
+    if value is None:
+        return 0
+    return value
+
+
+class FaultInjector:
+    """Corrupts registers at chosen nodes and records the fault set."""
+
+    def __init__(self, network: Network, seed: int = 0) -> None:
+        self.network = network
+        self.rng = random.Random(seed)
+        self.faulty_nodes: List[NodeId] = []
+
+    def _mark(self, node: NodeId) -> None:
+        self.network.registers[node][FAULT_MARK] = True
+        if node not in self.faulty_nodes:
+            self.faulty_nodes.append(node)
+
+    def corrupt_register(self, node: NodeId, name: str,
+                         value: Any = None) -> None:
+        """Set one register to ``value`` (or a random perturbation)."""
+        regs = self.network.registers[node]
+        if value is None:
+            value = _perturb_value(regs.get(name), self.rng)
+        regs[name] = value
+        self._mark(node)
+
+    def corrupt_node(self, node: NodeId, fraction: float = 0.5,
+                     protect: Sequence[str] = ()) -> List[str]:
+        """Perturb a random subset of the node's non-ghost registers.
+
+        Returns the names of the corrupted registers.
+        """
+        regs = self.network.registers[node]
+        names = [n for n in regs
+                 if not is_ghost(n) and n not in protect and n != "alarm"]
+        if not names:
+            return []
+        k = max(1, int(len(names) * fraction))
+        chosen = self.rng.sample(names, min(k, len(names)))
+        for name in chosen:
+            regs[name] = _perturb_value(regs[name], self.rng)
+        self._mark(node)
+        return chosen
+
+    def corrupt_random_nodes(self, count: int,
+                             fraction: float = 0.5) -> List[NodeId]:
+        """Corrupt ``count`` distinct random nodes; returns them."""
+        nodes = self.network.graph.nodes()
+        chosen = self.rng.sample(nodes, min(count, len(nodes)))
+        for v in chosen:
+            self.corrupt_node(v, fraction)
+        return chosen
+
+    def scramble_node(self, node: NodeId) -> None:
+        """Adversarial wipe: perturb *every* register of the node."""
+        self.corrupt_node(node, fraction=1.0)
+
+
+def detection_distance(network: Network,
+                       faulty: Sequence[NodeId]) -> Optional[int]:
+    """max over faults of (hop distance to the closest alarming node),
+    or None when no node raised an alarm."""
+    alarming = list(network.alarms().keys())
+    if not alarming or not faulty:
+        return None
+    worst = 0
+    for f in faulty:
+        dist = network.graph.bfs_distances(f)
+        best = min((dist[a] for a in alarming if a in dist), default=None)
+        if best is None:
+            return None
+        worst = max(worst, best)
+    return worst

@@ -1,0 +1,139 @@
+"""The shared-memory network model (Section 2.1 / 2.2).
+
+Each node owns a set of registers readable by its neighbours.  In one
+*ideal time* unit a node reads all of its neighbours' registers and
+rewrites its own (the paper's ideal time complexity; the stricter
+contention model costs an extra Delta factor, which our asynchronous
+daemons can emulate).
+
+A :class:`Protocol` provides two callbacks:
+
+* ``init_node(ctx)`` — set up the node's working registers (labels
+  installed by a marker are left untouched);
+* ``step(ctx)`` — one atomic step: read neighbours through ``ctx.read``
+  and update own registers through ``ctx.set``.
+
+Protocols signal fault detection by setting the ``alarm`` register to a
+non-None reason string; the harness collects alarms via
+:meth:`Network.alarms`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from ..graphs.weighted import NodeId, WeightedGraph
+from .registers import register_bits
+
+ALARM = "alarm"
+
+
+class Network:
+    """A set of nodes with registers, built over a :class:`WeightedGraph`."""
+
+    def __init__(self, graph: WeightedGraph) -> None:
+        self.graph = graph
+        self.registers: Dict[NodeId, Dict[str, Any]] = {
+            v: {} for v in graph.nodes()
+        }
+
+    def install(self, assignments: Mapping[NodeId, Mapping[str, Any]]) -> None:
+        """Write marker-produced labels into node registers."""
+        for v, regs in assignments.items():
+            self.registers[v].update(regs)
+
+    def clear(self) -> None:
+        """Erase all registers (fresh adversarial start)."""
+        for v in self.registers:
+            self.registers[v] = {}
+
+    def alarms(self) -> Dict[NodeId, str]:
+        """Nodes currently raising an alarm, with their reasons."""
+        return {
+            v: regs[ALARM]
+            for v, regs in self.registers.items()
+            if regs.get(ALARM) is not None
+        }
+
+    def max_memory_bits(self) -> int:
+        """max over nodes of the bits of non-ghost registers (the paper's
+        memory-size measure)."""
+        return max(register_bits(regs) for regs in self.registers.values())
+
+    def total_memory_bits(self) -> int:
+        """Sum over nodes of non-ghost register bits."""
+        return sum(register_bits(regs) for regs in self.registers.values())
+
+
+class NodeContext:
+    """Read/write access for one atomic step of one node.
+
+    Own registers are read and written *live*; neighbour registers are read
+    from ``snapshot`` (the previous round's state under the synchronous
+    scheduler, the current state under asynchronous ones).
+    """
+
+    __slots__ = ("network", "node", "_snapshot", "_own")
+
+    def __init__(self, network: Network, node: NodeId,
+                 snapshot: Mapping[NodeId, Mapping[str, Any]]) -> None:
+        self.network = network
+        self.node = node
+        self._snapshot = snapshot
+        self._own = network.registers[node]
+
+    # -- own state ------------------------------------------------------
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._own.get(name, default)
+
+    def set(self, name: str, value: Any) -> None:
+        self._own[name] = value
+
+    def unset(self, name: str) -> None:
+        self._own.pop(name, None)
+
+    def alarm(self, reason: str) -> None:
+        """Raise (and latch) an alarm at this node."""
+        if self._own.get(ALARM) is None:
+            self._own[ALARM] = reason
+
+    # -- neighbour state --------------------------------------------------
+    def read(self, neighbor: NodeId, name: str, default: Any = None) -> Any:
+        """Read a neighbour's register from the step's snapshot."""
+        return self._snapshot[neighbor].get(name, default)
+
+    # -- topology ---------------------------------------------------------
+    @property
+    def neighbors(self) -> List[NodeId]:
+        return self.network.graph.neighbors(self.node)
+
+    @property
+    def degree(self) -> int:
+        return self.network.graph.degree(self.node)
+
+    def weight(self, neighbor: NodeId):
+        return self.network.graph.weight(self.node, neighbor)
+
+    def port(self, neighbor: NodeId) -> int:
+        return self.network.graph.port(self.node, neighbor)
+
+
+class Protocol:
+    """Base class for distributed protocols run by the schedulers."""
+
+    def init_node(self, ctx: NodeContext) -> None:  # pragma: no cover
+        """Initialize working registers (default: nothing)."""
+
+    def step(self, ctx: NodeContext) -> None:
+        raise NotImplementedError
+
+    def on_round_end(self, network: Network, round_index: int) -> None:
+        """Optional hook called by schedulers after each full round."""
+
+
+StopCondition = Callable[[Network], bool]
+
+
+def first_alarm(network: Network) -> bool:
+    """Stop condition: some node raised an alarm."""
+    return bool(network.alarms())

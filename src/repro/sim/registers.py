@@ -1,0 +1,49 @@
+"""Register stores with bit-size accounting.
+
+The paper's memory-size measure counts the bits stored at a node: identity,
+marker labels, and verifier working memory (Section 2.4).  Protocols store
+per-node state in named registers; :func:`bit_size` estimates the number of
+bits needed to encode a register value.
+
+Conventions
+-----------
+* Register values must be *immutable* (ints, strings, bools, None, tuples,
+  frozensets) so snapshots can share them safely.
+* Register names starting with ``"_"`` are *ghost* state — simulation
+  instrumentation excluded from the memory accounting (e.g. fault-injection
+  bookkeeping).  Real protocol state must never use the prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable
+
+
+def bit_size(value: Any) -> int:
+    """Estimated number of bits to encode ``value``.
+
+    Integers are charged their binary length (plus a sign bit), strings one
+    byte per character, tuples/frozensets the sum of their parts plus two
+    bits of framing per element.  None/booleans cost one bit.
+    """
+    if value is None or isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return max(1, value.bit_length()) + 1
+    if isinstance(value, float):
+        return 64
+    if isinstance(value, str):
+        return 8 * len(value)
+    if isinstance(value, (tuple, frozenset, list)):
+        return sum(bit_size(x) + 2 for x in value)
+    raise TypeError(f"unencodable register value of type {type(value)!r}")
+
+
+def is_ghost(name: str) -> bool:
+    """Whether a register name denotes instrumentation-only state."""
+    return name.startswith("_")
+
+
+def register_bits(registers: Dict[str, Any]) -> int:
+    """Total bits of the non-ghost registers of one node."""
+    return sum(bit_size(v) for name, v in registers.items() if not is_ghost(name))

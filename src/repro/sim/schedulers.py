@@ -1,0 +1,183 @@
+"""Synchronous and asynchronous execution of protocols.
+
+Synchronous model: all nodes step simultaneously each round, reading the
+registers their neighbours exposed at the end of the previous round.
+
+Asynchronous model: a *daemon* picks batches of nodes to activate; an
+activated node performs one atomic read-all-neighbours/update step against
+the live registers.  Time is measured in **asynchronous rounds**: a round
+completes when every node has been activated at least once since the
+previous round boundary (the standard self-stabilization measure, matching
+the paper's strongly fair distributed daemon).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Set
+
+from ..graphs.weighted import NodeId
+from .network import Network, NodeContext, Protocol, StopCondition
+
+
+class SynchronousScheduler:
+    """Lock-step rounds over a network (ideal time complexity)."""
+
+    def __init__(self, network: Network, protocol: Protocol) -> None:
+        self.network = network
+        self.protocol = protocol
+        self.rounds = 0
+        self._initialized = False
+
+    def initialize(self) -> None:
+        """Run ``init_node`` at every node (idempotent)."""
+        if self._initialized:
+            return
+        snapshot = self._snapshot()
+        for v in self.network.graph.nodes():
+            self.protocol.init_node(NodeContext(self.network, v, snapshot))
+        self._initialized = True
+
+    def _snapshot(self):
+        return {v: dict(regs) for v, regs in self.network.registers.items()}
+
+    def run(self, max_rounds: int,
+            stop_when: Optional[StopCondition] = None) -> int:
+        """Run up to ``max_rounds`` rounds; return rounds executed.
+
+        Stops early (after completing a round) when ``stop_when(network)``
+        becomes true.
+        """
+        self.initialize()
+        executed = 0
+        for _ in range(max_rounds):
+            snapshot = self._snapshot()
+            for v in self.network.graph.nodes():
+                self.protocol.step(NodeContext(self.network, v, snapshot))
+            self.rounds += 1
+            executed += 1
+            self.protocol.on_round_end(self.network, self.rounds)
+            if stop_when is not None and stop_when(self.network):
+                break
+        return executed
+
+
+# ---------------------------------------------------------------------------
+# daemons
+# ---------------------------------------------------------------------------
+
+class Daemon:
+    """Chooses which nodes to activate next (asynchronous adversary)."""
+
+    def next_batch(self, nodes: Sequence[NodeId]) -> List[NodeId]:
+        raise NotImplementedError
+
+
+class RoundRobinDaemon(Daemon):
+    """Activates nodes one at a time in a fixed cyclic order."""
+
+    def __init__(self) -> None:
+        self._index = 0
+
+    def next_batch(self, nodes: Sequence[NodeId]) -> List[NodeId]:
+        node = nodes[self._index % len(nodes)]
+        self._index += 1
+        return [node]
+
+
+class RandomDaemon(Daemon):
+    """Activates one uniformly random node per tick (fair with prob. 1)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    def next_batch(self, nodes: Sequence[NodeId]) -> List[NodeId]:
+        return [self.rng.choice(nodes)]
+
+
+class PermutationDaemon(Daemon):
+    """Each round activates every node once, in a fresh random order —
+    an asynchronous execution with maximal per-round interleaving."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+        self._pending: List[NodeId] = []
+
+    def next_batch(self, nodes: Sequence[NodeId]) -> List[NodeId]:
+        if not self._pending:
+            self._pending = list(nodes)
+            self.rng.shuffle(self._pending)
+        return [self._pending.pop()]
+
+class SlowNodesDaemon(Daemon):
+    """Adversarial daemon: designated nodes run ``slowdown`` times less
+    often than the rest (stretching asynchronous rounds)."""
+
+    def __init__(self, slow_nodes: Iterable[NodeId], slowdown: int,
+                 seed: int = 0) -> None:
+        if slowdown < 1:
+            raise ValueError("slowdown must be >= 1")
+        self.slow: Set[NodeId] = set(slow_nodes)
+        self.slowdown = slowdown
+        self.rng = random.Random(seed)
+        self._pending: List[NodeId] = []
+        self._cycle = 0
+
+    def next_batch(self, nodes: Sequence[NodeId]) -> List[NodeId]:
+        if not self._pending:
+            self._cycle += 1
+            batch = [v for v in nodes if v not in self.slow]
+            if self._cycle % self.slowdown == 0:
+                batch.extend(v for v in nodes if v in self.slow)
+            self.rng.shuffle(batch)
+            self._pending = batch
+        return [self._pending.pop()]
+
+
+class AsynchronousScheduler:
+    """Daemon-driven execution with asynchronous-round accounting."""
+
+    def __init__(self, network: Network, protocol: Protocol,
+                 daemon: Optional[Daemon] = None) -> None:
+        self.network = network
+        self.protocol = protocol
+        self.daemon = daemon if daemon is not None else PermutationDaemon()
+        self.rounds = 0
+        self.activations = 0
+        self._covered: Set[NodeId] = set()
+        self._initialized = False
+
+    def initialize(self) -> None:
+        if self._initialized:
+            return
+        for v in self.network.graph.nodes():
+            ctx = NodeContext(self.network, v, self.network.registers)
+            self.protocol.init_node(ctx)
+        self._initialized = True
+
+    def run(self, max_rounds: int,
+            stop_when: Optional[StopCondition] = None,
+            max_activations: Optional[int] = None) -> int:
+        """Run until ``max_rounds`` asynchronous rounds complete (or the
+        stop condition fires, checked at activation granularity).  Returns
+        the number of asynchronous rounds completed."""
+        self.initialize()
+        nodes = self.network.graph.nodes()
+        all_nodes = set(nodes)
+        start_rounds = self.rounds
+        budget = max_activations if max_activations is not None else (
+            max_rounds * len(nodes) * 4 + 64)
+        while self.rounds - start_rounds < max_rounds and budget > 0:
+            for v in self.daemon.next_batch(nodes):
+                ctx = NodeContext(self.network, v, self.network.registers)
+                self.protocol.step(ctx)
+                self.activations += 1
+                budget -= 1
+                self._covered.add(v)
+                if self._covered == all_nodes:
+                    self.rounds += 1
+                    self._covered = set()
+                    self.protocol.on_round_end(self.network, self.rounds)
+            if stop_when is not None and stop_when(self.network):
+                break
+        return self.rounds - start_rounds

@@ -1,0 +1,186 @@
+"""Wave&Echo (PIF) over rooted trees (Section 2.3).
+
+The paper's workhorse primitive: the root starts a *wave* carrying a
+command; every node forwards it to its children; leaves *echo* their
+command output upward; a parent echoes once all children echoed, folding
+its own output into theirs.  The classic commands are counting, summing,
+and logical OR — all used by Count_Size, NumK aggregation and the
+Multi_Wave stages.
+
+This module provides a genuine register-level implementation run by the
+simulator's schedulers, with pluggable fold commands, plus a convenience
+driver measuring the round cost (2 * height + O(1)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..graphs.spanning import RootedTree
+from ..graphs.weighted import NodeId
+from .network import Network, NodeContext, Protocol
+from .schedulers import SynchronousScheduler
+
+
+@dataclass(frozen=True)
+class WaveCommand:
+    """A fold: per-node initial value plus an associative combiner."""
+
+    name: str
+    initial: Callable[[NodeId], Any]
+    combine: Callable[[Any, Any], Any]
+
+
+def count_command() -> WaveCommand:
+    """Counting the nodes (the paper's second example)."""
+    return WaveCommand("count", lambda _v: 1, lambda a, b: a + b)
+
+
+def sum_command(values: Dict[NodeId, int]) -> WaveCommand:
+    """Summing per-node values (the paper's first example)."""
+    return WaveCommand("sum", lambda v: values[v], lambda a, b: a + b)
+
+
+def or_command(flags: Dict[NodeId, bool]) -> WaveCommand:
+    """Logical OR of per-node bits (the detection-style aggregate)."""
+    return WaveCommand("or", lambda v: bool(flags[v]), lambda a, b: a or b)
+
+
+def min_command(values: Dict[NodeId, Any]) -> WaveCommand:
+    """Minimum of per-node values (the Find_Min_Out_Edge fold)."""
+    return WaveCommand("min", lambda v: values[v],
+                       lambda a, b: a if a <= b else b)
+
+
+class WaveEchoProtocol(Protocol):
+    """One Wave&Echo execution at register level.
+
+    Registers: ``we_wave`` (the wave token seen), ``we_echo`` (the folded
+    echo value, present once the subtree finished).  The root's ``we_echo``
+    is the final result.  Parent/child structure is read from the
+    ``pid``-style register given at construction, so the protocol runs on
+    whatever tree the labels describe.
+    """
+
+    def __init__(self, command: WaveCommand, parent_reg: str = "pid") -> None:
+        self.command = command
+        self.parent_reg = parent_reg
+
+    def init_node(self, ctx: NodeContext) -> None:
+        ctx.set("we_wave", ctx.get(self.parent_reg) is None)
+        ctx.set("we_echo", None)
+
+    def _children(self, ctx: NodeContext) -> List[NodeId]:
+        return [u for u in ctx.neighbors
+                if ctx.read(u, self.parent_reg) == ctx.node]
+
+    def step(self, ctx: NodeContext) -> None:
+        if not ctx.get("we_wave"):
+            parent = ctx.get(self.parent_reg)
+            if parent in ctx.neighbors and ctx.read(parent, "we_wave"):
+                ctx.set("we_wave", True)
+            else:
+                return
+        if ctx.get("we_echo") is not None:
+            return
+        value = self.command.initial(ctx.node)
+        for child in self._children(ctx):
+            child_echo = ctx.read(child, "we_echo")
+            if child_echo is None:
+                return  # wait for the child's echo
+            value = self.command.combine(value, child_echo)
+        ctx.set("we_echo", value)
+
+
+@dataclass
+class WaveEchoResult:
+    value: Any
+    rounds: int
+
+
+def run_wave_echo(tree: RootedTree, command: WaveCommand,
+                  max_rounds: Optional[int] = None) -> WaveEchoResult:
+    """Execute one Wave&Echo on a rooted tree; returns the root's fold.
+
+    Round cost is ``2 * height + O(1)`` — asserted by the tests against
+    the tree's actual height.
+    """
+    network = Network(tree.graph)
+    network.install({
+        v: {"pid": tree.parent[v]} for v in tree.nodes()
+    })
+    protocol = WaveEchoProtocol(command)
+    sched = SynchronousScheduler(network, protocol)
+    limit = max_rounds if max_rounds is not None else 2 * tree.height() + 4
+
+    def done(net: Network) -> bool:
+        return net.registers[tree.root].get("we_echo") is not None
+
+    rounds = sched.run(limit, stop_when=done)
+    value = network.registers[tree.root].get("we_echo")
+    if value is None:
+        raise RuntimeError("Wave&Echo did not terminate within the budget")
+    return WaveEchoResult(value=value, rounds=rounds)
+
+
+class TimeToLiveWave(Protocol):
+    """The Count_Size wave (Section 4): a wave with a time-to-live.
+
+    A child accepts the wave only when the remaining TTL is positive, so
+    the wave reaches exactly the nodes within TTL hops below the root —
+    the mechanism by which SYNC_MST's phases keep exact timing.  The echo
+    counts the accepting nodes.
+    """
+
+    def __init__(self, ttl: int, parent_reg: str = "pid") -> None:
+        self.ttl = ttl
+        self.parent_reg = parent_reg
+
+    def init_node(self, ctx: NodeContext) -> None:
+        is_root = ctx.get(self.parent_reg) is None
+        ctx.set("tw_ttl", self.ttl if is_root else None)
+        ctx.set("tw_echo", None)
+
+    def _children(self, ctx: NodeContext) -> List[NodeId]:
+        return [u for u in ctx.neighbors
+                if ctx.read(u, self.parent_reg) == ctx.node]
+
+    def step(self, ctx: NodeContext) -> None:
+        if ctx.get("tw_ttl") is None:
+            parent = ctx.get(self.parent_reg)
+            if parent in ctx.neighbors:
+                pttl = ctx.read(parent, "tw_ttl")
+                if isinstance(pttl, int) and pttl > 0:
+                    ctx.set("tw_ttl", pttl - 1)
+            if ctx.get("tw_ttl") is None:
+                return
+        if ctx.get("tw_echo") is not None:
+            return
+        ttl = ctx.get("tw_ttl")
+        count = 1
+        for child in self._children(ctx):
+            if ttl == 0:
+                break  # children beyond the TTL never join
+            child_echo = ctx.read(child, "tw_echo")
+            if child_echo is None:
+                return
+            count += child_echo
+        ctx.set("tw_echo", count)
+
+
+def run_ttl_count(tree: RootedTree, ttl: int) -> WaveEchoResult:
+    """Count the nodes within ``ttl`` hops of the root (Count_Size)."""
+    network = Network(tree.graph)
+    network.install({v: {"pid": tree.parent[v]} for v in tree.nodes()})
+    protocol = TimeToLiveWave(ttl)
+    sched = SynchronousScheduler(network, protocol)
+
+    def done(net: Network) -> bool:
+        return net.registers[tree.root].get("tw_echo") is not None
+
+    rounds = sched.run(2 * min(ttl, tree.height()) + 4, stop_when=done)
+    value = network.registers[tree.root].get("tw_echo")
+    if value is None:
+        raise RuntimeError("TTL count did not terminate within the budget")
+    return WaveEchoResult(value=value, rounds=rounds)

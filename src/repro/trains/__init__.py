@@ -1,0 +1,17 @@
+"""Trains and the comparison mechanism (Section 7): piece rotation inside
+parts, membership flags, Ask/Show sampling and Want handshakes, and the
+watchdog budgets that make the verifier self-stabilizing."""
+
+from .budgets import Budgets, compute_budgets
+from .train import (SEQ_MOD, TrainComponent, TrainObservation, piece_key,
+                    valid_piece)
+from .comparison import (MODE_SYNC_WINDOW, MODE_WANT, MODE_WANT_SIMPLE,
+                         ComparisonComponent, REG_ASK, REG_WANT)
+
+__all__ = [
+    "Budgets", "compute_budgets",
+    "SEQ_MOD", "TrainComponent", "TrainObservation", "piece_key",
+    "valid_piece",
+    "MODE_SYNC_WINDOW", "MODE_WANT", "MODE_WANT_SIMPLE",
+    "ComparisonComponent", "REG_ASK", "REG_WANT",
+]

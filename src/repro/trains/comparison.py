@@ -1,0 +1,341 @@
+"""The Ask/Show/Want comparison mechanism (Sections 7.2 and 8).
+
+A node ``v`` rotates through the levels of J(v).  For the current level
+``j`` it samples its own train for the flagged piece I(F_j(v)), stores it
+in ``Ask``, and compares it against what each neighbour ``u`` *shows* —
+the broadcast slots of u's two trains:
+
+* **synchronous mode** (Lemma 7.5): v holds the level for a full
+  ask-window (one train-cycle budget); every neighbour's train is
+  guaranteed to have displayed its matching piece within the window, so
+  the sampling is stateless and all neighbours are compared in parallel.
+* **asynchronous Want mode** (Lemma 7.6): v serves neighbours one at a
+  time, filing a request in its ``Want`` register; the server delays its
+  train while a displayed piece is wanted (a constant delay per node), so
+  a slow reader never misses a piece.  An intentionally serialized
+  variant ("simple") reproduces the O(Delta^2 log^3 n) handshake the
+  paper describes first.
+
+When the events E(v, u, j) occur the verifier applies the minimality
+checks of Section 8:
+
+* **C1** — if v is the endpoint of the candidate edge (v, u0) of F_j(v):
+  u0 must lie outside F_j(v) and the candidate's weight must equal the
+  claimed minimum omega(F_j(v));
+* **C2** — for every outgoing edge (v, u): omega(F_j(v)) <= w(v, u);
+* **piece agreement** (Claim 8.3) — neighbours inside the same fragment
+  must show the identical piece.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from ..labels.registers import (REG_DELIM, REG_ENDP, REG_JMASK, REG_N,
+                                REG_PARENT_ID, REG_PARENTS, REG_ROOTS)
+from ..labels.strings import ENDP_DOWN, ENDP_UP
+from ..labels.wellforming import sorted_levels
+from .budgets import Budgets
+from .train import TrainComponent, TrainObservation, valid_piece, _nat
+
+#: comparison modes
+MODE_SYNC_WINDOW = "sync-window"
+MODE_WANT = "want"
+MODE_WANT_SIMPLE = "want-simple"
+
+REG_ASK = "cmp_ask"          # the piece currently exposed for comparison
+REG_ASK_IDX = "cmp_idx"      # index into J(v) of the current level
+REG_ASK_WAIT = "cmp_wait"    # synchronous hold-down counter
+REG_ASK_WD = "cmp_wd"        # progress watchdog
+REG_WANT = "cmp_want"        # (server, level) request (asynchronous)
+REG_ASK_NBR = "cmp_nbr"      # which neighbour is being served (async)
+REG_SVC_WD = "cmp_svc"       # per-service watchdog (async)
+REG_TURN = "cmp_turn"        # server round-robin pointer ("simple" mode)
+
+
+class ComparisonComponent:
+    """Per-node comparison logic over two train components.
+
+    ``only_top`` restricts the Ask rotation to the node's top levels —
+    used by the hybrid scheme of :mod:`repro.verification.hybrid`, which
+    verifies bottom levels locally from replicated pieces.
+    """
+
+    def __init__(self, top: TrainComponent, bottom: TrainComponent,
+                 mode: str, only_top: bool = False) -> None:
+        if mode not in (MODE_SYNC_WINDOW, MODE_WANT, MODE_WANT_SIMPLE):
+            raise ValueError(f"unknown comparison mode {mode!r}")
+        self.top = top
+        self.bottom = bottom
+        self.mode = mode
+        self.only_top = only_top
+
+    def _levels(self, ctx) -> List[int]:
+        levels = sorted_levels(_nat(ctx.get(REG_JMASK)) or 0)
+        if self.only_top:
+            delim = _nat(ctx.get(REG_DELIM)) or 0
+            levels = levels[delim:]
+        return levels
+
+    # ------------------------------------------------------------------
+    def init_node(self, ctx) -> None:
+        ctx.set(REG_ASK, None)
+        ctx.set(REG_ASK_IDX, 0)
+        ctx.set(REG_ASK_WAIT, 0)
+        ctx.set(REG_ASK_WD, 0)
+        ctx.set(REG_WANT, None)
+        ctx.set(REG_ASK_NBR, 0)
+        ctx.set(REG_SVC_WD, 0)
+        ctx.set(REG_TURN, 0)
+
+    # ------------------------------------------------------------------
+    # what the servers must hold (queried by the verifier before the
+    # trains' broadcast steps)
+    # ------------------------------------------------------------------
+    def held_levels(self, ctx) -> Tuple[Optional[int], Optional[int]]:
+        """(top_level, bottom_level) this node must keep displayed."""
+        if self.mode == MODE_SYNC_WINDOW:
+            return (None, None)
+        me = ctx.node
+        serve_only = None
+        if self.mode == MODE_WANT_SIMPLE:
+            nbrs = ctx.neighbors
+            if nbrs:
+                turn = (_nat(ctx.get(REG_TURN)) or 0) % len(nbrs)
+                serve_only = nbrs[turn]
+        held_top = held_bot = None
+        for train, attr in ((self.top, 0), (self.bottom, 1)):
+            show = train.own_show(ctx)
+            if show is None or not show.flag:
+                continue
+            lvl = show.piece[1]
+            for u in ctx.neighbors:
+                if serve_only is not None and u != serve_only:
+                    continue
+                want = ctx.read(u, REG_WANT)
+                if isinstance(want, tuple) and len(want) == 2 and \
+                        want[0] == me and want[1] == lvl:
+                    if attr == 0:
+                        held_top = lvl
+                    else:
+                        held_bot = lvl
+        return (held_top, held_bot)
+
+    def serve_turn(self, ctx) -> None:
+        """Advance the round-robin pointer ("simple" server side)."""
+        if self.mode != MODE_WANT_SIMPLE:
+            return
+        nbrs = ctx.neighbors
+        if not nbrs:
+            return
+        turn = (_nat(ctx.get(REG_TURN)) or 0) % len(nbrs)
+        current = nbrs[turn]
+        want = ctx.read(current, REG_WANT)
+        if not (isinstance(want, tuple) and len(want) == 2
+                and want[0] == ctx.node):
+            ctx.set(REG_TURN, (turn + 1) % len(nbrs))
+
+    # ------------------------------------------------------------------
+    # main step
+    # ------------------------------------------------------------------
+    def step(self, ctx, budgets: Budgets) -> List[str]:
+        alarms: List[str] = []
+        levels = self._levels(ctx)
+        if not levels:
+            return alarms
+
+        wd = (_nat(ctx.get(REG_ASK_WD)) or 0) + 1
+        ctx.set(REG_ASK_WD, wd)
+        if wd > budgets.ask_alarm:
+            alarms.append("ask: no comparison progress within budget")
+            ctx.set(REG_ASK_WD, 0)
+
+        ask = ctx.get(REG_ASK)
+        if ask is not None and not valid_piece(ask):
+            ctx.set(REG_ASK, None)
+            ask = None
+
+        if ask is None:
+            self._try_acquire(ctx, levels, budgets, alarms)
+            return alarms
+
+        if self.mode == MODE_SYNC_WINDOW:
+            self._sync_compare_all(ctx, ask, alarms)
+            wait = _nat(ctx.get(REG_ASK_WAIT)) or 0
+            if wait <= 1:
+                self._advance(ctx, levels)
+            else:
+                ctx.set(REG_ASK_WAIT, wait - 1)
+        else:
+            self._async_serve_one(ctx, ask, budgets, alarms)
+        return alarms
+
+    # ------------------------------------------------------------------
+    def _target_level(self, ctx, levels: List[int]) -> int:
+        idx = (_nat(ctx.get(REG_ASK_IDX)) or 0) % len(levels)
+        return levels[idx]
+
+    def _advance(self, ctx, levels: List[int]) -> None:
+        idx = (_nat(ctx.get(REG_ASK_IDX)) or 0) % len(levels)
+        if idx + 1 >= len(levels):
+            # ghost instrumentation: completed full Ask rotations
+            ctx.set("_rot", (ctx.get("_rot") or 0) + 1)
+        ctx.set(REG_ASK_IDX, (idx + 1) % len(levels))
+        ctx.set(REG_ASK, None)
+        ctx.set(REG_ASK_WAIT, 0)
+        ctx.set(REG_WANT, None)
+        ctx.set(REG_ASK_NBR, 0)
+        ctx.set(REG_SVC_WD, 0)
+        ctx.set(REG_ASK_WD, 0)
+
+    def _try_acquire(self, ctx, levels: List[int], budgets: Budgets,
+                     alarms: List[str]) -> None:
+        """Sample the node's own trains for the target level's piece."""
+        target = self._target_level(ctx, levels)
+        for train in (self.top, self.bottom):
+            show = train.own_show(ctx)
+            if show is not None and show.flag and show.piece[1] == target:
+                ctx.set(REG_ASK, show.piece)
+                ctx.set(REG_ASK_WAIT, budgets.ask_window)
+                ctx.set(REG_ASK_NBR, 0)
+                ctx.set(REG_SVC_WD, 0)
+                alarms.extend(self._on_acquire_checks(ctx, show.piece))
+                return
+
+    # ------------------------------------------------------------------
+    # checks at acquisition time (no neighbour info needed)
+    # ------------------------------------------------------------------
+    def _candidate_neighbor(self, ctx, level: int) -> Optional[int]:
+        """The other endpoint of the candidate edge of F_level(v), when v
+        is the endpoint; None otherwise."""
+        endp = ctx.get(REG_ENDP)
+        if not isinstance(endp, str) or level >= len(endp):
+            return None
+        if endp[level] == ENDP_UP:
+            pid = ctx.get(REG_PARENT_ID)
+            return pid if pid in ctx.neighbors else None
+        if endp[level] == ENDP_DOWN:
+            for c in ctx.neighbors:
+                if ctx.read(c, REG_PARENT_ID) != ctx.node:
+                    continue
+                cp = ctx.read(c, REG_PARENTS)
+                if isinstance(cp, str) and level < len(cp) and cp[level] == "1":
+                    return c
+        return None
+
+    def _on_acquire_checks(self, ctx, piece) -> List[str]:
+        alarms: List[str] = []
+        z, level, weight = piece
+        roots = ctx.get(REG_ROOTS)
+        if isinstance(roots, str) and level < len(roots):
+            if roots[level] == "1" and z != ctx.node:
+                alarms.append("ask: fragment root id differs from the piece")
+        u0 = self._candidate_neighbor(ctx, level)
+        if u0 is not None:
+            # C1 (weight half): the claimed minimum must be the candidate's
+            # actual weight.
+            if weight is None or weight != ctx.weight(u0):
+                alarms.append("C1: claimed minimum differs from the "
+                              "candidate edge weight")
+        return alarms
+
+    # ------------------------------------------------------------------
+    # the event E(v, u, j): compare my piece against what u shows
+    # ------------------------------------------------------------------
+    def _neighbor_piece(self, ctx, u, level) -> Optional[TrainObservation]:
+        for train in (self.top, self.bottom):
+            obs = train.observe(ctx, u)
+            if obs is not None and obs.flag and obs.piece[1] == level:
+                return obs
+        return None
+
+    def _compare_with(self, ctx, ask, u, obs: Optional[TrainObservation],
+                      u_has_level: bool, alarms: List[str]) -> bool:
+        """Run C1/C2/agreement for one neighbour; True when the event
+        happened (info was available)."""
+        z, level, weight = ask
+        u0 = self._candidate_neighbor(ctx, level)
+        if not u_has_level:
+            # u is in no level-j fragment: the edge is outgoing.
+            self._outgoing_checks(ctx, ask, u, u0, alarms)
+            return True
+        if obs is None:
+            return False
+        if obs.piece[0] == z:
+            # same claimed fragment: members must agree on the piece
+            if tuple(obs.piece) != tuple(ask):
+                alarms.append("AGREE: same fragment, different piece "
+                              "(Claim 8.3)")
+            if u0 == u:
+                alarms.append("C1: candidate edge is internal to its "
+                              "fragment")
+        else:
+            self._outgoing_checks(ctx, ask, u, u0, alarms)
+        return True
+
+    def _outgoing_checks(self, ctx, ask, u, u0, alarms: List[str]) -> None:
+        _z, _level, weight = ask
+        edge_w = ctx.weight(u)
+        if weight is None:
+            alarms.append("C2: the whole-tree fragment has an outgoing edge")
+            return
+        try:
+            violated = edge_w < weight
+        except TypeError:
+            alarms.append("C2: incomparable weights in piece")
+            return
+        if violated:
+            alarms.append("C2: outgoing edge lighter than the claimed "
+                          "minimum")
+
+    # ------------------------------------------------------------------
+    # synchronous window sampling (Section 7.2.1)
+    # ------------------------------------------------------------------
+    def _sync_compare_all(self, ctx, ask, alarms: List[str]) -> None:
+        level = ask[1]
+        for u in ctx.neighbors:
+            jmask_u = _nat(ctx.read(u, REG_JMASK))
+            u_has = jmask_u is not None and bool(jmask_u & (1 << level))
+            obs = self._neighbor_piece(ctx, u, level) if u_has else None
+            self._compare_with(ctx, ask, u, obs, u_has, alarms)
+
+    # ------------------------------------------------------------------
+    # asynchronous Want mode (Section 7.2.2)
+    # ------------------------------------------------------------------
+    def _async_serve_one(self, ctx, ask, budgets: Budgets,
+                         alarms: List[str]) -> None:
+        level = ask[1]
+        nbrs = ctx.neighbors
+        levels = self._levels(ctx)
+        idx = _nat(ctx.get(REG_ASK_NBR)) or 0
+        if idx >= len(nbrs):
+            self._advance(ctx, levels)
+            return
+        u = nbrs[idx]
+        jmask_u = _nat(ctx.read(u, REG_JMASK))
+        u_has = jmask_u is not None and bool(jmask_u & (1 << level))
+        if not u_has:
+            self._compare_with(ctx, ask, u, None, False, alarms)
+            self._next_neighbor(ctx, idx)
+            return
+        # In the "simple" variant the client files its request just the
+        # same, but the server honours one client at a time (round robin),
+        # which is what makes that variant Delta^2.
+        obs = self._neighbor_piece(ctx, u, level)
+        if obs is not None:
+            self._compare_with(ctx, ask, u, obs, True, alarms)
+            ctx.set(REG_WANT, None)
+            self._next_neighbor(ctx, idx)
+            return
+        ctx.set(REG_WANT, (u, level))
+        svc = (_nat(ctx.get(REG_SVC_WD)) or 0) + 1
+        ctx.set(REG_SVC_WD, svc)
+        scale = max(1, ctx.degree) if self.mode == MODE_WANT_SIMPLE else 1
+        if svc > budgets.service * scale:
+            alarms.append("WANT: server never displayed the requested piece")
+            ctx.set(REG_WANT, None)
+            self._next_neighbor(ctx, idx)
+
+    def _next_neighbor(self, ctx, idx: int) -> None:
+        ctx.set(REG_ASK_NBR, idx + 1)
+        ctx.set(REG_SVC_WD, 0)

@@ -1,0 +1,401 @@
+"""The train mechanism (Section 7.1) as a per-node protocol component.
+
+One :class:`TrainComponent` instance drives one partition's train at every
+node (the verifier composes two: Top and Bottom, multiplexed).  Per node
+the component keeps O(log n) bits:
+
+Convergecast (the two-car pipeline of the Train Convergecast Protocol):
+
+* ``<p>out``  — the outgoing car: ``(seq, piece)`` or None;
+* ``<p>src``  — DFS source pointer: own stored pieces first, then the
+  part children in port order;
+* ``<p>cyc``  — the convergecast cycle the node is serving (mod 64);
+* ``<p>done`` — set to the cycle id when the node's subtree finished;
+* ``<p>act``  — which child is currently active, ``(child, cyc)``;
+* ``<p>tak``  — ack register: the ``(child, seq)`` last consumed.
+
+Broadcast (pipelined flooding with membership flags, Section 7.1):
+
+* ``<p>bseq`` / ``<p>bbuf`` — the broadcast slot: current ``(piece, flag)``
+  and its sequence number; a node adopts its part parent's slot when all
+  of its own part children caught up — the neighbours' *Show* of
+  Section 7.2 is exactly this slot;
+* ``<p>seen`` — levels of flagged pieces seen in the current rotation;
+* ``<p>last`` / ``<p>cnt`` / ``<p>sync`` — rotation-boundary detection
+  ((level, root) must increase lexicographically within a rotation),
+  piece count, and the synced-once latch;
+* ``<p>wd`` / ``<p>ep`` — watchdog counter and reset epoch.
+
+Self-stabilization: the part root resets the train (epoch bump, adopted
+downward) when a rotation exceeds its budget — corrupted *dynamic* state
+heals silently; corrupted *labels* keep starving the nodes whose larger
+alarm budgets then fire (Section 8's detection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..labels.registers import (REG_ELL, REG_JMASK, REG_N, REG_PARENT_ID,
+                                REG_ROOTS)
+from ..labels.wellforming import level_is_bottom, sorted_levels
+from .budgets import Budgets, compute_budgets
+
+SEQ_MOD = 64
+
+
+def _nat(x: Any, cap: int = 1 << 30) -> Optional[int]:
+    """x as a bounded non-negative int, else None."""
+    if isinstance(x, int) and not isinstance(x, bool) and 0 <= x <= cap:
+        return x
+    return None
+
+
+def valid_piece(piece: Any) -> bool:
+    """Shape check for a piece (root, level, weight)."""
+    return (isinstance(piece, tuple) and len(piece) == 3
+            and isinstance(piece[0], int) and not isinstance(piece[0], bool)
+            and _nat(piece[1], cap=256) is not None)
+
+
+def piece_key(piece: Tuple) -> Tuple[int, int]:
+    """The cyclic ordering key (level, root) of a piece."""
+    return (piece[1], piece[0])
+
+
+@dataclass
+class TrainObservation:
+    """What the comparison layer reads off a neighbour's broadcast slot."""
+
+    piece: Tuple
+    flag: bool
+
+
+class TrainComponent:
+    """One partition's train at every node.  ``kind`` is 'top'/'bottom'."""
+
+    def __init__(self, kind: str, reg_root: str, reg_count: str,
+                 reg_pieces: str, synchronous: bool) -> None:
+        self.kind = kind
+        self.p = "tt_" if kind == "top" else "bt_"
+        self.reg_root = reg_root
+        self.reg_count = reg_count
+        self.reg_pieces = reg_pieces
+        self.synchronous = synchronous
+
+    # -- register helpers ------------------------------------------------
+    def r(self, name: str) -> str:
+        return self.p + name
+
+    def init_node(self, ctx) -> None:
+        p = self.r
+        ctx.set(p("out"), None)
+        ctx.set(p("src"), 0)
+        ctx.set(p("cyc"), 0)
+        ctx.set(p("done"), None)
+        ctx.set(p("act"), None)
+        ctx.set(p("tak"), None)
+        ctx.set(p("bseq"), 0)
+        ctx.set(p("bbuf"), None)
+        ctx.set(p("seen"), 0)
+        ctx.set(p("last"), None)
+        ctx.set(p("cnt"), 0)
+        ctx.set(p("sync"), False)
+        ctx.set(p("wd"), 0)
+        ctx.set(p("ep"), 0)
+
+    # -- topology inside the part ----------------------------------------
+    def part_root_id(self, ctx) -> Optional[int]:
+        root = ctx.get(self.reg_root)
+        return root if isinstance(root, int) else None
+
+    def part_parent(self, ctx) -> Optional[int]:
+        pid = ctx.get(REG_PARENT_ID)
+        if pid is None or pid not in ctx.neighbors:
+            return None
+        if ctx.read(pid, self.reg_root) == ctx.get(self.reg_root):
+            return pid
+        return None
+
+    def part_children(self, ctx) -> List[int]:
+        me = ctx.node
+        mine = ctx.get(self.reg_root)
+        return [c for c in ctx.neighbors
+                if ctx.read(c, REG_PARENT_ID) == me
+                and ctx.read(c, self.reg_root) == mine]
+
+    def own_pieces(self, ctx) -> Tuple:
+        pieces = ctx.get(self.reg_pieces)
+        if not isinstance(pieces, tuple):
+            return ()
+        return tuple(pc for pc in pieces if valid_piece(pc))
+
+    def is_part_root(self, ctx) -> bool:
+        return self.part_parent(ctx) is None
+
+    # -- membership flags (Section 7.1) -----------------------------------
+    def membership_flag(self, ctx, piece: Tuple, parent_flag: bool) -> bool:
+        """Whether this node belongs to the fragment the piece describes."""
+        z, level, _w = piece
+        roots = ctx.get(REG_ROOTS)
+        jmask = _nat(ctx.get(REG_JMASK)) or 0
+        delim = _nat(ctx.get("delim")) or 0
+        if not isinstance(roots, str) or level >= len(roots):
+            return False
+        want_bottom = (self.kind == "bottom")
+        cls = level_is_bottom(jmask, delim, level)
+        if cls is None or cls != want_bottom:
+            return False
+        if self.kind == "top":
+            # Claim 6.3: at most one top fragment per level crosses a part.
+            return True
+        if roots[level] == "1":
+            return z == ctx.node
+        if roots[level] == "0":
+            return bool(parent_flag)
+        return False
+
+    def needed_mask(self, ctx) -> int:
+        """Levels this node must see flagged in this train's rotations."""
+        jmask = _nat(ctx.get(REG_JMASK)) or 0
+        delim = _nat(ctx.get("delim")) or 0
+        levels = sorted_levels(jmask)
+        mask = 0
+        for i, j in enumerate(levels):
+            if (i < delim) == (self.kind == "bottom"):
+                mask |= 1 << j
+        return mask
+
+    # -- epochs / reset ----------------------------------------------------
+    def _reset_dynamic(self, ctx, epoch: int) -> None:
+        self.init_node(ctx)
+        ctx.set(self.r("ep"), epoch % SEQ_MOD)
+
+    # -- the per-activation step -------------------------------------------
+    def step(self, ctx, budgets: Budgets,
+             hold_broadcast: bool = False) -> List[str]:
+        """Advance the train by one atomic step; returns alarm reasons.
+
+        ``hold_broadcast`` freezes this node's broadcast slot for one step
+        (the Want-mode server delaying the train, Section 7.2.2); the
+        convergecast keeps flowing.
+        """
+        p = self.r
+        alarms: List[str] = []
+        parent = self.part_parent(ctx)
+        children = self.part_children(ctx)
+        own = self.own_pieces(ctx)
+        count_claim = _nat(ctx.get(self.reg_count), cap=4096)
+
+        # --- epoch adoption (train self-stabilization) --------------------
+        if parent is not None:
+            pep = _nat(ctx.read(parent, p("ep")), cap=SEQ_MOD)
+            if pep is not None and pep != ctx.get(p("ep")):
+                self._reset_dynamic(ctx, pep)
+                return alarms
+
+        # --- watchdogs -----------------------------------------------------
+        idle = (count_claim == 0 and self.needed_mask(ctx) == 0)
+        if not idle:
+            wd = (_nat(ctx.get(p("wd"))) or 0) + 1
+            ctx.set(p("wd"), wd)
+            if parent is None and wd > 0 and wd % budgets.root_reset == 0:
+                # the part root restarts a wedged train
+                new_ep = ((_nat(ctx.get(p("ep")), cap=SEQ_MOD) or 0) + 1) % SEQ_MOD
+                self._reset_dynamic(ctx, new_ep)
+                ctx.set(p("wd"), wd)  # keep counting toward the alarm
+                return alarms
+            if wd > budgets.node_alarm:
+                alarms.append(f"{self.kind}-train: no good rotation within "
+                              "budget (missing levels, wrong piece count, "
+                              "or a starved train)")
+                ctx.set(p("wd"), 0)
+
+        self._step_convergecast(ctx, parent, children, own)
+        if not hold_broadcast:
+            alarms.extend(
+                self._step_broadcast(ctx, parent, children, count_claim))
+        return alarms
+
+    # -- convergecast -----------------------------------------------------
+    def _step_convergecast(self, ctx, parent, children, own) -> None:
+        p = self.r
+        me = ctx.node
+        cyc = _nat(ctx.get(p("cyc")), cap=SEQ_MOD) or 0
+
+        if parent is not None:
+            pact = ctx.read(parent, p("act"))
+            if not (isinstance(pact, tuple) and len(pact) == 2
+                    and pact[0] == me):
+                return  # not my turn in the parent's DFS
+            new_cyc = _nat(pact[1], cap=SEQ_MOD)
+            if new_cyc is None:
+                return
+            if new_cyc != cyc:
+                # a fresh DFS visit: restart my subtree's delivery
+                ctx.set(p("cyc"), new_cyc)
+                ctx.set(p("src"), 0)
+                ctx.set(p("done"), None)
+                ctx.set(p("act"), None)
+                cyc = new_cyc
+            if ctx.get(p("done")) == cyc:
+                return  # finished; wait for the next visit
+
+        out = ctx.get(p("out"))
+        if out is not None and not (isinstance(out, tuple) and len(out) == 2
+                                    and valid_piece(out[1])):
+            ctx.set(p("out"), None)
+            out = None
+
+        # ack: the parent consumed my outgoing car
+        if out is not None and parent is not None:
+            ptak = ctx.read(parent, p("tak"))
+            if isinstance(ptak, tuple) and len(ptak) == 2 and \
+                    ptak[0] == me and ptak[1] == out[0]:
+                ctx.set(p("out"), None)
+                out = None
+
+        if out is not None:
+            return  # still waiting for the car to be consumed
+
+        src = _nat(ctx.get(p("src")), cap=4096)
+        if src is None:
+            src = 0
+        seq = ((_nat(ctx.get(p("seq")), cap=SEQ_MOD) or 0) + 1) % SEQ_MOD
+
+        if src < len(own):
+            ctx.set(p("out"), (seq, own[src]))
+            ctx.set(p("seq"), seq)
+            ctx.set(p("src"), src + 1)
+            return
+
+        child_idx = src - len(own)
+        while child_idx < len(children):
+            child = children[child_idx]
+            ctx.set(p("act"), (child, cyc))
+            cdone = ctx.read(child, p("done"))
+            cout = ctx.read(child, p("out"))
+            if isinstance(cout, tuple) and len(cout) == 2 and \
+                    valid_piece(cout[1]):
+                tak = ctx.get(p("tak"))
+                if tak != (child, cout[0]):
+                    # take the child's piece into my outgoing car
+                    ctx.set(p("out"), (seq, cout[1]))
+                    ctx.set(p("seq"), seq)
+                    ctx.set(p("tak"), (child, cout[0]))
+                    return
+            if cdone == cyc:
+                child_idx += 1
+                ctx.set(p("src"), len(own) + child_idx)
+                continue
+            return  # wait for this child
+
+        # all sources exhausted: subtree finished for this cycle
+        ctx.set(p("act"), None)
+        if parent is not None:
+            ctx.set(p("done"), cyc)
+        else:
+            ctx.set(p("cyc"), (cyc + 1) % SEQ_MOD)
+            ctx.set(p("src"), 0)
+
+    # -- broadcast ----------------------------------------------------------
+    def _step_broadcast(self, ctx, parent, children, count_claim) -> List[str]:
+        p = self.r
+        alarms: List[str] = []
+        bseq = _nat(ctx.get(p("bseq")), cap=SEQ_MOD) or 0
+
+        # children must catch up before this node's slot may change
+        for c in children:
+            if ctx.read(c, p("bseq")) != bseq:
+                return alarms
+
+        new_slot = None
+        if parent is None:
+            out = ctx.get(p("out"))
+            if isinstance(out, tuple) and len(out) == 2 and valid_piece(out[1]):
+                piece = out[1]
+                flag = self.membership_flag(ctx, piece, parent_flag=False)
+                new_slot = (piece, flag)
+                ctx.set(p("out"), None)  # the broadcast consumed the car
+        else:
+            pseq = _nat(ctx.read(parent, p("bseq")), cap=SEQ_MOD)
+            pbuf = ctx.read(parent, p("bbuf"))
+            if pseq is not None and pseq != bseq and \
+                    isinstance(pbuf, tuple) and len(pbuf) == 2 and \
+                    valid_piece(pbuf[0]):
+                piece, pflag = pbuf
+                flag = self.membership_flag(ctx, piece, bool(pflag))
+                new_slot = (piece, flag)
+                bseq = (pseq - 1) % SEQ_MOD  # will advance to pseq below
+
+        if new_slot is None:
+            return alarms
+
+        piece, flag = new_slot
+        ctx.set(p("bbuf"), (piece, flag))
+        ctx.set(p("bseq"), (bseq + 1) % SEQ_MOD)
+        alarms.extend(self._account_piece(ctx, piece, flag, count_claim))
+        return alarms
+
+    # -- rotation accounting (cycle-set checks of Section 8) ---------------
+    def _account_piece(self, ctx, piece, flag, count_claim) -> List[str]:
+        p = self.r
+        alarms: List[str] = []
+        key = piece_key(piece)
+        last = ctx.get(p("last"))
+        boundary = (isinstance(last, tuple) and key <= tuple(last)) \
+            if last is not None else False
+
+        roots = ctx.get(REG_ROOTS)
+        level = piece[1]
+        if flag and isinstance(roots, str) and level < len(roots):
+            if roots[level] == "1" and piece[0] != ctx.node:
+                alarms.append(f"{self.kind}-train: fragment root id mismatch")
+            if roots[level] == "0" and piece[0] == ctx.node:
+                alarms.append(f"{self.kind}-train: member claims to be "
+                              "the fragment root")
+
+        if boundary:
+            # A rotation only placates the watchdog when it is *good*:
+            # correct piece count and full coverage of this node's levels.
+            # Transient corruption of the pipeline produces bad rotations
+            # for at most O(root_reset) rounds before the part root's
+            # epoch reset repairs it (Observation 8.1); persistently bad
+            # rotations — wrong labels — starve the watchdog until the
+            # node_alarm budget fires (Claim 8.2's detection).
+            good = True
+            if ctx.get(p("sync")):
+                needed = self.needed_mask(ctx)
+                seen = _nat(ctx.get(p("seen"))) or 0
+                if needed & ~seen:
+                    good = False
+                cnt = _nat(ctx.get(p("cnt")), cap=1 << 20) or 0
+                if count_claim is not None and cnt != count_claim:
+                    good = False
+            ctx.set(p("sync"), True)
+            ctx.set(p("seen"), (1 << level) if flag else 0)
+            ctx.set(p("cnt"), 1)
+            if good:
+                ctx.set(p("wd"), 0)
+        else:
+            if flag:
+                ctx.set(p("seen"), (_nat(ctx.get(p("seen"))) or 0) | (1 << level))
+            ctx.set(p("cnt"), (_nat(ctx.get(p("cnt")), cap=1 << 20) or 0) + 1)
+        ctx.set(p("last"), key)
+        return alarms
+
+    # -- what neighbours see (Show) ----------------------------------------
+    def observe(self, ctx, neighbor: int) -> Optional[TrainObservation]:
+        """The neighbour's current broadcast slot, if well-formed."""
+        buf = ctx.read(neighbor, self.r("bbuf"))
+        if isinstance(buf, tuple) and len(buf) == 2 and valid_piece(buf[0]):
+            return TrainObservation(piece=buf[0], flag=bool(buf[1]))
+        return None
+
+    def own_show(self, ctx) -> Optional[TrainObservation]:
+        """This node's own broadcast slot (its train's current piece)."""
+        buf = ctx.get(self.r("bbuf"))
+        if isinstance(buf, tuple) and len(buf) == 2 and valid_piece(buf[0]):
+            return TrainObservation(piece=buf[0], flag=bool(buf[1]))
+        return None

@@ -1,0 +1,17 @@
+"""The full self-stabilizing MST verifier (Theorem 8.5): the marker, the
+verifier protocol, adversarial labelings, and the detection harness."""
+
+from .marker import MarkerOutput, assemble_labels, run_marker
+from .verifier import MstVerifierProtocol
+from .adversary import (labels_for_claimed_tree, swap_one_mst_edge,
+                        tree_only_subgraph)
+from .detection import (DetectionResult, make_network, run_completeness,
+                        run_detection, run_reject_instance)
+
+__all__ = [
+    "MarkerOutput", "assemble_labels", "run_marker",
+    "MstVerifierProtocol",
+    "labels_for_claimed_tree", "swap_one_mst_edge", "tree_only_subgraph",
+    "DetectionResult", "make_network", "run_completeness", "run_detection",
+    "run_reject_instance",
+]

@@ -1,0 +1,159 @@
+"""Experiment harness: completeness, detection time, detection distance.
+
+The measurements behind Theorem 8.5:
+
+* **completeness** — on a correct instance with correct labels the
+  verifier stays silent for as long as we care to run it;
+* **detection time** — after faults (or on an adversarially labeled
+  non-MST) some node raises an alarm within O(log^2 n) synchronous rounds
+  / O(Delta log^3 n) asynchronous rounds;
+* **detection distance** — with f faulty nodes, every fault has an
+  alarming node within O(f log n) hops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+
+from ..graphs.weighted import Edge, NodeId, WeightedGraph
+from ..sim.faults import FaultInjector, detection_distance
+from ..sim.network import Network, first_alarm
+from ..sim.schedulers import (AsynchronousScheduler, Daemon,
+                              SynchronousScheduler)
+from .marker import MarkerOutput, run_marker
+from .verifier import MstVerifierProtocol
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of one verification run."""
+
+    detected: bool
+    rounds_to_detection: Optional[int]
+    alarms: Dict[NodeId, str]
+    detection_distance: Optional[int]
+    max_memory_bits: int
+    faulty_nodes: List[NodeId] = field(default_factory=list)
+
+
+def make_network(graph: WeightedGraph,
+                 marker: Optional[MarkerOutput] = None) -> Network:
+    """A network with the marker's labels installed."""
+    marker = run_marker(graph) if marker is None else marker
+    network = Network(graph)
+    network.install(marker.labels)
+    return network
+
+
+def _scheduler(network: Network, protocol: MstVerifierProtocol,
+               daemon: Optional[Daemon]):
+    if protocol.synchronous:
+        return SynchronousScheduler(network, protocol)
+    return AsynchronousScheduler(network, protocol, daemon)
+
+
+def run_completeness(graph: WeightedGraph, rounds: int,
+                     synchronous: bool = True,
+                     comparison_mode: Optional[str] = None,
+                     daemon: Optional[Daemon] = None,
+                     marker: Optional[MarkerOutput] = None,
+                     static_every: int = 1) -> DetectionResult:
+    """Run the verifier on a correct instance; no alarm must ever fire."""
+    network = make_network(graph, marker)
+    protocol = MstVerifierProtocol(synchronous=synchronous,
+                                   comparison_mode=comparison_mode,
+                                   static_every=static_every)
+    sched = _scheduler(network, protocol, daemon)
+    sched.run(rounds, stop_when=first_alarm)
+    alarms = network.alarms()
+    return DetectionResult(
+        detected=bool(alarms),
+        rounds_to_detection=None,
+        alarms=alarms,
+        detection_distance=None,
+        max_memory_bits=network.max_memory_bits(),
+    )
+
+
+def run_detection(graph: WeightedGraph,
+                  inject: Callable[[Network, FaultInjector], None],
+                  synchronous: bool = True,
+                  comparison_mode: Optional[str] = None,
+                  daemon: Optional[Daemon] = None,
+                  marker: Optional[MarkerOutput] = None,
+                  settle_rounds: Optional[int] = None,
+                  max_rounds: int = 100_000,
+                  seed: int = 0,
+                  static_every: int = 1) -> DetectionResult:
+    """Settle the verifier on a correct instance, inject faults, and
+    measure the time and distance to the first alarm."""
+    network = make_network(graph, marker)
+    protocol = MstVerifierProtocol(synchronous=synchronous,
+                                   comparison_mode=comparison_mode,
+                                   static_every=static_every)
+    sched = _scheduler(network, protocol, daemon)
+
+    if settle_rounds is None:
+        budgets = protocol.budgets_for(_first_ctx(network, protocol))
+        settle_rounds = budgets.settle
+    # steady state: every node completed at least one full Ask rotation
+    # (tracked by ghost instrumentation) or the settle budget elapsed.
+
+    def settled(net: Network) -> bool:
+        if net.alarms():
+            return True
+        return all((regs.get("_rot") or 0) >= 1
+                   for regs in net.registers.values())
+
+    sched.run(settle_rounds, stop_when=settled)
+    if network.alarms():
+        raise AssertionError(
+            f"verifier alarmed on a correct instance: {network.alarms()}")
+
+    injector = FaultInjector(network, seed=seed)
+    inject(network, injector)
+
+    rounds = sched.run(max_rounds, stop_when=first_alarm)
+    alarms = network.alarms()
+    return DetectionResult(
+        detected=bool(alarms),
+        rounds_to_detection=rounds if alarms else None,
+        alarms=alarms,
+        detection_distance=detection_distance(network,
+                                              injector.faulty_nodes),
+        max_memory_bits=network.max_memory_bits(),
+        faulty_nodes=list(injector.faulty_nodes),
+    )
+
+
+def run_reject_instance(graph: WeightedGraph,
+                        labels: Dict[NodeId, Dict[str, Any]],
+                        synchronous: bool = True,
+                        comparison_mode: Optional[str] = None,
+                        daemon: Optional[Daemon] = None,
+                        max_rounds: int = 100_000,
+                        static_every: int = 1) -> DetectionResult:
+    """Run the verifier on adversary-supplied labels from a cold start;
+    measure the rounds until the first alarm."""
+    network = Network(graph)
+    network.install(labels)
+    protocol = MstVerifierProtocol(synchronous=synchronous,
+                                   comparison_mode=comparison_mode,
+                                   static_every=static_every)
+    sched = _scheduler(network, protocol, daemon)
+    rounds = sched.run(max_rounds, stop_when=first_alarm)
+    alarms = network.alarms()
+    return DetectionResult(
+        detected=bool(alarms),
+        rounds_to_detection=rounds if alarms else None,
+        alarms=alarms,
+        detection_distance=None,
+        max_memory_bits=network.max_memory_bits(),
+    )
+
+
+def _first_ctx(network: Network, protocol: MstVerifierProtocol):
+    from ..sim.network import NodeContext
+    v = network.graph.nodes()[0]
+    return NodeContext(network, v, network.registers)

@@ -1,0 +1,99 @@
+"""The self-stabilizing MST verifier (Theorem 8.5) as one protocol.
+
+Per activation, every node:
+
+1. runs the 1-round static checks (Example SP/NumK, RS0–RS5, EPS0–EPS5,
+   the partition fields) — these detect label corruption within one round
+   of it becoming visible to a neighbour;
+2. advances its two trains (Top and Bottom, multiplexed), including the
+   rotation checks of Section 8 (cyclic order, per-rotation level
+   coverage, piece counts, fragment-root identity);
+3. advances the Ask/Show comparison mechanism with the minimality checks
+   C1/C2 and the Claim-8.3 piece-agreement check.
+
+The protocol is parameterized by the execution model:
+
+* ``synchronous=True``  — timing budgets per Lemma 7.5; comparison mode
+  defaults to the stateless window sampling (detection O(log^2 n));
+* ``synchronous=False`` — budgets per Lemma 7.6; comparison mode defaults
+  to the Want handshake (detection O(Delta log^3 n)); the ablation mode
+  ``want-simple`` reproduces the O(Delta^2 log^3 n) variant.
+
+Alarms latch in the ``alarm`` register with a reason string.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..labels.registers import (REG_BOT_COUNT, REG_BOT_ROOT, REG_N,
+                                REG_PIECES_BOT, REG_PIECES_TOP,
+                                REG_TOP_COUNT, REG_TOP_ROOT)
+from ..labels.wellforming import static_check
+from ..sim.network import NodeContext, Protocol
+from ..trains.budgets import Budgets, compute_budgets, node_budgets
+from ..trains.comparison import (MODE_SYNC_WINDOW, MODE_WANT,
+                                 MODE_WANT_SIMPLE, ComparisonComponent)
+from ..trains.train import TrainComponent, _nat
+
+
+class MstVerifierProtocol(Protocol):
+    """The complete verifier of Sections 5–8."""
+
+    def __init__(self, synchronous: bool = True,
+                 comparison_mode: Optional[str] = None,
+                 static_every: int = 1) -> None:
+        self.synchronous = synchronous
+        if comparison_mode is None:
+            comparison_mode = MODE_SYNC_WINDOW if synchronous else MODE_WANT
+        if synchronous and comparison_mode != MODE_SYNC_WINDOW:
+            # want-modes also run under a synchronous scheduler (ablation)
+            pass
+        self.top = TrainComponent("top", REG_TOP_ROOT, REG_TOP_COUNT,
+                                  REG_PIECES_TOP, synchronous)
+        self.bottom = TrainComponent("bottom", REG_BOT_ROOT, REG_BOT_COUNT,
+                                     REG_PIECES_BOT, synchronous)
+        self.comparison = ComparisonComponent(self.top, self.bottom,
+                                              comparison_mode)
+        self.static_every = max(1, static_every)
+
+    # ------------------------------------------------------------------
+    def init_node(self, ctx: NodeContext) -> None:
+        ctx.set("alarm", None)
+        ctx.set("vstep", 0)
+        self.top.init_node(ctx)
+        self.bottom.init_node(ctx)
+        self.comparison.init_node(ctx)
+
+    # ------------------------------------------------------------------
+    def budgets_for(self, ctx: NodeContext) -> Budgets:
+        """Label-driven budgets, cached in ghost state and refreshed
+        periodically (they are pure functions of slowly changing labels)."""
+        cached = ctx.get("_bgt")
+        step_no = _nat(ctx.get("vstep"), cap=1 << 30) or 0
+        if isinstance(cached, tuple) and len(cached) == 2 and \
+                isinstance(cached[1], Budgets) and step_no - cached[0] < 32:
+            return cached[1]
+        budgets = node_budgets(ctx, self.synchronous)
+        ctx.set("_bgt", (step_no, budgets))
+        return budgets
+
+    def step(self, ctx: NodeContext) -> None:
+        step_no = (_nat(ctx.get("vstep"), cap=1 << 30) or 0) + 1
+        ctx.set("vstep", step_no)
+        alarms: List[str] = []
+
+        if step_no % self.static_every == 0:
+            alarms.extend(static_check(ctx))
+
+        budgets = self.budgets_for(ctx)
+        held_top, held_bot = self.comparison.held_levels(ctx)
+        alarms.extend(self.top.step(ctx, budgets,
+                                    hold_broadcast=held_top is not None))
+        alarms.extend(self.bottom.step(ctx, budgets,
+                                       hold_broadcast=held_bot is not None))
+        self.comparison.serve_turn(ctx)
+        alarms.extend(self.comparison.step(ctx, budgets))
+
+        if alarms:
+            ctx.alarm(alarms[0])

@@ -1,0 +1,75 @@
+"""The adversarial-labeling machinery used by the soundness experiments."""
+
+import pytest
+
+from repro.graphs import is_mst, kruskal_mst
+from repro.graphs.generators import complete_graph, random_connected_graph
+from repro.labels.views import all_views
+from repro.labels.wellforming import static_check
+from repro.verification import (labels_for_claimed_tree, swap_one_mst_edge,
+                                tree_only_subgraph)
+
+
+class TestSwap:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_swap_produces_spanning_non_mst(self, seed):
+        from repro.graphs.spanning import is_spanning_tree
+        g = random_connected_graph(16, 26, seed=seed)
+        mst = kruskal_mst(g)
+        wrong = swap_one_mst_edge(g, mst)
+        assert wrong is not None
+        assert is_spanning_tree(g, wrong)
+        assert not is_mst(g, wrong)
+        assert len(wrong ^ mst) == 2
+
+    def test_swap_on_tree_returns_none(self):
+        from repro.graphs.generators import random_tree
+        g = random_tree(10, seed=1)
+        assert swap_one_mst_edge(g, kruskal_mst(g)) is None
+
+
+class TestTreeOnlySubgraph:
+    def test_keeps_weights_and_nodes(self):
+        g = complete_graph(8, seed=2)
+        mst = kruskal_mst(g)
+        sub = tree_only_subgraph(g, mst)
+        assert sub.n == g.n
+        assert sub.m == len(mst)
+        for (u, v) in mst:
+            assert sub.weight(u, v) == g.weight(u, v)
+
+
+class TestConsistentAdversary:
+    def test_wrong_tree_labels_pass_all_static_checks(self):
+        """The point of the adversary: Well-Forming holds; only the
+        Minimality comparisons can expose a non-MST."""
+        g = random_connected_graph(18, 30, seed=3)
+        wrong = swap_one_mst_edge(g, kruskal_mst(g))
+        adv = labels_for_claimed_tree(g, wrong)
+        for view in all_views(g, adv.labels):
+            assert static_check(view) == [], view.node
+
+    def test_wrong_tree_hierarchy_is_wellformed_but_not_minimal(self):
+        g = random_connected_graph(18, 30, seed=4)
+        wrong = swap_one_mst_edge(g, kruskal_mst(g))
+        adv = labels_for_claimed_tree(g, wrong)
+        adv.hierarchy.validate()              # Definition 5.1/5.2 hold
+        assert not adv.hierarchy.verify_minimality()
+
+    def test_true_tree_gives_marker_equivalent_labels(self):
+        from repro.verification import run_marker
+        g = random_connected_graph(14, 22, seed=5)
+        honest = labels_for_claimed_tree(g, kruskal_mst(g))
+        marker = run_marker(g)
+        assert honest.tree.edge_set() == marker.tree.edge_set()
+        assert honest.labels.keys() == marker.labels.keys()
+
+    def test_adversary_candidates_restricted_to_tree(self):
+        g = random_connected_graph(16, 26, seed=6)
+        wrong = swap_one_mst_edge(g, kruskal_mst(g))
+        adv = labels_for_claimed_tree(g, wrong)
+        tree_edges = set(wrong)
+        from repro.graphs.weighted import edge_key
+        for frag in adv.hierarchy.fragments:
+            if frag.candidate_edge is not None:
+                assert edge_key(*frag.candidate_edge) in tree_edges

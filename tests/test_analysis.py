@@ -1,0 +1,64 @@
+"""Shape-fitting helpers used by the benchmark reports."""
+
+import math
+
+import pytest
+
+from repro.analysis import (fit_polylog, fit_power_law, format_table,
+                            growth_ratio, is_sublinear)
+
+
+class TestPowerLaw:
+    def test_exact_linear(self):
+        xs = [10, 20, 40, 80]
+        ys = [30, 60, 120, 240]
+        fit = fit_power_law(xs, ys)
+        assert abs(fit.b - 1.0) < 1e-9
+        assert abs(fit.a - 3.0) < 1e-9
+        assert fit.r2 > 0.999
+
+    def test_exact_quadratic(self):
+        xs = [2, 4, 8, 16]
+        ys = [x * x for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert abs(fit.b - 2.0) < 1e-9
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+
+
+class TestPolylog:
+    def test_log_squared_data(self):
+        xs = [2 ** k for k in range(4, 12)]
+        ys = [math.log2(x) ** 2 for x in xs]
+        fit = fit_polylog(xs, ys)
+        assert abs(fit.b - 2.0) < 0.01
+
+    def test_linear_data_has_superlog_exponent(self):
+        xs = [2 ** k for k in range(4, 12)]
+        ys = xs
+        fit = fit_polylog(xs, ys)
+        assert fit.b > 3.0  # linear growth looks like a huge log power
+
+
+class TestGrowth:
+    def test_growth_ratio_linear(self):
+        assert abs(growth_ratio([10, 100], [5, 50]) - 1.0) < 1e-9
+
+    def test_is_sublinear(self):
+        xs = [16, 256]
+        assert is_sublinear(xs, [4, 8])          # log-ish
+        assert not is_sublinear(xs, [16, 256])   # linear
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            growth_ratio([0, 1], [1, 2])
+
+
+class TestFormatTable:
+    def test_renders_rows(self):
+        text = format_table(["name", "value"],
+                            [["alpha", 1.5], ["beta", 12345.0]])
+        assert "alpha" in text and "12,345" in text
+        assert text.splitlines()[1].startswith("-")

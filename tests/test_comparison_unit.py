@@ -1,0 +1,113 @@
+"""Unit tests for the comparison component's internals and the core
+facade."""
+
+import pytest
+
+from repro.graphs.generators import random_connected_graph
+from repro.labels import registers as R
+from repro.sim import Network, SynchronousScheduler, first_alarm
+from repro.sim.network import NodeContext
+from repro.trains.comparison import (MODE_SYNC_WINDOW, REG_ASK,
+                                     ComparisonComponent)
+from repro.trains.train import TrainComponent
+from repro.verification import make_network, run_marker
+from repro.verification.verifier import MstVerifierProtocol
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = random_connected_graph(18, 30, seed=27)
+    marker = run_marker(g)
+    net = make_network(g, marker)
+    protocol = MstVerifierProtocol(synchronous=True)
+    return g, marker, net, protocol
+
+
+def ctx_for(net, v):
+    return NodeContext(net, v, net.registers)
+
+
+class TestCandidateNeighbor:
+    def test_up_points_at_parent(self, setup):
+        g, marker, net, protocol = setup
+        comp = protocol.comparison
+        for v in g.nodes():
+            endp = marker.labels[v][R.REG_ENDP]
+            pid = marker.labels[v][R.REG_PARENT_ID]
+            for j, c in enumerate(endp):
+                got = comp._candidate_neighbor(ctx_for(net, v), j)
+                if c == "u":
+                    assert got == pid
+                elif c == "n" or c == "*":
+                    assert got is None
+
+    def test_down_points_at_marked_child(self, setup):
+        g, marker, net, protocol = setup
+        comp = protocol.comparison
+        found = 0
+        for v in g.nodes():
+            endp = marker.labels[v][R.REG_ENDP]
+            for j, c in enumerate(endp):
+                if c != "d":
+                    continue
+                u0 = comp._candidate_neighbor(ctx_for(net, v), j)
+                assert u0 is not None
+                assert marker.labels[u0][R.REG_PARENTS][j] == "1"
+                found += 1
+        assert found > 0
+
+    def test_candidate_weight_is_fragment_minimum(self, setup):
+        g, marker, net, protocol = setup
+        comp = protocol.comparison
+        for frag in marker.hierarchy.fragments:
+            if frag.candidate_edge is None:
+                continue
+            v = frag.candidate_edge[0]
+            u0 = comp._candidate_neighbor(ctx_for(net, v), frag.level)
+            assert u0 == frag.candidate_edge[1]
+            assert g.weight(v, u0) == frag.candidate_weight
+
+
+class TestOnAcquire:
+    def test_honest_piece_passes(self, setup):
+        g, marker, net, protocol = setup
+        comp = protocol.comparison
+        for frag in marker.hierarchy.fragments:
+            if frag.candidate_edge is None:
+                continue
+            v = frag.candidate_edge[0]
+            piece = (frag.root, frag.level, frag.candidate_weight)
+            assert comp._on_acquire_checks(ctx_for(net, v), piece) == []
+
+    def test_wrong_weight_caught(self, setup):
+        g, marker, net, protocol = setup
+        comp = protocol.comparison
+        frag = next(f for f in marker.hierarchy.fragments
+                    if f.candidate_edge is not None)
+        v = frag.candidate_edge[0]
+        piece = (frag.root, frag.level, frag.candidate_weight + 1)
+        assert comp._on_acquire_checks(ctx_for(net, v), piece)
+
+    def test_wrong_root_caught_at_fragment_root(self, setup):
+        g, marker, net, protocol = setup
+        comp = protocol.comparison
+        frag = next(f for f in marker.hierarchy.fragments
+                    if f.candidate_edge is not None)
+        piece = (frag.root + 999, frag.level, frag.candidate_weight)
+        reasons = comp._on_acquire_checks(ctx_for(net, frag.root), piece)
+        assert any("root id" in r for r in reasons)
+
+
+class TestCoreFacade:
+    def test_facade_roundtrip(self):
+        from repro.core import (construct_mst, label_instance,
+                                self_stabilizing_mst, verify)
+        from repro.graphs import kruskal_mst
+
+        g = random_connected_graph(14, 22, seed=28)
+        assert construct_mst(g).tree.edge_set() == kruskal_mst(g)
+        marker = label_instance(g)
+        res = verify(g, marker.labels, rounds=300)
+        assert not res.detected
+        stab = self_stabilizing_mst(g)
+        assert stab.correct

@@ -1,0 +1,89 @@
+"""Detection-time guarantees: measured times respect the watchdog
+budgets (the quantitative content of Theorem 8.5 at simulation scale)."""
+
+import pytest
+
+from repro.graphs.generators import random_connected_graph
+from repro.labels import registers as R
+from repro.trains.budgets import compute_budgets, node_budgets
+from repro.verification import run_detection
+from repro.verification.detection import make_network
+from repro.verification.verifier import MstVerifierProtocol
+
+
+def lie_about_piece(net, inj):
+    for v in net.graph.nodes():
+        pieces = net.registers[v].get(R.REG_PIECES_TOP) or ()
+        if pieces:
+            z, lvl, w = pieces[0]
+            inj.corrupt_register(
+                v, R.REG_PIECES_TOP,
+                ((z, lvl, (w or 0) + 1),) + tuple(pieces[1:]))
+            return
+
+
+class TestBudgets:
+    def test_worst_case_budgets_scale_logarithmically(self):
+        small = compute_budgets(64, True)
+        large = compute_budgets(64 ** 2, True)
+        # doubling log n should roughly double the cycle budget
+        assert large.cycle < 3 * small.cycle
+
+    def test_node_budgets_capped_by_worst_case(self):
+        from repro.sim.network import NodeContext
+        g = random_connected_graph(32, 50, seed=41)
+        net = make_network(g)
+        worst = compute_budgets(g.n, True)
+        for v in g.nodes():
+            ctx = NodeContext(net, v, net.registers)
+            b = node_budgets(ctx, True)
+            assert b.cycle <= 4 * worst.cycle
+            assert b.node_alarm >= b.root_reset
+
+    def test_corrupt_claims_cannot_stretch_budgets(self):
+        """A node claiming a huge part bound still gets a capped budget."""
+        from repro.sim.network import NodeContext
+        g = random_connected_graph(16, 24, seed=42)
+        net = make_network(g)
+        v = g.nodes()[0]
+        net.registers[v][R.REG_TOP_BOUND] = 10 ** 9
+        net.registers[v][R.REG_TOP_COUNT] = 10 ** 9
+        ctx = NodeContext(net, v, net.registers)
+        b = node_budgets(ctx, True)
+        worst = compute_budgets(g.n, True)
+        assert b.cycle <= 4 * worst.cycle
+
+
+class TestDetectionWithinBudget:
+    @pytest.mark.parametrize("n", [24, 48])
+    def test_piece_lie_detected_within_ask_budget(self, n):
+        g = random_connected_graph(n, 2 * n, seed=43)
+        res = run_detection(g, lie_about_piece, synchronous=True,
+                            max_rounds=10 ** 6, static_every=2, seed=1)
+        assert res.detected
+        worst = compute_budgets(g.n, True, degree=g.max_degree())
+        # the watchdog-based worst case bounds any detection
+        assert res.rounds_to_detection <= 2 * worst.ask_alarm
+
+    def test_static_fault_detected_within_static_period(self):
+        g = random_connected_graph(24, 40, seed=44)
+
+        def inject(net, inj):
+            inj.corrupt_register(g.nodes()[5], R.REG_DIST, 99)
+
+        res = run_detection(g, inject, synchronous=True, max_rounds=100,
+                            static_every=1, seed=2)
+        assert res.detected
+        assert res.rounds_to_detection <= 2
+
+    def test_sublinear_detection_shape(self):
+        """Doubling n twice must not double detection time twice (the
+        log^2 n vs n separation at small scale)."""
+        times = {}
+        for n in (32, 128):
+            g = random_connected_graph(n, 2 * n, seed=45)
+            res = run_detection(g, lie_about_piece, synchronous=True,
+                                max_rounds=10 ** 6, static_every=4, seed=3)
+            assert res.detected
+            times[n] = max(1, res.rounds_to_detection)
+        assert times[128] < 4 * times[32] + 64

@@ -1,0 +1,40 @@
+"""Smoke tests: the example scripts run to completion.
+
+Only the fast examples run in the suite; the longer demos
+(`self_stabilization.py`, `fault_locality.py`, `async_vs_sync.py`) are
+exercised by CI-style manual runs and the benchmark suite covers their
+content.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart_runs():
+    out = run_example("quickstart.py")
+    assert "no alarms" in out
+    assert "detected after" in out
+
+
+def test_paper_figure1_runs():
+    out = run_example("paper_figure1.py")
+    assert "18/18" in out
+    assert "Or-EndP" in out
+
+
+def test_comparison_walkthrough_runs():
+    out = run_example("comparison_walkthrough.py")
+    assert "no alarms" in out

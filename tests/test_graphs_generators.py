@@ -1,0 +1,104 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.graphs import GraphError
+from repro.graphs.generators import (bounded_degree_graph, caterpillar_graph,
+                                     complete_graph, grid_graph, path_graph,
+                                     random_connected_graph,
+                                     random_geometric_graph, random_tree,
+                                     ring_graph, star_graph)
+
+ALL_GENERATORS = [
+    ("path", lambda: path_graph(12, seed=1)),
+    ("ring", lambda: ring_graph(12, seed=1)),
+    ("star", lambda: star_graph(12, seed=1)),
+    ("complete", lambda: complete_graph(8, seed=1)),
+    ("grid", lambda: grid_graph(3, 4, seed=1)),
+    ("tree", lambda: random_tree(12, seed=1)),
+    ("caterpillar", lambda: caterpillar_graph(5, 3, seed=1)),
+    ("random", lambda: random_connected_graph(12, 20, seed=1)),
+    ("geometric", lambda: random_geometric_graph(12, 0.35, seed=1)),
+    ("bounded", lambda: bounded_degree_graph(12, 4, seed=1)),
+]
+
+
+@pytest.mark.parametrize("name,make", ALL_GENERATORS)
+def test_generators_connected_and_distinct(name, make):
+    g = make()
+    assert g.is_connected(), name
+    assert g.has_distinct_weights(), name
+    assert g.n >= 8
+
+
+def test_path_sizes():
+    g = path_graph(10)
+    assert g.n == 10 and g.m == 9
+
+
+def test_ring_sizes():
+    g = ring_graph(10)
+    assert g.n == 10 and g.m == 10
+    with pytest.raises(GraphError):
+        ring_graph(2)
+
+
+def test_star_degree():
+    g = star_graph(9)
+    assert g.degree(0) == 8
+    assert g.max_degree() == 8
+
+
+def test_complete_edge_count():
+    g = complete_graph(7)
+    assert g.m == 21
+
+
+def test_grid_degree_bound():
+    g = grid_graph(4, 5)
+    assert g.max_degree() <= 4
+    assert g.n == 20
+
+
+def test_random_tree_is_tree():
+    g = random_tree(15, seed=3)
+    assert g.m == g.n - 1
+
+
+def test_caterpillar_shape():
+    g = caterpillar_graph(4, 2, seed=0)
+    assert g.n == 4 + 8
+    assert g.m == g.n - 1
+
+
+def test_random_connected_extra_edges():
+    g = random_connected_graph(15, 10, seed=5)
+    assert g.m == 14 + 10
+
+
+def test_random_connected_caps_extras():
+    g = random_connected_graph(5, 100, seed=5)
+    assert g.m == 5 * 4 // 2
+
+
+def test_bounded_degree_respects_cap():
+    for seed in range(3):
+        g = bounded_degree_graph(30, 3, seed=seed)
+        assert g.max_degree() <= 3
+        assert g.is_connected()
+
+
+def test_bounded_degree_rejects_degree_one():
+    with pytest.raises(GraphError):
+        bounded_degree_graph(5, 1)
+
+
+def test_determinism():
+    a = random_connected_graph(20, 15, seed=42)
+    b = random_connected_graph(20, 15, seed=42)
+    assert list(a.edges()) == list(b.edges())
+
+
+def test_non_distinct_option():
+    g = random_connected_graph(30, 60, seed=1, distinct=False)
+    assert g.is_connected()

@@ -1,0 +1,122 @@
+"""Reference MST algorithms agree with each other and with the MST
+characterization (cycle property)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (GraphError, boruvka_mst, is_mst, kruskal_mst,
+                          mst_weight, prim_mst)
+from repro.graphs.generators import (complete_graph, grid_graph,
+                                     random_connected_graph)
+from repro.graphs.weights import (ensure_distinct_weights,
+                                  lexicographic_weight,
+                                  with_verification_weights)
+from repro.graphs.weighted import WeightedGraph, edge_key
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_algorithms_agree(seed):
+    g = random_connected_graph(24, 40, seed=seed)
+    k = kruskal_mst(g)
+    assert prim_mst(g) == k
+    assert boruvka_mst(g) == k
+    assert is_mst(g, k)
+
+
+def test_disconnected_raises():
+    g = WeightedGraph()
+    g.add_edge(1, 2, 1)
+    g.add_node(3)
+    with pytest.raises(GraphError):
+        kruskal_mst(g)
+    with pytest.raises(GraphError):
+        prim_mst(g)
+
+
+def test_is_mst_rejects_non_minimal():
+    g = complete_graph(6, seed=2)
+    mst = kruskal_mst(g)
+    # swap in the heaviest edge
+    heaviest = max(g.edges(), key=lambda e: e[2])
+    e = edge_key(heaviest[0], heaviest[1])
+    if e in mst:  # pragma: no cover - heaviest edge is never in the MST
+        pytest.skip("heaviest edge in MST")
+    from repro.graphs.spanning import RootedTree
+    tree = RootedTree.from_edges(g, mst, g.nodes()[0])
+    path = tree.tree_path(heaviest[0], heaviest[1])
+    drop = (path[0], path[1])
+    wrong = set(mst)
+    wrong.remove(edge_key(*drop))
+    wrong.add(e)
+    from repro.graphs.spanning import is_spanning_tree
+    if is_spanning_tree(g, wrong):
+        assert not is_mst(g, wrong)
+
+
+def test_mst_weight():
+    g = grid_graph(2, 2, seed=0)
+    assert mst_weight(g) == sum(sorted(w for _, _, w in g.edges())[:3])
+
+
+def test_is_mst_single_node():
+    g = WeightedGraph()
+    g.add_node(7)
+    assert is_mst(g, set())
+
+
+class TestVerificationWeights:
+    """The omega' modification of footnote 1."""
+
+    def _tied_graph(self):
+        g = WeightedGraph()
+        g.add_edge(1, 2, 5)
+        g.add_edge(2, 3, 5)
+        g.add_edge(1, 3, 5)
+        return g
+
+    def test_produces_distinct(self):
+        g = self._tied_graph()
+        g2 = with_verification_weights(g, [(1, 2), (2, 3)])
+        assert g2.has_distinct_weights()
+
+    def test_tree_edges_beat_ties(self):
+        g = self._tied_graph()
+        tree = {(1, 2), (2, 3)}
+        g2 = with_verification_weights(g, tree)
+        # the candidate tree is an MST of the re-weighted graph
+        assert kruskal_mst(g2) == tree
+
+    def test_mst_iff_preserved(self):
+        # candidate tree that is NOT an MST under a non-tied instance
+        g = WeightedGraph()
+        g.add_edge(1, 2, 1)
+        g.add_edge(2, 3, 2)
+        g.add_edge(1, 3, 9)
+        wrong = {(1, 2), (1, 3)}
+        g2 = with_verification_weights(g, wrong)
+        assert not is_mst(g2, wrong)
+        right = {(1, 2), (2, 3)}
+        g3 = with_verification_weights(g, right)
+        assert is_mst(g3, right)
+
+    def test_ensure_distinct_passthrough(self):
+        g = random_connected_graph(10, 12, seed=0)
+        assert ensure_distinct_weights(g, []) is g
+
+    def test_lexicographic_tuple_shape(self):
+        w = lexicographic_weight(5, 9, 2, in_tree=True)
+        assert w == (5, 0, 2, 9)
+        w2 = lexicographic_weight(5, 9, 2, in_tree=False)
+        assert w2 == (5, 1, 2, 9)
+        assert w < w2
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=18),
+       st.integers(min_value=0, max_value=20),
+       st.integers(min_value=0, max_value=10_000))
+def test_property_kruskal_is_mst(n, extra, seed):
+    g = random_connected_graph(n, extra, seed=seed)
+    mst = kruskal_mst(g)
+    assert is_mst(g, mst)
+    assert prim_mst(g) == mst

@@ -1,0 +1,125 @@
+"""Unit tests for spanning structures (components and rooted trees)."""
+
+import pytest
+
+from repro.graphs import (Components, GraphError, RootedTree, WeightedGraph,
+                          edge_key, is_spanning_tree)
+from repro.graphs.generators import (grid_graph, path_graph,
+                                     random_connected_graph)
+from repro.graphs.mst_reference import kruskal_mst
+
+
+def sample_tree():
+    g = WeightedGraph()
+    for u, v, w in [(1, 2, 1), (1, 3, 2), (3, 4, 3), (3, 5, 4), (2, 4, 9)]:
+        g.add_edge(u, v, w)
+    parent = {1: None, 2: 1, 3: 1, 4: 3, 5: 3}
+    return g, RootedTree(g, 1, parent)
+
+
+class TestRootedTree:
+    def test_depths(self):
+        _g, t = sample_tree()
+        assert t.depth == {1: 0, 2: 1, 3: 1, 4: 2, 5: 2}
+
+    def test_children_in_port_order(self):
+        _g, t = sample_tree()
+        assert t.children[1] == [2, 3]
+        assert t.children[3] == [4, 5]
+
+    def test_height_and_sizes(self):
+        _g, t = sample_tree()
+        assert t.height() == 2
+        assert t.subtree_sizes() == {1: 5, 2: 1, 3: 3, 4: 1, 5: 1}
+
+    def test_dfs_orders(self):
+        _g, t = sample_tree()
+        assert t.dfs_preorder() == [1, 2, 3, 4, 5]
+        post = t.dfs_postorder()
+        assert post.index(4) < post.index(3)
+        assert post[-1] == 1
+        assert sorted(post) == [1, 2, 3, 4, 5]
+
+    def test_tree_path(self):
+        _g, t = sample_tree()
+        assert t.tree_path(2, 5) == [2, 1, 3, 5]
+        assert t.tree_path(4, 4) == [4]
+
+    def test_tree_path_max_weight(self):
+        _g, t = sample_tree()
+        assert t.tree_path_max_weight(2, 5) == 4
+
+    def test_is_ancestor(self):
+        _g, t = sample_tree()
+        assert t.is_ancestor(1, 5)
+        assert t.is_ancestor(3, 4)
+        assert not t.is_ancestor(2, 4)
+
+    def test_tree_neighbors(self):
+        _g, t = sample_tree()
+        assert t.tree_neighbors(3) == [1, 4, 5]
+        assert t.tree_neighbors(1) == [2, 3]
+
+    def test_edge_set(self):
+        _g, t = sample_tree()
+        assert t.edge_set() == {(1, 2), (1, 3), (3, 4), (3, 5)}
+
+    def test_invalid_parent_rejected(self):
+        g, _ = sample_tree()
+        with pytest.raises(GraphError):
+            RootedTree(g, 1, {1: None, 2: 5, 3: 1, 4: 3, 5: 3})  # (2,5) no edge
+
+    def test_cycle_rejected(self):
+        g = WeightedGraph()
+        g.add_edge(1, 2, 1)
+        g.add_edge(2, 3, 2)
+        g.add_edge(3, 1, 3)
+        with pytest.raises(GraphError):
+            RootedTree(g, 1, {1: None, 2: 3, 3: 2})
+
+    def test_from_edges(self):
+        g, t = sample_tree()
+        rebuilt = RootedTree.from_edges(g, t.edge_set(), 3)
+        assert rebuilt.root == 3
+        assert rebuilt.depth[1] == 1
+        assert rebuilt.edge_set() == t.edge_set()
+
+
+class TestComponents:
+    def test_roundtrip(self):
+        g, t = sample_tree()
+        comp = t.components()
+        assert comp.parent_of(4) == 3
+        assert comp.parent_of(1) is None
+        assert comp.induced_edges() == t.edge_set()
+        assert comp.roots() == [1]
+
+    def test_one_sided_pointer_includes_edge(self):
+        g = WeightedGraph()
+        g.add_edge(1, 2, 1)
+        comp = Components.from_parent_map(g, {1: None, 2: 1})
+        assert comp.induced_edges() == {(1, 2)}
+
+
+class TestIsSpanningTree:
+    def test_accepts_mst(self):
+        g = random_connected_graph(20, 30, seed=4)
+        assert is_spanning_tree(g, kruskal_mst(g))
+
+    def test_rejects_wrong_count(self):
+        g = path_graph(4)
+        assert not is_spanning_tree(g, {(0, 1)})
+
+    def test_rejects_disconnected(self):
+        g = grid_graph(2, 3)   # nodes 0,1,2 / 3,4,5
+        good = {edge_key(0, 1), edge_key(0, 3), edge_key(1, 2),
+                edge_key(2, 5), edge_key(1, 4)}
+        assert is_spanning_tree(g, good)
+        # 5 edges but {2,5} is cut off and 0-1-4-3 closes a cycle
+        bad = {edge_key(0, 1), edge_key(1, 4), edge_key(3, 4),
+               edge_key(0, 3), edge_key(2, 5)}
+        assert not is_spanning_tree(g, bad)
+
+    def test_rejects_non_edges(self):
+        g = path_graph(4)
+        assert not is_spanning_tree(g, {(0, 1), (1, 2), (0, 3)})

@@ -1,0 +1,128 @@
+"""Unit tests for the weighted-graph substrate."""
+
+import pytest
+
+from repro.graphs import GraphError, WeightedGraph, edge_key
+from repro.graphs.generators import complete_graph, path_graph, ring_graph
+
+
+def small_graph():
+    g = WeightedGraph()
+    g.add_edge(1, 2, 5)
+    g.add_edge(2, 3, 7)
+    g.add_edge(1, 3, 9)
+    return g
+
+
+class TestConstruction:
+    def test_nodes_and_edges(self):
+        g = small_graph()
+        assert g.n == 3
+        assert g.m == 3
+        assert sorted(g.nodes()) == [1, 2, 3]
+
+    def test_weight_lookup(self):
+        g = small_graph()
+        assert g.weight(1, 2) == 5
+        assert g.weight(2, 1) == 5
+
+    def test_missing_edge_raises(self):
+        g = small_graph()
+        g.add_node(4)
+        with pytest.raises(GraphError):
+            g.weight(1, 4)
+
+    def test_duplicate_edge_rejected(self):
+        g = small_graph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, 11)
+
+    def test_self_loop_rejected(self):
+        g = WeightedGraph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1, 1)
+
+    def test_add_node_idempotent(self):
+        g = WeightedGraph()
+        g.add_node(1)
+        g.add_node(1)
+        assert g.n == 1
+
+
+class TestPorts:
+    def test_ports_in_insertion_order(self):
+        g = small_graph()
+        assert g.port(1, 2) == 0
+        assert g.port(1, 3) == 1
+        assert g.neighbor_at_port(1, 0) == 2
+        assert g.neighbor_at_port(1, 1) == 3
+
+    def test_ports_independent_per_endpoint(self):
+        g = WeightedGraph()
+        g.add_edge(1, 2, 1)
+        g.add_edge(3, 2, 2)
+        # at node 2, ports follow node-2's insertion order
+        assert g.port(2, 1) == 0
+        assert g.port(2, 3) == 1
+
+    def test_neighbors_in_port_order(self):
+        g = small_graph()
+        assert g.neighbors(1) == [2, 3]
+
+
+class TestStructure:
+    def test_connectivity(self):
+        g = small_graph()
+        assert g.is_connected()
+        g.add_node(99)
+        assert not g.is_connected()
+
+    def test_empty_graph_connected(self):
+        assert WeightedGraph().is_connected()
+
+    def test_diameter_path(self):
+        assert path_graph(6).diameter() == 5
+
+    def test_diameter_complete(self):
+        assert complete_graph(5).diameter() == 1
+
+    def test_diameter_disconnected_raises(self):
+        g = small_graph()
+        g.add_node(99)
+        with pytest.raises(GraphError):
+            g.diameter()
+
+    def test_distinct_weights(self):
+        g = small_graph()
+        assert g.has_distinct_weights()
+        g.add_edge(2, 4, 5)
+        assert not g.has_distinct_weights()
+
+    def test_max_degree(self):
+        assert ring_graph(6).max_degree() == 2
+        assert WeightedGraph().max_degree() == 0
+
+    def test_bfs_distances(self):
+        g = path_graph(5)
+        dist = g.bfs_distances(0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_copy_is_independent(self):
+        g = small_graph()
+        h = g.copy()
+        h.add_edge(1, 4, 20)
+        assert g.n == 3 and h.n == 4
+        assert g.edge_set() != h.edge_set()
+
+    def test_edges_canonical(self):
+        g = small_graph()
+        for u, v, _ in g.edges():
+            assert u < v
+
+    def test_edge_key(self):
+        assert edge_key(5, 2) == (2, 5)
+        assert edge_key(2, 5) == (2, 5)
+
+    def test_total_weight(self):
+        g = small_graph()
+        assert g.total_weight([(1, 2), (2, 3)]) == 12

@@ -1,0 +1,131 @@
+"""Hierarchy structures (Definitions 5.1/5.2, Lemma 5.1)."""
+
+import pytest
+
+from repro.graphs import GraphError, WeightedGraph
+from repro.graphs.generators import random_connected_graph
+from repro.graphs.spanning import RootedTree
+from repro.hierarchy import (Fragment, Hierarchy, minimum_outgoing_edge,
+                             outgoing_edges)
+from repro.mst import run_sync_mst
+
+
+def tiny_graph():
+    g = WeightedGraph()
+    for u, v, w in [(1, 2, 1), (2, 3, 2), (3, 4, 3), (1, 4, 9)]:
+        g.add_edge(u, v, w)
+    return g
+
+
+def tiny_tree(g):
+    return RootedTree(g, 1, {1: None, 2: 1, 3: 2, 4: 3})
+
+
+class TestOutgoing:
+    def test_outgoing_edges(self):
+        g = tiny_graph()
+        out = outgoing_edges(g, frozenset({1, 2}))
+        assert sorted((u, v) for u, v, _ in out) == [(1, 4), (2, 3)]
+
+    def test_minimum_outgoing(self):
+        g = tiny_graph()
+        assert minimum_outgoing_edge(g, frozenset({1, 2}))[2] == 2
+
+    def test_spanning_set_has_none(self):
+        g = tiny_graph()
+        assert minimum_outgoing_edge(g, frozenset({1, 2, 3, 4})) is None
+
+
+class TestHierarchyQueries:
+    @pytest.fixture(scope="class")
+    def built(self):
+        g = random_connected_graph(20, 34, seed=17)
+        return run_sync_mst(g).hierarchy
+
+    def test_fragments_of_sorted(self, built):
+        for v in built.graph.nodes():
+            levels = [f.level for f in built.fragments_of(v)]
+            assert levels == sorted(levels)
+            assert levels[0] == 0
+            assert levels[-1] == built.height
+
+    def test_fragment_at_level(self, built):
+        v = built.graph.nodes()[0]
+        assert v in built.fragment_at_level(v, 0).nodes
+        assert built.fragment_at_level(v, built.height).size == built.graph.n
+
+    def test_levels_of_matches(self, built):
+        for v in built.graph.nodes():
+            assert built.levels_of(v) == \
+                [f.level for f in built.fragments_of(v)]
+
+    def test_parent_links_nested(self, built):
+        for frag in built.fragments:
+            if frag.parent is not None:
+                assert frag.nodes < frag.parent.nodes
+                assert frag in frag.parent.children
+
+    def test_whole_tree_fragment(self, built):
+        whole = built.whole_tree_fragment
+        assert whole.size == built.graph.n
+        assert whole.parent is None
+
+
+class TestValidation:
+    def test_missing_singletons_rejected(self):
+        g = tiny_graph()
+        t = tiny_tree(g)
+        frags = [Fragment(root=1, level=1,
+                          nodes=frozenset({1, 2, 3, 4}))]
+        with pytest.raises(GraphError):
+            Hierarchy(t, frags).validate()
+
+    def test_laminarity_violation_rejected(self):
+        g = tiny_graph()
+        t = tiny_tree(g)
+        frags = [
+            Fragment(root=v, level=0, nodes=frozenset({v}),
+                     candidate_edge=(v, t.parent[v] or 2),
+                     candidate_weight=1)
+            for v in g.nodes()
+        ]
+        frags += [
+            Fragment(root=1, level=1, nodes=frozenset({1, 2, 3}),
+                     candidate_edge=(3, 4), candidate_weight=3),
+            Fragment(root=2, level=1, nodes=frozenset({2, 3, 4}),
+                     candidate_edge=(2, 1), candidate_weight=1),
+            Fragment(root=1, level=2, nodes=frozenset({1, 2, 3, 4})),
+        ]
+        with pytest.raises(GraphError):
+            Hierarchy(t, frags).validate()
+
+    def test_candidate_not_outgoing_rejected(self):
+        g = tiny_graph()
+        t = tiny_tree(g)
+        frags = [
+            Fragment(root=v, level=0, nodes=frozenset({v}))
+            for v in g.nodes()
+        ]
+        frags.append(Fragment(root=1, level=1,
+                              nodes=frozenset({1, 2, 3, 4})))
+        # singletons lack candidates entirely
+        with pytest.raises(GraphError):
+            Hierarchy(t, frags).validate()
+
+    def test_minimality_detects_bad_candidate(self):
+        from repro.hierarchy import outgoing_edges
+
+        g = random_connected_graph(12, 20, seed=3)
+        h = run_sync_mst(g).hierarchy
+        assert h.verify_minimality()
+        # repoint some fragment's candidate at a heavier outgoing edge
+        for frag in h.fragments:
+            if frag.candidate_edge is None:
+                continue
+            out = sorted(outgoing_edges(g, frag.nodes), key=lambda e: e[2])
+            if len(out) >= 2:
+                frag.candidate_edge = (out[-1][0], out[-1][1])
+                break
+        else:  # pragma: no cover
+            pytest.skip("no fragment with two outgoing edges")
+        assert not h.verify_minimality()

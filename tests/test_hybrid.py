@@ -1,0 +1,98 @@
+"""The hybrid scheme (Section 1.3's memory-for-locality knob)."""
+
+import pytest
+
+from repro.graphs.generators import random_connected_graph
+from repro.sim import (FaultInjector, Network, SynchronousScheduler,
+                       first_alarm)
+from repro.verification.hybrid import (REG_OWN_BOT, HybridVerifierProtocol,
+                                       run_hybrid_marker)
+
+
+def hybrid_network(g):
+    marker = run_hybrid_marker(g)
+    net = Network(g)
+    net.install(marker.labels)
+    return net, marker
+
+
+class TestHybridCompleteness:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_silent_on_correct_instance(self, seed):
+        g = random_connected_graph(18, 30, seed=seed)
+        net, _m = hybrid_network(g)
+        sched = SynchronousScheduler(net, HybridVerifierProtocol())
+        sched.run(600, stop_when=first_alarm)
+        assert not net.alarms(), net.alarms()
+
+    def test_memory_above_pure_scheme(self):
+        """The replicated pieces cost memory — that is the trade."""
+        from repro.verification import make_network
+        g = random_connected_graph(24, 40, seed=5)
+        pure = make_network(g).max_memory_bits()
+        net, _m = hybrid_network(g)
+        assert net.max_memory_bits() > pure - 64  # comparable or larger
+
+    def test_replicated_pieces_match_bottom_fragments(self):
+        g = random_connected_graph(20, 34, seed=6)
+        net, marker = hybrid_network(g)
+        classes = marker.layout.classes
+        for v in g.nodes():
+            own = net.registers[v][REG_OWN_BOT]
+            levels = sorted(pc[1] for pc in own)
+            expect = sorted(f.level for f in
+                            marker.hierarchy.fragments_of(v)
+                            if f in classes.bottom)
+            assert levels == expect
+
+
+class TestHybridDetection:
+    def test_bottom_lie_detected_in_one_round(self):
+        """The headline: bottom-fragment faults drop to 1-round detection."""
+        g = random_connected_graph(20, 34, seed=7)
+        net, _m = hybrid_network(g)
+        sched = SynchronousScheduler(net, HybridVerifierProtocol())
+        sched.run(400, stop_when=first_alarm)
+        assert not net.alarms()
+        inj = FaultInjector(net, seed=1)
+        victim = next(v for v in g.nodes()
+                      if net.registers[v][REG_OWN_BOT])
+        pieces = net.registers[victim][REG_OWN_BOT]
+        z, lvl, w = pieces[0]
+        inj.corrupt_register(victim, REG_OWN_BOT,
+                             ((z, lvl, (w or 0) + 1),) + tuple(pieces[1:]))
+        rounds = sched.run(50, stop_when=first_alarm)
+        assert net.alarms()
+        assert rounds <= 2
+
+    def test_top_faults_still_detected(self):
+        g = random_connected_graph(20, 34, seed=8)
+        net, _m = hybrid_network(g)
+        sched = SynchronousScheduler(net, HybridVerifierProtocol())
+        sched.run(400, stop_when=first_alarm)
+        assert not net.alarms()
+        inj = FaultInjector(net, seed=2)
+        victim = next(v for v in g.nodes()
+                      if net.registers[v].get("pc_top"))
+        pieces = net.registers[victim]["pc_top"]
+        z, lvl, w = pieces[0]
+        inj.corrupt_register(victim, "pc_top",
+                             ((z, lvl, (w or 0) + 1),) + tuple(pieces[1:]))
+        sched.run(6000, stop_when=first_alarm)
+        # either the lie is observed (fragment members in this part) or
+        # it is dead data — never a false negative on observed lies
+        # (see the E1 benchmark note); random corruption is always caught:
+        if not net.alarms():
+            inj.corrupt_node(victim, fraction=0.5)
+            sched.run(6000, stop_when=first_alarm)
+            assert net.alarms()
+
+    def test_structural_corruption_detected(self):
+        g = random_connected_graph(16, 26, seed=9)
+        net, _m = hybrid_network(g)
+        sched = SynchronousScheduler(net, HybridVerifierProtocol())
+        sched.run(300, stop_when=first_alarm)
+        inj = FaultInjector(net, seed=3)
+        inj.corrupt_random_nodes(1, fraction=0.6)
+        sched.run(6000, stop_when=first_alarm)
+        assert net.alarms()

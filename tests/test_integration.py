@@ -1,0 +1,91 @@
+"""End-to-end integration: the full pipeline across graph families and
+both schedulers, plus cross-module consistency checks."""
+
+import pytest
+
+from repro.graphs import kruskal_mst
+from repro.graphs.generators import (bounded_degree_graph, caterpillar_graph,
+                                     grid_graph, random_connected_graph,
+                                     random_geometric_graph, ring_graph)
+from repro.graphs.weights import with_verification_weights
+from repro.sim import PermutationDaemon
+from repro.verification import (labels_for_claimed_tree, run_completeness,
+                                run_detection, run_marker,
+                                run_reject_instance, swap_one_mst_edge)
+
+FAMILIES = [
+    ("ring", lambda: ring_graph(18, seed=1)),
+    ("grid", lambda: grid_graph(4, 5, seed=2)),
+    ("caterpillar", lambda: caterpillar_graph(5, 2, seed=3)),
+    ("geometric", lambda: random_geometric_graph(18, 0.35, seed=4)),
+    ("bounded-degree", lambda: bounded_degree_graph(20, 4, seed=5)),
+]
+
+
+@pytest.mark.parametrize("name,make", FAMILIES)
+def test_full_pipeline_per_family(name, make):
+    """marker -> silent verification -> fault -> detection, per family."""
+    g = make()
+    marker = run_marker(g)
+    assert marker.tree.edge_set() == kruskal_mst(g)
+    res = run_completeness(g, rounds=500, synchronous=True, marker=marker)
+    assert not res.detected, (name, res.alarms)
+
+    def inject(net, inj):
+        inj.corrupt_random_nodes(1, fraction=0.5)
+
+    det = run_detection(g, inject, synchronous=True, marker=marker,
+                        max_rounds=8000, seed=7)
+    assert det.detected, name
+
+
+@pytest.mark.parametrize("name,make", FAMILIES[:3])
+def test_non_mst_rejected_per_family(name, make):
+    g = make()
+    wrong = swap_one_mst_edge(g, kruskal_mst(g))
+    if wrong is None:
+        pytest.skip("graph is a tree")
+    adv = labels_for_claimed_tree(g, wrong)
+    res = run_reject_instance(g, adv.labels, synchronous=True,
+                              max_rounds=8000)
+    assert res.detected, name
+
+
+def test_pipeline_with_lexicographic_weights():
+    """The omega' re-weighting (tuple weights) flows through the whole
+    pipeline: construction, labels, verification."""
+    g = random_connected_graph(14, 20, seed=8, distinct=False)
+    if g.has_distinct_weights():
+        pytest.skip("instance happened to be distinct")
+    mst_guess = kruskal_mst(g)
+    g2 = with_verification_weights(g, mst_guess)
+    assert g2.has_distinct_weights()
+    marker = run_marker(g2)
+    res = run_completeness(g2, rounds=400, synchronous=True, marker=marker)
+    assert not res.detected, res.alarms
+
+
+def test_async_pipeline_end_to_end():
+    g = random_connected_graph(12, 18, seed=9)
+
+    def inject(net, inj):
+        inj.corrupt_random_nodes(1, fraction=0.5)
+
+    det = run_detection(g, inject, synchronous=False,
+                        daemon=PermutationDaemon(seed=2),
+                        max_rounds=40_000, seed=11)
+    assert det.detected
+
+
+def test_marker_is_deterministic():
+    g = random_connected_graph(16, 24, seed=10)
+    a = run_marker(g)
+    b = run_marker(g)
+    assert a.labels == b.labels
+    assert a.construction_rounds == b.construction_rounds
+
+
+def test_detection_result_reports_memory():
+    g = random_connected_graph(12, 18, seed=12)
+    res = run_completeness(g, rounds=30, synchronous=True)
+    assert res.max_memory_bits > 0

@@ -1,0 +1,93 @@
+"""The warm-up 1-proof labeling schemes (Section 2.6)."""
+
+import pytest
+
+from repro.graphs.generators import random_connected_graph
+from repro.graphs.spanning import RootedTree
+from repro.graphs.mst_reference import kruskal_mst
+from repro.labels import EDIAM_SCHEME, NUMK_SCHEME, SP_SCHEME
+from repro.labels.examples import ediam_marker
+
+
+def make_tree(seed=0, n=18):
+    g = random_connected_graph(n, n, seed=seed)
+    return RootedTree.from_edges(g, kruskal_mst(g), g.nodes()[0])
+
+
+@pytest.mark.parametrize("scheme", [SP_SCHEME, NUMK_SCHEME, EDIAM_SCHEME])
+def test_accepts_correct_labels(scheme):
+    tree = make_tree()
+    marker = scheme.marker(tree)
+    assert scheme.verify_all(tree.graph, marker.labels) == {}
+
+
+@pytest.mark.parametrize("scheme", [SP_SCHEME, NUMK_SCHEME, EDIAM_SCHEME])
+def test_construction_time_linear(scheme):
+    tree = make_tree()
+    marker = scheme.marker(tree)
+    assert marker.construction_rounds <= 2 * tree.graph.n + 1
+
+
+class TestSpScheme:
+    def test_rejects_wrong_root(self):
+        tree = make_tree(seed=1)
+        labels = SP_SCHEME.marker(tree).labels
+        victim = tree.nodes()[2]
+        labels[victim] = dict(labels[victim])
+        labels[victim]["sp_root"] = 10 ** 6
+        assert SP_SCHEME.verify_all(tree.graph, labels)
+
+    def test_rejects_wrong_distance(self):
+        tree = make_tree(seed=2)
+        labels = SP_SCHEME.marker(tree).labels
+        leaf = max(tree.nodes(), key=lambda v: tree.depth[v])
+        labels[leaf] = dict(labels[leaf])
+        labels[leaf]["sp_dist"] += 5
+        assert SP_SCHEME.verify_all(tree.graph, labels)
+
+    def test_rejects_fake_cycle(self):
+        """Two nodes pointing at each other with crafted distances."""
+        tree = make_tree(seed=3)
+        labels = {v: dict(r) for v, r in SP_SCHEME.marker(tree).labels.items()}
+        # any manipulation creating a second 'root' breaks agreement
+        v = tree.nodes()[4]
+        labels[v]["sp_dist"] = 0
+        labels[v]["sp_parent"] = None
+        assert SP_SCHEME.verify_all(tree.graph, labels)
+
+
+class TestNumkScheme:
+    def test_rejects_wrong_n(self):
+        tree = make_tree(seed=4)
+        labels = {v: dict(r) for v, r in NUMK_SCHEME.marker(tree).labels.items()}
+        for v in tree.nodes():
+            labels[v]["nk_n"] = tree.graph.n + 1
+        # globally consistent wrong n still fails at the root aggregation
+        assert NUMK_SCHEME.verify_all(tree.graph, labels)
+
+    def test_rejects_wrong_subtree_count(self):
+        tree = make_tree(seed=5)
+        labels = {v: dict(r) for v, r in NUMK_SCHEME.marker(tree).labels.items()}
+        labels[tree.root]["nk_sub"] += 1
+        assert NUMK_SCHEME.verify_all(tree.graph, labels)
+
+
+class TestEdiamScheme:
+    def test_accepts_slack(self):
+        tree = make_tree(seed=6)
+        marker = ediam_marker(tree, slack=4)
+        assert EDIAM_SCHEME.verify_all(tree.graph, marker.labels) == {}
+
+    def test_rejects_bound_below_height(self):
+        tree = make_tree(seed=7)
+        labels = {v: dict(r) for v, r in ediam_marker(tree).labels.items()}
+        for v in tree.nodes():
+            labels[v]["ed_bound"] = tree.height() - 1
+        if tree.height() >= 1:
+            assert EDIAM_SCHEME.verify_all(tree.graph, labels)
+
+    def test_rejects_disagreeing_bounds(self):
+        tree = make_tree(seed=8)
+        labels = {v: dict(r) for v, r in ediam_marker(tree).labels.items()}
+        labels[tree.nodes()[3]]["ed_bound"] += 1
+        assert EDIAM_SCHEME.verify_all(tree.graph, labels)

@@ -1,0 +1,103 @@
+"""String computation (Section 5.2/5.3): structural properties on random
+hierarchies, beyond the exact Table-2 anchor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.generators import random_connected_graph
+from repro.labels.strings import (ENDP_DOWN, ENDP_NONE, ENDP_STAR, ENDP_UP,
+                                  compute_node_strings, levels_mask)
+from repro.mst import run_sync_mst
+
+
+@pytest.fixture(scope="module")
+def built():
+    g = random_connected_graph(30, 55, seed=23)
+    result = run_sync_mst(g)
+    return g, result.hierarchy, compute_node_strings(result.hierarchy)
+
+
+class TestStringShapes:
+    def test_all_strings_same_width(self, built):
+        _g, h, strings = built
+        width = h.height + 1
+        for s in strings.values():
+            assert len(s.roots) == width
+            assert len(s.endp) == width
+            assert len(s.parents) == width
+            assert len(s.orendp) == width
+
+    def test_roots_matches_membership(self, built):
+        _g, h, strings = built
+        for v, s in strings.items():
+            for j, c in enumerate(s.roots):
+                frag = h.fragment_at_level(v, j)
+                if frag is None:
+                    assert c == "*"
+                elif frag.root == v:
+                    assert c == "1"
+                else:
+                    assert c == "0"
+
+    def test_endp_star_iff_roots_star(self, built):
+        _g, _h, strings = built
+        for s in strings.values():
+            for cr, ce in zip(s.roots, s.endp):
+                assert (cr == "*") == (ce == ENDP_STAR)
+
+    def test_every_fragment_has_one_endpoint(self, built):
+        """EPS1 at the source: exactly one up/down per non-tree fragment."""
+        _g, h, strings = built
+        for frag in h.fragments:
+            endpoints = [
+                v for v in frag.nodes
+                if strings[v].endp[frag.level] in (ENDP_UP, ENDP_DOWN)
+            ]
+            if frag.candidate_edge is None:
+                assert endpoints == []
+            else:
+                assert endpoints == [frag.candidate_edge[0]]
+
+    def test_parents_marks_down_children(self, built):
+        _g, h, strings = built
+        tree = h.tree
+        for v, s in strings.items():
+            for j, c in enumerate(s.parents):
+                if c == "1":
+                    p = tree.parent[v]
+                    assert p is not None
+                    assert strings[p].endp[j] == ENDP_DOWN
+
+    def test_levels_mask_roundtrip(self, built):
+        _g, h, strings = built
+        for v, s in strings.items():
+            mask = levels_mask(s.roots)
+            assert mask == sum(1 << j for j, c in enumerate(s.roots)
+                               if c != "*")
+            assert bin(mask).count("1") == len(h.fragments_of(v))
+
+    def test_orendp_root_counts(self, built):
+        _g, h, strings = built
+        ell = h.height
+        for frag in h.fragments:
+            root_count = strings[frag.root].orendp[frag.level]
+            if frag.level == ell:
+                assert root_count == 0
+            else:
+                assert root_count == 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=20),
+       st.integers(min_value=0, max_value=24),
+       st.integers(min_value=0, max_value=5000))
+def test_property_marker_strings_pass_static_checks(n, extra, seed):
+    """Any SYNC_MST hierarchy's strings satisfy all RS/EPS conditions."""
+    from repro.labels.views import all_views
+    from repro.labels.wellforming import static_check
+    from repro.verification import run_marker
+
+    g = random_connected_graph(n, extra, seed=seed)
+    marker = run_marker(g)
+    for view in all_views(g, marker.labels):
+        assert static_check(view) == [], (n, extra, seed, view.node)

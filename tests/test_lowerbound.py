@@ -1,0 +1,105 @@
+"""Section 9: the subdivision transformation and the Lemma 9.1 reduction."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import kruskal_mst
+from repro.graphs.generators import complete_graph, random_connected_graph
+from repro.lowerbound import (lemma_9_1, lift_tree, minimum_tau_for_memory,
+                              subdivide, transformation_preserves_mst)
+from repro.verification import swap_one_mst_edge
+
+
+class TestSubdivide:
+    def test_node_and_edge_counts(self):
+        g = random_connected_graph(8, 6, seed=1)
+        tau = 3
+        sub = subdivide(g, tau)
+        assert sub.graph.n == g.n + g.m * 2 * tau
+        assert sub.graph.m == g.m * (2 * tau + 1)
+
+    def test_path_weights(self):
+        g = complete_graph(4, seed=2)
+        mst = kruskal_mst(g)
+        sub = subdivide(g, 2, tree_edges=mst)
+        for base, chain in sub.path_nodes.items():
+            weights = [sub.graph.weight(a, b)
+                       for a, b in zip(chain, chain[1:])]
+            w = g.weight(*base)
+            assert sorted(weights)[-1] == max(w, 1)
+            assert weights.count(1) >= len(weights) - 1
+
+    def test_weight_edge_position(self):
+        g = complete_graph(4, seed=3)
+        mst = kruskal_mst(g)
+        sub = subdivide(g, 2, tree_edges=mst)
+        for base, chain in sub.path_nodes.items():
+            links = list(zip(chain, chain[1:]))
+            we = sub.weight_edge[base]
+            idx = next(i for i, (a, b) in enumerate(links)
+                       if frozenset((a, b)) == frozenset(we))
+            if base in mst:
+                assert idx == len(links) - 1   # Figure 10: the last edge
+            else:
+                assert idx == len(links) // 2  # the excluded middle link
+
+    def test_tau_must_be_positive(self):
+        g = complete_graph(3, seed=0)
+        with pytest.raises(Exception):
+            subdivide(g, 0)
+
+
+class TestLift:
+    def test_lift_is_spanning_tree(self):
+        from repro.graphs.spanning import is_spanning_tree
+        g = random_connected_graph(10, 12, seed=4)
+        mst = kruskal_mst(g)
+        sub = subdivide(g, 2, tree_edges=mst)
+        lifted = lift_tree(sub, mst)
+        assert is_spanning_tree(sub.graph, lifted)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_preserves_mst_both_ways(self, seed):
+        g = random_connected_graph(12, 18, seed=seed)
+        mst = kruskal_mst(g)
+        assert transformation_preserves_mst(g, 2, mst)
+        wrong = swap_one_mst_edge(g, mst)
+        if wrong is not None:
+            assert transformation_preserves_mst(g, 2, wrong)
+
+
+class TestLemma91:
+    def test_label_packing_arithmetic(self):
+        bound = lemma_9_1(n=1024, tau=3, memory_bits=20)
+        assert bound.simulated_label_bits == 7 * 20
+
+    def test_logn_memory_needs_log_time(self):
+        """The headline: with Theta(log n) bits, tau = Omega(log n)."""
+        taus = {}
+        for n in (2 ** 8, 2 ** 12, 2 ** 16):
+            mem = math.ceil(math.log2(n))
+            taus[n] = minimum_tau_for_memory(n, mem)
+        assert taus[2 ** 16] > taus[2 ** 8]
+        # tau grows ~ proportionally with log n at fixed c
+        assert taus[2 ** 16] >= 1.5 * taus[2 ** 8]
+
+    def test_sq_log_memory_allows_constant_time(self):
+        n = 2 ** 12
+        mem = math.ceil(math.log2(n)) ** 2
+        assert minimum_tau_for_memory(n, mem) <= 2
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(min_value=3, max_value=10),
+       st.integers(min_value=0, max_value=8),
+       st.integers(min_value=1, max_value=3),
+       st.integers(min_value=0, max_value=1000))
+def test_property_subdivision_preserves(n, extra, tau, seed):
+    g = random_connected_graph(n, extra, seed=seed)
+    mst = kruskal_mst(g)
+    assert transformation_preserves_mst(g, tau, mst)
+    wrong = swap_one_mst_edge(g, mst)
+    if wrong is not None:
+        assert transformation_preserves_mst(g, tau, wrong)

@@ -1,0 +1,87 @@
+"""The Figure-1 / Table-2 anchor: SYNC_MST on the reconstructed instance
+must reproduce the paper's example *exactly* — the tree, its orientation,
+every active fragment, and all four label strings of Table 2."""
+
+import pytest
+
+from repro.graphs import kruskal_mst
+from repro.graphs.paper_example import (ID_TO_NAME, NAME_TO_ID, NODE_NAMES,
+                                        TABLE2_ENDP, TABLE2_OR_ENDP,
+                                        TABLE2_PARENTS, TABLE2_ROOTS,
+                                        build_paper_graph, build_paper_tree,
+                                        expected_fragment_sets)
+from repro.labels.strings import compute_node_strings, format_table2
+from repro.mst import run_sync_mst
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_sync_mst(build_paper_graph())
+
+
+@pytest.fixture(scope="module")
+def strings(result):
+    return compute_node_strings(result.hierarchy)
+
+
+class TestTree:
+    def test_is_the_mst(self, result):
+        g = build_paper_graph()
+        assert result.tree.edge_set() == kruskal_mst(g)
+
+    def test_rooted_at_l(self, result):
+        assert ID_TO_NAME[result.tree.root] == "l"
+
+    def test_exact_orientation(self, result):
+        expected = build_paper_tree()
+        assert result.tree.parent == expected.parent
+
+    def test_height_of_hierarchy(self, result):
+        assert result.hierarchy.height == 4
+
+
+class TestFragments:
+    def test_level_zero_singletons(self, result):
+        frags = result.hierarchy.by_level(0)
+        assert sorted(len(f.nodes) for f in frags) == [1] * 18
+
+    @pytest.mark.parametrize("level", [1, 2, 3, 4])
+    def test_active_fragments_match_figure(self, result, level):
+        got = sorted((frozenset(f.nodes) for f in
+                      result.hierarchy.by_level(level)), key=sorted)
+        want = sorted(expected_fragment_sets()[level], key=sorted)
+        assert got == want
+
+    def test_dehi_skips_level_one(self, result):
+        dehi = frozenset(NAME_TO_ID[c] for c in "dehi")
+        levels = [f.level for f in result.hierarchy.fragments
+                  if f.nodes == dehi]
+        assert levels == [2]
+
+    def test_hierarchy_valid_and_minimal(self, result):
+        result.hierarchy.validate()
+        assert result.hierarchy.verify_minimality()
+
+
+class TestTable2:
+    @pytest.mark.parametrize("name", list(NODE_NAMES))
+    def test_roots_strings(self, strings, name):
+        assert strings[NAME_TO_ID[name]].roots == TABLE2_ROOTS[name]
+
+    @pytest.mark.parametrize("name", list(NODE_NAMES))
+    def test_endp_strings(self, strings, name):
+        assert strings[NAME_TO_ID[name]].endp_display() == TABLE2_ENDP[name]
+
+    @pytest.mark.parametrize("name", list(NODE_NAMES))
+    def test_parents_strings(self, strings, name):
+        assert strings[NAME_TO_ID[name]].parents == TABLE2_PARENTS[name]
+
+    @pytest.mark.parametrize("name", list(NODE_NAMES))
+    def test_or_endp_strings(self, strings, name):
+        assert strings[NAME_TO_ID[name]].orendp_display() == \
+            TABLE2_OR_ENDP[name]
+
+    def test_format_table_renders(self, strings):
+        text = format_table2(strings, names=ID_TO_NAME)
+        assert "Roots" in text and "Or-EndP" in text
+        assert text.count("\n") > 70

@@ -1,0 +1,61 @@
+"""Property-based tests of the verifier's two defining properties.
+
+Completeness: the marker's labels are never rejected on any graph.
+Soundness: the strongest consistent adversary (a legally labeled
+non-MST) is always rejected, and the alarm is a minimality check.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.graphs import kruskal_mst
+from repro.graphs.generators import random_connected_graph
+from repro.verification import (labels_for_claimed_tree, run_completeness,
+                                run_reject_instance, swap_one_mst_edge)
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+@settings(max_examples=8, **COMMON)
+@given(st.integers(min_value=4, max_value=16),
+       st.integers(min_value=2, max_value=14),
+       st.integers(min_value=0, max_value=2000))
+def test_property_completeness(n, extra, seed):
+    g = random_connected_graph(n, extra, seed=seed)
+    res = run_completeness(g, rounds=450, synchronous=True, static_every=2)
+    assert not res.detected, res.alarms
+
+
+@settings(max_examples=8, **COMMON)
+@given(st.integers(min_value=5, max_value=16),
+       st.integers(min_value=2, max_value=14),
+       st.integers(min_value=0, max_value=2000))
+def test_property_soundness_non_mst(n, extra, seed):
+    g = random_connected_graph(n, extra, seed=seed)
+    wrong = swap_one_mst_edge(g, kruskal_mst(g))
+    if wrong is None:
+        return  # the instance is a tree: every spanning tree is the MST
+    adv = labels_for_claimed_tree(g, wrong)
+    res = run_reject_instance(g, adv.labels, synchronous=True,
+                              max_rounds=8000, static_every=2)
+    assert res.detected
+    assert any("C1" in r or "C2" in r or "AGREE" in r
+               for r in res.alarms.values()), res.alarms
+
+
+@settings(max_examples=6, **COMMON)
+@given(st.integers(min_value=5, max_value=12),
+       st.integers(min_value=2, max_value=10),
+       st.integers(min_value=0, max_value=1000),
+       st.integers(min_value=0, max_value=10 ** 6))
+def test_property_random_corruption_detected(n, extra, seed, fault_seed):
+    from repro.verification import run_detection
+
+    g = random_connected_graph(n, extra, seed=seed)
+
+    def inject(net, inj):
+        inj.corrupt_random_nodes(1, fraction=0.6)
+
+    res = run_detection(g, inject, synchronous=True, max_rounds=8000,
+                        seed=fault_seed, static_every=1)
+    assert res.detected

@@ -1,0 +1,122 @@
+"""The transformer and the self-stabilizing MST (Section 10)."""
+
+import random
+
+import pytest
+
+from repro.graphs import kruskal_mst
+from repro.graphs.generators import path_graph, random_connected_graph
+from repro.selfstab import (ResetWaveProtocol, Resynchronizer,
+                            current_output_edges, mst_checker,
+                            run_self_stabilizing_mst, REG_RESET_EPOCH)
+from repro.sim import Network, SynchronousScheduler
+
+
+class TestResetWave:
+    def test_wave_clears_everything(self):
+        g = path_graph(8, seed=1)
+        net = Network(g)
+        net.install({v: {"junk": v * 3, "_ghost": 1} for v in g.nodes()})
+        # the initiator clears itself when bumping the epoch (as the
+        # Resynchronizer does); the wave clears everyone else
+        net.registers[0] = {REG_RESET_EPOCH: 5, "_ghost": 1}
+        sched = SynchronousScheduler(net, ResetWaveProtocol())
+        sched.run(g.n + 1)
+        for v in g.nodes():
+            assert "junk" not in net.registers[v], v
+            assert net.registers[v][REG_RESET_EPOCH] == 5
+            assert net.registers[v].get("_ghost", 1) == 1  # ghosts survive
+
+    def test_wave_needs_diameter_rounds(self):
+        g = path_graph(10, seed=2)
+        net = Network(g)
+        net.install({v: {"junk": 1} for v in g.nodes()})
+        net.registers[0][REG_RESET_EPOCH] = 3
+        sched = SynchronousScheduler(net, ResetWaveProtocol())
+        sched.run(3)
+        assert "junk" in net.registers[9]
+        sched.run(g.n)
+        assert "junk" not in net.registers[9]
+
+
+class TestSelfStabilizingMst:
+    def test_cold_start(self):
+        g = random_connected_graph(16, 26, seed=1)
+        res = run_self_stabilizing_mst(g, synchronous=True)
+        assert res.correct
+        assert res.edges == kruskal_mst(g)
+        assert res.trace.reset_waves >= 1
+
+    def test_garbage_start(self):
+        g = random_connected_graph(14, 22, seed=2)
+        rng = random.Random(0)
+        garbage = {
+            v: {"pid": rng.randrange(14), "roots": "1*x", "n": 999,
+                "tt_bbuf": 3}
+            for v in g.nodes()
+        }
+        res = run_self_stabilizing_mst(g, synchronous=True,
+                                       initial_state=garbage)
+        assert res.correct
+
+    def test_correct_start_stays_silent(self):
+        """Starting from the marker's labels: verified silently, no reset."""
+        from repro.verification import run_marker
+        g = random_connected_graph(14, 22, seed=3)
+        marker = run_marker(g)
+        res = run_self_stabilizing_mst(g, synchronous=True,
+                                       initial_state=marker.labels)
+        assert res.correct
+        assert res.trace.reset_waves == 0
+
+    def test_memory_logarithmic(self):
+        g = random_connected_graph(20, 32, seed=4)
+        res = run_self_stabilizing_mst(g, synchronous=True)
+        import math
+        # a generous constant times log n bits
+        assert res.max_memory_bits <= 80 * math.ceil(math.log2(g.n)) + 200
+
+    def test_output_registers_hold_the_mst(self):
+        g = random_connected_graph(12, 18, seed=5)
+        res = run_self_stabilizing_mst(g, synchronous=True)
+        assert res.edges == kruskal_mst(g)
+
+    def test_post_stabilization_fault_recovery(self):
+        """A fault after stabilization is detected and repaired."""
+        from repro.sim.faults import FaultInjector
+        from repro.trains.budgets import compute_budgets
+
+        g = random_connected_graph(12, 18, seed=6)
+        net = Network(g)
+        checker = mst_checker(synchronous=True)
+        resync = Resynchronizer(net, checker, synchronous=True)
+        budgets = compute_budgets(g.n, True, degree=g.max_degree())
+        resync.run_until_stable(2 * budgets.ask_alarm)
+        assert current_output_edges(net) == kruskal_mst(g)
+
+        inj = FaultInjector(net, seed=1)
+        inj.corrupt_node(g.nodes()[4], fraction=0.6)
+        trace = resync.run_until_stable(2 * budgets.ask_alarm)
+        assert current_output_edges(net) == kruskal_mst(g)
+        assert trace.detections  # the fault was actually detected
+
+
+class TestResynchronizerAccounting:
+    def test_trace_counts(self):
+        g = random_connected_graph(10, 14, seed=7)
+        res = run_self_stabilizing_mst(g, synchronous=True)
+        t = res.trace
+        assert t.total_rounds >= t.verification_rounds
+        assert t.construction_rounds > 0
+        assert t.reset_waves == 1
+
+    def test_stabilization_time_linear_shape(self):
+        """Theorem 10.2: O(n) stabilization — construction dominates and
+        grows linearly; the verification window is polylog."""
+        totals = {}
+        for n in (16, 64):
+            g = random_connected_graph(n, 2 * n, seed=8)
+            res = run_self_stabilizing_mst(g, synchronous=True)
+            totals[n] = res.trace.construction_rounds
+        assert totals[64] <= 8 * totals[16]
+        assert totals[64] >= 2 * totals[16]

@@ -1,0 +1,171 @@
+"""SYNC_MST (Section 4): correctness, Lemma 4.1, Theorem 4.4."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import GraphError, WeightedGraph, kruskal_mst
+from repro.graphs.generators import (caterpillar_graph, complete_graph,
+                                     grid_graph, path_graph,
+                                     random_connected_graph, ring_graph,
+                                     star_graph)
+from repro.mst import run_ghs, run_sync_mst, run_boruvka_protocol
+
+FAMILIES = [
+    lambda: path_graph(17, seed=2),
+    lambda: ring_graph(16, seed=3),
+    lambda: star_graph(14, seed=4),
+    lambda: complete_graph(10, seed=5),
+    lambda: grid_graph(4, 4, seed=6),
+    lambda: caterpillar_graph(5, 2, seed=7),
+    lambda: random_connected_graph(25, 45, seed=8),
+]
+
+
+@pytest.mark.parametrize("make", FAMILIES)
+def test_constructs_the_mst(make):
+    g = make()
+    result = run_sync_mst(g)
+    assert result.tree.edge_set() == kruskal_mst(g)
+
+
+@pytest.mark.parametrize("make", FAMILIES)
+def test_hierarchy_valid_and_minimal(make):
+    g = make()
+    result = run_sync_mst(g)
+    result.hierarchy.validate()
+    assert result.hierarchy.verify_minimality()
+
+
+@pytest.mark.parametrize("make", FAMILIES)
+def test_lemma_4_1_fragment_sizes(make):
+    """A level-i active fragment has 2^i <= |F| <= 2^(i+1) - 1."""
+    g = make()
+    result = run_sync_mst(g)
+    for frag in result.hierarchy.fragments:
+        assert frag.size >= 2 ** frag.level
+        if frag.size < g.n:
+            assert frag.size <= 2 ** (frag.level + 1) - 1
+
+
+@pytest.mark.parametrize("make", FAMILIES)
+def test_theorem_4_4_linear_time(make):
+    """Rounds <= 30 n: the exact charging is (11+4) * 2^(final phase) and
+    the final phase has 2^phase <= n."""
+    g = make()
+    result = run_sync_mst(g)
+    assert result.rounds <= 30 * g.n
+
+
+def test_phase_windows_do_not_overlap():
+    g = random_connected_graph(20, 30, seed=9)
+    result = run_sync_mst(g)
+    for rec in result.trace:
+        assert rec.start_round == 11 * 2 ** rec.phase
+        assert rec.end_round == 22 * 2 ** rec.phase
+
+
+def test_hierarchy_height_at_most_log_n():
+    for seed in range(4):
+        g = random_connected_graph(30, 60, seed=seed)
+        result = run_sync_mst(g)
+        assert result.hierarchy.height <= max(1, (g.n - 1).bit_length())
+
+
+def test_all_singletons_at_level_zero():
+    g = random_connected_graph(15, 20, seed=1)
+    result = run_sync_mst(g)
+    singles = [f for f in result.hierarchy.fragments if f.level == 0]
+    assert len(singles) == g.n
+    assert all(f.size == 1 for f in singles)
+
+
+def test_single_node_graph():
+    g = WeightedGraph()
+    g.add_node(5)
+    result = run_sync_mst(g)
+    assert result.tree.root == 5
+    assert result.hierarchy.height == 0
+
+
+def test_two_node_graph():
+    g = WeightedGraph()
+    g.add_edge(1, 2, 3)
+    result = run_sync_mst(g)
+    assert result.tree.edge_set() == {(1, 2)}
+    # merge root is the higher identity (the pivot/handshake rule)
+    assert result.tree.root == 2
+
+
+def test_rejects_disconnected():
+    g = WeightedGraph()
+    g.add_edge(1, 2, 1)
+    g.add_node(3)
+    with pytest.raises(GraphError):
+        run_sync_mst(g)
+
+
+def test_rejects_duplicate_weights():
+    g = WeightedGraph()
+    g.add_edge(1, 2, 1)
+    g.add_edge(2, 3, 1)
+    with pytest.raises(GraphError):
+        run_sync_mst(g)
+
+
+def test_candidate_edges_are_minimum_outgoing():
+    g = random_connected_graph(20, 35, seed=10)
+    result = run_sync_mst(g)
+    from repro.hierarchy import minimum_outgoing_edge
+    for frag in result.hierarchy.fragments:
+        if frag.candidate_edge is None:
+            assert frag.size == g.n
+            continue
+        moe = minimum_outgoing_edge(g, frag.nodes)
+        assert frag.candidate_weight == moe[2]
+
+
+class TestGhsBaseline:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ghs_correct(self, seed):
+        g = random_connected_graph(22, 40, seed=seed)
+        assert run_ghs(g).edges == kruskal_mst(g)
+
+    def test_ghs_uses_levels(self):
+        g = random_connected_graph(30, 50, seed=2)
+        assert run_ghs(g).levels_used >= 1
+
+    def test_time_grows_superlinearly_vs_sync(self):
+        """GHS pays the log factor; SYNC_MST stays linear."""
+        small, large = 16, 128
+        g1 = random_connected_graph(small, small * 2, seed=3)
+        g2 = random_connected_graph(large, large * 2, seed=3)
+        ghs_growth = run_ghs(g2).time / run_ghs(g1).time
+        sync_growth = run_sync_mst(g2).rounds / run_sync_mst(g1).rounds
+        assert ghs_growth > sync_growth * 0.9
+
+
+class TestBoruvkaProtocol:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_register_level_protocol_correct(self, seed):
+        g = random_connected_graph(16, 24, seed=seed)
+        edges, rounds = run_boruvka_protocol(g)
+        assert edges == kruskal_mst(g)
+        assert rounds > 0
+
+    def test_single_node(self):
+        g = WeightedGraph()
+        g.add_node(0)
+        edges, _ = run_boruvka_protocol(g)
+        assert edges == set()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=24),
+       st.integers(min_value=0, max_value=30),
+       st.integers(min_value=0, max_value=10_000))
+def test_property_sync_mst_matches_kruskal(n, extra, seed):
+    g = random_connected_graph(n, extra, seed=seed)
+    result = run_sync_mst(g)
+    assert result.tree.edge_set() == kruskal_mst(g)
+    result.hierarchy.validate()
+    assert result.hierarchy.verify_minimality()

@@ -1,0 +1,80 @@
+"""Verifier completeness: on a correct instance with correct labels no
+node ever raises an alarm (first bullet of Section 2.4), across
+schedulers, daemons, and comparison modes."""
+
+import pytest
+
+from repro.graphs.generators import (caterpillar_graph, path_graph,
+                                     random_connected_graph, star_graph)
+from repro.sim import PermutationDaemon, RandomDaemon
+from repro.trains.comparison import (MODE_SYNC_WINDOW, MODE_WANT,
+                                     MODE_WANT_SIMPLE)
+from repro.verification import run_completeness
+
+
+def rounds_for(n):
+    # enough for several full ask rotations at these sizes
+    return 900
+
+
+@pytest.mark.parametrize("make", [
+    lambda: random_connected_graph(18, 30, seed=1),
+    lambda: path_graph(16, seed=2),
+    lambda: star_graph(12, seed=3),
+    lambda: caterpillar_graph(4, 2, seed=4),
+])
+def test_synchronous_silent(make):
+    g = make()
+    res = run_completeness(g, rounds=rounds_for(g.n), synchronous=True)
+    assert not res.detected, res.alarms
+
+
+def test_asynchronous_want_silent():
+    g = random_connected_graph(14, 22, seed=5)
+    res = run_completeness(g, rounds=500, synchronous=False,
+                           daemon=PermutationDaemon(seed=1))
+    assert not res.detected, res.alarms
+
+
+def test_asynchronous_random_daemon_silent():
+    g = random_connected_graph(10, 14, seed=6)
+    res = run_completeness(g, rounds=250, synchronous=False,
+                           daemon=RandomDaemon(seed=2))
+    assert not res.detected, res.alarms
+
+
+def test_want_simple_mode_silent():
+    g = random_connected_graph(10, 14, seed=7)
+    res = run_completeness(g, rounds=350, synchronous=False,
+                           comparison_mode=MODE_WANT_SIMPLE,
+                           daemon=PermutationDaemon(seed=3))
+    assert not res.detected, res.alarms
+
+
+def test_want_mode_under_synchronous_scheduler():
+    g = random_connected_graph(12, 18, seed=8)
+    res = run_completeness(g, rounds=700, synchronous=True,
+                           comparison_mode=MODE_WANT)
+    assert not res.detected, res.alarms
+
+
+def test_memory_stays_logarithmic():
+    """Theorem 8.5's O(log n) bits: the per-node register footprint of
+    labels + verifier state grows like log n, not log^2 n."""
+    import math
+    bits = {}
+    for n in (16, 64, 256):
+        g = random_connected_graph(n, 2 * n, seed=9)
+        res = run_completeness(g, rounds=6, synchronous=True)
+        bits[n] = res.max_memory_bits
+    # quadrupling n must grow memory by far less than the 4x of linear
+    # growth and less than the ~2.3x of log^2 growth at these sizes
+    assert bits[256] / bits[16] < 2.2
+    assert bits[64] >= bits[16] * 0.8  # sanity: it does grow a little
+
+
+def test_tiny_graphs_silent():
+    for n in (2, 3, 4):
+        g = path_graph(n, seed=n)
+        res = run_completeness(g, rounds=400, synchronous=True)
+        assert not res.detected, (n, res.alarms)

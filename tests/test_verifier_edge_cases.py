@@ -1,0 +1,144 @@
+"""Edge cases of the full verifier: extreme topologies, tuple weights,
+want-mode holds, and epoch resets under the asynchronous scheduler."""
+
+import pytest
+
+from repro.graphs import WeightedGraph, kruskal_mst
+from repro.graphs.generators import (complete_graph, path_graph, star_graph)
+from repro.graphs.weights import with_verification_weights
+from repro.sim import (FaultInjector, Network, PermutationDaemon,
+                       SynchronousScheduler, first_alarm)
+from repro.sim.schedulers import AsynchronousScheduler
+from repro.trains.comparison import MODE_WANT, REG_WANT
+from repro.verification import make_network, run_completeness, run_detection
+from repro.verification.verifier import MstVerifierProtocol
+
+
+class TestExtremeTopologies:
+    def test_two_nodes(self):
+        g = WeightedGraph()
+        g.add_edge(1, 2, 5)
+        res = run_completeness(g, rounds=300, synchronous=True)
+        assert not res.detected, res.alarms
+
+    def test_star_high_degree(self):
+        g = star_graph(16, seed=1)
+        res = run_completeness(g, rounds=500, synchronous=True)
+        assert not res.detected, res.alarms
+
+    def test_complete_graph(self):
+        g = complete_graph(10, seed=2)
+        res = run_completeness(g, rounds=500, synchronous=True)
+        assert not res.detected, res.alarms
+
+    def test_long_path(self):
+        g = path_graph(40, seed=3)
+        res = run_completeness(g, rounds=900, synchronous=True,
+                               static_every=2)
+        assert not res.detected, res.alarms
+
+    def test_detection_on_complete_graph(self):
+        g = complete_graph(10, seed=4)
+
+        def inject(net, inj):
+            inj.corrupt_random_nodes(1, fraction=0.6)
+
+        res = run_detection(g, inject, synchronous=True, max_rounds=6000,
+                            seed=5)
+        assert res.detected
+
+
+class TestTupleWeights:
+    def test_verifier_handles_lexicographic_weights(self):
+        g = WeightedGraph()
+        for u, v, w in [(1, 2, 5), (2, 3, 5), (1, 3, 5), (3, 4, 2),
+                        (2, 4, 7)]:
+            g.add_edge(u, v, w)
+        tree = kruskal_mst(with_verification_weights(g, []))
+        g2 = with_verification_weights(g, tree)
+        res = run_completeness(g2, rounds=400, synchronous=True)
+        assert not res.detected, res.alarms
+
+    def test_tuple_weight_lie_detected(self):
+        g = WeightedGraph()
+        for u, v, w in [(1, 2, 5), (2, 3, 5), (1, 3, 5), (3, 4, 2)]:
+            g.add_edge(u, v, w)
+        tree = kruskal_mst(with_verification_weights(g, []))
+        g2 = with_verification_weights(g, tree)
+
+        def inject(net, inj):
+            for v in net.graph.nodes():
+                pieces = net.registers[v].get("pc_bot") or ()
+                if pieces and pieces[0][2] is not None:
+                    z, lvl, w = pieces[0]
+                    inj.corrupt_register(
+                        v, "pc_bot",
+                        ((z, lvl, tuple(w[:-1]) + (w[-1] + 1,)),)
+                        + tuple(pieces[1:]))
+                    return
+            inj.corrupt_random_nodes(1)
+
+        res = run_detection(g2, inject, synchronous=True, max_rounds=6000,
+                            seed=6)
+        assert res.detected
+
+
+class TestWantModeMechanics:
+    def test_want_register_is_used(self):
+        """Under the asynchronous Want mode some node files a request at
+        some point (the handshake actually engages)."""
+        from repro.graphs.generators import random_connected_graph
+        g = random_connected_graph(14, 24, seed=7)
+        network = make_network(g)
+        protocol = MstVerifierProtocol(synchronous=False,
+                                       comparison_mode=MODE_WANT)
+        sched = AsynchronousScheduler(network, protocol,
+                                      PermutationDaemon(seed=1))
+        sched.initialize()
+        saw_want = False
+        for _ in range(600):
+            sched.run(1)
+            if any(network.registers[v].get(REG_WANT) is not None
+                   for v in g.nodes()):
+                saw_want = True
+                break
+        assert saw_want
+        assert not network.alarms()
+
+    def test_epoch_reset_heals_async_wedge(self):
+        """Wedging a part's convergecast pointers under the asynchronous
+        scheduler recovers via the root's epoch reset, silently."""
+        from repro.graphs.generators import random_connected_graph
+        g = random_connected_graph(12, 18, seed=8)
+        network = make_network(g)
+        protocol = MstVerifierProtocol(synchronous=False)
+        sched = AsynchronousScheduler(network, protocol,
+                                      PermutationDaemon(seed=2))
+        sched.run(250)
+        assert not network.alarms()
+        for v in g.nodes()[:4]:
+            regs = network.registers[v]
+            for name in ("tt_src", "tt_cyc", "tt_done", "tt_act", "tt_tak",
+                         "bt_src", "bt_cyc"):
+                if name in regs:
+                    regs[name] = 9
+        sched.run(900)
+        assert not network.alarms(), network.alarms()
+
+
+class TestAlarmLatching:
+    def test_alarm_persists(self):
+        from repro.graphs.generators import random_connected_graph
+        g = random_connected_graph(12, 18, seed=9)
+        network = make_network(g)
+        protocol = MstVerifierProtocol(synchronous=True)
+        sched = SynchronousScheduler(network, protocol)
+        sched.run(200)
+        FaultInjector(network, seed=3).corrupt_register(
+            g.nodes()[2], "dist", 99)
+        sched.run(3000, stop_when=first_alarm)
+        assert network.alarms()
+        first = dict(network.alarms())
+        sched.run(50)
+        for v, reason in first.items():
+            assert network.alarms().get(v) == reason

@@ -1,0 +1,162 @@
+"""Verifier soundness: every faulty situation is detected (second bullet
+of Section 2.4) — non-MST instances under the strongest consistent
+adversary, random label corruption, and targeted piece corruption."""
+
+import pytest
+
+from repro.graphs import kruskal_mst
+from repro.graphs.generators import random_connected_graph
+from repro.labels import registers as R
+from repro.verification import (labels_for_claimed_tree, run_detection,
+                                run_reject_instance, swap_one_mst_edge)
+
+MAX_ROUNDS = 6000
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_rejects_non_mst_sync(seed):
+    g = random_connected_graph(18, 30, seed=seed)
+    wrong = swap_one_mst_edge(g, kruskal_mst(g))
+    assert wrong is not None
+    adv = labels_for_claimed_tree(g, wrong)
+    res = run_reject_instance(g, adv.labels, synchronous=True,
+                              max_rounds=MAX_ROUNDS)
+    assert res.detected
+    assert any("C2" in r or "C1" in r for r in res.alarms.values()), \
+        res.alarms
+
+
+def test_rejects_non_mst_async():
+    g = random_connected_graph(14, 22, seed=5)
+    wrong = swap_one_mst_edge(g, kruskal_mst(g))
+    adv = labels_for_claimed_tree(g, wrong)
+    res = run_reject_instance(g, adv.labels, synchronous=False,
+                              max_rounds=MAX_ROUNDS)
+    assert res.detected
+
+
+def test_accepts_true_mst_via_adversary_path():
+    """labels_for_claimed_tree on the real MST = the honest marker."""
+    g = random_connected_graph(16, 26, seed=6)
+    honest = labels_for_claimed_tree(g, kruskal_mst(g))
+    res = run_reject_instance(g, honest.labels, synchronous=True,
+                              max_rounds=900)
+    assert not res.detected, res.alarms
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_detects_random_corruption(seed):
+    g = random_connected_graph(16, 26, seed=seed + 20)
+
+    def inject(net, inj):
+        inj.corrupt_random_nodes(1, fraction=0.5)
+
+    res = run_detection(g, inject, synchronous=True,
+                        max_rounds=MAX_ROUNDS, seed=seed)
+    assert res.detected
+    assert res.rounds_to_detection is not None
+
+
+def test_detects_piece_weight_lie():
+    """Corrupting a stored piece's claimed minimum weight must surface
+    through the trains (AGREE or C1/C2)."""
+    g = random_connected_graph(16, 26, seed=31)
+
+    def inject(net, inj):
+        for v in net.graph.nodes():
+            pieces = net.registers[v].get(R.REG_PIECES_TOP) or ()
+            if pieces:
+                z, lvl, w = pieces[0]
+                new = ((z, lvl, (w or 0) + 1),) + tuple(pieces[1:])
+                inj.corrupt_register(v, R.REG_PIECES_TOP, new)
+                return
+        raise AssertionError("no stored piece found")
+
+    res = run_detection(g, inject, synchronous=True, max_rounds=MAX_ROUNDS)
+    assert res.detected
+
+
+def test_detects_piece_root_lie():
+    g = random_connected_graph(16, 26, seed=32)
+
+    def inject(net, inj):
+        for v in net.graph.nodes():
+            pieces = net.registers[v].get(R.REG_PIECES_BOT) or ()
+            if pieces:
+                z, lvl, w = pieces[0]
+                new = ((z + 1, lvl, w),) + tuple(pieces[1:])
+                inj.corrupt_register(v, R.REG_PIECES_BOT, new)
+                return
+        raise AssertionError("no stored piece found")
+
+    res = run_detection(g, inject, synchronous=True, max_rounds=MAX_ROUNDS)
+    assert res.detected
+
+
+def test_detects_erased_pieces():
+    """Erasing a node's stored pieces starves the part (train cycle
+    misses levels or carries the wrong count)."""
+    g = random_connected_graph(16, 26, seed=33)
+
+    def inject(net, inj):
+        for v in net.graph.nodes():
+            if net.registers[v].get(R.REG_PIECES_TOP):
+                inj.corrupt_register(v, R.REG_PIECES_TOP, ())
+                return
+
+    res = run_detection(g, inject, synchronous=True, max_rounds=MAX_ROUNDS)
+    assert res.detected
+
+
+def test_detects_scrambled_node():
+    g = random_connected_graph(14, 20, seed=34)
+
+    def inject(net, inj):
+        inj.scramble_node(net.graph.nodes()[3])
+
+    res = run_detection(g, inject, synchronous=True, max_rounds=MAX_ROUNDS)
+    assert res.detected
+
+
+def test_dynamic_train_state_corruption_self_heals():
+    """Corrupting the train *mechanics* (pipeline pointers, rotation
+    accounting) on a correct instance must not produce an alarm — the
+    trains self-stabilize (Observation 8.1).  Corrupting pieces in
+    transit (the broadcast buffers) is a detectable fault per Section 8
+    and is exercised by the other tests."""
+    from repro.sim.schedulers import SynchronousScheduler
+    from repro.verification import make_network
+    from repro.verification.verifier import MstVerifierProtocol
+
+    g = random_connected_graph(12, 18, seed=35)
+    network = make_network(g)
+    protocol = MstVerifierProtocol(synchronous=True)
+    sched = SynchronousScheduler(network, protocol)
+    sched.run(400)
+    assert not network.alarms()
+    mech = ("out", "src", "cyc", "done", "act", "tak", "bseq",
+            "seen", "last", "cnt", "sync", "wd", "bad")
+    for v in g.nodes()[:3]:
+        regs = network.registers[v]
+        for prefix in ("tt_", "bt_"):
+            for name in mech:
+                if prefix + name in regs:
+                    regs[prefix + name] = 1
+    sched.run(900)
+    assert not network.alarms(), network.alarms()
+
+
+def test_detection_distance_local():
+    """Theorem 8.5: detection within the O(f log n) locality."""
+    import math
+    g = random_connected_graph(24, 40, seed=36)
+
+    def inject(net, inj):
+        inj.corrupt_random_nodes(1, fraction=0.5)
+
+    res = run_detection(g, inject, synchronous=True, max_rounds=MAX_ROUNDS,
+                        seed=4)
+    assert res.detected
+    if res.detection_distance is not None:
+        bound = 4 * (1 + math.ceil(math.log2(g.n)))
+        assert res.detection_distance <= bound

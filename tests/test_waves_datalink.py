@@ -1,0 +1,110 @@
+"""Wave&Echo (Section 2.3) and the data-link emulation (Section 2.2)."""
+
+import pytest
+
+from repro.graphs.generators import path_graph, random_connected_graph
+from repro.graphs.mst_reference import kruskal_mst
+from repro.graphs.spanning import RootedTree
+from repro.sim.datalink import run_data_link
+from repro.sim.schedulers import RandomDaemon, RoundRobinDaemon
+from repro.sim.waves import (count_command, min_command, or_command,
+                             run_ttl_count, run_wave_echo, sum_command)
+
+
+def make_tree(n=20, seed=0):
+    g = random_connected_graph(n, n + 10, seed=seed)
+    return RootedTree.from_edges(g, kruskal_mst(g), g.nodes()[0])
+
+
+class TestWaveEcho:
+    def test_count(self):
+        tree = make_tree()
+        res = run_wave_echo(tree, count_command())
+        assert res.value == tree.graph.n
+
+    def test_sum(self):
+        tree = make_tree(seed=1)
+        values = {v: v * 2 + 1 for v in tree.nodes()}
+        res = run_wave_echo(tree, sum_command(values))
+        assert res.value == sum(values.values())
+
+    def test_or_true_and_false(self):
+        tree = make_tree(seed=2)
+        flags = {v: False for v in tree.nodes()}
+        assert run_wave_echo(tree, or_command(flags)).value is False
+        flags[tree.nodes()[7]] = True
+        assert run_wave_echo(tree, or_command(flags)).value is True
+
+    def test_min(self):
+        tree = make_tree(seed=3)
+        values = {v: 100 - v for v in tree.nodes()}
+        res = run_wave_echo(tree, min_command(values))
+        assert res.value == min(values.values())
+
+    def test_round_cost_is_two_heights(self):
+        g = path_graph(12, seed=4)
+        tree = RootedTree.from_edges(g, set(g.edge_set()), 0)
+        res = run_wave_echo(tree, count_command())
+        assert res.rounds <= 2 * tree.height() + 4
+        assert res.rounds >= tree.height()
+
+    def test_single_node(self):
+        g = path_graph(1)
+        tree = RootedTree(g, 0, {0: None})
+        assert run_wave_echo(tree, count_command()).value == 1
+
+
+class TestTtlWave:
+    def test_full_count_when_ttl_exceeds_height(self):
+        tree = make_tree(seed=5)
+        res = run_ttl_count(tree, ttl=tree.height() + 1)
+        assert res.value == tree.graph.n
+
+    def test_ttl_truncates_at_depth(self):
+        g = path_graph(10, seed=6)
+        tree = RootedTree.from_edges(g, set(g.edge_set()), 0)
+        res = run_ttl_count(tree, ttl=3)
+        assert res.value == 4  # the root plus three more hops
+
+    def test_ttl_zero_counts_root_only(self):
+        tree = make_tree(seed=7)
+        assert run_ttl_count(tree, ttl=0).value == 1
+
+    def test_count_size_decision(self):
+        """SYNC_MST's activity rule: |F| <= 2^(i+1)-1 iff the TTL count
+        returns the exact size."""
+        tree = make_tree(n=13, seed=8)
+        for phase in range(5):
+            bound = 2 ** (phase + 1) - 1
+            counted = run_ttl_count(tree, ttl=bound).value
+            if counted <= bound:
+                assert counted == tree.graph.n or counted == bound
+
+
+class TestDataLink:
+    def test_in_order_exactly_once(self):
+        g = path_graph(2, seed=9)
+        run = run_data_link(g, 0, 1, ["a", "b", "c", "d"],
+                            daemon=RoundRobinDaemon())
+        assert run.delivered == ["a", "b", "c", "d"]
+
+    def test_random_daemon_delivery(self):
+        g = path_graph(3, seed=10)
+        msgs = list(range(10))
+        run = run_data_link(g, 1, 2, msgs, daemon=RandomDaemon(seed=3))
+        assert run.delivered == msgs
+
+    @pytest.mark.parametrize("tog,ack", [(1, 0), (2, 1), (0, 2), (2, 2)])
+    def test_self_stabilizes_from_corrupt_toggles(self, tog, ack):
+        """At most one stale delivery, then the exact stream."""
+        g = path_graph(2, seed=11)
+        msgs = ["m1", "m2", "m3"]
+        run = run_data_link(g, 0, 1, msgs, daemon=RoundRobinDaemon(),
+                            corrupt_toggles=(tog, ack))
+        assert run.delivered[-3:] == msgs
+        assert len(run.delivered) <= len(msgs) + 1
+
+    def test_requires_adjacency(self):
+        g = path_graph(3, seed=12)
+        with pytest.raises(ValueError):
+            run_data_link(g, 0, 2, ["x"])

@@ -1,0 +1,210 @@
+"""The 1-round static checks (Section 5): complete on marker output,
+sound against targeted corruption of each condition."""
+
+import pytest
+
+from repro.graphs.generators import (caterpillar_graph,
+                                     random_connected_graph, star_graph)
+from repro.labels import registers as R
+from repro.labels.views import StaticView, all_views
+from repro.labels.wellforming import (check_endp_parents, check_jmask_delim,
+                                      check_partitions, check_roots_string,
+                                      check_size, check_spanning_tree,
+                                      level_is_bottom, log_threshold,
+                                      sorted_levels, static_check)
+from repro.verification import run_marker
+
+
+@pytest.fixture(scope="module")
+def instance():
+    g = random_connected_graph(26, 44, seed=13)
+    return g, run_marker(g)
+
+
+def fresh_labels(marker):
+    return {v: dict(regs) for v, regs in marker.labels.items()}
+
+
+def failures(graph, labels):
+    out = {}
+    for view in all_views(graph, labels):
+        bad = static_check(view)
+        if bad:
+            out[view.node] = bad
+    return out
+
+
+class TestCompleteness:
+    def test_marker_labels_pass(self, instance):
+        g, marker = instance
+        assert failures(g, marker.labels) == {}
+
+    @pytest.mark.parametrize("make", [
+        lambda: star_graph(17, seed=3),
+        lambda: caterpillar_graph(6, 3, seed=4),
+        lambda: random_connected_graph(12, 40, seed=5),
+    ])
+    def test_marker_labels_pass_other_families(self, make):
+        g = make()
+        marker = run_marker(g)
+        assert failures(g, marker.labels) == {}
+
+
+class TestSoundness:
+    """Each targeted corruption must be detected by some node."""
+
+    def _assert_detected(self, instance, mutate):
+        g, marker = instance
+        labels = fresh_labels(marker)
+        mutate(g, labels)
+        assert failures(g, labels), "corruption went undetected"
+
+    def test_wrong_parent_pointer(self, instance):
+        def mutate(g, labels):
+            v = next(u for u in g.nodes()
+                     if labels[u][R.REG_PARENT_ID] is not None)
+            other = next(u for u in g.neighbors(v)
+                         if u != labels[v][R.REG_PARENT_ID])
+            labels[v][R.REG_PARENT_ID] = other
+        self._assert_detected(instance, mutate)
+
+    def test_wrong_distance(self, instance):
+        def mutate(g, labels):
+            labels[g.nodes()[5]][R.REG_DIST] += 1
+        self._assert_detected(instance, mutate)
+
+    def test_wrong_n(self, instance):
+        def mutate(g, labels):
+            labels[g.nodes()[0]][R.REG_N] += 1
+        self._assert_detected(instance, mutate)
+
+    def test_globally_wrong_n(self, instance):
+        def mutate(g, labels):
+            for v in g.nodes():
+                labels[v][R.REG_N] += 1
+        self._assert_detected(instance, mutate)
+
+    def test_wrong_ell(self, instance):
+        def mutate(g, labels):
+            labels[g.nodes()[3]][R.REG_ELL] += 1
+        self._assert_detected(instance, mutate)
+
+    def test_rs0_one_after_zero(self, instance):
+        def mutate(g, labels):
+            v = next(u for u in g.nodes() if "0" in labels[u][R.REG_ROOTS])
+            s = labels[v][R.REG_ROOTS]
+            i = s.index("0")
+            labels[v][R.REG_ROOTS] = s[:i] + "0" + "1" * (len(s) - i - 1)
+        self._assert_detected(instance, mutate)
+
+    def test_rs3_no_singleton(self, instance):
+        def mutate(g, labels):
+            v = g.nodes()[7]
+            s = labels[v][R.REG_ROOTS]
+            labels[v][R.REG_ROOTS] = "0" + s[1:]
+        self._assert_detected(instance, mutate)
+
+    def test_rs1_wrong_length(self, instance):
+        def mutate(g, labels):
+            v = g.nodes()[2]
+            labels[v][R.REG_ROOTS] = labels[v][R.REG_ROOTS] + "0"
+        self._assert_detected(instance, mutate)
+
+    def test_rs5_member_without_parent_fragment(self, instance):
+        def mutate(g, labels):
+            # make some node a member at a level its parent lacks
+            for v in g.nodes():
+                s = labels[v][R.REG_ROOTS]
+                p = labels[v][R.REG_PARENT_ID]
+                if p is None:
+                    continue
+                ps = labels[p][R.REG_ROOTS]
+                for j, c in enumerate(s):
+                    if c == "*" and ps[j] == "*":
+                        labels[v][R.REG_ROOTS] = s[:j] + "0" + s[j + 1:]
+                        return
+            pytest.skip("no suitable gap level")
+        self._assert_detected(instance, mutate)
+
+    def test_eps_star_mismatch(self, instance):
+        def mutate(g, labels):
+            v = next(u for u in g.nodes() if "*" in labels[u][R.REG_ENDP])
+            s = labels[v][R.REG_ENDP]
+            i = s.index("*")
+            labels[v][R.REG_ENDP] = s[:i] + "n" + s[i + 1:]
+        self._assert_detected(instance, mutate)
+
+    def test_eps_two_endpoints(self, instance):
+        def mutate(g, labels):
+            # turn a 'none' into a second 'up' inside some fragment
+            for v in g.nodes():
+                s = labels[v][R.REG_ENDP]
+                roots = labels[v][R.REG_ROOTS]
+                for j, c in enumerate(s):
+                    if c == "n" and roots[j] == "0" \
+                            and labels[v][R.REG_PARENT_ID] is not None:
+                        labels[v][R.REG_ENDP] = s[:j] + "u" + s[j + 1:]
+                        return
+            pytest.skip("no suitable member level")
+        self._assert_detected(instance, mutate)
+
+    def test_orendp_corruption(self, instance):
+        def mutate(g, labels):
+            v = g.nodes()[4]
+            t = list(labels[v][R.REG_ORENDP])
+            t[0] = (t[0] + 1) % 3
+            labels[v][R.REG_ORENDP] = tuple(t)
+        self._assert_detected(instance, mutate)
+
+    def test_jmask_mismatch(self, instance):
+        def mutate(g, labels):
+            labels[g.nodes()[6]][R.REG_JMASK] ^= 1
+        self._assert_detected(instance, mutate)
+
+    def test_partition_dist_corruption(self, instance):
+        def mutate(g, labels):
+            v = next(u for u in g.nodes()
+                     if labels[u][R.REG_TOP_DIST] > 0)
+            labels[v][R.REG_TOP_DIST] += 1
+        self._assert_detected(instance, mutate)
+
+    def test_partition_bound_too_large(self, instance):
+        def mutate(g, labels):
+            n = g.n
+            for v in g.nodes():
+                labels[v][R.REG_TOP_BOUND] = 100 * log_threshold(n)
+        self._assert_detected(instance, mutate)
+
+    def test_piece_count_disagreement(self, instance):
+        def mutate(g, labels):
+            v = next(u for u in g.nodes()
+                     if labels[u][R.REG_PARENT_ID] is not None
+                     and labels[labels[u][R.REG_PARENT_ID]][R.REG_TOP_ROOT]
+                     == labels[u][R.REG_TOP_ROOT])
+            labels[v][R.REG_TOP_COUNT] += 1
+        self._assert_detected(instance, mutate)
+
+    def test_malformed_pieces(self, instance):
+        def mutate(g, labels):
+            labels[g.nodes()[1]][R.REG_PIECES_TOP] = ("garbage",)
+        self._assert_detected(instance, mutate)
+
+
+class TestHelpers:
+    def test_log_threshold(self):
+        assert log_threshold(1) == 1
+        assert log_threshold(2) == 1
+        assert log_threshold(3) == 2
+        assert log_threshold(16) == 4
+        assert log_threshold(17) == 5
+
+    def test_sorted_levels(self):
+        assert sorted_levels(0b10110) == [1, 2, 4]
+        assert sorted_levels(0) == []
+
+    def test_level_is_bottom(self):
+        jmask = 0b10110
+        assert level_is_bottom(jmask, 2, 1) is True
+        assert level_is_bottom(jmask, 2, 2) is True
+        assert level_is_bottom(jmask, 2, 4) is False
+        assert level_is_bottom(jmask, 2, 0) is None
