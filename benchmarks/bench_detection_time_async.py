@@ -3,56 +3,59 @@
 Two series: (a) asynchronous detection rounds vs n at bounded degree;
 (b) the Delta-scaling at fixed n — the Want mechanism serves neighbours
 sequentially, so detection grows with the degree.
+
+Expressed as one campaign over both series: bounded-degree topologies x
+the stored-piece minimality lie x the permutation daemon.
 """
 
 from conftest import report
 
 from repro.analysis import format_table, is_sublinear
-from repro.graphs.generators import bounded_degree_graph
-from repro.labels import registers as R
-from repro.sim import PermutationDaemon
-from repro.verification import run_detection
+from repro.engine import CampaignRunner, ScenarioSpec, axis, derive_seed
 
 SIZES = (16, 32, 64)
 DEGREES = (3, 6, 12)
 FIXED_N = 48
+SEED = 2
 
 
-from conftest import lie_about_used_piece as lie_about_piece
+def _spec(n, degree, max_rounds, salt):
+    return ScenarioSpec(
+        topology=axis("bounded_degree", n=n, degree=degree),
+        fault=axis("piece_lie"),
+        schedule=axis("permutation"),
+        protocol=axis("verifier", static_every=4),
+        seed=derive_seed(SEED, salt, n, degree),
+        max_rounds=max_rounds,
+    )
 
 
-def measure_n_series():
-    rows, pts = [], []
-    for n in SIZES:
-        g = bounded_degree_graph(n, 4, seed=8)
-        res = run_detection(g, lie_about_piece, synchronous=False,
-                            daemon=PermutationDaemon(seed=2),
-                            max_rounds=150_000, static_every=4, seed=1)
-        assert res.detected
-        rows.append([n, g.max_degree(), res.rounds_to_detection])
-        pts.append((n, max(1, res.rounds_to_detection)))
-    return rows, pts
-
-
-def measure_degree_series():
-    rows = []
-    for d in DEGREES:
-        g = bounded_degree_graph(FIXED_N, d, seed=9)
-        res = run_detection(g, lie_about_piece, synchronous=False,
-                            daemon=PermutationDaemon(seed=3),
-                            max_rounds=200_000, static_every=4, seed=1)
-        assert res.detected
-        rows.append([FIXED_N, g.max_degree(), res.rounds_to_detection])
-    return rows
+def measure():
+    n_specs = [_spec(n, 4, 150_000, "n_series") for n in SIZES]
+    d_specs = [_spec(FIXED_N, d, 200_000, "degree_series")
+               for d in DEGREES]
+    campaign = CampaignRunner().run(n_specs + d_specs)
+    rows_n, pts, rows_d = [], [], []
+    for spec, res in zip(n_specs + d_specs, campaign):
+        assert res.ok and res.detected, (spec.key, res.violation)
+        degree = spec.topology.get("degree")
+        row = [res.n, degree, res.rounds_to_detection]
+        if spec in n_specs:
+            rows_n.append(row)
+            pts.append((res.n, max(1, res.rounds_to_detection)))
+        else:
+            rows_d.append(row)
+    return rows_n, pts, rows_d
 
 
 def test_detection_time_async(once):
-    (rows_n, pts), rows_d = once(lambda: (measure_n_series(),
-                                          measure_degree_series()))
+    rows_n, pts, rows_d = once(measure)
     xs = [p[0] for p in pts]
     ys = [p[1] for p in pts]
-    table_n = format_table(["n", "Delta", "async detection rounds"], rows_n)
-    table_d = format_table(["n", "Delta", "async detection rounds"], rows_d)
+    table_n = format_table(["n", "degree cap", "async detection rounds"],
+                           rows_n)
+    table_d = format_table(["n", "degree cap", "async detection rounds"],
+                           rows_d)
     body = ("scaling with n (bounded degree):\n" + table_n +
             "\n\nscaling with Delta (fixed n = %d):\n" % FIXED_N + table_d +
             "\n\npaper shape: O(Delta log^3 n) — sublinear in n, "

@@ -5,34 +5,33 @@ corrupted (a minimality lie — only the train comparisons can catch it,
 the hardest fault class).  The rounds until the first alarm must grow
 polylogarithmically with n, far below the Theta(n) of the
 verification-by-recomputation baseline.
+
+Expressed as a campaign: one ``detection_time_campaign`` spec per n,
+executed by the engine (in parallel where the hardware allows).
 """
 
 from conftest import report
 
 from repro.analysis import fit_power_law, format_table, is_sublinear
 from repro.baselines import recompute_checker_metrics
-from repro.graphs.generators import random_connected_graph
-from repro.labels import registers as R
-from repro.verification import run_detection
+from repro.engine import CampaignRunner, detection_time_campaign, graph_for
 
 SIZES = (32, 64, 128, 256)
 
 
-from conftest import lie_about_used_piece as lie_about_piece
-
-
 def measure():
+    specs = detection_time_campaign(SIZES, synchronous=True, seed=1,
+                                    static_every=4, max_rounds=60_000)
+    campaign = CampaignRunner().run(specs)
     rows = []
     pts = []
-    for n in SIZES:
-        g = random_connected_graph(n, 2 * n, seed=7)
-        res = run_detection(g, lie_about_piece, synchronous=True,
-                            max_rounds=60_000, static_every=4, seed=1)
-        assert res.detected
-        recompute = recompute_checker_metrics(g)["detection_rounds"]
-        rows.append([n, res.rounds_to_detection, recompute,
+    for spec, res in zip(specs, campaign):
+        assert res.ok and res.detected, (spec.key, res.violation)
+        recompute = recompute_checker_metrics(
+            graph_for(spec))["detection_rounds"]
+        rows.append([res.n, res.rounds_to_detection, recompute,
                      res.max_memory_bits])
-        pts.append((n, res.rounds_to_detection))
+        pts.append((res.n, res.rounds_to_detection))
     return rows, pts
 
 

@@ -2,7 +2,8 @@
 
 Measures the maximum per-node register footprint (labels + verifier
 working state) across n, against the O(log^2 n) growth of the 1-PLS
-baseline's piece tables.
+baseline's piece tables — one ``memory_campaign`` spec per (n,
+protocol) cell.
 """
 
 import math
@@ -10,27 +11,28 @@ import math
 from conftest import report
 
 from repro.analysis import format_table
-from repro.baselines import sqlog_labels
-from repro.graphs.generators import random_connected_graph
-from repro.sim import Network
-from repro.verification import run_completeness
+from repro.engine import CampaignRunner, axis, memory_campaign
 
 SIZES = (16, 64, 256, 1024)
 
 
 def measure():
+    specs = memory_campaign(
+        SIZES,
+        protocols=(axis("verifier", static_every=4), axis("sqlog")),
+        seed=18, rounds=4)
+    campaign = CampaignRunner().run(specs)
+    bits = {}
+    for r in campaign:
+        assert r.ok, (r.spec.key, r.violation)
+        bits[(r.n, r.spec.protocol.kind)] = r.max_memory_bits
     rows = []
     for n in SIZES:
-        g = random_connected_graph(n, 2 * n, seed=18)
-        res = run_completeness(g, rounds=4, synchronous=True,
-                               static_every=4)
-        sq = Network(g)
-        sq.install(sqlog_labels(g))
         lg = math.ceil(math.log2(n))
-        rows.append([n, lg, res.max_memory_bits,
-                     round(res.max_memory_bits / lg, 1),
-                     sq.max_memory_bits(),
-                     round(sq.max_memory_bits() / (lg * lg), 1)])
+        kkm = bits[(n, "verifier")]
+        sq = bits[(n, "sqlog")]
+        rows.append([n, lg, kkm, round(kkm / lg, 1),
+                     sq, round(sq / (lg * lg), 1)])
     return rows
 
 

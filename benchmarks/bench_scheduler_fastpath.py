@@ -1,0 +1,88 @@
+"""E13 — the fast-path synchronous scheduler (dirty-set snapshot +
+quiescence skip) vs the naive lock-step loop.
+
+Two 500-node verifier workloads:
+
+* **quiescent** — the 1-round PLS verifier accepts a correct instance
+  and stops writing; the naive scheduler still re-checks all 500 nodes
+  every round, while the fast path steps each node once, detects global
+  quiescence, and fast-forwards.  This must be >= 2x faster (it is
+  orders of magnitude faster); the differential test
+  (tests/test_scheduler_equivalence.py) proves the traces identical.
+* **patrolling** — the full train verifier's registers churn every
+  round *by design* (the trains rotate pieces forever: that is how the
+  paper buys O(log n) memory), so the quiescence skip can never fire
+  and only the snapshot bookkeeping differs.  We report the measured
+  ratio to document that the fast path costs nothing on the workload
+  it cannot accelerate.
+"""
+
+import time
+
+from conftest import report
+
+from repro.analysis import format_table
+from repro.baselines.pls_sqlog import SqLogPlsProtocol, sqlog_labels
+from repro.graphs.generators import random_connected_graph
+from repro.sim import Network, SynchronousScheduler
+from repro.verification import make_network
+from repro.verification.verifier import MstVerifierProtocol
+
+N = 500
+QUIESCENT_ROUNDS = 160
+PATROL_ROUNDS = 24
+
+
+def _timed(network, protocol, fast, rounds):
+    sched = SynchronousScheduler(network, protocol, fast_path=fast)
+    start = time.perf_counter()
+    executed = sched.run(rounds)
+    elapsed = time.perf_counter() - start
+    assert executed == rounds
+    assert not network.alarms()
+    return elapsed
+
+
+def measure():
+    g = random_connected_graph(N, int(1.8 * N), seed=21)
+    labels = sqlog_labels(g)
+    quiescent = {}
+    for fast in (False, True):
+        net = Network(g)
+        net.install(labels)
+        quiescent[fast] = _timed(net, SqLogPlsProtocol(), fast,
+                                 QUIESCENT_ROUNDS)
+    patrolling = {}
+    for fast in (False, True):
+        net = make_network(g)
+        proto = MstVerifierProtocol(synchronous=True, static_every=4)
+        patrolling[fast] = _timed(net, proto, fast, PATROL_ROUNDS)
+    return quiescent, patrolling
+
+
+def test_scheduler_fastpath(once):
+    quiescent, patrolling = once(measure)
+    q_speedup = quiescent[False] / quiescent[True]
+    p_speedup = patrolling[False] / patrolling[True]
+    rows = [
+        ["quiescent (1-round PLS accept)", QUIESCENT_ROUNDS,
+         f"{quiescent[False]:.3f}", f"{quiescent[True]:.3f}",
+         f"{q_speedup:.1f}x"],
+        ["patrolling (train verifier)", PATROL_ROUNDS,
+         f"{patrolling[False]:.3f}", f"{patrolling[True]:.3f}",
+         f"{p_speedup:.2f}x"],
+    ]
+    table = format_table(
+        ["workload (n = %d)" % N, "rounds", "naive s", "fast s",
+         "speedup"], rows)
+    body = (table +
+            "\n\nquiescent runs fast-forward (the >= 2x bar is cleared "
+            "by orders of magnitude); the patrolling train verifier "
+            "rewrites registers every round by design, so the fast path "
+            "can only match the naive loop there (ratio ~1x documents "
+            "that its bookkeeping is free).")
+    assert q_speedup >= 2.0, (quiescent, "fast path must win >= 2x on a "
+                              "quiescent 500-node verifier run")
+    assert p_speedup >= 0.8, (patrolling, "fast path must not regress "
+                              "the always-churning workload")
+    report("E13", "fast-path synchronous scheduler", body)

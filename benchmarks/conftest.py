@@ -23,25 +23,9 @@ def report(experiment_id: str, title: str, body: str) -> str:
     return text
 
 
-def lie_about_used_piece(net, inj):
-    """Increase the claimed minimum-outgoing weight of a stored piece
-    whose fragment is guaranteed to be observed.
-
-    Bottom-partition pieces describe fragments contained in the storing
-    part, so their members rotate past the lie every cycle; a corrupted
-    *top* piece can be dead data when its fragment does not intersect the
-    storing part (the parts store whole ancestor chains — see
-    Section 6.3.7), which would be correctly accepted.
-    """
-    for reg in ("pc_bot", "pc_top"):
-        for v in net.graph.nodes():
-            pieces = net.registers[v].get(reg) or ()
-            if pieces:
-                z, lvl, w = pieces[0]
-                inj.corrupt_register(
-                    v, reg, ((z, lvl, (w or 0) + 1),) + tuple(pieces[1:]))
-                return
-    raise AssertionError("no stored piece found")
+# the canonical recipe lives next to the other adversaries; benches
+# import it from here for historical reasons
+from repro.verification.adversary import lie_about_used_piece  # noqa: F401,E402
 
 
 @pytest.fixture

@@ -13,12 +13,26 @@ navigating the subsystem packages:
 >>> result = verify(g, marker.labels, rounds=300)
 >>> result.detected
 False
+
+Experiments at scale go through the campaign engine (also re-exported
+here): declare a scenario grid once, run it in parallel, aggregate —
+instead of writing another bespoke harness script:
+
+>>> from repro.core import axis, grid, run_campaign
+>>> specs = grid(topologies=[axis("random", n=16, extra=12)],
+...              faults=[axis("none"), axis("scramble", count=1)],
+...              schedules=[axis("sync"), axis("permutation")], seed=3)
+>>> campaign = run_campaign(specs, workers=1)
+>>> campaign.violations()
+[]
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+from ..engine import (Axis, CampaignResult, CampaignRunner, ScenarioResult,
+                      ScenarioSpec, axis, grid, run_campaign, run_scenario)
 from ..graphs.weighted import NodeId, WeightedGraph
 from ..mst.sync_mst import SyncMstResult, run_sync_mst
 from ..selfstab.sst_mst import SelfStabMstResult, run_self_stabilizing_mst
@@ -62,4 +76,7 @@ __all__ = [
     "construct_mst", "label_instance", "verify", "self_stabilizing_mst",
     "MstVerifierProtocol", "SyncMstResult", "MarkerOutput",
     "DetectionResult", "SelfStabMstResult",
+    # campaign engine facade
+    "Axis", "ScenarioSpec", "ScenarioResult", "CampaignResult",
+    "CampaignRunner", "axis", "grid", "run_campaign", "run_scenario",
 ]

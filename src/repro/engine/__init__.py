@@ -1,0 +1,44 @@
+"""Scenario campaign engine: declarative, seeded, parallel experiments.
+
+Turns the ad-hoc benchmark scripts into campaigns: a
+:class:`ScenarioSpec` pins one experiment (topology x fault x
+scheduler/daemon x protocol, one seed), :func:`grid` expands axis lists
+into a sweep, and :class:`CampaignRunner` fans the sweep out over worker
+processes and aggregates structured :class:`ScenarioResult` objects into
+a :class:`CampaignResult`.
+
+>>> from repro.engine import axis, grid, run_campaign
+>>> specs = grid(topologies=[axis("random", n=12, extra=8)],
+...              faults=[axis("none"), axis("corrupt", count=1)],
+...              schedules=[axis("sync")], seed=7)
+>>> result = run_campaign(specs, workers=1)
+>>> [r.violation for r in result]
+[None, None]
+
+``python -m repro.engine`` runs the CI smoke campaign.
+"""
+
+from .campaigns import (detection_distance_campaign,
+                        detection_time_campaign, memory_campaign,
+                        smoke_campaign, soundness_completeness_matrix)
+from .runner import CampaignResult, CampaignRunner, run_campaign
+from .scenarios import (FAULTS, PROTOCOLS, SCHEDULES, TOPOLOGIES,
+                        FaultEntry, ProtocolEntry, ScenarioError,
+                        ScenarioResult, clear_instance_cache, graph_for,
+                        register_fault, register_protocol,
+                        register_schedule, register_topology,
+                        run_scenario, spec_is_satisfiable)
+from .spec import Axis, ScenarioSpec, axis, derive_seed, grid
+
+__all__ = [
+    "Axis", "ScenarioSpec", "axis", "derive_seed", "grid",
+    "ScenarioError", "ScenarioResult", "run_scenario",
+    "spec_is_satisfiable", "clear_instance_cache", "graph_for",
+    "FAULTS", "PROTOCOLS", "SCHEDULES", "TOPOLOGIES",
+    "FaultEntry", "ProtocolEntry",
+    "register_fault", "register_protocol", "register_schedule",
+    "register_topology",
+    "CampaignResult", "CampaignRunner", "run_campaign",
+    "detection_time_campaign", "detection_distance_campaign",
+    "memory_campaign", "smoke_campaign", "soundness_completeness_matrix",
+]

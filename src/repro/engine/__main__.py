@@ -1,0 +1,58 @@
+"""``python -m repro.engine`` — run a campaign from the command line.
+
+Defaults to the CI smoke campaign (a <=30s cross-section exercising
+every axis); ``--matrix`` runs the full soundness/completeness matrix.
+Exits non-zero on any completeness/soundness violation or scenario
+error, so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .campaigns import smoke_campaign, soundness_completeness_matrix
+from .runner import CampaignRunner
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine",
+        description="Run a scenario campaign and report violations.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: cpu count)")
+    parser.add_argument("--matrix", action="store_true",
+                        help="run the full soundness/completeness matrix "
+                             "instead of the smoke campaign")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-scenario progress lines")
+    args = parser.parse_args(argv)
+
+    if args.matrix:
+        specs = soundness_completeness_matrix(seed=args.seed)
+    else:
+        specs = smoke_campaign(seed=args.seed)
+
+    def progress(done, total, result):
+        if args.quiet:
+            return
+        status = "ok" if result.ok else (result.violation or "?")
+        print(f"[{done:3d}/{total}] {result.spec.key}: {status} "
+              f"({result.wall_time:.2f}s)", flush=True)
+
+    runner = CampaignRunner(workers=args.workers)
+    result = runner.run(specs, progress=progress)
+    print()
+    print(result.summary())
+    return 1 if result.violations() else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) went away: exit like a
+        # SIGPIPE'd unix tool instead of spraying a traceback
+        sys.exit(141)

@@ -1,0 +1,143 @@
+"""Predefined campaigns: the paper's experiments as declarative specs.
+
+Each builder returns a list of :class:`ScenarioSpec` that a
+:class:`~repro.engine.runner.CampaignRunner` executes; the benchmarks
+under ``benchmarks/`` are thin wrappers over these, so a new experiment
+axis (another topology, daemon, or fault recipe) is one registry entry
+plus one list here — not another bespoke script.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .scenarios import spec_is_satisfiable
+from .spec import Axis, ScenarioSpec, axis, derive_seed, grid
+
+
+def detection_time_campaign(sizes: Sequence[int],
+                            synchronous: bool = True,
+                            seed: int = 0,
+                            static_every: int = 4,
+                            extra_factor: float = 2.0,
+                            max_rounds: int = 200_000) -> List[ScenarioSpec]:
+    """Detection time vs n for the hardest fault class (a stored-piece
+    minimality lie), Theorem 8.5's E1/E2 workload."""
+    schedule = axis("sync") if synchronous else axis("permutation")
+    return [
+        ScenarioSpec(
+            topology=axis("random", n=n, extra=int(extra_factor * n)),
+            fault=axis("piece_lie"),
+            schedule=schedule,
+            protocol=axis("verifier", static_every=static_every),
+            seed=derive_seed(seed, "detection_time", n),
+            max_rounds=max_rounds,
+        )
+        for n in sizes
+    ]
+
+
+def detection_distance_campaign(n: int,
+                                fault_counts: Sequence[int],
+                                trials: int = 3,
+                                seed: int = 0,
+                                fraction: float = 0.6,
+                                static_every: int = 2,
+                                max_rounds: int = 40_000
+                                ) -> List[ScenarioSpec]:
+    """Detection distance vs the number of scrambled nodes f (E3)."""
+    specs = []
+    for f in fault_counts:
+        for trial in range(trials):
+            specs.append(ScenarioSpec(
+                topology=axis("random", n=n, extra=int(1.6 * n)),
+                fault=axis("corrupt", count=f, fraction=fraction),
+                schedule=axis("sync"),
+                protocol=axis("verifier", static_every=static_every),
+                seed=derive_seed(seed, "detection_distance", f, trial),
+                max_rounds=max_rounds,
+            ))
+    return specs
+
+
+def memory_campaign(sizes: Sequence[int],
+                    protocols: Iterable[Axis] = (axis("verifier",
+                                                      static_every=4),
+                                                 axis("sqlog")),
+                    seed: int = 0,
+                    rounds: int = 4) -> List[ScenarioSpec]:
+    """Per-node memory footprint vs n, per protocol (E6b): a few quiet
+    rounds on a correct instance, then read the register accounting.
+
+    All protocols at a given n share one ``topology_seed``, so the
+    cross-protocol ratio compares footprints on the *same* graph
+    instance (the paired comparison the paper's table makes).
+    """
+    return [
+        ScenarioSpec(
+            topology=axis("random", n=n, extra=2 * n),
+            fault=axis("none"),
+            schedule=axis("sync"),
+            protocol=proto,
+            seed=derive_seed(seed, "memory", n, str(proto)),
+            topology_seed=derive_seed(seed, "memory-instance", n),
+            completeness_rounds=rounds,
+        )
+        for n in sizes
+        for proto in protocols
+    ]
+
+
+def soundness_completeness_matrix(seed: int = 0,
+                                  topologies: Optional[Sequence[Axis]] = None,
+                                  faults: Optional[Sequence[Axis]] = None,
+                                  schedules: Optional[Sequence[Axis]] = None,
+                                  settle_rounds: Optional[int] = None,
+                                  max_rounds: Optional[int] = None,
+                                  completeness_rounds: Optional[int] = None
+                                  ) -> List[ScenarioSpec]:
+    """The randomized test matrix: topology x fault x daemon, one seed.
+
+    Completeness must hold on every ``none`` cell (no alarm on legal
+    labelings) and soundness on every faulty cell (detection within the
+    budget).  ``tests/test_campaign_matrix.py`` sweeps this grid.
+    """
+    if topologies is None:
+        topologies = (
+            axis("random", n=14, extra=10),
+            axis("path", n=12),
+            axis("star", n=12),
+            axis("grid", rows=3, cols=4),
+        )
+    if faults is None:
+        faults = (
+            axis("none"),
+            axis("corrupt", count=1, fraction=0.6),
+            axis("scramble", count=3),
+            axis("label_swap"),
+        )
+    if schedules is None:
+        schedules = (
+            axis("sync"),
+            axis("round_robin"),
+            axis("permutation"),
+            axis("slow_nodes", count=2, slowdown=3),
+        )
+    specs = grid(topologies, faults, schedules, seed=seed,
+                 settle_rounds=settle_rounds, max_rounds=max_rounds,
+                 completeness_rounds=completeness_rounds)
+    return [s for s in specs if spec_is_satisfiable(s)]
+
+
+def smoke_campaign(seed: int = 0) -> List[ScenarioSpec]:
+    """A <=30s cross-section for CI: every axis exercised at least once."""
+    specs = grid(
+        topologies=(axis("random", n=10, extra=6), axis("ring", n=8)),
+        faults=(axis("none"), axis("corrupt", count=1, fraction=0.6),
+                axis("label_swap")),
+        schedules=(axis("sync"), axis("permutation")),
+        seed=seed,
+        completeness_rounds=200,
+        max_rounds=4_000,
+    )
+    return [s for s in specs if spec_is_satisfiable(s)]

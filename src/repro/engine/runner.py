@@ -1,0 +1,172 @@
+"""Campaign execution: fan scenarios out over processes, aggregate.
+
+``CampaignRunner.run`` takes any iterable of
+:class:`~repro.engine.spec.ScenarioSpec` (typically from
+:func:`~repro.engine.spec.grid` or a builder in
+:mod:`repro.engine.campaigns`), executes every scenario — in-process
+when ``workers <= 1``, over a ``multiprocessing`` pool otherwise — and
+returns a :class:`CampaignResult` that keeps the results aligned with
+the input specs and answers the campaign-level questions: which
+scenarios violated completeness or soundness, how detection time and
+memory distribute per axis value, and how long the sweep took.
+
+A scenario that raises is converted into a ``ScenarioResult`` carrying
+the error string, so one broken spec never aborts a sweep.
+
+Runtime-registered axis kinds (``register_topology`` etc.) live in the
+parent process's registries; workers inherit them only under the
+``fork`` start method (the Linux default).  Under ``spawn``
+(macOS/Windows default) put the registrations in an importable module
+that runs at import time, or use ``workers=1`` — registered builders
+are arbitrary callables (often lambdas), so they cannot be shipped to
+spawn workers with the spec.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from .scenarios import ScenarioResult, run_scenario
+from .spec import ScenarioSpec
+
+
+def _run_one(spec: ScenarioSpec) -> ScenarioResult:
+    """Worker entry point: never raises (module-level for pickling)."""
+    try:
+        return run_scenario(spec)
+    except Exception as exc:  # noqa: BLE001 - campaign must survive
+        detail = traceback.format_exc(limit=2).strip().splitlines()[-1]
+        return ScenarioResult(
+            spec=spec, error=f"{type(exc).__name__}: {exc} [{detail}]")
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All scenario results of one campaign, in spec order."""
+
+    results: Tuple[ScenarioResult, ...]
+    wall_time: float
+    workers: int
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+    # -- campaign-level verdicts ---------------------------------------
+    def violations(self) -> List[ScenarioResult]:
+        """Scenarios that falsified completeness/soundness or errored."""
+        return [r for r in self.results if not r.ok]
+
+    def completeness_violations(self) -> List[ScenarioResult]:
+        return [r for r in self.results
+                if r.violation == "completeness"]
+
+    def soundness_violations(self) -> List[ScenarioResult]:
+        return [r for r in self.results if r.violation == "soundness"]
+
+    def errors(self) -> List[ScenarioResult]:
+        return [r for r in self.results if r.error is not None]
+
+    # -- aggregation ----------------------------------------------------
+    def by(self, role: str) -> Dict[str, List[ScenarioResult]]:
+        """Group results by one axis (``"topology"``, ``"fault"``,
+        ``"schedule"``, ``"protocol"``)."""
+        groups: Dict[str, List[ScenarioResult]] = {}
+        for r in self.results:
+            groups.setdefault(str(getattr(r.spec, role)), []).append(r)
+        return groups
+
+    def rows(self, *fields: str) -> List[List]:
+        """Extract result attributes as table rows (benchmark plumbing)."""
+        return [[getattr(r, f) for f in fields] for r in self.results]
+
+    def summary(self) -> str:
+        """A human-readable campaign report."""
+        from ..analysis import format_table
+        lines = [
+            f"{len(self.results)} scenarios in {self.wall_time:.1f}s "
+            f"({self.workers} worker(s)); "
+            f"{len(self.violations())} violation(s), "
+            f"{len(self.errors())} error(s)",
+        ]
+        rows = []
+        for key, group in sorted(self.by("fault").items()):
+            detected = sum(1 for r in group if r.detected)
+            times = [r.rounds_to_detection for r in group
+                     if r.rounds_to_detection is not None]
+            rows.append([
+                key, len(group), detected,
+                max(times) if times else "-",
+                max(r.max_memory_bits for r in group),
+                sum(1 for r in group if not r.ok),
+            ])
+        lines.append(format_table(
+            ["fault", "runs", "detected", "worst detection rounds",
+             "max memory bits", "violations"], rows))
+        bad = self.violations()
+        if bad:
+            lines.append("violating scenarios:")
+            lines.extend(f"  {r.spec.key} seed={r.spec.seed}: "
+                         f"{r.violation}" for r in bad[:10])
+        return "\n".join(lines)
+
+
+class CampaignRunner:
+    """Expands nothing, assumes nothing: runs the specs it is given.
+
+    ``workers=None`` picks ``min(len(specs), cpu_count)``; ``workers=1``
+    (or a single spec) runs inline, which keeps tracebacks pristine and
+    lets the per-process instance cache accumulate across campaigns.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 mp_context: Optional[str] = None) -> None:
+        self.workers = workers
+        self.mp_context = mp_context
+
+    def run(self, specs: Iterable[ScenarioSpec],
+            progress: Optional[Callable[[int, int, ScenarioResult],
+                                        None]] = None) -> CampaignResult:
+        spec_list = list(specs)
+        workers = self.workers
+        if workers is None:
+            workers = min(len(spec_list), os.cpu_count() or 1) or 1
+        start = time.perf_counter()
+        results: List[ScenarioResult]
+        if workers <= 1 or len(spec_list) <= 1:
+            workers = 1
+            results = []
+            for i, spec in enumerate(spec_list):
+                r = _run_one(spec)
+                results.append(r)
+                if progress is not None:
+                    progress(i + 1, len(spec_list), r)
+        else:
+            ctx = multiprocessing.get_context(self.mp_context)
+            chunksize = max(1, len(spec_list) // (4 * workers))
+            with ctx.Pool(processes=workers) as pool:
+                results = []
+                for i, r in enumerate(pool.imap(_run_one, spec_list,
+                                                chunksize=chunksize)):
+                    results.append(r)
+                    if progress is not None:
+                        progress(i + 1, len(spec_list), r)
+        return CampaignResult(results=tuple(results),
+                              wall_time=time.perf_counter() - start,
+                              workers=workers)
+
+
+def run_campaign(specs: Iterable[ScenarioSpec],
+                 workers: Optional[int] = None) -> CampaignResult:
+    """One-call convenience: ``CampaignRunner(workers).run(specs)``."""
+    return CampaignRunner(workers=workers).run(specs)

@@ -1,0 +1,507 @@
+"""Scenario execution: registries for every axis, and ``run_scenario``.
+
+Each axis of a :class:`~repro.engine.spec.ScenarioSpec` resolves against
+a registry in this module:
+
+* :data:`TOPOLOGIES` — graph families (``random``, ``path``, ``star``,
+  ``ring``, ``grid``, ``caterpillar``, ``tree``, ``geometric``);
+* :data:`FAULTS` — fault recipes, either *injection* recipes applied to
+  a settled network (``corrupt``, ``scramble``, ``piece_lie``) or
+  *labeling* adversaries installed from a cold start (``label_swap``),
+  plus ``none`` for completeness runs;
+* :data:`SCHEDULES` — the synchronous scheduler or an asynchronous
+  daemon (``sync``, ``round_robin``, ``permutation``, ``random``,
+  ``slow_nodes``);
+* :data:`PROTOCOLS` — the verifier under test (``verifier``, ``hybrid``,
+  ``sqlog``).
+
+New axis values register with :func:`register_topology`,
+:func:`register_fault`, :func:`register_schedule`, or
+:func:`register_protocol`; campaign definitions then name them like any
+built-in.  Instances (graph + honest marker) are memoized per process,
+so campaign workers amortize marker construction across the scenarios
+that share a topology.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from random import Random
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..baselines.pls_sqlog import SqLogPlsProtocol, sqlog_labels
+from ..graphs.generators import (bounded_degree_graph, caterpillar_graph,
+                                 grid_graph, path_graph,
+                                 random_connected_graph,
+                                 random_geometric_graph, random_tree,
+                                 ring_graph, star_graph)
+from ..graphs.mst_reference import kruskal_mst
+from ..graphs.weighted import NodeId, WeightedGraph
+from ..sim.faults import FaultInjector, detection_distance
+from ..sim.network import Network, Protocol, first_alarm
+from ..sim.schedulers import (AsynchronousScheduler, PermutationDaemon,
+                              RandomDaemon, RoundRobinDaemon,
+                              SlowNodesDaemon, SynchronousScheduler)
+from ..trains.budgets import Budgets, compute_budgets
+from ..trains.comparison import rotation_settled
+from ..verification.adversary import (labels_for_claimed_tree,
+                                      lie_about_used_piece,
+                                      swap_one_mst_edge)
+from ..verification.hybrid import HybridVerifierProtocol, hybrid_labels
+from ..verification.marker import MarkerOutput, run_marker
+from ..verification.verifier import MstVerifierProtocol
+from .spec import Axis, ScenarioSpec
+
+
+class ScenarioError(ValueError):
+    """A spec that cannot be executed (unknown kind, bad parameters)."""
+
+
+# ---------------------------------------------------------------------------
+# topology registry
+# ---------------------------------------------------------------------------
+
+TOPOLOGIES: Dict[str, Callable[..., WeightedGraph]] = {}
+
+
+def register_topology(kind: str,
+                      build: Callable[..., WeightedGraph]) -> None:
+    """Register ``build(seed=..., **params) -> WeightedGraph``."""
+    TOPOLOGIES[kind] = build
+
+
+register_topology(
+    "random", lambda seed, n=16, extra=None: random_connected_graph(
+        n, (2 * n) if extra is None else extra, seed=seed))
+register_topology("path", lambda seed, n=16: path_graph(n, seed=seed))
+register_topology("star", lambda seed, n=12: star_graph(n, seed=seed))
+register_topology("ring", lambda seed, n=12: ring_graph(n, seed=seed))
+register_topology(
+    "grid", lambda seed, rows=4, cols=4: grid_graph(rows, cols, seed=seed))
+register_topology(
+    "caterpillar", lambda seed, spine=4, legs=2: caterpillar_graph(
+        spine, legs, seed=seed))
+register_topology("tree", lambda seed, n=16: random_tree(n, seed=seed))
+register_topology(
+    "geometric", lambda seed, n=24, radius=0.35: random_geometric_graph(
+        n, radius, seed=seed))
+register_topology(
+    "bounded_degree", lambda seed, n=16, degree=4: bounded_degree_graph(
+        n, degree, seed=seed))
+
+
+# ---------------------------------------------------------------------------
+# protocol registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ProtocolEntry:
+    """How to build a protocol and its labels, and when it is settled."""
+
+    make: Callable[[bool, dict], Protocol]
+    #: rewrite a (possibly adversarial) marker output into this
+    #: protocol's label assignment.
+    labels: Callable[[WeightedGraph, MarkerOutput], Dict[NodeId, dict]]
+    #: steady-state predicate for the settle phase (None: rely on the
+    #: settle budget alone).
+    settled: Optional[Callable[[Network], bool]] = None
+
+
+PROTOCOLS: Dict[str, ProtocolEntry] = {}
+
+
+def register_protocol(kind: str, entry: ProtocolEntry) -> None:
+    PROTOCOLS[kind] = entry
+
+
+def _no_params(kind: str, params: dict) -> None:
+    """Axis kinds without parameters must reject them loudly — a typo'd
+    or misplaced parameter silently running with defaults would poison a
+    whole sweep."""
+    if params:
+        raise ScenarioError(
+            f"{kind!r} accepts no parameters, got {sorted(params)}")
+
+
+def _make_sqlog(synchronous: bool, params: dict) -> Protocol:
+    _no_params("sqlog", params)
+    return SqLogPlsProtocol()
+
+
+register_protocol("verifier", ProtocolEntry(
+    make=lambda synchronous, params: MstVerifierProtocol(
+        synchronous=synchronous, **params),
+    labels=lambda graph, marker: marker.labels,
+    settled=rotation_settled,
+))
+register_protocol("hybrid", ProtocolEntry(
+    make=lambda synchronous, params: HybridVerifierProtocol(
+        synchronous=synchronous, **params),
+    labels=lambda graph, marker: hybrid_labels(marker),
+    settled=rotation_settled,
+))
+register_protocol("sqlog", ProtocolEntry(
+    make=_make_sqlog,
+    labels=lambda graph, marker: sqlog_labels(graph, marker.hierarchy),
+    settled=None,
+))
+
+
+# ---------------------------------------------------------------------------
+# schedule registry
+# ---------------------------------------------------------------------------
+
+#: kind -> (is_synchronous, factory(network, protocol, params, seed))
+SCHEDULES: Dict[str, Tuple[bool, Callable[..., Any]]] = {}
+
+
+def register_schedule(kind: str, synchronous: bool,
+                      factory: Callable[..., Any]) -> None:
+    SCHEDULES[kind] = (synchronous, factory)
+
+
+def _make_sync(net: Network, proto: Protocol, params: dict, seed: int):
+    params = dict(params)
+    fast_path = params.pop("fast_path", True)
+    _no_params("sync", params)
+    return SynchronousScheduler(net, proto, fast_path=fast_path)
+
+
+def _slow_nodes_daemon(network: Network, params: dict, seed: int):
+    params = dict(params)
+    count = params.pop("count", 2)
+    slowdown = params.pop("slowdown", 3)
+    _no_params("slow_nodes", params)
+    nodes = network.graph.nodes()
+    slow = Random(seed).sample(nodes, min(count, len(nodes)))
+    return SlowNodesDaemon(slow, slowdown, seed=seed)
+
+
+def _make_round_robin(net, proto, params, seed):
+    _no_params("round_robin", params)
+    return AsynchronousScheduler(net, proto, RoundRobinDaemon())
+
+
+def _make_permutation(net, proto, params, seed):
+    _no_params("permutation", params)
+    return AsynchronousScheduler(net, proto, PermutationDaemon(seed=seed))
+
+
+def _make_random(net, proto, params, seed):
+    _no_params("random", params)
+    return AsynchronousScheduler(net, proto, RandomDaemon(seed=seed))
+
+
+def _make_slow_nodes(net, proto, params, seed):
+    return AsynchronousScheduler(net, proto,
+                                 _slow_nodes_daemon(net, params, seed))
+
+
+register_schedule("sync", True, _make_sync)
+register_schedule("round_robin", False, _make_round_robin)
+register_schedule("permutation", False, _make_permutation)
+register_schedule("random", False, _make_random)
+register_schedule("slow_nodes", False, _make_slow_nodes)
+
+
+# ---------------------------------------------------------------------------
+# fault registry
+# ---------------------------------------------------------------------------
+
+MODE_NONE = "none"
+MODE_INJECT = "inject"
+MODE_LABELING = "labeling"
+
+
+@dataclass(frozen=True)
+class FaultEntry:
+    """A fault recipe: its mode and how to apply it."""
+
+    mode: str
+    #: injection recipes: apply(network, injector, params) after settling.
+    inject: Optional[Callable[[Network, FaultInjector, dict], None]] = None
+    #: labeling recipes: marker(graph, params, seed) -> adversarial
+    #: MarkerOutput installed from a cold start.
+    marker: Optional[Callable[[WeightedGraph, dict, int],
+                              MarkerOutput]] = None
+
+
+FAULTS: Dict[str, FaultEntry] = {}
+
+
+def register_fault(kind: str, entry: FaultEntry) -> None:
+    FAULTS[kind] = entry
+
+
+def _inject_corrupt(net: Network, inj: FaultInjector, params: dict) -> None:
+    inj.corrupt_random_nodes(params.get("count", 1),
+                             fraction=params.get("fraction", 0.5))
+
+
+def _inject_scramble(net: Network, inj: FaultInjector,
+                     params: dict) -> None:
+    nodes = net.graph.nodes()
+    for v in inj.rng.sample(nodes, min(params.get("count", 1), len(nodes))):
+        inj.scramble_node(v)
+
+
+def _inject_piece_lie(net: Network, inj: FaultInjector,
+                      params: dict) -> None:
+    """The stored-piece minimality lie (the hardest detectable fault
+    class: only the train comparisons can catch it)."""
+    try:
+        lie_about_used_piece(net, inj)
+    except LookupError as exc:
+        raise ScenarioError(str(exc)) from None
+
+
+def _label_swap_marker(graph: WeightedGraph, params: dict,
+                       seed: int) -> MarkerOutput:
+    wrong = swap_one_mst_edge(graph, kruskal_mst(graph))
+    if wrong is None:
+        raise ScenarioError(
+            "label_swap needs a non-tree edge (tree topologies have a "
+            "unique spanning tree)")
+    return labels_for_claimed_tree(graph, wrong)
+
+
+#: topology kinds that generate trees (no non-tree edge to swap in).
+TREE_TOPOLOGY_KINDS = {"path", "star", "tree", "caterpillar"}
+
+
+def spec_is_satisfiable(spec: ScenarioSpec) -> bool:
+    """Whether the axis combination is meaningful at all.
+
+    ``label_swap`` swaps an MST edge for a non-tree edge, which tree
+    topologies do not have; grid builders drop such cells instead of
+    reporting them as scenario errors.
+    """
+    return not (spec.fault.kind == "label_swap"
+                and spec.topology.kind in TREE_TOPOLOGY_KINDS)
+
+
+register_fault("none", FaultEntry(mode=MODE_NONE))
+register_fault("corrupt", FaultEntry(mode=MODE_INJECT,
+                                     inject=_inject_corrupt))
+register_fault("scramble", FaultEntry(mode=MODE_INJECT,
+                                      inject=_inject_scramble))
+register_fault("piece_lie", FaultEntry(mode=MODE_INJECT,
+                                       inject=_inject_piece_lie))
+register_fault("label_swap", FaultEntry(mode=MODE_LABELING,
+                                        marker=_label_swap_marker))
+
+
+# ---------------------------------------------------------------------------
+# instance cache (per process)
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=256)
+def _graph_for(topo: Axis, seed: int) -> WeightedGraph:
+    try:
+        build = TOPOLOGIES[topo.kind]
+    except KeyError:
+        raise ScenarioError(f"unknown topology kind {topo.kind!r}") from None
+    return build(seed=seed, **topo.param_dict())
+
+
+@lru_cache(maxsize=128)
+def _honest_marker(topo: Axis, seed: int) -> MarkerOutput:
+    return run_marker(_graph_for(topo, seed))
+
+
+@lru_cache(maxsize=128)
+def _adversarial_marker(topo: Axis, seed: int, flt: Axis,
+                        fault_seed: int) -> MarkerOutput:
+    graph = _graph_for(topo, seed)
+    return FAULTS[flt.kind].marker(graph, flt.param_dict(), fault_seed)
+
+
+def clear_instance_cache() -> None:
+    """Drop memoized graphs/markers (tests, long-lived workers)."""
+    _graph_for.cache_clear()
+    _honest_marker.cache_clear()
+    _adversarial_marker.cache_clear()
+
+
+def _topology_seed(spec: ScenarioSpec) -> int:
+    if spec.topology_seed is not None:
+        return spec.topology_seed
+    return spec.derived_seed("topology")
+
+
+def graph_for(spec: ScenarioSpec) -> WeightedGraph:
+    """The exact graph instance ``run_scenario(spec)`` executes on.
+
+    Public so benchmarks can compute baseline metrics on the same
+    instance without re-deriving the engine's seeding internally.
+    """
+    return _graph_for(spec.topology, _topology_seed(spec))
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+
+VIOLATION_COMPLETENESS = "completeness"
+VIOLATION_SOUNDNESS = "soundness"
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Structured outcome of one scenario (picklable, aggregatable)."""
+
+    spec: ScenarioSpec
+    n: int = 0
+    expected_detection: bool = False
+    detected: bool = False
+    #: alarm raised before the fault was even injected (a completeness
+    #: violation surfaced during the settle phase).
+    premature_alarm: bool = False
+    settle_rounds: int = 0
+    rounds_run: int = 0
+    rounds_to_detection: Optional[int] = None
+    detection_distance: Optional[int] = None
+    max_memory_bits: int = 0
+    total_memory_bits: int = 0
+    alarm_count: int = 0
+    alarm_reasons: Tuple[str, ...] = ()
+    faulty_nodes: Tuple[NodeId, ...] = ()
+    activations: Optional[int] = None
+    wall_time: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def violation(self) -> Optional[str]:
+        """Which paper property (if any) this scenario falsifies."""
+        if self.error is not None:
+            return self.error
+        if self.premature_alarm:
+            return VIOLATION_COMPLETENESS
+        if self.expected_detection and not self.detected:
+            return VIOLATION_SOUNDNESS
+        if not self.expected_detection and self.detected:
+            return VIOLATION_COMPLETENESS
+        return None
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+def _budgets_for(graph: WeightedGraph, synchronous: bool) -> Budgets:
+    return compute_budgets(graph.n, synchronous, degree=graph.max_degree())
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Execute one scenario and measure everything the paper cares about.
+
+    * ``none`` faults: install honest labels, run the completeness budget,
+      expect silence;
+    * labeling faults: install the adversarial labels from a cold start,
+      expect an alarm within the detection budget;
+    * injection faults: settle on honest labels (no alarm allowed), apply
+      the recipe, expect an alarm within the detection budget.
+    """
+    start = time.perf_counter()
+    try:
+        fault_entry = FAULTS[spec.fault.kind]
+    except KeyError:
+        raise ScenarioError(f"unknown fault kind {spec.fault.kind!r}") \
+            from None
+    try:
+        proto_entry = PROTOCOLS[spec.protocol.kind]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown protocol kind {spec.protocol.kind!r}") from None
+    try:
+        synchronous, sched_factory = SCHEDULES[spec.schedule.kind]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown schedule kind {spec.schedule.kind!r}") from None
+
+    topo_seed = _topology_seed(spec)
+    fault_seed = spec.derived_seed("fault")
+    daemon_seed = spec.derived_seed("daemon")
+
+    graph = _graph_for(spec.topology, topo_seed)
+    budgets = _budgets_for(graph, synchronous)
+    max_rounds = spec.max_rounds if spec.max_rounds is not None else (
+        budgets.settle + budgets.ask_alarm)
+
+    if fault_entry.mode == MODE_LABELING:
+        marker = _adversarial_marker(spec.topology, topo_seed, spec.fault,
+                                     fault_seed)
+    else:
+        marker = _honest_marker(spec.topology, topo_seed)
+
+    network = Network(graph)
+    network.install(proto_entry.labels(graph, marker))
+    protocol = proto_entry.make(synchronous, spec.protocol.param_dict())
+    scheduler = sched_factory(network, protocol, spec.schedule.param_dict(),
+                              daemon_seed)
+
+    settle_rounds = 0
+    faulty: Tuple[NodeId, ...] = ()
+    premature = False
+    detected = False
+    rounds_to_detection: Optional[int] = None
+    dist: Optional[int] = None
+
+    if fault_entry.mode == MODE_NONE:
+        rounds = spec.completeness_rounds
+        if rounds is None:
+            rounds = 3 * budgets.cycle + 60 if synchronous \
+                else budgets.cycle + 32
+        rounds_run = scheduler.run(rounds, stop_when=first_alarm)
+        detected = bool(network.alarms())
+        expected = False
+    elif fault_entry.mode == MODE_LABELING:
+        rounds_run = scheduler.run(max_rounds, stop_when=first_alarm)
+        detected = bool(network.alarms())
+        rounds_to_detection = rounds_run if detected else None
+        expected = True
+    else:
+        settle_budget = spec.settle_rounds if spec.settle_rounds is not None \
+            else budgets.settle
+        settle_rounds = scheduler.run(settle_budget,
+                                      stop_when=proto_entry.settled)
+        if network.alarms():
+            premature = True
+            detected = True
+            expected = True
+            rounds_run = settle_rounds
+        else:
+            injector = FaultInjector(network, seed=fault_seed)
+            fault_entry.inject(network, injector, spec.fault.param_dict())
+            faulty = tuple(injector.faulty_nodes)
+            rounds_run = scheduler.run(max_rounds, stop_when=first_alarm)
+            detected = bool(network.alarms())
+            rounds_to_detection = rounds_run if detected else None
+            dist = detection_distance(network, list(faulty))
+            expected = True
+
+    alarms = network.alarms()
+    return ScenarioResult(
+        spec=spec,
+        n=graph.n,
+        expected_detection=expected,
+        detected=detected,
+        premature_alarm=premature,
+        settle_rounds=settle_rounds,
+        rounds_run=rounds_run,
+        rounds_to_detection=rounds_to_detection,
+        detection_distance=dist,
+        max_memory_bits=network.max_memory_bits(),
+        total_memory_bits=network.total_memory_bits(),
+        alarm_count=len(alarms),
+        alarm_reasons=tuple(sorted(set(alarms.values()))[:3]),
+        faulty_nodes=faulty,
+        activations=getattr(scheduler, "activations", None),
+        wall_time=time.perf_counter() - start,
+    )

@@ -32,6 +32,7 @@ from ..graphs.weighted import NodeId, WeightedGraph
 from ..sim.network import Network, NodeContext, Protocol, first_alarm
 from ..sim.schedulers import (AsynchronousScheduler, Daemon,
                               SynchronousScheduler)
+from ..trains.comparison import rotation_settled
 
 REG_RESET_EPOCH = "rs_epoch"    # reset wave epoch (mod 64)
 RESET_MOD = 64
@@ -84,7 +85,7 @@ class ResetWaveProtocol(Protocol):
             regs = ctx.network.registers[ctx.node]
             for name in list(regs):
                 if name != REG_RESET_EPOCH and not name.startswith("_"):
-                    del regs[name]
+                    ctx.unset(name)
             ctx.set(REG_RESET_EPOCH, best % RESET_MOD)
 
 
@@ -161,10 +162,7 @@ class Resynchronizer:
                 for v, regs in self.network.registers.items()}
 
         def silent_and_steady(net: Network) -> bool:
-            if net.alarms():
-                return True
-            return all((regs.get("_rot") or 0) >= base[v] + 2
-                       for v, regs in net.registers.items())
+            return rotation_settled(net, min_rotations=2, base=base)
 
         rounds = self._run_protocol(protocol, max_rounds,
                                     stop_when=silent_and_steady)

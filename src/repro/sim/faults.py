@@ -59,10 +59,21 @@ class FaultInjector:
 
     def corrupt_register(self, node: NodeId, name: str,
                          value: Any = None) -> None:
-        """Set one register to ``value`` (or a random perturbation)."""
+        """Set one register to ``value`` (or a random perturbation).
+
+        Perturbation mode (``value=None``) requires the register to exist:
+        corrupting stored state must not *invent* registers the protocol
+        never wrote (an invented register silently changes the memory
+        accounting and can shadow a protocol default).  Pass an explicit
+        ``value`` to model an adversary that plants new state.
+        """
         regs = self.network.registers[node]
         if value is None:
-            value = _perturb_value(regs.get(name), self.rng)
+            if name not in regs:
+                raise KeyError(
+                    f"node {node!r} has no register {name!r} to perturb; "
+                    "pass an explicit value to plant new state")
+            value = _perturb_value(regs[name], self.rng)
         regs[name] = value
         self._mark(node)
 

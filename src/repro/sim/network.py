@@ -65,37 +65,57 @@ class Network:
         return sum(register_bits(regs) for regs in self.registers.values())
 
 
+_MISSING = object()
+
+
 class NodeContext:
     """Read/write access for one atomic step of one node.
 
     Own registers are read and written *live*; neighbour registers are read
     from ``snapshot`` (the previous round's state under the synchronous
     scheduler, the current state under asynchronous ones).
+
+    When ``dirty`` is given, the context records the node into it on the
+    first write that actually changes a register value — the fast-path
+    synchronous scheduler uses this to rebuild only the stale slice of its
+    snapshot and to skip re-stepping quiescent neighbourhoods.
     """
 
-    __slots__ = ("network", "node", "_snapshot", "_own")
+    __slots__ = ("network", "node", "_snapshot", "_own", "_dirty")
 
     def __init__(self, network: Network, node: NodeId,
-                 snapshot: Mapping[NodeId, Mapping[str, Any]]) -> None:
+                 snapshot: Mapping[NodeId, Mapping[str, Any]],
+                 dirty: Optional[set] = None) -> None:
         self.network = network
         self.node = node
         self._snapshot = snapshot
         self._own = network.registers[node]
+        self._dirty = dirty
 
     # -- own state ------------------------------------------------------
     def get(self, name: str, default: Any = None) -> Any:
         return self._own.get(name, default)
 
     def set(self, name: str, value: Any) -> None:
+        dirty = self._dirty
+        if dirty is not None and self.node not in dirty:
+            prev = self._own.get(name, _MISSING)
+            # the type check keeps equal-but-distinct writes (True -> 1)
+            # from silently going stale in the fast-path snapshot
+            if prev != value or type(prev) is not type(value):
+                dirty.add(self.node)
         self._own[name] = value
 
     def unset(self, name: str) -> None:
-        self._own.pop(name, None)
+        if name in self._own:
+            if self._dirty is not None:
+                self._dirty.add(self.node)
+            del self._own[name]
 
     def alarm(self, reason: str) -> None:
         """Raise (and latch) an alarm at this node."""
         if self._own.get(ALARM) is None:
-            self._own[ALARM] = reason
+            self.set(ALARM, reason)
 
     # -- neighbour state --------------------------------------------------
     def read(self, neighbor: NodeId, name: str, default: Any = None) -> Any:
@@ -119,7 +139,19 @@ class NodeContext:
 
 
 class Protocol:
-    """Base class for distributed protocols run by the schedulers."""
+    """Base class for distributed protocols run by the schedulers.
+
+    Contract required by the fast-path synchronous scheduler: ``step``
+    must be a *deterministic pure function* of the state visible through
+    its :class:`NodeContext` (own registers plus the neighbour snapshot),
+    and all register writes must go through the context API.  Randomness
+    belongs in daemons, fault injectors, and markers — not in ``step``.
+    Change detection treats ``==``-equal values of the same top-level
+    type as unchanged, so protocols must not rely on distinctions ``==``
+    cannot see (``(1, True)`` vs ``(1, 1)``, ``-0.0`` vs ``0.0``); the
+    repo convention of plain immutable register values already rules
+    these out.
+    """
 
     def init_node(self, ctx: NodeContext) -> None:  # pragma: no cover
         """Initialize working registers (default: nothing)."""

@@ -21,13 +21,41 @@ from .network import Network, NodeContext, Protocol, StopCondition
 
 
 class SynchronousScheduler:
-    """Lock-step rounds over a network (ideal time complexity)."""
+    """Lock-step rounds over a network (ideal time complexity).
 
-    def __init__(self, network: Network, protocol: Protocol) -> None:
+    By default the scheduler runs with a *fast path* that is bit-for-bit
+    equivalent to the naive lock-step loop (``fast_path=False``, and
+    proven so by ``tests/test_scheduler_equivalence.py``):
+
+    * **dirty-set snapshot** — instead of deep-copying every node's
+      register dict each round, only the dicts of nodes whose registers
+      actually changed last round are re-copied into the read snapshot;
+    * **quiescence skip** — a node whose closed neighbourhood's registers
+      were untouched last round would read exactly the inputs of its
+      previous step and, since ``Protocol.step`` must be a deterministic
+      function of the visible registers, rewrite exactly its current
+      state; such nodes are not re-stepped.  When *every* node is
+      quiescent the remaining rounds are fast-forwarded in O(1).
+
+    The fast path assumes (a) ``step`` is deterministic in the
+    ctx-visible state (all protocols in this repo are — randomness lives
+    in the daemons and fault injectors, not the protocols), (b) register
+    writes go through the :class:`NodeContext` API, and (c) ``stop_when``
+    is a pure function of the network state.  A protocol that overrides
+    ``on_round_end`` may mutate registers behind the dirty tracking, so
+    it silently falls back to the naive loop.  External register writes
+    (fault injection) between ``run()`` calls are always safe: every
+    ``run()`` starts from a full snapshot and a full step round.
+    """
+
+    def __init__(self, network: Network, protocol: Protocol,
+                 fast_path: bool = True) -> None:
         self.network = network
         self.protocol = protocol
         self.rounds = 0
         self._initialized = False
+        self.fast_path = bool(fast_path) and (
+            type(protocol).on_round_end is Protocol.on_round_end)
 
     def initialize(self) -> None:
         """Run ``init_node`` at every node (idempotent)."""
@@ -49,6 +77,8 @@ class SynchronousScheduler:
         becomes true.
         """
         self.initialize()
+        if self.fast_path:
+            return self._run_fast(max_rounds, stop_when)
         executed = 0
         for _ in range(max_rounds):
             snapshot = self._snapshot()
@@ -58,6 +88,57 @@ class SynchronousScheduler:
             executed += 1
             self.protocol.on_round_end(self.network, self.rounds)
             if stop_when is not None and stop_when(self.network):
+                break
+        return executed
+
+    def _run_fast(self, max_rounds: int,
+                  stop_when: Optional[StopCondition]) -> int:
+        network = self.network
+        protocol = self.protocol
+        nodes = network.graph.nodes()
+        neighbors = network.graph.neighbors
+        registers = network.registers
+        node_order = {v: i for i, v in enumerate(nodes)}
+        executed = 0
+        snapshot: dict = {}
+        # registers may have been rewritten externally since the last call
+        # (fault injection, resets): the first round re-snapshots and
+        # re-steps everything, exactly like the naive loop.
+        changed_prev: Optional[Set[NodeId]] = None
+        while executed < max_rounds:
+            if changed_prev is None:
+                snapshot = {v: dict(regs) for v, regs in registers.items()}
+                active: Sequence[NodeId] = nodes
+            else:
+                for v in changed_prev:
+                    snapshot[v] = dict(registers[v])
+                if not changed_prev:
+                    # global quiescence: every remaining round is a no-op
+                    # (and stop_when stayed false after the last change).
+                    self.rounds += max_rounds - executed
+                    return max_rounds
+                if len(changed_prev) == len(nodes):
+                    # full churn (e.g. the train verifier): skip the
+                    # stale-set construction entirely
+                    active = nodes
+                else:
+                    stale: Set[NodeId] = set()
+                    for u in changed_prev:
+                        stale.add(u)
+                        stale.update(neighbors(u))
+                    # O(|stale| log |stale|), not O(n): localized churn
+                    # must not pay a full-network scan every round
+                    active = (nodes if len(stale) >= len(nodes)
+                              else sorted(stale,
+                                          key=node_order.__getitem__))
+            changed: Set[NodeId] = set()
+            for v in active:
+                protocol.step(NodeContext(network, v, snapshot, changed))
+            self.rounds += 1
+            executed += 1
+            self.protocol.on_round_end(network, self.rounds)
+            changed_prev = changed
+            if stop_when is not None and stop_when(network):
                 break
         return executed
 
@@ -178,6 +259,9 @@ class AsynchronousScheduler:
                     self.rounds += 1
                     self._covered = set()
                     self.protocol.on_round_end(self.network, self.rounds)
-            if stop_when is not None and stop_when(self.network):
-                break
+                # activation granularity: a daemon handing out multi-node
+                # batches must not delay the stop past the activation that
+                # made it true.
+                if stop_when is not None and stop_when(self.network):
+                    return self.rounds - start_rounds
         return self.rounds - start_rounds

@@ -43,6 +43,26 @@ MODE_SYNC_WINDOW = "sync-window"
 MODE_WANT = "want"
 MODE_WANT_SIMPLE = "want-simple"
 
+
+def rotation_settled(network, min_rotations: int = 1,
+                     base: Optional[dict] = None) -> bool:
+    """Steady-state predicate over the ``_rot`` ghost instrumentation
+    written by :meth:`ComparisonComponent._advance`: every node has
+    completed ``min_rotations`` full Ask rotations (beyond its ``base``
+    count, when given), or some node already raised an alarm.
+
+    The single definition of "the verifier has settled" — the detection
+    harness, the campaign engine, and the self-stabilization transformer
+    all key off it.
+    """
+    if network.alarms():
+        return True
+    if base is None:
+        return all((regs.get("_rot") or 0) >= min_rotations
+                   for regs in network.registers.values())
+    return all((regs.get("_rot") or 0) >= base.get(v, 0) + min_rotations
+               for v, regs in network.registers.items())
+
 REG_ASK = "cmp_ask"          # the piece currently exposed for comparison
 REG_ASK_IDX = "cmp_idx"      # index into J(v) of the current level
 REG_ASK_WAIT = "cmp_wait"    # synchronous hold-down counter

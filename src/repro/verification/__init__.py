@@ -3,15 +3,16 @@ verifier protocol, adversarial labelings, and the detection harness."""
 
 from .marker import MarkerOutput, assemble_labels, run_marker
 from .verifier import MstVerifierProtocol
-from .adversary import (labels_for_claimed_tree, swap_one_mst_edge,
-                        tree_only_subgraph)
+from .adversary import (labels_for_claimed_tree, lie_about_used_piece,
+                        swap_one_mst_edge, tree_only_subgraph)
 from .detection import (DetectionResult, make_network, run_completeness,
                         run_detection, run_reject_instance)
 
 __all__ = [
     "MarkerOutput", "assemble_labels", "run_marker",
     "MstVerifierProtocol",
-    "labels_for_claimed_tree", "swap_one_mst_edge", "tree_only_subgraph",
+    "labels_for_claimed_tree", "lie_about_used_piece",
+    "swap_one_mst_edge", "tree_only_subgraph",
     "DetectionResult", "make_network", "run_completeness", "run_detection",
     "run_reject_instance",
 ]

@@ -85,3 +85,28 @@ def swap_one_mst_edge(graph: WeightedGraph,
         swapped.add(e)
         return swapped
     return None
+
+
+def lie_about_used_piece(network, injector) -> None:
+    """Increase the claimed minimum-outgoing weight of a stored piece
+    whose fragment is guaranteed to be observed — the hardest detectable
+    fault class (only the train comparisons can catch it).
+
+    Bottom-partition pieces describe fragments contained in the storing
+    part, so their members rotate past the lie every cycle; a corrupted
+    *top* piece can be dead data when its fragment does not intersect the
+    storing part (the parts store whole ancestor chains — see
+    Section 6.3.7), which would be correctly accepted.  Raises
+    ``LookupError`` when the labels store no pieces at all.
+    """
+    from ..labels import registers as R
+
+    for reg in (R.REG_PIECES_BOT, R.REG_PIECES_TOP):
+        for v in network.graph.nodes():
+            pieces = network.registers[v].get(reg) or ()
+            if pieces:
+                z, lvl, w = pieces[0]
+                injector.corrupt_register(
+                    v, reg, ((z, lvl, (w or 0) + 1),) + tuple(pieces[1:]))
+                return
+    raise LookupError("no stored piece found to corrupt")

@@ -21,6 +21,7 @@ from ..sim.faults import FaultInjector, detection_distance
 from ..sim.network import Network, first_alarm
 from ..sim.schedulers import (AsynchronousScheduler, Daemon,
                               SynchronousScheduler)
+from ..trains.comparison import rotation_settled
 from .marker import MarkerOutput, run_marker
 from .verifier import MstVerifierProtocol
 
@@ -99,14 +100,7 @@ def run_detection(graph: WeightedGraph,
         settle_rounds = budgets.settle
     # steady state: every node completed at least one full Ask rotation
     # (tracked by ghost instrumentation) or the settle budget elapsed.
-
-    def settled(net: Network) -> bool:
-        if net.alarms():
-            return True
-        return all((regs.get("_rot") or 0) >= 1
-                   for regs in net.registers.values())
-
-    sched.run(settle_rounds, stop_when=settled)
+    sched.run(settle_rounds, stop_when=rotation_settled)
     if network.alarms():
         raise AssertionError(
             f"verifier alarmed on a correct instance: {network.alarms()}")

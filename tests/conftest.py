@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite.
+
+``campaign_seed`` is the one knob behind every randomized sweep: the
+default is pinned so CI is deterministic, and ``REPRO_TEST_SEED=<int>``
+re-randomizes the whole matrix (topologies, fault sites, daemon
+schedules) in one move.  ``campaign_workers`` sizes the multiprocessing
+fan-out of campaign-driven tests (``REPRO_TEST_WORKERS`` overrides).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def campaign_seed() -> int:
+    return int(os.environ.get("REPRO_TEST_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def campaign_workers() -> int:
+    return int(os.environ.get("REPRO_TEST_WORKERS", "2"))

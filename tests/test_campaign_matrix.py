@@ -1,0 +1,85 @@
+"""The randomized soundness/completeness test matrix (Section 2.4).
+
+The paper's two properties are statistical over scenarios, so they are
+asserted over a seeded grid — topologies x fault recipes x
+schedulers/daemons — expressed *through* the campaign engine, which
+therefore gets exercised end to end (grid expansion, per-scenario seed
+derivation, multiprocessing fan-out, result aggregation):
+
+* **completeness** — on a legal labeling of the true MST, no scheduler
+  and no daemon ever produces an alarm;
+* **soundness** — every faulty cell (register corruption, node
+  scramble, or an adversarially labeled non-MST) is detected within the
+  scenario's round budget.
+
+The default seed is pinned for CI; set ``REPRO_TEST_SEED`` to sweep a
+fresh sample of the scenario space.
+"""
+
+import pytest
+
+from repro.engine import (CampaignRunner, run_scenario,
+                          soundness_completeness_matrix)
+
+
+@pytest.fixture(scope="module")
+def matrix_result(campaign_seed, campaign_workers):
+    specs = soundness_completeness_matrix(seed=campaign_seed)
+    assert len(specs) >= 48, "the matrix must stay a real sweep"
+    return CampaignRunner(workers=campaign_workers).run(specs)
+
+
+def test_matrix_is_a_real_grid(matrix_result):
+    """Every axis value appears; the grid is the cartesian product minus
+    only the unsatisfiable (label_swap on a tree) cells."""
+    topologies = matrix_result.by("topology")
+    faults = matrix_result.by("fault")
+    schedules = matrix_result.by("schedule")
+    assert len(topologies) == 4
+    assert len(faults) == 4
+    assert len(schedules) == 4
+    assert len(matrix_result) >= 48
+
+
+def test_no_scenario_errors(matrix_result):
+    errors = matrix_result.errors()
+    assert not errors, [(r.spec.key, r.error) for r in errors]
+
+
+def test_zero_completeness_violations(matrix_result):
+    """No false alarm on any legal labeling, under any daemon."""
+    bad = matrix_result.completeness_violations()
+    assert not bad, [(r.spec.key, r.alarm_reasons) for r in bad]
+
+
+def test_zero_soundness_violations(matrix_result):
+    """Every fault is detected within the scenario's round budget."""
+    bad = matrix_result.soundness_violations()
+    assert not bad, [(r.spec.key, r.rounds_run) for r in bad]
+
+
+def test_detection_is_measured(matrix_result):
+    """Faulty cells report detection time (and distance for injected
+    faults) so the matrix doubles as a Theorem 8.5 measurement sweep."""
+    for r in matrix_result:
+        if r.expected_detection and r.detected and not r.premature_alarm:
+            assert r.rounds_to_detection is not None
+            assert r.alarm_count >= 1
+        assert r.max_memory_bits > 0
+
+
+def test_scenarios_reproduce_from_their_spec(matrix_result):
+    """Any single cell re-runs bit-identically from its spec alone —
+    the engine's reproducibility contract (campaign seed -> scenario
+    seed -> every random choice)."""
+    sample = [r for r in matrix_result.results if r.detected][:2] + \
+             [r for r in matrix_result.results if not r.detected][:1]
+    assert sample
+    for original in sample:
+        rerun = run_scenario(original.spec)
+        assert rerun.detected == original.detected
+        assert rerun.rounds_to_detection == original.rounds_to_detection
+        assert rerun.settle_rounds == original.settle_rounds
+        assert rerun.alarm_count == original.alarm_count
+        assert rerun.max_memory_bits == original.max_memory_bits
+        assert rerun.faulty_nodes == original.faulty_nodes

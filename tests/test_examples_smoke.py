@@ -6,6 +6,7 @@ exercised by CI-style manual runs and the benchmark suite covers their
 content.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -13,12 +14,18 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = Path(__file__).resolve().parent.parent / "src"
 
 
 def run_example(name: str, timeout: int = 240) -> str:
+    # the examples import `repro`; pytest's own `pythonpath` setting does
+    # not reach subprocesses, so pass it explicitly
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / name)],
-        capture_output=True, text=True, timeout=timeout)
+        capture_output=True, text=True, timeout=timeout, env=env)
     assert proc.returncode == 0, proc.stderr[-2000:]
     return proc.stdout
 

@@ -172,3 +172,126 @@ class TestFaults:
         net.install({0: {"x": 1}})
         inj.corrupt_node(0)
         assert detection_distance(net, inj.faulty_nodes) is None
+
+    def test_perturbing_missing_register_refuses(self):
+        """Regression: perturbation mode must not invent registers on
+        nodes that never had them (it used to materialize the register
+        with value 0, silently changing the memory accounting)."""
+        net = Network(path_graph(2))
+        net.install({0: {"a": 1}})
+        inj = FaultInjector(net, seed=0)
+        with pytest.raises(KeyError):
+            inj.corrupt_register(0, "ghost_of_a_register")
+        assert "ghost_of_a_register" not in net.registers[0]
+        assert inj.faulty_nodes == []
+        # an explicit value still models an adversary planting new state
+        inj.corrupt_register(0, "planted", value=42)
+        assert net.registers[0]["planted"] == 42
+
+
+class TestAsyncStopGranularity:
+    def test_stop_checked_inside_multi_node_batches(self):
+        """Regression: a daemon handing out whole-network batches used to
+        run the entire batch past the activation that satisfied
+        ``stop_when``."""
+        from repro.sim import Daemon
+
+        class WholeNetworkDaemon(Daemon):
+            def next_batch(self, nodes):
+                return list(nodes)
+
+        class AlarmOnFirstStep(Protocol):
+            def step(self, ctx):
+                ctx.set("stepped", True)
+                ctx.alarm("first")
+
+        net = Network(path_graph(6))
+        sched = AsynchronousScheduler(net, AlarmOnFirstStep(),
+                                      WholeNetworkDaemon())
+        sched.run(3, stop_when=first_alarm)
+        assert sched.activations == 1
+        stepped = [v for v in net.graph.nodes()
+                   if net.registers[v].get("stepped")]
+        assert stepped == [net.graph.nodes()[0]]
+
+
+class TestFastPathScheduler:
+    """Unit-level checks of the dirty-set snapshot and quiescence skip
+    (the bit-for-bit contract lives in test_scheduler_equivalence.py)."""
+
+    def test_counter_protocol_matches_naive(self):
+        nets = {}
+        for fast in (False, True):
+            net = Network(ring_graph(5))
+            SynchronousScheduler(net, CounterProtocol(),
+                                 fast_path=fast).run(4)
+            nets[fast] = net.registers
+        assert nets[False] == nets[True]
+
+    def test_quiescent_protocol_fast_forwards(self):
+        class WriteOnce(Protocol):
+            def init_node(self, ctx):
+                ctx.set("x", 0)
+
+            def step(self, ctx):
+                if ctx.get("x") == 0:
+                    ctx.set("x", ctx.node + 1)
+
+        net = Network(path_graph(4))
+        sched = SynchronousScheduler(net, WriteOnce(), fast_path=True)
+        executed = sched.run(1000)
+        assert executed == 1000
+        assert sched.rounds == 1000
+        for v in net.graph.nodes():
+            assert net.registers[v]["x"] == v + 1
+
+    def test_custom_on_round_end_disables_fast_path(self):
+        class HookedCounter(CounterProtocol):
+            def on_round_end(self, network, round_index):
+                network.registers[0]["hooked"] = round_index
+
+        net = Network(ring_graph(4))
+        sched = SynchronousScheduler(net, HookedCounter(), fast_path=True)
+        assert not sched.fast_path
+        sched.run(3)
+        assert net.registers[0]["hooked"] == 3
+
+    def test_external_writes_between_runs_are_seen(self):
+        """After quiescence, registers rewritten from outside the context
+        API (fault injection) must be re-read on the next run()."""
+        class Mirror(Protocol):
+            def init_node(self, ctx):
+                ctx.set("seen", None)
+
+            def step(self, ctx):
+                left = min(ctx.neighbors)
+                val = ctx.read(left, "mark", 0)
+                if ctx.get("seen") != val:
+                    ctx.set("seen", val)
+
+        net = Network(ring_graph(4))
+        sched = SynchronousScheduler(net, Mirror(), fast_path=True)
+        sched.run(50)   # quiesces with seen == 0 everywhere
+        net.registers[0]["mark"] = 7
+        sched.run(50)
+        right_of_0 = max(v for v in net.graph.nodes()
+                         if min(net.graph.neighbors(v)) == 0)
+        assert net.registers[right_of_0]["seen"] == 7
+
+    def test_dirty_set_records_only_real_changes(self):
+        from repro.sim.network import NodeContext
+
+        net = Network(path_graph(2))
+        net.install({0: {"a": 1}, 1: {}})
+        dirty = set()
+        snapshot = {v: dict(r) for v, r in net.registers.items()}
+        ctx = NodeContext(net, 0, snapshot, dirty)
+        ctx.set("a", 1)          # no-op write
+        assert dirty == set()
+        ctx.set("a", 2)
+        assert dirty == {0}
+        dirty.clear()
+        ctx.unset("missing")     # removing nothing is not a change
+        assert dirty == set()
+        ctx.unset("a")
+        assert dirty == {0}
