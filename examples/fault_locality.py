@@ -47,8 +47,8 @@ def main() -> None:
 
 
 def _ctx(network, protocol):
-    from repro.sim.network import NodeContext
-    return NodeContext(network, network.graph.nodes()[0], network.registers)
+    # storage-matched context (the protocol may hold slot handles)
+    return network.local_context(network.graph.nodes()[0])
 
 
 if __name__ == "__main__":

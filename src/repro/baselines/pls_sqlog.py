@@ -143,13 +143,45 @@ def sqlog_check(view) -> List[str]:
 
 
 class SqLogPlsProtocol(Protocol):
-    """The 1-round verifier as a simulator protocol (detection time 1)."""
+    """The 1-round verifier as a simulator protocol (detection time 1).
+
+    The checks are written against the storage-agnostic name-based view
+    API, but declaring a schema still pays: the network's snapshots
+    become slot-list copies and alarm polling a slot load, and the
+    dirty-aware schedulers can skip re-checking quiescent (accepting)
+    nodes."""
+
+    def register_schema(self):
+        from ..sim.registers import ALARM, RegisterSchema
+        schema = RegisterSchema()
+        schema.declare(ALARM, "opaque", None)
+        R.declare_label_registers(schema)
+        schema.declare(REG_ALL_PIECES, "tuple", None, stable=True)
+        return schema
+
+    def bind_registers(self, compiled) -> None:
+        # the whole check is a pure function of the closed
+        # neighbourhood's labels: under register files it reruns only
+        # when the stable sentinel moves
+        self._slot_bound = compiled is not None
+        self._check_cache = {}
 
     def init_node(self, ctx: NodeContext) -> None:
+        if not hasattr(self, "_check_cache"):
+            self.bind_registers(None)
         ctx.set("alarm", None)
 
     def step(self, ctx: NodeContext) -> None:
-        reasons = sqlog_check(ctx)
+        if getattr(self, "_slot_bound", False):
+            sentinel = ctx.stable_sentinel()
+            ent = self._check_cache.get(ctx.node)
+            if ent is not None and ent[0] == sentinel:
+                reasons = ent[1]
+            else:
+                reasons = sqlog_check(ctx)
+                self._check_cache[ctx.node] = (sentinel, reasons)
+        else:
+            reasons = sqlog_check(ctx)
         if reasons:
             ctx.alarm(reasons[0])
 

@@ -18,10 +18,12 @@ a :class:`CampaignResult`.
 ``python -m repro.engine`` runs the CI smoke campaign.
 """
 
-from .campaigns import (detection_distance_campaign,
+from .campaigns import (adversarial_labeling_matrix,
+                        detection_distance_campaign,
                         detection_time_campaign, memory_campaign,
                         smoke_campaign, soundness_completeness_matrix)
-from .runner import CampaignResult, CampaignRunner, run_campaign
+from .runner import (CampaignResult, CampaignRunner, dump_jsonl,
+                     run_campaign, scenario_record)
 from .scenarios import (FAULTS, PROTOCOLS, SCHEDULES, TOPOLOGIES,
                         FaultEntry, ProtocolEntry, ScenarioError,
                         ScenarioResult, clear_instance_cache, graph_for,
@@ -39,6 +41,8 @@ __all__ = [
     "register_fault", "register_protocol", "register_schedule",
     "register_topology",
     "CampaignResult", "CampaignRunner", "run_campaign",
+    "dump_jsonl", "scenario_record",
+    "adversarial_labeling_matrix",
     "detection_time_campaign", "detection_distance_campaign",
     "memory_campaign", "smoke_campaign", "soundness_completeness_matrix",
 ]

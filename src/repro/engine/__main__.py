@@ -28,6 +28,10 @@ def main(argv=None) -> int:
                              "instead of the smoke campaign")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-scenario progress lines")
+    parser.add_argument("--out", metavar="RESULTS.jsonl", default=None,
+                        help="dump per-scenario results as JSON lines "
+                             "(one record per scenario; join on key+seed "
+                             "to compare runs across commits)")
     args = parser.parse_args(argv)
 
     if args.matrix:
@@ -46,6 +50,9 @@ def main(argv=None) -> int:
     result = runner.run(specs, progress=progress)
     print()
     print(result.summary())
+    if args.out:
+        written = result.dump_jsonl(args.out)
+        print(f"wrote {written} scenario record(s) to {args.out}")
     return 1 if result.violations() else 0
 
 

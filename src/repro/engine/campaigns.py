@@ -129,6 +129,37 @@ def soundness_completeness_matrix(seed: int = 0,
     return [s for s in specs if spec_is_satisfiable(s)]
 
 
+def adversarial_labeling_matrix(seed: int = 0,
+                                topologies: Optional[Sequence[Axis]] = None,
+                                schedules: Optional[Sequence[Axis]] = None,
+                                protocols: Optional[Sequence[Axis]] = None,
+                                max_rounds: Optional[int] = None
+                                ) -> List[ScenarioSpec]:
+    """``label_swap`` soundness across *all three* label formats.
+
+    The strongest consistent adversary labels a non-MST spanning tree as
+    if it were correct; only the minimality comparisons can expose it.
+    Each protocol consumes the adversarial marker output through its own
+    label rewriter — the train verifier's raw labels, the hybrid's
+    replicated bottom pieces, the sqlog baseline's full piece tables —
+    so this matrix closes the soundness coverage the single-protocol
+    matrix left open (ROADMAP item).
+    """
+    if topologies is None:
+        # non-tree topologies only: label_swap needs a non-tree edge
+        topologies = (
+            axis("random", n=14, extra=10),
+            axis("grid", rows=3, cols=4),
+        )
+    if schedules is None:
+        schedules = (axis("sync"), axis("permutation"))
+    if protocols is None:
+        protocols = (axis("verifier"), axis("hybrid"), axis("sqlog"))
+    specs = grid(topologies, (axis("label_swap"),), schedules, protocols,
+                 seed=seed, max_rounds=max_rounds)
+    return [s for s in specs if spec_is_satisfiable(s)]
+
+
 def smoke_campaign(seed: int = 0) -> List[ScenarioSpec]:
     """A <=30s cross-section for CI: every axis exercised at least once."""
     specs = grid(

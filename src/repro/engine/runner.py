@@ -24,15 +24,65 @@ spawn workers with the spec.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import time
 import traceback
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from .scenarios import ScenarioResult, run_scenario
 from .spec import ScenarioSpec
+
+
+def scenario_record(result: ScenarioResult) -> Dict[str, Any]:
+    """One scenario result as a flat JSON-serializable record.
+
+    The spec is recorded both as its compact ``key`` (the stable join
+    field for cross-commit trend comparisons) and as the exploded axis
+    kinds/params, so downstream tooling can group without re-parsing.
+    """
+    spec = result.spec
+    rec: Dict[str, Any] = {
+        "key": spec.key,
+        "seed": spec.seed,
+        "topology": str(spec.topology),
+        "fault": str(spec.fault),
+        "schedule": str(spec.schedule),
+        "protocol": str(spec.protocol),
+        "n": result.n,
+        "expected_detection": result.expected_detection,
+        "detected": result.detected,
+        "premature_alarm": result.premature_alarm,
+        "violation": result.violation,
+        "settle_rounds": result.settle_rounds,
+        "rounds_run": result.rounds_run,
+        "rounds_to_detection": result.rounds_to_detection,
+        "detection_distance": result.detection_distance,
+        "max_memory_bits": result.max_memory_bits,
+        "total_memory_bits": result.total_memory_bits,
+        "alarm_count": result.alarm_count,
+        "alarm_reasons": list(result.alarm_reasons),
+        "faulty_nodes": [str(v) for v in result.faulty_nodes],
+        "activations": result.activations,
+        "wall_time": round(result.wall_time, 6),
+        "error": result.error,
+    }
+    return rec
+
+
+def dump_jsonl(results: Iterable[ScenarioResult], path: str) -> int:
+    """Append-free JSONL dump: one record per scenario; returns count.
+
+    A campaign dumped on every benchmark commit gives a comparable
+    per-scenario trend series (join on ``key`` + ``seed``)."""
+    count = 0
+    with open(path, "w") as fh:
+        for r in results:
+            fh.write(json.dumps(scenario_record(r), sort_keys=True) + "\n")
+            count += 1
+    return count
 
 
 def _run_one(spec: ScenarioSpec) -> ScenarioResult:
@@ -89,6 +139,11 @@ class CampaignResult:
     def rows(self, *fields: str) -> List[List]:
         """Extract result attributes as table rows (benchmark plumbing)."""
         return [[getattr(r, f) for f in fields] for r in self.results]
+
+    def dump_jsonl(self, path: str) -> int:
+        """Persist every scenario result as one JSON line; returns the
+        number of records written (see :func:`dump_jsonl`)."""
+        return dump_jsonl(self.results, path)
 
     def summary(self) -> str:
         """A human-readable campaign report."""

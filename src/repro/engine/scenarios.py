@@ -162,11 +162,26 @@ def register_schedule(kind: str, synchronous: bool,
     SCHEDULES[kind] = (synchronous, factory)
 
 
+def _storage_flag(kind: str, params: dict) -> bool:
+    """Pop the ``storage`` schedule parameter: ``"schema"`` (default)
+    backs the network with the protocol's typed register file,
+    ``"dict"`` forces the legacy per-node dict store (the reference
+    representation the differential tests compare against)."""
+    storage = params.pop("storage", "schema")
+    if storage not in ("schema", "dict"):
+        raise ScenarioError(
+            f"{kind!r}: unknown storage {storage!r} "
+            "(expected 'schema' or 'dict')")
+    return storage == "schema"
+
+
 def _make_sync(net: Network, proto: Protocol, params: dict, seed: int):
     params = dict(params)
     fast_path = params.pop("fast_path", True)
+    use_schema = _storage_flag("sync", params)
     _no_params("sync", params)
-    return SynchronousScheduler(net, proto, fast_path=fast_path)
+    return SynchronousScheduler(net, proto, fast_path=fast_path,
+                                use_schema=use_schema)
 
 
 def _slow_nodes_daemon(network: Network, params: dict, seed: int):
@@ -179,24 +194,40 @@ def _slow_nodes_daemon(network: Network, params: dict, seed: int):
     return SlowNodesDaemon(slow, slowdown, seed=seed)
 
 
+def _async_flags(kind: str, params: dict) -> dict:
+    flags = {"use_schema": _storage_flag(kind, params),
+             "dirty_aware": params.pop("dirty_aware", True)}
+    return flags
+
+
 def _make_round_robin(net, proto, params, seed):
+    params = dict(params)
+    flags = _async_flags("round_robin", params)
     _no_params("round_robin", params)
-    return AsynchronousScheduler(net, proto, RoundRobinDaemon())
+    return AsynchronousScheduler(net, proto, RoundRobinDaemon(), **flags)
 
 
 def _make_permutation(net, proto, params, seed):
+    params = dict(params)
+    flags = _async_flags("permutation", params)
     _no_params("permutation", params)
-    return AsynchronousScheduler(net, proto, PermutationDaemon(seed=seed))
+    return AsynchronousScheduler(net, proto, PermutationDaemon(seed=seed),
+                                 **flags)
 
 
 def _make_random(net, proto, params, seed):
+    params = dict(params)
+    flags = _async_flags("random", params)
     _no_params("random", params)
-    return AsynchronousScheduler(net, proto, RandomDaemon(seed=seed))
+    return AsynchronousScheduler(net, proto, RandomDaemon(seed=seed), **flags)
 
 
 def _make_slow_nodes(net, proto, params, seed):
+    params = dict(params)
+    flags = _async_flags("slow_nodes", params)
     return AsynchronousScheduler(net, proto,
-                                 _slow_nodes_daemon(net, params, seed))
+                                 _slow_nodes_daemon(net, params, seed),
+                                 **flags)
 
 
 register_schedule("sync", True, _make_sync)

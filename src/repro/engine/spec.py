@@ -24,6 +24,14 @@ from typing import Any, Iterable, List, Mapping, Optional, Tuple
 
 Params = Tuple[Tuple[str, Any], ...]
 
+#: schedule parameters that select an *implementation* (storage backend,
+#: scheduler fast path, dirty awareness) rather than a different
+#: experiment: they are excluded from the seed derivation so that
+#: flipping them reproduces the exact same scenario — the storage
+#: differential tests depend on this, and so does comparing benchmark
+#: trends across backends.
+IMPL_SCHEDULE_PARAMS = frozenset({"storage", "fast_path", "dirty_aware"})
+
 
 def _freeze(params: Mapping[str, Any]) -> Params:
     return tuple(sorted(params.items()))
@@ -44,6 +52,11 @@ class Axis:
             if key == name:
                 return value
         return default
+
+    def without(self, names) -> "Axis":
+        """This axis minus the given parameter names."""
+        kept = tuple((k, v) for k, v in self.params if k not in names)
+        return self if kept == self.params else Axis(self.kind, kept)
 
     def __str__(self) -> str:
         if not self.params:
@@ -104,9 +117,20 @@ class ScenarioSpec:
         return (f"{self.topology}/{self.fault}/{self.schedule}/"
                 f"{self.protocol}")
 
+    @property
+    def semantic_key(self) -> str:
+        """The key minus implementation-only schedule parameters
+        (:data:`IMPL_SCHEDULE_PARAMS`): two specs with the same semantic
+        key run the same experiment, possibly on different backends."""
+        sched = self.schedule.without(IMPL_SCHEDULE_PARAMS)
+        return f"{self.topology}/{self.fault}/{sched}/{self.protocol}"
+
     def derived_seed(self, role: str) -> int:
-        """The sub-seed feeding one random component of the scenario."""
-        return derive_seed(self.seed, self.key, role)
+        """The sub-seed feeding one random component of the scenario.
+
+        Derived from the *semantic* key, so storage/fast-path toggles
+        never reshuffle the graph, fault sites, or daemon schedule."""
+        return derive_seed(self.seed, self.semantic_key, role)
 
     def with_seed(self, seed: int) -> "ScenarioSpec":
         return replace(self, seed=seed)
@@ -134,5 +158,8 @@ def grid(topologies: Iterable[Axis],
                             settle_rounds=settle_rounds,
                             max_rounds=max_rounds,
                             completeness_rounds=completeness_rounds)
-        specs.append(spec.with_seed(derive_seed(seed, spec.key)))
+        # semantic key: cells differing only in implementation parameters
+        # (storage backend, fast path) share a seed, so backend sweeps
+        # are paired comparisons on the same instances
+        specs.append(spec.with_seed(derive_seed(seed, spec.semantic_key)))
     return specs

@@ -47,3 +47,44 @@ LABEL_REGISTERS = (
     REG_BOT_ROOT, REG_BOT_DIST, REG_BOT_BOUND, REG_BOT_COUNT,
     REG_PIECES_TOP, REG_PIECES_BOT,
 )
+
+#: schema declarations ``(name, kind, default)`` of the label registers.
+#: The *verified* values are of the declared kinds; the adversary may
+#: still plant anything (registers store raw values — kinds drive the
+#: write-time nat-coercion cache, not validation).
+LABEL_REGISTER_DECLS = (
+    (REG_PARENT_ID, "opaque", None),   # int, None at the root
+    (REG_PARENT_PORT, "opaque", None),
+    (REG_TID, "nat", None),
+    (REG_DIST, "nat", None),
+    (REG_N, "nat", None),
+    (REG_SUBTREE, "nat", None),
+    (REG_ELL, "nat", None),
+    (REG_ROOTS, "str", None),
+    (REG_ENDP, "str", None),
+    (REG_PARENTS, "str", None),
+    (REG_ORENDP, "tuple", None),
+    (REG_JMASK, "nat", None),
+    (REG_DELIM, "nat", None),
+    (REG_TOP_ROOT, "nat", None),
+    (REG_TOP_DIST, "nat", None),
+    (REG_TOP_BOUND, "nat", None),
+    (REG_TOP_COUNT, "nat", None),
+    (REG_BOT_ROOT, "nat", None),
+    (REG_BOT_DIST, "nat", None),
+    (REG_BOT_BOUND, "nat", None),
+    (REG_BOT_COUNT, "nat", None),
+    (REG_PIECES_TOP, "tuple", None),
+    (REG_PIECES_BOT, "tuple", None),
+)
+
+
+def declare_label_registers(schema) -> None:
+    """Declare the marker's label registers into a register schema.
+
+    Labels are declared ``stable``: they change only under fault
+    injection or relabeling, so writes to them bump the register file's
+    stable version and invalidate the protocols' label-derived caches
+    (part topology, Ask levels, static-check results, budgets)."""
+    for name, kind, default in LABEL_REGISTER_DECLS:
+        schema.declare(name, kind, default, stable=True)

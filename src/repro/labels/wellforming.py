@@ -26,6 +26,7 @@ every access is type-guarded; malformed state is itself a failure reason.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Any, List, Optional, Sequence
 
 from .registers import (REG_BOT_BOUND, REG_BOT_COUNT, REG_BOT_DIST,
@@ -50,8 +51,8 @@ def log_threshold(n: int) -> int:
     return max(1, (n - 1).bit_length())
 
 
-def sorted_levels(jmask: int) -> List[int]:
-    """J(v) as a sorted list of levels, decoded from the bitmask."""
+@lru_cache(maxsize=8192)
+def _sorted_levels_tuple(jmask: int) -> tuple:
     levels = []
     j = 0
     while jmask:
@@ -59,7 +60,16 @@ def sorted_levels(jmask: int) -> List[int]:
             levels.append(j)
         jmask >>= 1
         j += 1
-    return levels
+    return tuple(levels)
+
+
+def sorted_levels(jmask: int) -> List[int]:
+    """J(v) as a sorted list of levels, decoded from the bitmask.
+
+    Decoded masks are memoized (the verifier decodes the same J(v) every
+    step); a fresh list is returned so callers may slice and compare
+    against other lists freely."""
+    return list(_sorted_levels_tuple(jmask))
 
 
 def level_is_bottom(jmask: int, delim: int, level: int) -> Optional[bool]:

@@ -1,17 +1,24 @@
 """Simulation substrate: the shared-memory network model, synchronous and
-asynchronous schedulers with pluggable daemons, register bit accounting,
-and transient-fault injection."""
+asynchronous schedulers with pluggable daemons, typed register files with
+bit accounting, and transient-fault injection."""
 
-from .network import ALARM, Network, NodeContext, Protocol, first_alarm
-from .registers import bit_size, is_ghost, register_bits
+from .network import (ALARM, Network, NodeContext, Protocol, SlotNodeContext,
+                      first_alarm)
+from .registers import (KIND_NAT, KIND_OPAQUE, KIND_STR, KIND_TUPLE,
+                        CompiledSchema, RegisterFile, RegisterSchema,
+                        RegisterView, bit_size, compile_schema, is_ghost,
+                        nat_value, register_bits)
 from .schedulers import (AsynchronousScheduler, Daemon, PermutationDaemon,
                          RandomDaemon, RoundRobinDaemon, SlowNodesDaemon,
                          SynchronousScheduler)
 from .faults import FAULT_MARK, FaultInjector, detection_distance
 
 __all__ = [
-    "ALARM", "Network", "NodeContext", "Protocol", "first_alarm",
-    "bit_size", "is_ghost", "register_bits",
+    "ALARM", "Network", "NodeContext", "Protocol", "SlotNodeContext",
+    "first_alarm",
+    "KIND_NAT", "KIND_OPAQUE", "KIND_STR", "KIND_TUPLE",
+    "CompiledSchema", "RegisterFile", "RegisterSchema", "RegisterView",
+    "bit_size", "compile_schema", "is_ghost", "nat_value", "register_bits",
     "AsynchronousScheduler", "Daemon", "PermutationDaemon", "RandomDaemon",
     "RoundRobinDaemon", "SlowNodesDaemon", "SynchronousScheduler",
     "FAULT_MARK", "FaultInjector", "detection_distance",

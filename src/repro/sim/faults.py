@@ -84,8 +84,12 @@ class FaultInjector:
         Returns the names of the corrupted registers.
         """
         regs = self.network.registers[node]
-        names = [n for n in regs
-                 if not is_ghost(n) and n not in protect and n != "alarm"]
+        # sorted, not iteration order: the rng's draw sequence must not
+        # depend on the storage backend (dict insertion order vs register
+        # file slot order)
+        names = sorted(n for n in regs
+                       if not is_ghost(n) and n not in protect
+                       and n != "alarm")
         if not names:
             return []
         k = max(1, int(len(names) * fraction))

@@ -16,6 +16,17 @@ A :class:`Protocol` provides two callbacks:
 Protocols signal fault detection by setting the ``alarm`` register to a
 non-None reason string; the harness collects alarms via
 :meth:`Network.alarms`.
+
+Storage: a network starts on the legacy per-node dict store.  When a
+protocol declares a :class:`~repro.sim.registers.RegisterSchema`
+(:meth:`Protocol.register_schema`), the schedulers compile it once and
+call :meth:`Network.adopt_schema`, which converts every node to an
+array-backed :class:`~repro.sim.registers.RegisterFile`; ``registers``
+then maps nodes to dict-compatible views, so storage-agnostic code
+(fault injection, markers, tests) is unaffected.  Protocol hot paths
+run against :class:`SlotNodeContext`, whose accessors take integer slot
+handles and are O(1) list loads with a write-time-cached ``nat``
+coercion.
 """
 
 from __future__ import annotations
@@ -23,19 +34,67 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from ..graphs.weighted import NodeId, WeightedGraph
-from .registers import register_bits
+from .registers import (ALARM, CompiledSchema, NO_DECODE, RegisterFile,
+                        RegisterSchema, RegisterView, UNSET, compile_schema,
+                        nat_value, register_bits)
 
-ALARM = "alarm"
+_MISSING = object()
+
+
+class RegisterTable(dict):
+    """``node -> RegisterView`` with dict-style write-through.
+
+    Legacy code replaces a node's registers wholesale
+    (``network.registers[v] = {...}``); on a schema-backed network that
+    must rewrite the node's register *file* in place, not shadow it with
+    a plain dict."""
+
+    def __setitem__(self, node: NodeId, value: Any) -> None:
+        current = dict.get(self, node)
+        if isinstance(current, RegisterView) \
+                and not isinstance(value, RegisterView):
+            current.file.clear()
+            current.file.update(value)
+        else:
+            dict.__setitem__(self, node, value)
 
 
 class Network:
     """A set of nodes with registers, built over a :class:`WeightedGraph`."""
 
-    def __init__(self, graph: WeightedGraph) -> None:
+    def __init__(self, graph: WeightedGraph,
+                 schema: Optional[RegisterSchema] = None) -> None:
         self.graph = graph
+        self.schema: Optional[CompiledSchema] = None
+        self.files: Optional[Dict[NodeId, RegisterFile]] = None
         self.registers: Dict[NodeId, Dict[str, Any]] = {
             v: {} for v in graph.nodes()
         }
+        if schema is not None:
+            self.adopt_schema(schema)
+
+    def adopt_schema(self, schema) -> CompiledSchema:
+        """Convert node storage to register files of ``schema``.
+
+        Idempotent for an equal schema; re-adopting a different schema
+        rebuilds the files from the current register contents (values
+        are preserved, undeclared names land in the extras dict).
+        Returns the compiled schema now backing the network.
+        """
+        compiled = compile_schema(schema)
+        if self.schema is not None and self.schema == compiled:
+            return self.schema
+        files: Dict[NodeId, RegisterFile] = {}
+        table = RegisterTable()
+        for v in self.graph.nodes():
+            f = RegisterFile(compiled)
+            f.update(self.registers[v])
+            files[v] = f
+            dict.__setitem__(table, v, RegisterView(f))
+        self.schema = compiled
+        self.files = files
+        self.registers = table
+        return compiled
 
     def install(self, assignments: Mapping[NodeId, Mapping[str, Any]]) -> None:
         """Write marker-produced labels into node registers."""
@@ -44,32 +103,73 @@ class Network:
 
     def clear(self) -> None:
         """Erase all registers (fresh adversarial start)."""
-        for v in self.registers:
-            self.registers[v] = {}
+        if self.files is not None:
+            for f in self.files.values():
+                f.clear()
+        else:
+            for v in self.registers:
+                self.registers[v] = {}
 
     def alarms(self) -> Dict[NodeId, str]:
         """Nodes currently raising an alarm, with their reasons."""
+        files = self.files
+        if files is not None:
+            a = self.schema.alarm_slot
+            out = {}
+            for v, f in files.items():
+                reason = f.slots[a]
+                if reason is not UNSET and reason is not None:
+                    out[v] = reason
+            return out
         return {
             v: regs[ALARM]
             for v, regs in self.registers.items()
             if regs.get(ALARM) is not None
         }
 
+    def has_alarm(self) -> bool:
+        """Whether any node currently raises an alarm (O(n), no dict)."""
+        files = self.files
+        if files is not None:
+            a = self.schema.alarm_slot
+            for f in files.values():
+                reason = f.slots[a]
+                if reason is not UNSET and reason is not None:
+                    return True
+            return False
+        for regs in self.registers.values():
+            if regs.get(ALARM) is not None:
+                return True
+        return False
+
+    def local_context(self, node: NodeId):
+        """A context over the live registers, matching the storage.
+
+        Harness code that pokes a protocol outside a scheduler (budget
+        probes, examples) must use this instead of constructing a
+        :class:`NodeContext` directly: a protocol bound to slot handles
+        needs a :class:`SlotNodeContext`."""
+        if self.files is not None:
+            return SlotNodeContext(self, node, self.files)
+        return NodeContext(self, node, self.registers)
+
     def max_memory_bits(self) -> int:
         """max over nodes of the bits of non-ghost registers (the paper's
-        memory-size measure)."""
-        return max(register_bits(regs) for regs in self.registers.values())
+        memory-size measure); 0 for an empty graph."""
+        if self.files is not None:
+            return max((f.bits() for f in self.files.values()), default=0)
+        return max((register_bits(regs) for regs in self.registers.values()),
+                   default=0)
 
     def total_memory_bits(self) -> int:
         """Sum over nodes of non-ghost register bits."""
+        if self.files is not None:
+            return sum(f.bits() for f in self.files.values())
         return sum(register_bits(regs) for regs in self.registers.values())
 
 
-_MISSING = object()
-
-
 class NodeContext:
-    """Read/write access for one atomic step of one node.
+    """Read/write access for one atomic step of one node (dict storage).
 
     Own registers are read and written *live*; neighbour registers are read
     from ``snapshot`` (the previous round's state under the synchronous
@@ -95,6 +195,14 @@ class NodeContext:
     # -- own state ------------------------------------------------------
     def get(self, name: str, default: Any = None) -> Any:
         return self._own.get(name, default)
+
+    def nat(self, name: str, cap: int = 1 << 30) -> Optional[int]:
+        """Own register as a bounded non-negative int, else None."""
+        return nat_value(self._own.get(name), cap)
+
+    def get_decoded(self, name: str, decoder) -> Any:
+        """``decoder(own register value)`` — uncached on dict storage."""
+        return decoder(self._own.get(name))
 
     def set(self, name: str, value: Any) -> None:
         dirty = self._dirty
@@ -122,6 +230,15 @@ class NodeContext:
         """Read a neighbour's register from the step's snapshot."""
         return self._snapshot[neighbor].get(name, default)
 
+    def read_nat(self, neighbor: NodeId, name: str,
+                 cap: int = 1 << 30) -> Optional[int]:
+        """A neighbour's register as a bounded non-negative int."""
+        return nat_value(self._snapshot[neighbor].get(name), cap)
+
+    def read_decoded(self, neighbor: NodeId, name: str, decoder) -> Any:
+        """``decoder(neighbour register value)`` — uncached on dicts."""
+        return decoder(self._snapshot[neighbor].get(name))
+
     # -- topology ---------------------------------------------------------
     @property
     def neighbors(self) -> List[NodeId]:
@@ -130,6 +247,200 @@ class NodeContext:
     @property
     def degree(self) -> int:
         return self.network.graph.degree(self.node)
+
+    def weight(self, neighbor: NodeId):
+        return self.network.graph.weight(self.node, neighbor)
+
+    def port(self, neighbor: NodeId) -> int:
+        return self.network.graph.port(self.node, neighbor)
+
+
+class SlotNodeContext:
+    """The register-file counterpart of :class:`NodeContext`.
+
+    Accessors take *handles*: an ``int`` slot index (resolved once per
+    run by :meth:`Protocol.bind_registers`) gives an O(1) list load; a
+    ``str`` name falls back to the schema lookup, so storage-agnostic
+    code (static label checks, instrumentation) runs unchanged.  ``nat``
+    and ``read_nat`` return the write-time-cached coercion instead of
+    re-parsing the value on every read.
+
+    ``dirty`` is slot-level: a dict mapping the node to the set of slot
+    indices whose value actually changed (``-1`` marks a change in the
+    undeclared-extras dict), which lets the fast-path synchronous
+    scheduler refresh only the stale slots of its snapshot.
+
+    ``neighbors`` is a plain attribute (the schedulers pass the cached
+    adjacency list), not a property.
+    """
+
+    __slots__ = ("network", "node", "neighbors", "_own", "_slots", "_nats",
+                 "_decoded", "_stable_mask", "_snapshot", "_dirty", "_marks")
+
+    def __init__(self, network: Network, node: NodeId,
+                 snapshot: Mapping[NodeId, RegisterFile],
+                 dirty: Optional[dict] = None,
+                 neighbors: Optional[List[NodeId]] = None) -> None:
+        self.network = network
+        self.node = node
+        self.neighbors = network.graph.neighbors(node) \
+            if neighbors is None else neighbors
+        own = network.files[node]
+        self._own = own
+        self._slots = own.slots
+        self._nats = own.nats
+        self._decoded = own.decoded
+        self._stable_mask = own.schema.stable_mask
+        self._snapshot = snapshot
+        self._dirty = dirty
+        #: the node's slot-mark set inside ``_dirty``, looked up once per
+        #: step; whoever reassigns ``_dirty`` must reset this to None
+        self._marks = None
+
+    def stable_sentinel(self) -> int:
+        """Version sentinel of the closed neighbourhood's stable (label)
+        registers: own live file plus the neighbours as visible through
+        this step's snapshot.  Protocols key label-derived caches on it —
+        the counters are monotone, so the sum changes iff some label in
+        the read scope changed."""
+        s = self._own.stable_version
+        snapshot = self._snapshot
+        for u in self.neighbors:
+            s += snapshot[u].stable_version
+        return s
+
+    # -- own state ------------------------------------------------------
+    def get(self, handle, default: Any = None) -> Any:
+        if type(handle) is int:
+            v = self._slots[handle]
+            return default if v is UNSET else v
+        return self._own.get_name(handle, default)
+
+    def nat(self, handle, cap: int = 1 << 30) -> Optional[int]:
+        if type(handle) is int:
+            v = self._nats[handle]
+            return v if v is not None and v <= cap else None
+        return nat_value(self._own.get_name(handle), cap)
+
+    def get_decoded(self, handle, decoder) -> Any:
+        """``decoder(own register value)``, decoded once per write.
+
+        The decoder must be a pure function of the raw value, and a slot
+        must always be decoded by the same decoder (one cache line per
+        slot)."""
+        if type(handle) is int:
+            d = self._decoded[handle]
+            if d is NO_DECODE:
+                v = self._slots[handle]
+                d = decoder(None if v is UNSET else v)
+                self._decoded[handle] = d
+            return d
+        return decoder(self._own.get_name(handle))
+
+    def set(self, handle, value: Any) -> None:
+        if type(handle) is not int:
+            i = self._own.schema.slots.get(handle)
+            if i is None:
+                self._set_extra(handle, value)
+                return
+            handle = i
+        slots = self._slots
+        if self._dirty is not None:
+            prev = slots[handle]
+            if prev != value or type(prev) is not type(value):
+                marks = self._marks
+                if marks is not None:
+                    marks.add(handle)
+                else:
+                    self._mark(handle)
+        slots[handle] = value
+        # inlined registers.nat_cache_value (hot path) — keep in sync
+        self._nats[handle] = value if isinstance(value, int) \
+            and not isinstance(value, bool) and value >= 0 else None
+        self._decoded[handle] = NO_DECODE
+        if self._stable_mask[handle]:
+            self._own.stable_version += 1
+
+    def _set_extra(self, name: str, value: Any) -> None:
+        own = self._own
+        if self._dirty is not None:
+            prev = own.extra.get(name, _MISSING) if own.extra else _MISSING
+            if prev != value or type(prev) is not type(value):
+                self._mark(-1)
+        if own.extra is None:
+            own.extra = {}
+        own.extra[name] = value
+
+    def _mark(self, slot: int) -> None:
+        marks = self._marks
+        if marks is None:
+            dirty = self._dirty
+            marks = dirty.get(self.node)
+            if marks is None:
+                dirty[self.node] = marks = set()
+            self._marks = marks
+        marks.add(slot)
+
+    def unset(self, handle) -> None:
+        own = self._own
+        if type(handle) is not int:
+            i = own.schema.slots.get(handle)
+            if i is None:
+                if own.extra and handle in own.extra:
+                    if self._dirty is not None:
+                        self._mark(-1)
+                    del own.extra[handle]
+                return
+            handle = i
+        if self._slots[handle] is not UNSET:
+            if self._dirty is not None:
+                self._mark(handle)
+            self._slots[handle] = UNSET
+            self._nats[handle] = None
+            self._decoded[handle] = NO_DECODE
+            if self._stable_mask[handle]:
+                self._own.stable_version += 1
+
+    def alarm(self, reason: str) -> None:
+        """Raise (and latch) an alarm at this node."""
+        a = self._own.schema.alarm_slot
+        current = self._slots[a]
+        if current is UNSET or current is None:
+            self.set(a, reason)
+
+    # -- neighbour state --------------------------------------------------
+    def read(self, neighbor: NodeId, handle, default: Any = None) -> Any:
+        f = self._snapshot[neighbor]
+        if type(handle) is int:
+            v = f.slots[handle]
+            return default if v is UNSET else v
+        return f.get_name(handle, default)
+
+    def read_nat(self, neighbor: NodeId, handle,
+                 cap: int = 1 << 30) -> Optional[int]:
+        f = self._snapshot[neighbor]
+        if type(handle) is int:
+            v = f.nats[handle]
+            return v if v is not None and v <= cap else None
+        return nat_value(f.get_name(handle), cap)
+
+    def read_decoded(self, neighbor: NodeId, handle, decoder) -> Any:
+        """``decoder(neighbour register value)``, decoded once per write
+        (the cache lives in the snapshot's register file)."""
+        f = self._snapshot[neighbor]
+        if type(handle) is int:
+            d = f.decoded[handle]
+            if d is NO_DECODE:
+                v = f.slots[handle]
+                d = decoder(None if v is UNSET else v)
+                f.decoded[handle] = d
+            return d
+        return decoder(f.get_name(handle))
+
+    # -- topology ---------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
 
     def weight(self, neighbor: NodeId):
         return self.network.graph.weight(self.node, neighbor)
@@ -151,7 +462,23 @@ class Protocol:
     cannot see (``(1, True)`` vs ``(1, 1)``, ``-0.0`` vs ``0.0``); the
     repo convention of plain immutable register values already rules
     these out.
+
+    A protocol may declare its registers by returning a
+    :class:`~repro.sim.registers.RegisterSchema` from
+    :meth:`register_schema`; the schedulers then back the network with
+    array-based register files and call :meth:`bind_registers` with the
+    compiled schema so the protocol can resolve its register names to
+    integer slot handles once (``bind_registers(None)`` restores
+    name-string handles for dict storage).  Protocols without a schema
+    keep the legacy dict behaviour everywhere.
     """
+
+    def register_schema(self) -> Optional[RegisterSchema]:
+        """The protocol's register declaration (None: undeclared)."""
+        return None
+
+    def bind_registers(self, compiled: Optional[CompiledSchema]) -> None:
+        """Resolve register handles for the given storage (no-op here)."""
 
     def init_node(self, ctx: NodeContext) -> None:  # pragma: no cover
         """Initialize working registers (default: nothing)."""
@@ -168,4 +495,4 @@ StopCondition = Callable[[Network], bool]
 
 def first_alarm(network: Network) -> bool:
     """Stop condition: some node raised an alarm."""
-    return bool(network.alarms())
+    return network.has_alarm()

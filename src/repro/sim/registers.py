@@ -1,9 +1,29 @@
-"""Register stores with bit-size accounting.
+"""Register stores with bit-size accounting, and typed register files.
 
 The paper's memory-size measure counts the bits stored at a node: identity,
 marker labels, and verifier working memory (Section 2.4).  Protocols store
 per-node state in named registers; :func:`bit_size` estimates the number of
 bits needed to encode a register value.
+
+Two storage representations coexist:
+
+* the **legacy dict store** — each node owns a plain ``Dict[str, Any]``;
+  always available, and the reference semantics for every differential
+  test;
+* the **typed register file** — a protocol declares a
+  :class:`RegisterSchema` (register name -> kind, default), which is
+  compiled once per network into integer *slot* indices backing a flat
+  per-node list (:class:`RegisterFile`).  Reads and writes become O(1)
+  list loads, the ``_nat`` bounded-non-negative-int coercion that
+  dominates the verifier's hot path is computed once at write time and
+  cached per slot, and per-round snapshots copy slot lists instead of
+  rebuilding dicts.  :class:`RegisterView` keeps a dict-compatible
+  ``MutableMapping`` face over a file so fault injection, markers, and
+  the bit accounting keep working unchanged.
+
+The two representations are observably equivalent: the same writes
+produce the same mapping contents, the same bit accounting, and the same
+protocol behaviour (``tests/test_storage_differential.py`` proves it).
 
 Conventions
 -----------
@@ -11,12 +31,64 @@ Conventions
   frozensets) so snapshots can share them safely.
 * Register names starting with ``"_"`` are *ghost* state — simulation
   instrumentation excluded from the memory accounting (e.g. fault-injection
-  bookkeeping).  Real protocol state must never use the prefix.
+  bookkeeping).  Real protocol state must never use the prefix.  Ghost
+  registers may be declared in a schema (they get slots and dirty
+  tracking like any other register) — they are simply skipped by the
+  bit accounting.
+* Undeclared names written to a schema-backed node land in a per-node
+  *extras* dict, so an adversary (or instrumentation) can always plant
+  state the protocol never declared.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable
+from typing import (Any, Dict, Iterable, Iterator, List, Mapping,
+                    MutableMapping, Optional, Sequence, Tuple)
+
+#: register kinds a schema may declare.  ``nat`` marks registers whose
+#: reads go through the bounded non-negative-int coercion (the verifier's
+#: ``_nat``); the coercion cache is maintained for *every* slot, so the
+#: kind is declarative — documentation plus future packing decisions.
+KIND_NAT = "nat"
+KIND_STR = "str"
+KIND_TUPLE = "tuple"
+KIND_OPAQUE = "opaque"
+
+REGISTER_KINDS = (KIND_NAT, KIND_STR, KIND_TUPLE, KIND_OPAQUE)
+
+#: the slot value of a register that has never been written (it does not
+#: appear in the node's mapping view).
+UNSET = type("_UnsetType", (), {
+    "__repr__": lambda self: "<unset register>",
+    "__reduce__": lambda self: "UNSET",
+})()
+
+NAT_CAP = 1 << 30
+
+#: per-slot decoded-value cache marker: "no decode computed since the
+#: last write of this slot".
+NO_DECODE = type("_NoDecodeType", (), {
+    "__repr__": lambda self: "<no decode>",
+    "__reduce__": lambda self: "NO_DECODE",
+})()
+
+
+def nat_value(x: Any, cap: int = NAT_CAP) -> Optional[int]:
+    """``x`` as a bounded non-negative int, else None (the coercion the
+    trains apply to every numeric register read)."""
+    if isinstance(x, int) and not isinstance(x, bool) and 0 <= x <= cap:
+        return x
+    return None
+
+
+def nat_cache_value(value: Any) -> Optional[int]:
+    """The write-time half of :func:`nat_value`: cache the value when it
+    is a non-negative non-bool int (cap checks happen at read time).
+    ``SlotNodeContext.set`` inlines this predicate for speed — keep the
+    two in sync."""
+    if isinstance(value, int) and not isinstance(value, bool) and value >= 0:
+        return value
+    return None
 
 
 def bit_size(value: Any) -> int:
@@ -44,6 +116,342 @@ def is_ghost(name: str) -> bool:
     return name.startswith("_")
 
 
-def register_bits(registers: Dict[str, Any]) -> int:
+def register_bits(registers: Mapping[str, Any]) -> int:
     """Total bits of the non-ghost registers of one node."""
+    if isinstance(registers, RegisterView):
+        return registers.file.bits()
     return sum(bit_size(v) for name, v in registers.items() if not is_ghost(name))
+
+
+# ---------------------------------------------------------------------------
+# schema declaration and compilation
+# ---------------------------------------------------------------------------
+
+class RegisterSchema:
+    """An ordered declaration of a protocol's registers.
+
+    Components declare the registers they own with :meth:`declare`;
+    duplicate declarations are idempotent (shared label registers may be
+    declared by several components) but a kind conflict is an error.
+    """
+
+    def __init__(self) -> None:
+        self._names: List[str] = []
+        self._kinds: Dict[str, str] = {}
+        self._defaults: Dict[str, Any] = {}
+        self._stable: Dict[str, bool] = {}
+
+    def declare(self, name: str, kind: str = KIND_OPAQUE,
+                default: Any = None, stable: bool = False) -> None:
+        """Declare one register.
+
+        ``stable`` marks registers the protocol treats as slowly changing
+        inputs (marker labels): writes to them bump the register file's
+        *stable version*, which lets protocols cache label-derived
+        computations and invalidate them exactly when a label (or a
+        neighbour's label) actually changes."""
+        if kind not in REGISTER_KINDS:
+            raise ValueError(f"unknown register kind {kind!r}")
+        if name in self._kinds:
+            if self._kinds[name] != kind or self._stable[name] != stable:
+                raise ValueError(
+                    f"register {name!r} redeclared as {kind!r}"
+                    f"/stable={stable} (was {self._kinds[name]!r}"
+                    f"/stable={self._stable[name]})")
+            return
+        self._names.append(name)
+        self._kinds[name] = kind
+        self._defaults[name] = default
+        self._stable[name] = stable
+
+    def declare_many(self,
+                     decls: Iterable[Tuple[str, str, Any]]) -> None:
+        for name, kind, default in decls:
+            self.declare(name, kind, default)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._names)
+
+    def compile(self) -> "CompiledSchema":
+        return CompiledSchema(self._names,
+                              [self._kinds[n] for n in self._names],
+                              [self._defaults[n] for n in self._names],
+                              [self._stable[n] for n in self._names])
+
+
+#: the distinguished register protocols raise alarms through (re-exported
+#: by :mod:`repro.sim.network`, which historically defined it).
+ALARM = "alarm"
+
+
+class CompiledSchema:
+    """Frozen name -> slot mapping shared by every node of a network."""
+
+    __slots__ = ("names", "kinds", "defaults", "slots", "size",
+                 "nonghost_slots", "alarm_slot", "stable_mask", "_key")
+
+    def __init__(self, names: Sequence[str], kinds: Sequence[str],
+                 defaults: Sequence[Any],
+                 stable: Optional[Sequence[bool]] = None) -> None:
+        names = list(names)
+        kinds = list(kinds)
+        defaults = list(defaults)
+        stable = [False] * len(names) if stable is None else list(stable)
+        if ALARM not in names:
+            # every protocol signals through the alarm register; giving
+            # it a slot unconditionally lets the harness poll alarms in
+            # O(1) per node without a name lookup.
+            names.append(ALARM)
+            kinds.append(KIND_OPAQUE)
+            defaults.append(None)
+            stable.append(False)
+        self.names: Tuple[str, ...] = tuple(names)
+        self.kinds: Tuple[str, ...] = tuple(kinds)
+        self.defaults: Tuple[Any, ...] = tuple(defaults)
+        self.stable_mask: Tuple[bool, ...] = tuple(stable)
+        self.slots: Dict[str, int] = {n: i for i, n in enumerate(self.names)}
+        if len(self.slots) != len(self.names):
+            raise ValueError("duplicate register names in schema")
+        self.size = len(self.names)
+        self.nonghost_slots: Tuple[int, ...] = tuple(
+            i for i, n in enumerate(self.names) if not is_ghost(n))
+        self.alarm_slot = self.slots[ALARM]
+        self._key = (self.names, self.kinds, self.stable_mask)
+
+    def slot(self, name: str) -> int:
+        return self.slots[name]
+
+    def kind(self, name: str) -> str:
+        return self.kinds[self.slots[name]]
+
+    def default(self, name: str) -> Any:
+        return self.defaults[self.slots[name]]
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, CompiledSchema) and self._key == other._key
+
+    def __ne__(self, other: Any) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        return f"CompiledSchema({self.size} slots)"
+
+
+def compile_schema(schema) -> CompiledSchema:
+    """Accept a :class:`RegisterSchema` or an already compiled one."""
+    if isinstance(schema, CompiledSchema):
+        return schema
+    return schema.compile()
+
+
+def handle_resolver(compiled: Optional[CompiledSchema]):
+    """The register-handle resolver for ``bind_registers`` implementations:
+    the identity on names for dict storage, ``name -> slot index`` under a
+    compiled schema (raising KeyError on undeclared names, so a component
+    that forgot a declaration fails loudly at bind time)."""
+    if compiled is None:
+        return lambda name: name
+    return compiled.slots.__getitem__
+
+
+# ---------------------------------------------------------------------------
+# the per-node register file
+# ---------------------------------------------------------------------------
+
+class RegisterFile:
+    """Flat slot-indexed storage for one node's registers.
+
+    ``slots[i]`` is the raw register value (``UNSET`` when never
+    written); ``nats[i]`` caches the non-negative-int coercion of the
+    value, computed once per write; ``extra`` holds undeclared registers
+    (adversarially planted state, storage-agnostic instrumentation).
+    The raw values are the single source of truth — the nat cache is
+    derived state that never leaks into mapping views, snapshots
+    comparisons, or the bit accounting.
+    """
+
+    __slots__ = ("schema", "slots", "nats", "decoded", "extra",
+                 "stable_version")
+
+    def __init__(self, schema: CompiledSchema,
+                 slots: Optional[List[Any]] = None,
+                 nats: Optional[List[Optional[int]]] = None,
+                 extra: Optional[Dict[str, Any]] = None,
+                 stable_version: int = 0,
+                 decoded: Optional[List[Any]] = None) -> None:
+        self.schema = schema
+        self.slots: List[Any] = [UNSET] * schema.size if slots is None \
+            else slots
+        self.nats: List[Optional[int]] = [None] * schema.size if nats is None \
+            else nats
+        #: write-invalidated cache of protocol-decoded slot values (e.g.
+        #: a validated train observation parsed off the broadcast slot).
+        #: Purely derived state: one decoder per slot, installed lazily
+        #: by the context's ``get_decoded``/``read_decoded``.
+        self.decoded: List[Any] = [NO_DECODE] * schema.size \
+            if decoded is None else decoded
+        self.extra: Optional[Dict[str, Any]] = extra
+        #: bumped whenever a slot declared ``stable`` is written; the sum
+        #: over a closed neighbourhood is the invalidation sentinel for
+        #: label-derived caches (the counters are monotone, so the sum
+        #: changes iff some constituent changed).
+        self.stable_version = stable_version
+
+    # -- copying (snapshots) -------------------------------------------
+    def copy(self) -> "RegisterFile":
+        return RegisterFile(self.schema, self.slots[:], self.nats[:],
+                            dict(self.extra) if self.extra else None,
+                            self.stable_version, self.decoded[:])
+
+    # -- slot access ----------------------------------------------------
+    def set_slot(self, i: int, value: Any) -> None:
+        self.slots[i] = value
+        self.nats[i] = nat_cache_value(value)
+        self.decoded[i] = NO_DECODE
+        if self.schema.stable_mask[i]:
+            self.stable_version += 1
+
+    def unset_slot(self, i: int) -> None:
+        self.slots[i] = UNSET
+        self.nats[i] = None
+        self.decoded[i] = NO_DECODE
+        if self.schema.stable_mask[i]:
+            self.stable_version += 1
+
+    # -- name access (views, legacy code paths) -------------------------
+    def get_name(self, name: str, default: Any = None) -> Any:
+        i = self.schema.slots.get(name)
+        if i is not None:
+            v = self.slots[i]
+            return default if v is UNSET else v
+        if self.extra is not None:
+            return self.extra.get(name, default)
+        return default
+
+    def set_name(self, name: str, value: Any) -> None:
+        i = self.schema.slots.get(name)
+        if i is not None:
+            self.set_slot(i, value)
+        else:
+            if self.extra is None:
+                self.extra = {}
+            self.extra[name] = value
+
+    def del_name(self, name: str) -> None:
+        i = self.schema.slots.get(name)
+        if i is not None:
+            if self.slots[i] is UNSET:
+                raise KeyError(name)
+            self.unset_slot(i)
+        elif self.extra is not None and name in self.extra:
+            del self.extra[name]
+        else:
+            raise KeyError(name)
+
+    def has_name(self, name: str) -> bool:
+        i = self.schema.slots.get(name)
+        if i is not None:
+            return self.slots[i] is not UNSET
+        return bool(self.extra) and name in self.extra
+
+    # -- bulk operations ------------------------------------------------
+    def clear(self) -> None:
+        # in place: contexts alias the slot lists across activations
+        self.slots[:] = [UNSET] * self.schema.size
+        self.nats[:] = [None] * self.schema.size
+        self.decoded[:] = [NO_DECODE] * self.schema.size
+        self.extra = None
+        self.stable_version += 1
+
+    def update(self, mapping: Mapping[str, Any]) -> None:
+        for name, value in mapping.items():
+            self.set_name(name, value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {n: v for n, v in zip(self.schema.names, self.slots)
+               if v is not UNSET}
+        if self.extra:
+            out.update(self.extra)
+        return out
+
+    def names(self) -> Iterator[str]:
+        for n, v in zip(self.schema.names, self.slots):
+            if v is not UNSET:
+                yield n
+        if self.extra:
+            yield from self.extra
+
+    def __len__(self) -> int:
+        n = sum(1 for v in self.slots if v is not UNSET)
+        return n + (len(self.extra) if self.extra else 0)
+
+    # -- memory accounting ----------------------------------------------
+    def bits(self) -> int:
+        slots = self.slots
+        total = 0
+        for i in self.schema.nonghost_slots:
+            v = slots[i]
+            if v is not UNSET:
+                total += bit_size(v)
+        if self.extra:
+            total += sum(bit_size(v) for name, v in self.extra.items()
+                         if not is_ghost(name))
+        return total
+
+
+class RegisterView(MutableMapping):
+    """A dict-compatible mutable mapping over one node's register file.
+
+    Everything that treated node registers as a plain dict — fault
+    injectors, markers, reset waves, ``dict(regs)`` snapshots in tests —
+    keeps working against this view; writes maintain the nat cache.
+    """
+
+    __slots__ = ("file",)
+
+    def __init__(self, file: RegisterFile) -> None:
+        self.file = file
+
+    def __getitem__(self, name: str) -> Any:
+        v = self.file.get_name(name, UNSET)
+        if v is UNSET:
+            raise KeyError(name)
+        return v
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.file.get_name(name, default)
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        self.file.set_name(name, value)
+
+    def __delitem__(self, name: str) -> None:
+        self.file.del_name(name)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self.file.has_name(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return self.file.names()
+
+    def __len__(self) -> int:
+        return len(self.file)
+
+    def clear(self) -> None:
+        self.file.clear()
+
+    def __repr__(self) -> str:
+        return f"RegisterView({self.file.to_dict()!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, RegisterView):
+            return self.file.to_dict() == other.file.to_dict()
+        if isinstance(other, Mapping):
+            return self.file.to_dict() == dict(other)
+        return NotImplemented
+
+    def __ne__(self, other: Any) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq

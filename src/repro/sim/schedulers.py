@@ -9,15 +9,58 @@ the live registers.  Time is measured in **asynchronous rounds**: a round
 completes when every node has been activated at least once since the
 previous round boundary (the standard self-stabilization measure, matching
 the paper's strongly fair distributed daemon).
+
+Storage: when the protocol declares a register schema
+(:meth:`Protocol.register_schema`) both schedulers back the network with
+array-based register files (:meth:`Network.adopt_schema`), bind the
+protocol's register names to integer slot handles once, and drive steps
+through :class:`~repro.sim.network.SlotNodeContext` — O(1) slot loads,
+write-time ``nat`` caching, and snapshots that copy slot lists instead
+of rebuilding dicts.  ``use_schema=False`` (or an undeclared protocol)
+keeps the legacy dict storage; both representations are bit-for-bit
+equivalent (``tests/test_storage_differential.py``).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..graphs.weighted import NodeId
-from .network import Network, NodeContext, Protocol, StopCondition
+from .network import (Network, NodeContext, Protocol, SlotNodeContext,
+                      StopCondition)
+
+
+def _bind_storage(network: Network, protocol: Protocol, use_schema: bool):
+    """Adopt the protocol's schema (if any) and bind its handles.
+
+    Returns the compiled schema backing the run, or None for legacy dict
+    storage.  Binding always happens — a protocol previously bound to
+    slots by another scheduler must be re-bound to names before a dict
+    run."""
+    compiled = None
+    if use_schema:
+        schema = protocol.register_schema()
+        if schema is not None:
+            compiled = network.adopt_schema(schema)
+    protocol.bind_registers(compiled)
+    protocol._storage_binding = compiled
+    return compiled
+
+
+def _ensure_binding(protocol: Protocol, compiled) -> None:
+    """Re-bind before running if another scheduler re-bound the protocol
+    since construction.  Binding clears the protocol's label-derived
+    caches, so a protocol shared across schedulers/networks (legal, if
+    unusual) never runs with another network's handles or serves another
+    network's cached verdicts — at the cost of a cache flush per
+    hand-over."""
+    if getattr(protocol, "_storage_binding", _UNBOUND) is not compiled:
+        protocol.bind_registers(compiled)
+        protocol._storage_binding = compiled
+
+
+_UNBOUND = object()
 
 
 class SynchronousScheduler:
@@ -28,8 +71,10 @@ class SynchronousScheduler:
     proven so by ``tests/test_scheduler_equivalence.py``):
 
     * **dirty-set snapshot** — instead of deep-copying every node's
-      register dict each round, only the dicts of nodes whose registers
-      actually changed last round are re-copied into the read snapshot;
+      registers each round, only the state of nodes whose registers
+      actually changed last round is re-copied into the read snapshot
+      (under register files the refresh is *slot-level*: only the slots
+      that changed are copied);
     * **quiescence skip** — a node whose closed neighbourhood's registers
       were untouched last round would read exactly the inputs of its
       previous step and, since ``Protocol.step`` must be a deterministic
@@ -40,7 +85,7 @@ class SynchronousScheduler:
     The fast path assumes (a) ``step`` is deterministic in the
     ctx-visible state (all protocols in this repo are — randomness lives
     in the daemons and fault injectors, not the protocols), (b) register
-    writes go through the :class:`NodeContext` API, and (c) ``stop_when``
+    writes go through the context API, and (c) ``stop_when``
     is a pure function of the network state.  A protocol that overrides
     ``on_round_end`` may mutate registers behind the dirty tracking, so
     it silently falls back to the naive loop.  External register writes
@@ -49,21 +94,37 @@ class SynchronousScheduler:
     """
 
     def __init__(self, network: Network, protocol: Protocol,
-                 fast_path: bool = True) -> None:
+                 fast_path: bool = True, use_schema: bool = True) -> None:
         self.network = network
         self.protocol = protocol
         self.rounds = 0
         self._initialized = False
         self.fast_path = bool(fast_path) and (
             type(protocol).on_round_end is Protocol.on_round_end)
+        self._compiled = _bind_storage(network, protocol, use_schema)
+        self._adjacency: Optional[Dict[NodeId, List[NodeId]]] = None
+
+    def _neighbors_of(self) -> Dict[NodeId, List[NodeId]]:
+        if self._adjacency is None:
+            graph = self.network.graph
+            self._adjacency = {v: graph.neighbors(v) for v in graph.nodes()}
+        return self._adjacency
 
     def initialize(self) -> None:
         """Run ``init_node`` at every node (idempotent)."""
         if self._initialized:
             return
-        snapshot = self._snapshot()
-        for v in self.network.graph.nodes():
-            self.protocol.init_node(NodeContext(self.network, v, snapshot))
+        if self._compiled is not None:
+            files = self.network.files
+            snapshot = {v: f.copy() for v, f in files.items()}
+            adjacency = self._neighbors_of()
+            for v in self.network.graph.nodes():
+                self.protocol.init_node(SlotNodeContext(
+                    self.network, v, snapshot, None, adjacency[v]))
+        else:
+            snapshot = self._snapshot()
+            for v in self.network.graph.nodes():
+                self.protocol.init_node(NodeContext(self.network, v, snapshot))
         self._initialized = True
 
     def _snapshot(self):
@@ -76,7 +137,12 @@ class SynchronousScheduler:
         Stops early (after completing a round) when ``stop_when(network)``
         becomes true.
         """
+        _ensure_binding(self.protocol, self._compiled)
         self.initialize()
+        if self._compiled is not None:
+            if self.fast_path:
+                return self._run_fast_slots(max_rounds, stop_when)
+            return self._run_naive_slots(max_rounds, stop_when)
         if self.fast_path:
             return self._run_fast(max_rounds, stop_when)
         executed = 0
@@ -137,6 +203,91 @@ class SynchronousScheduler:
             self.rounds += 1
             executed += 1
             self.protocol.on_round_end(network, self.rounds)
+            changed_prev = changed
+            if stop_when is not None and stop_when(network):
+                break
+        return executed
+
+    # -- register-file (slot) paths -------------------------------------
+    def _run_naive_slots(self, max_rounds: int,
+                         stop_when: Optional[StopCondition]) -> int:
+        network = self.network
+        protocol = self.protocol
+        nodes = network.graph.nodes()
+        files = network.files
+        adjacency = self._neighbors_of()
+        executed = 0
+        for _ in range(max_rounds):
+            snapshot = {v: f.copy() for v, f in files.items()}
+            for v in nodes:
+                protocol.step(SlotNodeContext(network, v, snapshot, None,
+                                              adjacency[v]))
+            self.rounds += 1
+            executed += 1
+            protocol.on_round_end(network, self.rounds)
+            if stop_when is not None and stop_when(network):
+                break
+        return executed
+
+    def _run_fast_slots(self, max_rounds: int,
+                        stop_when: Optional[StopCondition]) -> int:
+        network = self.network
+        protocol = self.protocol
+        nodes = network.graph.nodes()
+        files = network.files
+        adjacency = self._neighbors_of()
+        node_order = {v: i for i, v in enumerate(nodes)}
+        executed = 0
+        snapshot: Dict[NodeId, object] = {}
+        # one context per node, reused across rounds (the snapshot dict
+        # is filled in place so the contexts' reference stays valid)
+        contexts = {v: SlotNodeContext(network, v, snapshot, None,
+                                       adjacency[v]) for v in nodes}
+        changed_prev: Optional[Dict[NodeId, set]] = None
+        while executed < max_rounds:
+            if changed_prev is None:
+                snapshot.clear()
+                for v, f in files.items():
+                    snapshot[v] = f.copy()
+                active: Sequence[NodeId] = nodes
+            else:
+                if not changed_prev:
+                    self.rounds += max_rounds - executed
+                    return max_rounds
+                for v, marks in changed_prev.items():
+                    live = files[v]
+                    if -1 in marks:
+                        # an undeclared (extras) register changed: the
+                        # slot-level refresh cannot express it, recopy
+                        snapshot[v] = live.copy()
+                    else:
+                        snap = snapshot[v]
+                        ss, sn, sd = snap.slots, snap.nats, snap.decoded
+                        ls, ln, ld = live.slots, live.nats, live.decoded
+                        for i in marks:
+                            ss[i] = ls[i]
+                            sn[i] = ln[i]
+                            sd[i] = ld[i]
+                        snap.stable_version = live.stable_version
+                if len(changed_prev) == len(nodes):
+                    active = nodes
+                else:
+                    stale: Set[NodeId] = set()
+                    for u in changed_prev:
+                        stale.add(u)
+                        stale.update(adjacency[u])
+                    active = (nodes if len(stale) >= len(nodes)
+                              else sorted(stale,
+                                          key=node_order.__getitem__))
+            changed: Dict[NodeId, set] = {}
+            for v in active:
+                ctx = contexts[v]
+                ctx._dirty = changed
+                ctx._marks = None
+                protocol.step(ctx)
+            self.rounds += 1
+            executed += 1
+            protocol.on_round_end(network, self.rounds)
             changed_prev = changed
             if stop_when is not None and stop_when(network):
                 break
@@ -216,25 +367,66 @@ class SlowNodesDaemon(Daemon):
 
 
 class AsynchronousScheduler:
-    """Daemon-driven execution with asynchronous-round accounting."""
+    """Daemon-driven execution with asynchronous-round accounting.
+
+    The scheduler is *dirty-aware* by default: per-node contexts over the
+    live registers are built once per ``run()`` and reused across
+    activations (no per-activation mapping rebuild), every activation
+    tracks whether the step actually changed a register, and an
+    activation of a node whose closed neighbourhood is unchanged since
+    the node's own last (no-op) step is *skipped* — by protocol
+    determinism the step would rewrite exactly the current state.
+    Skipped activations still count toward activations, round coverage,
+    and the stop condition, so the execution is bit-for-bit equivalent
+    to the naive activation loop (``dirty_aware=False``); protocols that
+    override ``on_round_end`` fall back automatically, and every
+    ``run()`` restarts the tracking, so external register writes between
+    runs (fault injection) are always observed.
+    """
 
     def __init__(self, network: Network, protocol: Protocol,
-                 daemon: Optional[Daemon] = None) -> None:
+                 daemon: Optional[Daemon] = None,
+                 use_schema: bool = True,
+                 dirty_aware: bool = True) -> None:
         self.network = network
         self.protocol = protocol
         self.daemon = daemon if daemon is not None else PermutationDaemon()
         self.rounds = 0
         self.activations = 0
+        self.steps_skipped = 0
         self._covered: Set[NodeId] = set()
         self._initialized = False
+        self.dirty_aware = bool(dirty_aware) and (
+            type(protocol).on_round_end is Protocol.on_round_end)
+        self._compiled = _bind_storage(network, protocol, use_schema)
 
     def initialize(self) -> None:
         if self._initialized:
             return
-        for v in self.network.graph.nodes():
-            ctx = NodeContext(self.network, v, self.network.registers)
-            self.protocol.init_node(ctx)
+        if self._compiled is not None:
+            files = self.network.files
+            graph = self.network.graph
+            for v in graph.nodes():
+                ctx = SlotNodeContext(self.network, v, files, None,
+                                      graph.neighbors(v))
+                self.protocol.init_node(ctx)
+        else:
+            for v in self.network.graph.nodes():
+                ctx = NodeContext(self.network, v, self.network.registers)
+                self.protocol.init_node(ctx)
         self._initialized = True
+
+    def _contexts(self) -> Dict[NodeId, object]:
+        """Fresh reusable per-node contexts over the live registers."""
+        network = self.network
+        graph = network.graph
+        if self._compiled is not None:
+            files = network.files
+            return {v: SlotNodeContext(network, v, files, None,
+                                       graph.neighbors(v))
+                    for v in graph.nodes()}
+        return {v: NodeContext(network, v, network.registers)
+                for v in graph.nodes()}
 
     def run(self, max_rounds: int,
             stop_when: Optional[StopCondition] = None,
@@ -242,16 +434,53 @@ class AsynchronousScheduler:
         """Run until ``max_rounds`` asynchronous rounds complete (or the
         stop condition fires, checked at activation granularity).  Returns
         the number of asynchronous rounds completed."""
+        _ensure_binding(self.protocol, self._compiled)
         self.initialize()
-        nodes = self.network.graph.nodes()
+        network = self.network
+        protocol = self.protocol
+        nodes = network.graph.nodes()
         all_nodes = set(nodes)
+        neighbors = {v: network.graph.neighbors(v) for v in nodes}
+        contexts = self._contexts()
+        slot_mode = self._compiled is not None
+        dirty_aware = self.dirty_aware
+        # per-run dirty tracking: registers may have been rewritten
+        # externally since the last call, so no skip survives a run()
+        # boundary.
+        stepped_at: Dict[NodeId, int] = {}
+        changed_at: Dict[NodeId, int] = {}
+        tick = 0
         start_rounds = self.rounds
         budget = max_activations if max_activations is not None else (
             max_rounds * len(nodes) * 4 + 64)
         while self.rounds - start_rounds < max_rounds and budget > 0:
             for v in self.daemon.next_batch(nodes):
-                ctx = NodeContext(self.network, v, self.network.registers)
-                self.protocol.step(ctx)
+                tick += 1
+                skip = False
+                if dirty_aware:
+                    st = stepped_at.get(v)
+                    if st is not None and changed_at.get(v, 0) < st:
+                        skip = True
+                        for u in neighbors[v]:
+                            if changed_at.get(u, 0) >= st:
+                                skip = False
+                                break
+                if skip:
+                    self.steps_skipped += 1
+                else:
+                    ctx = contexts[v]
+                    if dirty_aware:
+                        tracker = {} if slot_mode else set()
+                        ctx._dirty = tracker
+                        if slot_mode:
+                            ctx._marks = None
+                        protocol.step(ctx)
+                        ctx._dirty = None
+                        if tracker:
+                            changed_at[v] = tick
+                        stepped_at[v] = tick
+                    else:
+                        protocol.step(ctx)
                 self.activations += 1
                 budget -= 1
                 self._covered.add(v)

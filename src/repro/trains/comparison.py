@@ -25,23 +25,32 @@ checks of Section 8:
 * **C2** — for every outgoing edge (v, u): omega(F_j(v)) <= w(v, u);
 * **piece agreement** (Claim 8.3) — neighbours inside the same fragment
   must show the identical piece.
+
+Like the trains, the component resolves every register it touches to a
+handle once (:meth:`ComparisonComponent.bind_registers`) — a name string
+on dict storage, an integer slot under a compiled register schema.
 """
 
 from __future__ import annotations
 
 from typing import Any, List, Optional, Tuple
 
-from ..labels.registers import (REG_DELIM, REG_ENDP, REG_JMASK, REG_N,
+from ..labels.registers import (REG_DELIM, REG_ENDP, REG_JMASK,
                                 REG_PARENT_ID, REG_PARENTS, REG_ROOTS)
 from ..labels.strings import ENDP_DOWN, ENDP_UP
 from ..labels.wellforming import sorted_levels
+from ..sim.registers import handle_resolver
 from .budgets import Budgets
-from .train import TrainComponent, TrainObservation, valid_piece, _nat
+from .train import (TrainComponent, TrainObservation, decode_observation,
+                    valid_piece, _nat)
 
 #: comparison modes
 MODE_SYNC_WINDOW = "sync-window"
 MODE_WANT = "want"
 MODE_WANT_SIMPLE = "want-simple"
+
+#: ghost instrumentation: completed full Ask rotations at a node.
+REG_ROT = "_rot"
 
 
 def rotation_settled(network, min_rotations: int = 1,
@@ -55,12 +64,28 @@ def rotation_settled(network, min_rotations: int = 1,
     harness, the campaign engine, and the self-stabilization transformer
     all key off it.
     """
-    if network.alarms():
+    if network.has_alarm():
+        return True
+    files = network.files
+    if files is not None and REG_ROT in network.schema.slots:
+        from ..sim.registers import UNSET
+        rot = network.schema.slots[REG_ROT]
+        if base is None:
+            for f in files.values():
+                v = f.slots[rot]
+                if ((0 if v is UNSET else v) or 0) < min_rotations:
+                    return False
+            return True
+        for v, f in files.items():
+            r = f.slots[rot]
+            if ((0 if r is UNSET else r) or 0) < \
+                    base.get(v, 0) + min_rotations:
+                return False
         return True
     if base is None:
-        return all((regs.get("_rot") or 0) >= min_rotations
+        return all((regs.get(REG_ROT) or 0) >= min_rotations
                    for regs in network.registers.values())
-    return all((regs.get("_rot") or 0) >= base.get(v, 0) + min_rotations
+    return all((regs.get(REG_ROT) or 0) >= base.get(v, 0) + min_rotations
                for v, regs in network.registers.items())
 
 REG_ASK = "cmp_ask"          # the piece currently exposed for comparison
@@ -71,6 +96,19 @@ REG_WANT = "cmp_want"        # (server, level) request (asynchronous)
 REG_ASK_NBR = "cmp_nbr"      # which neighbour is being served (async)
 REG_SVC_WD = "cmp_svc"       # per-service watchdog (async)
 REG_TURN = "cmp_turn"        # server round-robin pointer ("simple" mode)
+
+#: (name, kind, init-default); ``_rot`` is declared but not initialized
+#: (the settle predicate treats missing as 0, matching dict storage).
+_CMP_DECLS = (
+    (REG_ASK, "opaque", None),
+    (REG_ASK_IDX, "nat", 0),
+    (REG_ASK_WAIT, "nat", 0),
+    (REG_ASK_WD, "nat", 0),
+    (REG_WANT, "opaque", None),
+    (REG_ASK_NBR, "nat", 0),
+    (REG_SVC_WD, "nat", 0),
+    (REG_TURN, "nat", 0),
+)
 
 
 class ComparisonComponent:
@@ -89,24 +127,48 @@ class ComparisonComponent:
         self.bottom = bottom
         self.mode = mode
         self.only_top = only_top
+        self.bind_registers(None)
+
+    def declare_registers(self, schema) -> None:
+        schema.declare_many(_CMP_DECLS)
+        schema.declare(REG_ROT, "nat", None)
+
+    def bind_registers(self, compiled) -> None:
+        resolve = handle_resolver(compiled)
+        self.h_ask = resolve(REG_ASK)
+        self.h_idx = resolve(REG_ASK_IDX)
+        self.h_wait = resolve(REG_ASK_WAIT)
+        self.h_wd = resolve(REG_ASK_WD)
+        self.h_want = resolve(REG_WANT)
+        self.h_nbr = resolve(REG_ASK_NBR)
+        self.h_svc = resolve(REG_SVC_WD)
+        self.h_turn = resolve(REG_TURN)
+        self.h_rot = resolve(REG_ROT)
+        self.h_jmask = resolve(REG_JMASK)
+        self.h_delim = resolve(REG_DELIM)
+        self.h_endp = resolve(REG_ENDP)
+        self.h_pid = resolve(REG_PARENT_ID)
+        self.h_parents = resolve(REG_PARENTS)
+        self.h_roots = resolve(REG_ROOTS)
+        self._init_pairs = tuple(
+            (resolve(name), default) for name, _kind, default in _CMP_DECLS)
+        # label-derived cache: node -> [sentinel, levels, {level: u0}]
+        # (register files only; invalidated when the stable sentinel
+        # moves)
+        self._label_cache = {}
+        self._cur_cands = None
 
     def _levels(self, ctx) -> List[int]:
-        levels = sorted_levels(_nat(ctx.get(REG_JMASK)) or 0)
+        levels = sorted_levels(ctx.nat(self.h_jmask) or 0)
         if self.only_top:
-            delim = _nat(ctx.get(REG_DELIM)) or 0
+            delim = ctx.nat(self.h_delim) or 0
             levels = levels[delim:]
         return levels
 
     # ------------------------------------------------------------------
     def init_node(self, ctx) -> None:
-        ctx.set(REG_ASK, None)
-        ctx.set(REG_ASK_IDX, 0)
-        ctx.set(REG_ASK_WAIT, 0)
-        ctx.set(REG_ASK_WD, 0)
-        ctx.set(REG_WANT, None)
-        ctx.set(REG_ASK_NBR, 0)
-        ctx.set(REG_SVC_WD, 0)
-        ctx.set(REG_TURN, 0)
+        for handle, default in self._init_pairs:
+            ctx.set(handle, default)
 
     # ------------------------------------------------------------------
     # what the servers must hold (queried by the verifier before the
@@ -121,7 +183,7 @@ class ComparisonComponent:
         if self.mode == MODE_WANT_SIMPLE:
             nbrs = ctx.neighbors
             if nbrs:
-                turn = (_nat(ctx.get(REG_TURN)) or 0) % len(nbrs)
+                turn = (ctx.nat(self.h_turn) or 0) % len(nbrs)
                 serve_only = nbrs[turn]
         held_top = held_bot = None
         for train, attr in ((self.top, 0), (self.bottom, 1)):
@@ -132,7 +194,7 @@ class ComparisonComponent:
             for u in ctx.neighbors:
                 if serve_only is not None and u != serve_only:
                     continue
-                want = ctx.read(u, REG_WANT)
+                want = ctx.read(u, self.h_want)
                 if isinstance(want, tuple) and len(want) == 2 and \
                         want[0] == me and want[1] == lvl:
                     if attr == 0:
@@ -148,31 +210,41 @@ class ComparisonComponent:
         nbrs = ctx.neighbors
         if not nbrs:
             return
-        turn = (_nat(ctx.get(REG_TURN)) or 0) % len(nbrs)
+        turn = (ctx.nat(self.h_turn) or 0) % len(nbrs)
         current = nbrs[turn]
-        want = ctx.read(current, REG_WANT)
+        want = ctx.read(current, self.h_want)
         if not (isinstance(want, tuple) and len(want) == 2
                 and want[0] == ctx.node):
-            ctx.set(REG_TURN, (turn + 1) % len(nbrs))
+            ctx.set(self.h_turn, (turn + 1) % len(nbrs))
 
     # ------------------------------------------------------------------
     # main step
     # ------------------------------------------------------------------
-    def step(self, ctx, budgets: Budgets) -> List[str]:
+    def step(self, ctx, budgets: Budgets,
+             sentinel: Optional[int] = None) -> List[str]:
+        if sentinel is not None:
+            ent = self._label_cache.get(ctx.node)
+            if ent is None or ent[0] != sentinel:
+                ent = (sentinel, self._levels(ctx), {})
+                self._label_cache[ctx.node] = ent
+            levels = ent[1]
+            self._cur_cands = ent[2]
+        else:
+            levels = self._levels(ctx)
+            self._cur_cands = None
         alarms: List[str] = []
-        levels = self._levels(ctx)
         if not levels:
             return alarms
 
-        wd = (_nat(ctx.get(REG_ASK_WD)) or 0) + 1
-        ctx.set(REG_ASK_WD, wd)
+        wd = (ctx.nat(self.h_wd) or 0) + 1
+        ctx.set(self.h_wd, wd)
         if wd > budgets.ask_alarm:
             alarms.append("ask: no comparison progress within budget")
-            ctx.set(REG_ASK_WD, 0)
+            ctx.set(self.h_wd, 0)
 
-        ask = ctx.get(REG_ASK)
+        ask = ctx.get(self.h_ask)
         if ask is not None and not valid_piece(ask):
-            ctx.set(REG_ASK, None)
+            ctx.set(self.h_ask, None)
             ask = None
 
         if ask is None:
@@ -181,32 +253,32 @@ class ComparisonComponent:
 
         if self.mode == MODE_SYNC_WINDOW:
             self._sync_compare_all(ctx, ask, alarms)
-            wait = _nat(ctx.get(REG_ASK_WAIT)) or 0
+            wait = ctx.nat(self.h_wait) or 0
             if wait <= 1:
                 self._advance(ctx, levels)
             else:
-                ctx.set(REG_ASK_WAIT, wait - 1)
+                ctx.set(self.h_wait, wait - 1)
         else:
-            self._async_serve_one(ctx, ask, budgets, alarms)
+            self._async_serve_one(ctx, ask, budgets, alarms, levels)
         return alarms
 
     # ------------------------------------------------------------------
     def _target_level(self, ctx, levels: List[int]) -> int:
-        idx = (_nat(ctx.get(REG_ASK_IDX)) or 0) % len(levels)
+        idx = (ctx.nat(self.h_idx) or 0) % len(levels)
         return levels[idx]
 
     def _advance(self, ctx, levels: List[int]) -> None:
-        idx = (_nat(ctx.get(REG_ASK_IDX)) or 0) % len(levels)
+        idx = (ctx.nat(self.h_idx) or 0) % len(levels)
         if idx + 1 >= len(levels):
             # ghost instrumentation: completed full Ask rotations
-            ctx.set("_rot", (ctx.get("_rot") or 0) + 1)
-        ctx.set(REG_ASK_IDX, (idx + 1) % len(levels))
-        ctx.set(REG_ASK, None)
-        ctx.set(REG_ASK_WAIT, 0)
-        ctx.set(REG_WANT, None)
-        ctx.set(REG_ASK_NBR, 0)
-        ctx.set(REG_SVC_WD, 0)
-        ctx.set(REG_ASK_WD, 0)
+            ctx.set(self.h_rot, (ctx.get(self.h_rot) or 0) + 1)
+        ctx.set(self.h_idx, (idx + 1) % len(levels))
+        ctx.set(self.h_ask, None)
+        ctx.set(self.h_wait, 0)
+        ctx.set(self.h_want, None)
+        ctx.set(self.h_nbr, 0)
+        ctx.set(self.h_svc, 0)
+        ctx.set(self.h_wd, 0)
 
     def _try_acquire(self, ctx, levels: List[int], budgets: Budgets,
                      alarms: List[str]) -> None:
@@ -215,30 +287,51 @@ class ComparisonComponent:
         for train in (self.top, self.bottom):
             show = train.own_show(ctx)
             if show is not None and show.flag and show.piece[1] == target:
-                ctx.set(REG_ASK, show.piece)
-                ctx.set(REG_ASK_WAIT, budgets.ask_window)
-                ctx.set(REG_ASK_NBR, 0)
-                ctx.set(REG_SVC_WD, 0)
+                ctx.set(self.h_ask, show.piece)
+                ctx.set(self.h_wait, budgets.ask_window)
+                ctx.set(self.h_nbr, 0)
+                ctx.set(self.h_svc, 0)
                 alarms.extend(self._on_acquire_checks(ctx, show.piece))
                 return
 
     # ------------------------------------------------------------------
     # checks at acquisition time (no neighbour info needed)
     # ------------------------------------------------------------------
+    _MISS = object()
+
     def _candidate_neighbor(self, ctx, level: int) -> Optional[int]:
         """The other endpoint of the candidate edge of F_level(v), when v
-        is the endpoint; None otherwise."""
-        endp = ctx.get(REG_ENDP)
+        is the endpoint; None otherwise.
+
+        A pure function of the labels in the closed neighbourhood —
+        memoized per level under register files (``self._cur_cands`` is
+        the sentinel-validated cache installed by :meth:`step`)."""
+        cands = self._cur_cands
+        if cands is not None:
+            hit = cands.get(level, self._MISS)
+            if hit is not self._MISS:
+                return hit
+            u0 = self._candidate_neighbor_uncached(ctx, level)
+            cands[level] = u0
+            return u0
+        return self._candidate_neighbor_uncached(ctx, level)
+
+    def _candidate_neighbor_uncached(self, ctx, level: int) -> Optional[int]:
+        endp = ctx.get(self.h_endp)
         if not isinstance(endp, str) or level >= len(endp):
             return None
         if endp[level] == ENDP_UP:
-            pid = ctx.get(REG_PARENT_ID)
+            pid = ctx.get(self.h_pid)
             return pid if pid in ctx.neighbors else None
         if endp[level] == ENDP_DOWN:
+            h_pid = self.h_pid
+            h_parents = self.h_parents
+            me = ctx.node
+            read = ctx.read
             for c in ctx.neighbors:
-                if ctx.read(c, REG_PARENT_ID) != ctx.node:
+                if read(c, h_pid) != me:
                     continue
-                cp = ctx.read(c, REG_PARENTS)
+                cp = read(c, h_parents)
                 if isinstance(cp, str) and level < len(cp) and cp[level] == "1":
                     return c
         return None
@@ -246,7 +339,7 @@ class ComparisonComponent:
     def _on_acquire_checks(self, ctx, piece) -> List[str]:
         alarms: List[str] = []
         z, level, weight = piece
-        roots = ctx.get(REG_ROOTS)
+        roots = ctx.get(self.h_roots)
         if isinstance(roots, str) and level < len(roots):
             if roots[level] == "1" and z != ctx.node:
                 alarms.append("ask: fragment root id differs from the piece")
@@ -263,8 +356,9 @@ class ComparisonComponent:
     # the event E(v, u, j): compare my piece against what u shows
     # ------------------------------------------------------------------
     def _neighbor_piece(self, ctx, u, level) -> Optional[TrainObservation]:
+        read_decoded = ctx.read_decoded
         for train in (self.top, self.bottom):
-            obs = train.observe(ctx, u)
+            obs = read_decoded(u, train.h_bbuf, decode_observation)
             if obs is not None and obs.flag and obs.piece[1] == level:
                 return obs
         return None
@@ -313,9 +407,11 @@ class ComparisonComponent:
     # ------------------------------------------------------------------
     def _sync_compare_all(self, ctx, ask, alarms: List[str]) -> None:
         level = ask[1]
+        bit = 1 << level
+        h_jmask = self.h_jmask
         for u in ctx.neighbors:
-            jmask_u = _nat(ctx.read(u, REG_JMASK))
-            u_has = jmask_u is not None and bool(jmask_u & (1 << level))
+            jmask_u = ctx.read_nat(u, h_jmask)
+            u_has = jmask_u is not None and bool(jmask_u & bit)
             obs = self._neighbor_piece(ctx, u, level) if u_has else None
             self._compare_with(ctx, ask, u, obs, u_has, alarms)
 
@@ -323,16 +419,15 @@ class ComparisonComponent:
     # asynchronous Want mode (Section 7.2.2)
     # ------------------------------------------------------------------
     def _async_serve_one(self, ctx, ask, budgets: Budgets,
-                         alarms: List[str]) -> None:
+                         alarms: List[str], levels: List[int]) -> None:
         level = ask[1]
         nbrs = ctx.neighbors
-        levels = self._levels(ctx)
-        idx = _nat(ctx.get(REG_ASK_NBR)) or 0
+        idx = ctx.nat(self.h_nbr) or 0
         if idx >= len(nbrs):
             self._advance(ctx, levels)
             return
         u = nbrs[idx]
-        jmask_u = _nat(ctx.read(u, REG_JMASK))
+        jmask_u = ctx.read_nat(u, self.h_jmask)
         u_has = jmask_u is not None and bool(jmask_u & (1 << level))
         if not u_has:
             self._compare_with(ctx, ask, u, None, False, alarms)
@@ -344,18 +439,18 @@ class ComparisonComponent:
         obs = self._neighbor_piece(ctx, u, level)
         if obs is not None:
             self._compare_with(ctx, ask, u, obs, True, alarms)
-            ctx.set(REG_WANT, None)
+            ctx.set(self.h_want, None)
             self._next_neighbor(ctx, idx)
             return
-        ctx.set(REG_WANT, (u, level))
-        svc = (_nat(ctx.get(REG_SVC_WD)) or 0) + 1
-        ctx.set(REG_SVC_WD, svc)
+        ctx.set(self.h_want, (u, level))
+        svc = (ctx.nat(self.h_svc) or 0) + 1
+        ctx.set(self.h_svc, svc)
         scale = max(1, ctx.degree) if self.mode == MODE_WANT_SIMPLE else 1
         if svc > budgets.service * scale:
             alarms.append("WANT: server never displayed the requested piece")
-            ctx.set(REG_WANT, None)
+            ctx.set(self.h_want, None)
             self._next_neighbor(ctx, idx)
 
     def _next_neighbor(self, ctx, idx: int) -> None:
-        ctx.set(REG_ASK_NBR, idx + 1)
-        ctx.set(REG_SVC_WD, 0)
+        ctx.set(self.h_nbr, idx + 1)
+        ctx.set(self.h_svc, 0)

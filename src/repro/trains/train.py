@@ -30,6 +30,13 @@ Self-stabilization: the part root resets the train (epoch bump, adopted
 downward) when a rotation exceeds its budget — corrupted *dynamic* state
 heals silently; corrupted *labels* keep starving the nodes whose larger
 alarm budgets then fire (Section 8's detection).
+
+Register handles: every register the component touches is resolved once
+by :meth:`TrainComponent.bind_registers` — to its name string under the
+legacy dict storage, or to its integer slot index under a compiled
+register schema — so the per-step code performs no string concatenation
+or repeated name hashing, and numeric reads go through the context's
+write-time-cached ``nat`` coercion.
 """
 
 from __future__ import annotations
@@ -37,9 +44,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
-from ..labels.registers import (REG_ELL, REG_JMASK, REG_N, REG_PARENT_ID,
+from ..labels.registers import (REG_DELIM, REG_JMASK, REG_PARENT_ID,
                                 REG_ROOTS)
 from ..labels.wellforming import level_is_bottom, sorted_levels
+from ..sim.registers import handle_resolver
 from .budgets import Budgets, compute_budgets
 
 SEQ_MOD = 64
@@ -56,7 +64,8 @@ def valid_piece(piece: Any) -> bool:
     """Shape check for a piece (root, level, weight)."""
     return (isinstance(piece, tuple) and len(piece) == 3
             and isinstance(piece[0], int) and not isinstance(piece[0], bool)
-            and _nat(piece[1], cap=256) is not None)
+            and isinstance(piece[1], int) and not isinstance(piece[1], bool)
+            and 0 <= piece[1] <= 256)
 
 
 def piece_key(piece: Tuple) -> Tuple[int, int]:
@@ -66,10 +75,53 @@ def piece_key(piece: Tuple) -> Tuple[int, int]:
 
 @dataclass
 class TrainObservation:
-    """What the comparison layer reads off a neighbour's broadcast slot."""
+    """What the comparison layer reads off a neighbour's broadcast slot.
+
+    Instances may be shared across reads (the register file caches the
+    decoded observation per broadcast-slot write): treat as read-only.
+    """
 
     piece: Tuple
     flag: bool
+
+
+def decode_observation(buf: Any) -> Optional[TrainObservation]:
+    """Validate and parse a broadcast slot; the slot's decode function
+    (run once per write under register files)."""
+    if isinstance(buf, tuple) and len(buf) == 2 and valid_piece(buf[0]):
+        return TrainObservation(piece=buf[0], flag=bool(buf[1]))
+    return None
+
+
+def _decode_car(out: Any) -> Optional[Tuple]:
+    """Validate a convergecast car ``(seq, piece)``; None when malformed."""
+    if isinstance(out, tuple) and len(out) == 2 and valid_piece(out[1]):
+        return out
+    return None
+
+
+#: the component's dynamic registers: (suffix, kind, init-default).
+#: ``seq`` is declared but deliberately *not* initialized by
+#: ``init_node`` (the convergecast writes it on first use) — keeping the
+#: mapping contents identical to the historical dict behaviour.
+_DYNAMIC_DECLS = (
+    ("out", "opaque", None),
+    ("src", "nat", 0),
+    ("cyc", "nat", 0),
+    ("done", "opaque", None),
+    ("act", "opaque", None),
+    ("tak", "opaque", None),
+    ("bseq", "nat", 0),
+    ("bbuf", "opaque", None),
+    ("seen", "nat", 0),
+    ("last", "opaque", None),
+    ("cnt", "nat", 0),
+    ("sync", "opaque", False),
+    ("wd", "nat", 0),
+    ("ep", "nat", 0),
+)
+
+_SEQ_DECL = ("seq", "nat", 0)
 
 
 class TrainComponent:
@@ -83,50 +135,82 @@ class TrainComponent:
         self.reg_count = reg_count
         self.reg_pieces = reg_pieces
         self.synchronous = synchronous
+        self.bind_registers(None)
 
     # -- register helpers ------------------------------------------------
     def r(self, name: str) -> str:
         return self.p + name
 
+    def declare_registers(self, schema) -> None:
+        """Declare this train's dynamic registers (labels are declared
+        by the owning protocol)."""
+        for suffix, kind, default in _DYNAMIC_DECLS + (_SEQ_DECL,):
+            schema.declare(self.p + suffix, kind, default)
+
+    def bind_registers(self, compiled) -> None:
+        """Resolve register handles: names (``compiled=None``) or slots."""
+        resolve = handle_resolver(compiled)
+        p = self.p
+        self.h_out = resolve(p + "out")
+        self.h_src = resolve(p + "src")
+        self.h_cyc = resolve(p + "cyc")
+        self.h_done = resolve(p + "done")
+        self.h_act = resolve(p + "act")
+        self.h_tak = resolve(p + "tak")
+        self.h_seq = resolve(p + "seq")
+        self.h_bseq = resolve(p + "bseq")
+        self.h_bbuf = resolve(p + "bbuf")
+        self.h_seen = resolve(p + "seen")
+        self.h_last = resolve(p + "last")
+        self.h_cnt = resolve(p + "cnt")
+        self.h_sync = resolve(p + "sync")
+        self.h_wd = resolve(p + "wd")
+        self.h_ep = resolve(p + "ep")
+        self.h_root = resolve(self.reg_root)
+        self.h_count = resolve(self.reg_count)
+        self.h_pieces = resolve(self.reg_pieces)
+        self.h_pid = resolve(REG_PARENT_ID)
+        self.h_roots = resolve(REG_ROOTS)
+        self.h_jmask = resolve(REG_JMASK)
+        self.h_delim = resolve(REG_DELIM)
+        # init_node's write sequence, in the historical order
+        self._init_pairs = tuple(
+            (resolve(p + suffix), default)
+            for suffix, _kind, default in _DYNAMIC_DECLS)
+        # label-derived cache: node -> (stable sentinel, (parent,
+        # children, own pieces, count claim, needed mask)).  Only used
+        # under register files, where the sentinel detects label writes.
+        self._label_cache = {}
+        self._cur_needed: Optional[int] = None
+
     def init_node(self, ctx) -> None:
-        p = self.r
-        ctx.set(p("out"), None)
-        ctx.set(p("src"), 0)
-        ctx.set(p("cyc"), 0)
-        ctx.set(p("done"), None)
-        ctx.set(p("act"), None)
-        ctx.set(p("tak"), None)
-        ctx.set(p("bseq"), 0)
-        ctx.set(p("bbuf"), None)
-        ctx.set(p("seen"), 0)
-        ctx.set(p("last"), None)
-        ctx.set(p("cnt"), 0)
-        ctx.set(p("sync"), False)
-        ctx.set(p("wd"), 0)
-        ctx.set(p("ep"), 0)
+        for handle, default in self._init_pairs:
+            ctx.set(handle, default)
 
     # -- topology inside the part ----------------------------------------
     def part_root_id(self, ctx) -> Optional[int]:
-        root = ctx.get(self.reg_root)
+        root = ctx.get(self.h_root)
         return root if isinstance(root, int) else None
 
     def part_parent(self, ctx) -> Optional[int]:
-        pid = ctx.get(REG_PARENT_ID)
+        pid = ctx.get(self.h_pid)
         if pid is None or pid not in ctx.neighbors:
             return None
-        if ctx.read(pid, self.reg_root) == ctx.get(self.reg_root):
+        if ctx.read(pid, self.h_root) == ctx.get(self.h_root):
             return pid
         return None
 
     def part_children(self, ctx) -> List[int]:
         me = ctx.node
-        mine = ctx.get(self.reg_root)
+        mine = ctx.get(self.h_root)
+        h_pid = self.h_pid
+        h_root = self.h_root
+        read = ctx.read
         return [c for c in ctx.neighbors
-                if ctx.read(c, REG_PARENT_ID) == me
-                and ctx.read(c, self.reg_root) == mine]
+                if read(c, h_pid) == me and read(c, h_root) == mine]
 
     def own_pieces(self, ctx) -> Tuple:
-        pieces = ctx.get(self.reg_pieces)
+        pieces = ctx.get(self.h_pieces)
         if not isinstance(pieces, tuple):
             return ()
         return tuple(pc for pc in pieces if valid_piece(pc))
@@ -138,9 +222,9 @@ class TrainComponent:
     def membership_flag(self, ctx, piece: Tuple, parent_flag: bool) -> bool:
         """Whether this node belongs to the fragment the piece describes."""
         z, level, _w = piece
-        roots = ctx.get(REG_ROOTS)
-        jmask = _nat(ctx.get(REG_JMASK)) or 0
-        delim = _nat(ctx.get("delim")) or 0
+        roots = ctx.get(self.h_roots)
+        jmask = ctx.nat(self.h_jmask) or 0
+        delim = ctx.nat(self.h_delim) or 0
         if not isinstance(roots, str) or level >= len(roots):
             return False
         want_bottom = (self.kind == "bottom")
@@ -158,8 +242,8 @@ class TrainComponent:
 
     def needed_mask(self, ctx) -> int:
         """Levels this node must see flagged in this train's rotations."""
-        jmask = _nat(ctx.get(REG_JMASK)) or 0
-        delim = _nat(ctx.get("delim")) or 0
+        jmask = ctx.nat(self.h_jmask) or 0
+        delim = ctx.nat(self.h_delim) or 0
         levels = sorted_levels(jmask)
         mask = 0
         for i, j in enumerate(levels):
@@ -170,47 +254,70 @@ class TrainComponent:
     # -- epochs / reset ----------------------------------------------------
     def _reset_dynamic(self, ctx, epoch: int) -> None:
         self.init_node(ctx)
-        ctx.set(self.r("ep"), epoch % SEQ_MOD)
+        ctx.set(self.h_ep, epoch % SEQ_MOD)
 
     # -- the per-activation step -------------------------------------------
     def step(self, ctx, budgets: Budgets,
-             hold_broadcast: bool = False) -> List[str]:
+             hold_broadcast: bool = False,
+             sentinel: Optional[int] = None) -> List[str]:
         """Advance the train by one atomic step; returns alarm reasons.
 
         ``hold_broadcast`` freezes this node's broadcast slot for one step
         (the Want-mode server delaying the train, Section 7.2.2); the
         convergecast keeps flowing.
+
+        ``sentinel`` (register files only) is the closed neighbourhood's
+        stable-register version: the part topology, own pieces, count
+        claim, and needed mask are pure functions of labels, so they are
+        recomputed only when the sentinel moves — never per step.
         """
-        p = self.r
         alarms: List[str] = []
-        parent = self.part_parent(ctx)
-        children = self.part_children(ctx)
-        own = self.own_pieces(ctx)
-        count_claim = _nat(ctx.get(self.reg_count), cap=4096)
+        if sentinel is not None:
+            ent = self._label_cache.get(ctx.node)
+            if ent is not None and ent[0] == sentinel:
+                parent, children, own, count_claim, needed = ent[1]
+            else:
+                parent = self.part_parent(ctx)
+                children = self.part_children(ctx)
+                own = self.own_pieces(ctx)
+                count_claim = ctx.nat(self.h_count, cap=4096)
+                needed = self.needed_mask(ctx)
+                self._label_cache[ctx.node] = (
+                    sentinel, (parent, children, own, count_claim, needed))
+            self._cur_needed = needed
+        else:
+            parent = self.part_parent(ctx)
+            children = self.part_children(ctx)
+            own = self.own_pieces(ctx)
+            count_claim = ctx.nat(self.h_count, cap=4096)
+            needed = None
+            self._cur_needed = None
 
         # --- epoch adoption (train self-stabilization) --------------------
         if parent is not None:
-            pep = _nat(ctx.read(parent, p("ep")), cap=SEQ_MOD)
-            if pep is not None and pep != ctx.get(p("ep")):
+            pep = ctx.read_nat(parent, self.h_ep, cap=SEQ_MOD)
+            if pep is not None and pep != ctx.get(self.h_ep):
                 self._reset_dynamic(ctx, pep)
                 return alarms
 
         # --- watchdogs -----------------------------------------------------
-        idle = (count_claim == 0 and self.needed_mask(ctx) == 0)
+        idle = (count_claim == 0 and
+                (needed if needed is not None
+                 else self.needed_mask(ctx)) == 0)
         if not idle:
-            wd = (_nat(ctx.get(p("wd"))) or 0) + 1
-            ctx.set(p("wd"), wd)
+            wd = (ctx.nat(self.h_wd) or 0) + 1
+            ctx.set(self.h_wd, wd)
             if parent is None and wd > 0 and wd % budgets.root_reset == 0:
                 # the part root restarts a wedged train
-                new_ep = ((_nat(ctx.get(p("ep")), cap=SEQ_MOD) or 0) + 1) % SEQ_MOD
+                new_ep = ((ctx.nat(self.h_ep, cap=SEQ_MOD) or 0) + 1) % SEQ_MOD
                 self._reset_dynamic(ctx, new_ep)
-                ctx.set(p("wd"), wd)  # keep counting toward the alarm
+                ctx.set(self.h_wd, wd)  # keep counting toward the alarm
                 return alarms
             if wd > budgets.node_alarm:
                 alarms.append(f"{self.kind}-train: no good rotation within "
                               "budget (missing levels, wrong piece count, "
                               "or a starved train)")
-                ctx.set(p("wd"), 0)
+                ctx.set(self.h_wd, 0)
 
         self._step_convergecast(ctx, parent, children, own)
         if not hold_broadcast:
@@ -220,12 +327,11 @@ class TrainComponent:
 
     # -- convergecast -----------------------------------------------------
     def _step_convergecast(self, ctx, parent, children, own) -> None:
-        p = self.r
         me = ctx.node
-        cyc = _nat(ctx.get(p("cyc")), cap=SEQ_MOD) or 0
+        cyc = ctx.nat(self.h_cyc, cap=SEQ_MOD) or 0
 
         if parent is not None:
-            pact = ctx.read(parent, p("act"))
+            pact = ctx.read(parent, self.h_act)
             if not (isinstance(pact, tuple) and len(pact) == 2
                     and pact[0] == me):
                 return  # not my turn in the parent's DFS
@@ -234,98 +340,94 @@ class TrainComponent:
                 return
             if new_cyc != cyc:
                 # a fresh DFS visit: restart my subtree's delivery
-                ctx.set(p("cyc"), new_cyc)
-                ctx.set(p("src"), 0)
-                ctx.set(p("done"), None)
-                ctx.set(p("act"), None)
+                ctx.set(self.h_cyc, new_cyc)
+                ctx.set(self.h_src, 0)
+                ctx.set(self.h_done, None)
+                ctx.set(self.h_act, None)
                 cyc = new_cyc
-            if ctx.get(p("done")) == cyc:
+            if ctx.get(self.h_done) == cyc:
                 return  # finished; wait for the next visit
 
-        out = ctx.get(p("out"))
-        if out is not None and not (isinstance(out, tuple) and len(out) == 2
-                                    and valid_piece(out[1])):
-            ctx.set(p("out"), None)
+        out = ctx.get(self.h_out)
+        if out is not None and ctx.get_decoded(self.h_out, _decode_car) \
+                is None:
+            ctx.set(self.h_out, None)
             out = None
 
         # ack: the parent consumed my outgoing car
         if out is not None and parent is not None:
-            ptak = ctx.read(parent, p("tak"))
+            ptak = ctx.read(parent, self.h_tak)
             if isinstance(ptak, tuple) and len(ptak) == 2 and \
                     ptak[0] == me and ptak[1] == out[0]:
-                ctx.set(p("out"), None)
+                ctx.set(self.h_out, None)
                 out = None
 
         if out is not None:
             return  # still waiting for the car to be consumed
 
-        src = _nat(ctx.get(p("src")), cap=4096)
+        src = ctx.nat(self.h_src, cap=4096)
         if src is None:
             src = 0
-        seq = ((_nat(ctx.get(p("seq")), cap=SEQ_MOD) or 0) + 1) % SEQ_MOD
+        seq = ((ctx.nat(self.h_seq, cap=SEQ_MOD) or 0) + 1) % SEQ_MOD
 
         if src < len(own):
-            ctx.set(p("out"), (seq, own[src]))
-            ctx.set(p("seq"), seq)
-            ctx.set(p("src"), src + 1)
+            ctx.set(self.h_out, (seq, own[src]))
+            ctx.set(self.h_seq, seq)
+            ctx.set(self.h_src, src + 1)
             return
 
         child_idx = src - len(own)
         while child_idx < len(children):
             child = children[child_idx]
-            ctx.set(p("act"), (child, cyc))
-            cdone = ctx.read(child, p("done"))
-            cout = ctx.read(child, p("out"))
-            if isinstance(cout, tuple) and len(cout) == 2 and \
-                    valid_piece(cout[1]):
-                tak = ctx.get(p("tak"))
+            ctx.set(self.h_act, (child, cyc))
+            cdone = ctx.read(child, self.h_done)
+            cout = ctx.read_decoded(child, self.h_out, _decode_car)
+            if cout is not None:
+                tak = ctx.get(self.h_tak)
                 if tak != (child, cout[0]):
                     # take the child's piece into my outgoing car
-                    ctx.set(p("out"), (seq, cout[1]))
-                    ctx.set(p("seq"), seq)
-                    ctx.set(p("tak"), (child, cout[0]))
+                    ctx.set(self.h_out, (seq, cout[1]))
+                    ctx.set(self.h_seq, seq)
+                    ctx.set(self.h_tak, (child, cout[0]))
                     return
             if cdone == cyc:
                 child_idx += 1
-                ctx.set(p("src"), len(own) + child_idx)
+                ctx.set(self.h_src, len(own) + child_idx)
                 continue
             return  # wait for this child
 
         # all sources exhausted: subtree finished for this cycle
-        ctx.set(p("act"), None)
+        ctx.set(self.h_act, None)
         if parent is not None:
-            ctx.set(p("done"), cyc)
+            ctx.set(self.h_done, cyc)
         else:
-            ctx.set(p("cyc"), (cyc + 1) % SEQ_MOD)
-            ctx.set(p("src"), 0)
+            ctx.set(self.h_cyc, (cyc + 1) % SEQ_MOD)
+            ctx.set(self.h_src, 0)
 
     # -- broadcast ----------------------------------------------------------
     def _step_broadcast(self, ctx, parent, children, count_claim) -> List[str]:
-        p = self.r
         alarms: List[str] = []
-        bseq = _nat(ctx.get(p("bseq")), cap=SEQ_MOD) or 0
+        bseq = ctx.nat(self.h_bseq, cap=SEQ_MOD) or 0
 
         # children must catch up before this node's slot may change
         for c in children:
-            if ctx.read(c, p("bseq")) != bseq:
+            if ctx.read(c, self.h_bseq) != bseq:
                 return alarms
 
         new_slot = None
         if parent is None:
-            out = ctx.get(p("out"))
-            if isinstance(out, tuple) and len(out) == 2 and valid_piece(out[1]):
+            out = ctx.get_decoded(self.h_out, _decode_car)
+            if out is not None:
                 piece = out[1]
                 flag = self.membership_flag(ctx, piece, parent_flag=False)
                 new_slot = (piece, flag)
-                ctx.set(p("out"), None)  # the broadcast consumed the car
+                ctx.set(self.h_out, None)  # the broadcast consumed the car
         else:
-            pseq = _nat(ctx.read(parent, p("bseq")), cap=SEQ_MOD)
-            pbuf = ctx.read(parent, p("bbuf"))
-            if pseq is not None and pseq != bseq and \
-                    isinstance(pbuf, tuple) and len(pbuf) == 2 and \
-                    valid_piece(pbuf[0]):
-                piece, pflag = pbuf
-                flag = self.membership_flag(ctx, piece, bool(pflag))
+            pseq = ctx.read_nat(parent, self.h_bseq, cap=SEQ_MOD)
+            pobs = ctx.read_decoded(parent, self.h_bbuf, decode_observation)
+            if pseq is not None and pseq != bseq and pobs is not None:
+                piece = pobs.piece
+                flag = self.membership_flag(ctx, piece, pobs.flag)
                 new_slot = (piece, flag)
                 bseq = (pseq - 1) % SEQ_MOD  # will advance to pseq below
 
@@ -333,21 +435,20 @@ class TrainComponent:
             return alarms
 
         piece, flag = new_slot
-        ctx.set(p("bbuf"), (piece, flag))
-        ctx.set(p("bseq"), (bseq + 1) % SEQ_MOD)
+        ctx.set(self.h_bbuf, (piece, flag))
+        ctx.set(self.h_bseq, (bseq + 1) % SEQ_MOD)
         alarms.extend(self._account_piece(ctx, piece, flag, count_claim))
         return alarms
 
     # -- rotation accounting (cycle-set checks of Section 8) ---------------
     def _account_piece(self, ctx, piece, flag, count_claim) -> List[str]:
-        p = self.r
         alarms: List[str] = []
         key = piece_key(piece)
-        last = ctx.get(p("last"))
+        last = ctx.get(self.h_last)
         boundary = (isinstance(last, tuple) and key <= tuple(last)) \
             if last is not None else False
 
-        roots = ctx.get(REG_ROOTS)
+        roots = ctx.get(self.h_roots)
         level = piece[1]
         if flag and isinstance(roots, str) and level < len(roots):
             if roots[level] == "1" and piece[0] != ctx.node:
@@ -365,37 +466,32 @@ class TrainComponent:
             # rotations — wrong labels — starve the watchdog until the
             # node_alarm budget fires (Claim 8.2's detection).
             good = True
-            if ctx.get(p("sync")):
-                needed = self.needed_mask(ctx)
-                seen = _nat(ctx.get(p("seen"))) or 0
+            if ctx.get(self.h_sync):
+                needed = self._cur_needed if self._cur_needed is not None \
+                    else self.needed_mask(ctx)
+                seen = ctx.nat(self.h_seen) or 0
                 if needed & ~seen:
                     good = False
-                cnt = _nat(ctx.get(p("cnt")), cap=1 << 20) or 0
+                cnt = ctx.nat(self.h_cnt, cap=1 << 20) or 0
                 if count_claim is not None and cnt != count_claim:
                     good = False
-            ctx.set(p("sync"), True)
-            ctx.set(p("seen"), (1 << level) if flag else 0)
-            ctx.set(p("cnt"), 1)
+            ctx.set(self.h_sync, True)
+            ctx.set(self.h_seen, (1 << level) if flag else 0)
+            ctx.set(self.h_cnt, 1)
             if good:
-                ctx.set(p("wd"), 0)
+                ctx.set(self.h_wd, 0)
         else:
             if flag:
-                ctx.set(p("seen"), (_nat(ctx.get(p("seen"))) or 0) | (1 << level))
-            ctx.set(p("cnt"), (_nat(ctx.get(p("cnt")), cap=1 << 20) or 0) + 1)
-        ctx.set(p("last"), key)
+                ctx.set(self.h_seen, (ctx.nat(self.h_seen) or 0) | (1 << level))
+            ctx.set(self.h_cnt, (ctx.nat(self.h_cnt, cap=1 << 20) or 0) + 1)
+        ctx.set(self.h_last, key)
         return alarms
 
     # -- what neighbours see (Show) ----------------------------------------
     def observe(self, ctx, neighbor: int) -> Optional[TrainObservation]:
         """The neighbour's current broadcast slot, if well-formed."""
-        buf = ctx.read(neighbor, self.r("bbuf"))
-        if isinstance(buf, tuple) and len(buf) == 2 and valid_piece(buf[0]):
-            return TrainObservation(piece=buf[0], flag=bool(buf[1]))
-        return None
+        return ctx.read_decoded(neighbor, self.h_bbuf, decode_observation)
 
     def own_show(self, ctx) -> Optional[TrainObservation]:
         """This node's own broadcast slot (its train's current piece)."""
-        buf = ctx.get(self.r("bbuf"))
-        if isinstance(buf, tuple) and len(buf) == 2 and valid_piece(buf[0]):
-            return TrainObservation(piece=buf[0], flag=bool(buf[1]))
-        return None
+        return ctx.get_decoded(self.h_bbuf, decode_observation)

@@ -148,6 +148,5 @@ def run_reject_instance(graph: WeightedGraph,
 
 
 def _first_ctx(network: Network, protocol: MstVerifierProtocol):
-    from ..sim.network import NodeContext
-    v = network.graph.nodes()[0]
-    return NodeContext(network, v, network.registers)
+    # storage-matched: the protocol may hold slot handles by now
+    return network.local_context(network.graph.nodes()[0])

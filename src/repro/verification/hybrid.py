@@ -29,11 +29,13 @@ from ..labels import registers as R
 from ..labels.strings import ENDP_DOWN, ENDP_UP
 from ..labels.wellforming import sorted_levels, static_check
 from ..sim.network import NodeContext, Protocol
+from ..sim.registers import ALARM, RegisterSchema, handle_resolver
 from ..trains.budgets import Budgets, node_budgets
 from ..trains.comparison import (MODE_SYNC_WINDOW, MODE_WANT,
                                  ComparisonComponent)
 from ..trains.train import TrainComponent, _nat, valid_piece
 from .marker import MarkerOutput, run_marker
+from .verifier import REG_BUDGET_CACHE, REG_VSTEP
 
 #: the replicated bottom pieces: tuple of (root, level, weight), sorted.
 REG_OWN_BOT = "ownbot"
@@ -169,36 +171,85 @@ class HybridVerifierProtocol(Protocol):
                                               comparison_mode,
                                               only_top=True)
         self.static_every = max(1, static_every)
+        self.bind_registers(None)
+
+    def register_schema(self) -> RegisterSchema:
+        schema = RegisterSchema()
+        schema.declare(ALARM, "opaque", None)
+        schema.declare(REG_VSTEP, "nat", 0)
+        schema.declare(REG_BUDGET_CACHE, "opaque", None)
+        R.declare_label_registers(schema)
+        schema.declare(REG_OWN_BOT, "tuple", None, stable=True)
+        self.top.declare_registers(schema)
+        self.bottom.declare_registers(schema)
+        self.comparison.declare_registers(schema)
+        return schema
+
+    def bind_registers(self, compiled) -> None:
+        resolve = handle_resolver(compiled)
+        self.h_alarm = resolve(ALARM)
+        self.h_vstep = resolve(REG_VSTEP)
+        self.h_bgt = resolve(REG_BUDGET_CACHE)
+        self.top.bind_registers(compiled)
+        self.bottom.bind_registers(compiled)
+        self.comparison.bind_registers(compiled)
+        # register files only: label-derived caches (see the verifier)
+        self._slot_bound = compiled is not None
+        self._static_cache = {}
+        self._budget_cache = {}
 
     def init_node(self, ctx: NodeContext) -> None:
-        ctx.set("alarm", None)
-        ctx.set("vstep", 0)
+        ctx.set(self.h_alarm, None)
+        ctx.set(self.h_vstep, 0)
         self.top.init_node(ctx)
         self.bottom.init_node(ctx)
         self.comparison.init_node(ctx)
 
-    def budgets_for(self, ctx: NodeContext) -> Budgets:
-        cached = ctx.get("_bgt")
-        step_no = _nat(ctx.get("vstep"), cap=1 << 30) or 0
+    def budgets_for(self, ctx: NodeContext,
+                    sentinel: Optional[int] = None) -> Budgets:
+        cached = ctx.get(self.h_bgt)
+        step_no = ctx.nat(self.h_vstep, cap=1 << 30) or 0
         if isinstance(cached, tuple) and len(cached) == 2 and \
                 isinstance(cached[1], Budgets) and step_no - cached[0] < 32:
             return cached[1]
-        budgets = node_budgets(ctx, self.synchronous)
-        ctx.set("_bgt", (step_no, budgets))
+        if sentinel is not None:
+            ent = self._budget_cache.get(ctx.node)
+            if ent is not None and ent[0] == sentinel:
+                budgets = ent[1]
+            else:
+                budgets = node_budgets(ctx, self.synchronous)
+                self._budget_cache[ctx.node] = (sentinel, budgets)
+        else:
+            budgets = node_budgets(ctx, self.synchronous)
+        ctx.set(self.h_bgt, (step_no, budgets))
         return budgets
 
+    def _static_alarms(self, ctx, sentinel: Optional[int]) -> List[str]:
+        """Static + replicated-bottom checks: both are deterministic in
+        the closed neighbourhood's labels (incl. ``ownbot``), so they are
+        recomputed only when the stable sentinel moves."""
+        if sentinel is None:
+            return static_check(ctx) + check_bottom_levels(ctx)
+        ent = self._static_cache.get(ctx.node)
+        if ent is not None and ent[0] == sentinel:
+            return ent[1]
+        reasons = static_check(ctx) + check_bottom_levels(ctx)
+        self._static_cache[ctx.node] = (sentinel, reasons)
+        return reasons
+
     def step(self, ctx: NodeContext) -> None:
-        step_no = (_nat(ctx.get("vstep"), cap=1 << 30) or 0) + 1
-        ctx.set("vstep", step_no)
+        step_no = (ctx.nat(self.h_vstep, cap=1 << 30) or 0) + 1
+        ctx.set(self.h_vstep, step_no)
+        sentinel = ctx.stable_sentinel() if self._slot_bound else None
         alarms: List[str] = []
         if step_no % self.static_every == 0:
-            alarms.extend(static_check(ctx))
-            alarms.extend(check_bottom_levels(ctx))
-        budgets = self.budgets_for(ctx)
+            alarms.extend(self._static_alarms(ctx, sentinel))
+        budgets = self.budgets_for(ctx, sentinel)
         held_top, _held_bot = self.comparison.held_levels(ctx)
         alarms.extend(self.top.step(ctx, budgets,
-                                    hold_broadcast=held_top is not None))
+                                    hold_broadcast=held_top is not None,
+                                    sentinel=sentinel))
         self.comparison.serve_turn(ctx)
-        alarms.extend(self.comparison.step(ctx, budgets))
+        alarms.extend(self.comparison.step(ctx, budgets, sentinel))
         if alarms:
             ctx.alarm(alarms[0])

