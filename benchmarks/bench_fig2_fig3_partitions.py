@@ -1,14 +1,22 @@
 """F2/F3 — Figures 2 and 3: fragment classification and the partitions.
 
-Regenerates, for the paper example and a larger instance: the top
+Regenerates, for the paper example and engine-driven instances: the top
 fragments (T_Top), the red/blue/large/green classification, partition
 P'' and partition Top (Lemma 6.4), and partition Bottom (Lemma 6.5).
+
+Engine-shaped since PR 3: the sweep instances come from
+:func:`repro.engine.partition_census_campaign` and run through
+``run_scenario`` (honest labels, a few quiet rounds, memory accounting),
+so ``--out partitions.jsonl`` emits records joinable by
+``python -m repro.engine diff`` across commits; the partition tables are
+derived from the exact same graph instances via ``graph_for``.
 """
 
 from conftest import report
 
 from repro.analysis import format_table
-from repro.graphs.generators import random_connected_graph
+from repro.engine import (CampaignRunner, graph_for,
+                          partition_census_campaign)
 from repro.graphs.paper_example import ID_TO_NAME, build_paper_graph
 from repro.mst import run_sync_mst
 from repro.partition import build_partitions, classify_fragments
@@ -46,10 +54,50 @@ def render(graph, id_to_name=None) -> str:
     return "\n".join(lines)
 
 
+def run_campaign(sizes=(32, 96), seed=0, workers=1, out=None):
+    """The engine sweep plus per-instance partition renderings."""
+    specs = partition_census_campaign(sizes=sizes, seed=seed)
+    result = CampaignRunner(workers=workers).run(specs)
+    sections = []
+    for spec, res in zip(specs, result):
+        graph = graph_for(spec)
+        sections.append(
+            f"engine instance {spec.key} (n = {graph.n}, "
+            f"max memory {res.max_memory_bits} bits, "
+            f"{'ok' if res.ok else res.violation}):\n" + render(graph))
+    if out:
+        written = result.dump_jsonl(out)
+        sections.append(f"wrote {written} scenario record(s) to {out}")
+    return result, "\n\n".join(sections)
+
+
 def test_fig2_fig3_partitions(once):
     paper = render(build_paper_graph(), ID_TO_NAME)
-    big = once(render, random_connected_graph(96, 170, seed=5))
+    result, engine_body = once(run_campaign)
+    assert not result.violations(), "partition census must run clean"
     body = "paper example (Figures 2/3 topology):\n" + paper + \
-        "\n\nlarger instance (n = 96):\n" + big
+        "\n\n" + engine_body
     assert "red" in body and "Top" in body
     report("F2_F3", "Figures 2-3 — fragment classes and partitions", body)
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--sizes", type=int, nargs="+", default=[32, 96])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--out", default=None,
+                        help="dump the engine sweep as JSONL (joinable "
+                             "by `python -m repro.engine diff`)")
+    args = parser.parse_args(argv)
+    result, body = run_campaign(sizes=tuple(args.sizes), seed=args.seed,
+                                workers=args.workers, out=args.out)
+    print("paper example (Figures 2/3 topology):\n"
+          + render(build_paper_graph(), ID_TO_NAME) + "\n\n" + body)
+    return 1 if result.violations() else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

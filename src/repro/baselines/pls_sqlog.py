@@ -147,9 +147,12 @@ class SqLogPlsProtocol(Protocol):
 
     The checks are written against the storage-agnostic name-based view
     API, but declaring a schema still pays: the network's snapshots
-    become slot-list copies and alarm polling a slot load, and the
-    dirty-aware schedulers can skip re-checking quiescent (accepting)
-    nodes."""
+    become slot-list (or whole-column) copies and alarm polling a slot
+    load, the Theta(log^2 n)-bit piece tables intern into the columnar
+    pool (one shared tuple per distinct table instead of one per node
+    copy), and the dirty-aware schedulers can skip re-checking quiescent
+    (accepting) nodes — under the locality-batching daemon a whole
+    settled neighbourhood skips per batch."""
 
     def register_schema(self):
         from ..sim.registers import ALARM, RegisterSchema

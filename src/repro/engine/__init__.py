@@ -21,7 +21,9 @@ a :class:`CampaignResult`.
 from .campaigns import (adversarial_labeling_matrix,
                         detection_distance_campaign,
                         detection_time_campaign, memory_campaign,
-                        smoke_campaign, soundness_completeness_matrix)
+                        partition_census_campaign, smoke_campaign,
+                        soundness_completeness_matrix)
+from .differ import DiffConfig, DiffResult, diff_paths, diff_records
 from .runner import (CampaignResult, CampaignRunner, dump_jsonl,
                      run_campaign, scenario_record)
 from .scenarios import (FAULTS, PROTOCOLS, SCHEDULES, TOPOLOGIES,
@@ -44,5 +46,7 @@ __all__ = [
     "dump_jsonl", "scenario_record",
     "adversarial_labeling_matrix",
     "detection_time_campaign", "detection_distance_campaign",
-    "memory_campaign", "smoke_campaign", "soundness_completeness_matrix",
+    "memory_campaign", "partition_census_campaign", "smoke_campaign",
+    "soundness_completeness_matrix",
+    "DiffConfig", "DiffResult", "diff_paths", "diff_records",
 ]

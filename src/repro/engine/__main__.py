@@ -4,6 +4,11 @@ Defaults to the CI smoke campaign (a <=30s cross-section exercising
 every axis); ``--matrix`` runs the full soundness/completeness matrix.
 Exits non-zero on any completeness/soundness violation or scenario
 error, so CI can gate on it directly.
+
+``python -m repro.engine diff OLD.jsonl NEW.jsonl`` compares two result
+dumps (join on ``key`` + ``seed``) and exits non-zero on regressions in
+rounds-to-detection, memory bits, or wall time — the cross-commit perf
+gate (see :mod:`repro.engine.differ`).
 """
 
 from __future__ import annotations
@@ -12,10 +17,50 @@ import argparse
 import sys
 
 from .campaigns import smoke_campaign, soundness_completeness_matrix
+from .differ import DiffConfig, diff_paths
 from .runner import CampaignRunner
 
 
+def diff_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine diff",
+        description="Flag regressions between two campaign JSONL dumps.")
+    parser.add_argument("old", help="baseline dump (previous commit)")
+    parser.add_argument("new", help="candidate dump (this commit)")
+    parser.add_argument("--rounds-tol", type=float, default=0.0,
+                        help="fractional slack on rounds_to_detection "
+                             "(default 0: exact)")
+    parser.add_argument("--mem-tol", type=float, default=0.0,
+                        help="fractional slack on memory bits "
+                             "(default 0: exact)")
+    parser.add_argument("--time-tol", type=float, default=0.5,
+                        help="fractional slack on wall time "
+                             "(default 0.5 = flag >1.5x blowups)")
+    parser.add_argument("--no-time", action="store_true",
+                        help="ignore wall time entirely")
+    parser.add_argument("--strict", action="store_true",
+                        help="scenarios missing from NEW count as "
+                             "regressions")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0 (soft gate)")
+    args = parser.parse_args(argv)
+    config = DiffConfig(rounds_tol=args.rounds_tol, mem_tol=args.mem_tol,
+                        time_tol=args.time_tol,
+                        check_time=not args.no_time,
+                        strict_missing=args.strict)
+    result = diff_paths(args.old, args.new, config)
+    print(result.summary())
+    if not result.ok and args.warn_only:
+        print("(warn-only: regressions reported, exit 0)")
+        return 0
+    return 0 if result.ok else 1
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "diff":
+        return diff_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.engine",
         description="Run a scenario campaign and report violations.")

@@ -160,6 +160,34 @@ def adversarial_labeling_matrix(seed: int = 0,
     return [s for s in specs if spec_is_satisfiable(s)]
 
 
+def partition_census_campaign(sizes: Sequence[int] = (32, 96),
+                              seed: int = 0,
+                              rounds: int = 4,
+                              storage: str = "columnar"
+                              ) -> List[ScenarioSpec]:
+    """The Figures 2/3 workload as scenarios (F2/F3): honest labels on
+    random instances, a few quiet completeness rounds, memory-bit
+    accounting per instance.
+
+    The figure itself (fragment classes, partition Top/Bottom tables) is
+    derived per spec from :func:`~repro.engine.scenarios.graph_for` by
+    ``benchmarks/bench_fig2_fig3_partitions.py``; running the *same*
+    instances through the engine makes the sweep a JSONL trend series
+    the cross-commit differ can join on.
+    """
+    return [
+        ScenarioSpec(
+            topology=axis("random", n=n, extra=int(1.8 * n)),
+            fault=axis("none"),
+            schedule=axis("sync", storage=storage),
+            protocol=axis("verifier", static_every=2),
+            seed=derive_seed(seed, "partition-census", n),
+            completeness_rounds=rounds,
+        )
+        for n in sizes
+    ]
+
+
 def smoke_campaign(seed: int = 0) -> List[ScenarioSpec]:
     """A <=30s cross-section for CI: every axis exercised at least once."""
     specs = grid(

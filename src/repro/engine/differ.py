@@ -1,0 +1,199 @@
+"""Cross-commit campaign comparison: diff two JSONL result dumps.
+
+``python -m repro.engine diff OLD.jsonl NEW.jsonl`` joins the two dumps
+on ``key`` + ``seed`` (the stable scenario identity
+:func:`~repro.engine.runner.scenario_record` writes) and flags
+*regressions* in the metrics the ROADMAP wants CI-gateable:
+
+* **rounds_to_detection** — more rounds to detect than before (scaled
+  tolerance ``--rounds-tol``, default exact);
+* **memory bits** — ``max_memory_bits`` / ``total_memory_bits`` grew
+  (``--mem-tol`` fractional tolerance, default exact: the accounting is
+  deterministic, any growth is a real change);
+* **wall time** — ``--time-tol`` factor (default 1.5x; wall clock is
+  noisy, so the default only catches blowups — tighten on quiet runners
+  or disable with ``--no-time``);
+* **correctness** — a scenario that newly violates
+  soundness/completeness or errors is always a regression, and a
+  scenario that disappeared from the new dump is reported (``--strict``
+  turns missing scenarios into regressions too).
+
+Exit status: 0 when clean (or ``--warn-only``), 1 when any regression
+was found — so CI can gate a commit on the dump of the previous one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: join identity of one scenario record
+Key = Tuple[str, int]
+
+
+def load_records(path: str) -> Dict[Key, Dict[str, Any]]:
+    """``(key, seed) -> record`` for one JSONL dump (later duplicates
+    win, matching "the last run of a re-run scenario counts")."""
+    records: Dict[Key, Dict[str, Any]] = {}
+    with open(path) as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: not a JSON record ({exc})") from None
+            try:
+                records[(rec["key"], int(rec["seed"]))] = rec
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: record lacks key/seed ({exc})") \
+                    from None
+    return records
+
+
+@dataclass
+class DiffConfig:
+    """Tolerances for the regression flags."""
+
+    rounds_tol: float = 0.0     # fractional slack on rounds_to_detection
+    mem_tol: float = 0.0        # fractional slack on memory bits
+    time_tol: float = 0.5       # fractional slack on wall time (0.5 = 1.5x)
+    check_time: bool = True
+    strict_missing: bool = False
+
+
+@dataclass
+class Regression:
+    key: str
+    seed: int
+    metric: str
+    old: Any
+    new: Any
+
+    def __str__(self) -> str:
+        return f"{self.key} seed={self.seed}: {self.metric} " \
+               f"{self.old!r} -> {self.new!r}"
+
+
+@dataclass
+class DiffResult:
+    """Outcome of one dump comparison."""
+
+    joined: int = 0
+    missing: List[Key] = field(default_factory=list)
+    added: List[Key] = field(default_factory=list)
+    regressions: List[Regression] = field(default_factory=list)
+    improvements: List[Regression] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def summary(self) -> str:
+        lines = [
+            f"joined {self.joined} scenario(s); "
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s), "
+            f"{len(self.missing)} missing, {len(self.added)} added",
+        ]
+        for r in self.regressions:
+            lines.append(f"  REGRESSION {r}")
+        for r in self.improvements[:10]:
+            lines.append(f"  improved   {r}")
+        for key, seed in self.missing[:10]:
+            lines.append(f"  missing    {key} seed={seed}")
+        for key, seed in self.added[:10]:
+            lines.append(f"  added      {key} seed={seed}")
+        return "\n".join(lines)
+
+
+def _worse(old: Optional[float], new: Optional[float],
+           tol: float) -> Optional[bool]:
+    """True/False when comparable, None when either side is absent.
+
+    The tolerance is relative — except at a zero baseline, where a
+    relative bound is inert (anything exceeds 0 * (1+tol)); there it
+    acts as an absolute allowance, so ``--rounds-tol 1`` admits a
+    0 -> 1 shift instead of always flagging it."""
+    if old is None or new is None:
+        return None
+    if old == 0:
+        return new > tol
+    return new > old * (1.0 + tol)
+
+
+def diff_records(old: Dict[Key, Dict[str, Any]],
+                 new: Dict[Key, Dict[str, Any]],
+                 config: Optional[DiffConfig] = None) -> DiffResult:
+    """Compare two dumps record-by-record on the joined scenarios."""
+    config = config or DiffConfig()
+    result = DiffResult()
+    result.missing = sorted(k for k in old if k not in new)
+    result.added = sorted(k for k in new if k not in old)
+    if config.strict_missing:
+        result.regressions.extend(
+            Regression(key, seed, "missing", "present", "absent")
+            for key, seed in result.missing)
+
+    for ident in sorted(k for k in old if k in new):
+        o, n = old[ident], new[ident]
+        key, seed = ident
+        result.joined += 1
+
+        # correctness first: these are regressions regardless of perf
+        if n.get("violation") and not o.get("violation"):
+            result.regressions.append(Regression(
+                key, seed, "violation", o.get("violation"),
+                n.get("violation")))
+            continue
+        if o.get("violation") and not n.get("violation"):
+            # a fixed violation: the old record's metrics come from a
+            # broken run (premature alarms, error shortcuts), so perf
+            # comparison against them is meaningless — mirror the
+            # new-violation case and skip it
+            result.improvements.append(Regression(
+                key, seed, "violation", o.get("violation"), None))
+            continue
+
+        checks = [
+            ("rounds_to_detection", o.get("rounds_to_detection"),
+             n.get("rounds_to_detection"), config.rounds_tol),
+            ("max_memory_bits", o.get("max_memory_bits"),
+             n.get("max_memory_bits"), config.mem_tol),
+            ("total_memory_bits", o.get("total_memory_bits"),
+             n.get("total_memory_bits"), config.mem_tol),
+        ]
+        if config.check_time:
+            checks.append(("wall_time", o.get("wall_time"),
+                           n.get("wall_time"), config.time_tol))
+        for metric, ov, nv, tol in checks:
+            worse = _worse(ov, nv, tol)
+            if metric == "wall_time" and worse and \
+                    nv is not None and ov is not None and nv - ov < 0.1:
+                # sub-100ms scenarios flap on factor comparisons alone
+                worse = False
+            if worse is None:
+                # detection regressed from "detected" to "never" —
+                # rounds_to_detection went from a number to null
+                if metric == "rounds_to_detection" and ov is not None \
+                        and nv is None and n.get("expected_detection"):
+                    result.regressions.append(
+                        Regression(key, seed, metric, ov, None))
+                continue
+            if worse:
+                result.regressions.append(
+                    Regression(key, seed, metric, ov, nv))
+            elif ov is not None and nv is not None and nv < ov:
+                result.improvements.append(
+                    Regression(key, seed, metric, ov, nv))
+    return result
+
+
+def diff_paths(old_path: str, new_path: str,
+               config: Optional[DiffConfig] = None) -> DiffResult:
+    return diff_records(load_records(old_path), load_records(new_path),
+                        config)

@@ -11,7 +11,10 @@ a registry in this module:
   plus ``none`` for completeness runs;
 * :data:`SCHEDULES` — the synchronous scheduler or an asynchronous
   daemon (``sync``, ``round_robin``, ``permutation``, ``random``,
-  ``slow_nodes``);
+  ``slow_nodes``, ``locality`` — the neighbourhood-batching daemon);
+  every schedule accepts the implementation parameter
+  ``storage="schema"|"dict"|"columnar"`` selecting the register
+  backend;
 * :data:`PROTOCOLS` — the verifier under test (``verifier``, ``hybrid``,
   ``sqlog``).
 
@@ -41,9 +44,10 @@ from ..graphs.mst_reference import kruskal_mst
 from ..graphs.weighted import NodeId, WeightedGraph
 from ..sim.faults import FaultInjector, detection_distance
 from ..sim.network import Network, Protocol, first_alarm
-from ..sim.schedulers import (AsynchronousScheduler, PermutationDaemon,
-                              RandomDaemon, RoundRobinDaemon,
-                              SlowNodesDaemon, SynchronousScheduler)
+from ..sim.schedulers import (AsynchronousScheduler, LocalityBatchDaemon,
+                              PermutationDaemon, RandomDaemon,
+                              RoundRobinDaemon, SlowNodesDaemon,
+                              SynchronousScheduler)
 from ..trains.budgets import Budgets, compute_budgets
 from ..trains.comparison import rotation_settled
 from ..verification.adversary import (labels_for_claimed_tree,
@@ -162,26 +166,28 @@ def register_schedule(kind: str, synchronous: bool,
     SCHEDULES[kind] = (synchronous, factory)
 
 
-def _storage_flag(kind: str, params: dict) -> bool:
+def _storage_flag(kind: str, params: dict) -> str:
     """Pop the ``storage`` schedule parameter: ``"schema"`` (default)
     backs the network with the protocol's typed register file,
-    ``"dict"`` forces the legacy per-node dict store (the reference
-    representation the differential tests compare against)."""
+    ``"columnar"`` with the packed column store
+    (:mod:`repro.sim.columnar`), and ``"dict"`` forces the legacy
+    per-node dict store (the reference representation the differential
+    tests compare against)."""
     storage = params.pop("storage", "schema")
-    if storage not in ("schema", "dict"):
+    if storage not in ("schema", "dict", "columnar"):
         raise ScenarioError(
             f"{kind!r}: unknown storage {storage!r} "
-            "(expected 'schema' or 'dict')")
-    return storage == "schema"
+            "(expected 'schema', 'columnar' or 'dict')")
+    return storage
 
 
 def _make_sync(net: Network, proto: Protocol, params: dict, seed: int):
     params = dict(params)
     fast_path = params.pop("fast_path", True)
-    use_schema = _storage_flag("sync", params)
+    storage = _storage_flag("sync", params)
     _no_params("sync", params)
     return SynchronousScheduler(net, proto, fast_path=fast_path,
-                                use_schema=use_schema)
+                                storage=storage)
 
 
 def _slow_nodes_daemon(network: Network, params: dict, seed: int):
@@ -195,7 +201,7 @@ def _slow_nodes_daemon(network: Network, params: dict, seed: int):
 
 
 def _async_flags(kind: str, params: dict) -> dict:
-    flags = {"use_schema": _storage_flag(kind, params),
+    flags = {"storage": _storage_flag(kind, params),
              "dirty_aware": params.pop("dirty_aware", True)}
     return flags
 
@@ -230,11 +236,21 @@ def _make_slow_nodes(net, proto, params, seed):
                                  **flags)
 
 
+def _make_locality(net, proto, params, seed):
+    params = dict(params)
+    flags = _async_flags("locality", params)
+    _no_params("locality", params)
+    return AsynchronousScheduler(net, proto,
+                                 LocalityBatchDaemon(net.graph, seed=seed),
+                                 **flags)
+
+
 register_schedule("sync", True, _make_sync)
 register_schedule("round_robin", False, _make_round_robin)
 register_schedule("permutation", False, _make_permutation)
 register_schedule("random", False, _make_random)
 register_schedule("slow_nodes", False, _make_slow_nodes)
+register_schedule("locality", False, _make_locality)
 
 
 # ---------------------------------------------------------------------------

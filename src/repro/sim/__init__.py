@@ -2,13 +2,16 @@
 asynchronous schedulers with pluggable daemons, typed register files with
 bit accounting, and transient-fault injection."""
 
+from .columnar import ColumnStore, ColumnarNodeContext, ColumnarNodeFacade
 from .network import (ALARM, Network, NodeContext, Protocol, SlotNodeContext,
                       first_alarm)
 from .registers import (KIND_NAT, KIND_OPAQUE, KIND_STR, KIND_TUPLE,
                         CompiledSchema, RegisterFile, RegisterSchema,
                         RegisterView, bit_size, compile_schema, is_ghost,
                         nat_value, register_bits)
-from .schedulers import (AsynchronousScheduler, Daemon, PermutationDaemon,
+from .schedulers import (STORAGE_COLUMNAR, STORAGE_DICT, STORAGE_KINDS,
+                         STORAGE_SCHEMA, AsynchronousScheduler, Daemon,
+                         LocalityBatchDaemon, PermutationDaemon,
                          RandomDaemon, RoundRobinDaemon, SlowNodesDaemon,
                          SynchronousScheduler)
 from .faults import FAULT_MARK, FaultInjector, detection_distance
@@ -16,10 +19,13 @@ from .faults import FAULT_MARK, FaultInjector, detection_distance
 __all__ = [
     "ALARM", "Network", "NodeContext", "Protocol", "SlotNodeContext",
     "first_alarm",
+    "ColumnStore", "ColumnarNodeContext", "ColumnarNodeFacade",
     "KIND_NAT", "KIND_OPAQUE", "KIND_STR", "KIND_TUPLE",
     "CompiledSchema", "RegisterFile", "RegisterSchema", "RegisterView",
     "bit_size", "compile_schema", "is_ghost", "nat_value", "register_bits",
-    "AsynchronousScheduler", "Daemon", "PermutationDaemon", "RandomDaemon",
-    "RoundRobinDaemon", "SlowNodesDaemon", "SynchronousScheduler",
+    "STORAGE_COLUMNAR", "STORAGE_DICT", "STORAGE_KINDS", "STORAGE_SCHEMA",
+    "AsynchronousScheduler", "Daemon", "LocalityBatchDaemon",
+    "PermutationDaemon", "RandomDaemon", "RoundRobinDaemon",
+    "SlowNodesDaemon", "SynchronousScheduler",
     "FAULT_MARK", "FaultInjector", "detection_distance",
 ]

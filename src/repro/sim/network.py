@@ -20,13 +20,15 @@ non-None reason string; the harness collects alarms via
 Storage: a network starts on the legacy per-node dict store.  When a
 protocol declares a :class:`~repro.sim.registers.RegisterSchema`
 (:meth:`Protocol.register_schema`), the schedulers compile it once and
-call :meth:`Network.adopt_schema`, which converts every node to an
-array-backed :class:`~repro.sim.registers.RegisterFile`; ``registers``
-then maps nodes to dict-compatible views, so storage-agnostic code
-(fault injection, markers, tests) is unaffected.  Protocol hot paths
-run against :class:`SlotNodeContext`, whose accessors take integer slot
-handles and are O(1) list loads with a write-time-cached ``nat``
-coercion.
+call :meth:`Network.adopt_schema`, which converts every node to a
+slot-addressed :class:`~repro.sim.registers.RegisterFile` (or, with
+``columnar=True``, the whole network to per-register columns —
+:mod:`repro.sim.columnar`); ``registers`` then maps nodes to
+dict-compatible views, so storage-agnostic code (fault injection,
+markers, tests) is unaffected.  Protocol hot paths run against
+:class:`SlotNodeContext` (or its columnar counterpart), whose accessors
+take integer slot handles and are O(1) loads with write-time-cached
+``nat`` coercion.
 """
 
 from __future__ import annotations
@@ -67,23 +69,44 @@ class Network:
         self.graph = graph
         self.schema: Optional[CompiledSchema] = None
         self.files: Optional[Dict[NodeId, RegisterFile]] = None
+        #: columnar backing (:class:`~repro.sim.columnar.ColumnStore`)
+        #: when ``adopt_schema(..., columnar=True)`` was used
+        self.columns = None
         self.registers: Dict[NodeId, Dict[str, Any]] = {
             v: {} for v in graph.nodes()
         }
         if schema is not None:
             self.adopt_schema(schema)
 
-    def adopt_schema(self, schema) -> CompiledSchema:
-        """Convert node storage to register files of ``schema``.
+    def adopt_schema(self, schema, columnar: bool = False) -> CompiledSchema:
+        """Convert node storage to register files of ``schema`` — per-node
+        slot lists by default, network-wide columns under
+        ``columnar=True`` (see :mod:`repro.sim.columnar`).
 
-        Idempotent for an equal schema; re-adopting a different schema
-        rebuilds the files from the current register contents (values
-        are preserved, undeclared names land in the extras dict).
-        Returns the compiled schema now backing the network.
+        Idempotent for an equal schema on the same layout; re-adopting a
+        different schema or switching layout rebuilds the storage from
+        the current register contents (values are preserved, undeclared
+        names land in the extras).  Returns the compiled schema now
+        backing the network.
         """
         compiled = compile_schema(schema)
-        if self.schema is not None and self.schema == compiled:
+        if self.schema is not None and self.schema == compiled and \
+                (self.columns is not None) == columnar:
             return self.schema
+        if columnar:
+            from .columnar import (ColumnStore, ColumnarNodeFacade)
+            nodes = self.graph.nodes()
+            store = ColumnStore(compiled, nodes)
+            table = RegisterTable()
+            for v in nodes:
+                facade = ColumnarNodeFacade(store, v)
+                facade.update(self.registers[v])
+                dict.__setitem__(table, v, RegisterView(facade))
+            self.schema = compiled
+            self.files = None
+            self.columns = store
+            self.registers = table
+            return compiled
         files: Dict[NodeId, RegisterFile] = {}
         table = RegisterTable()
         for v in self.graph.nodes():
@@ -93,6 +116,7 @@ class Network:
             dict.__setitem__(table, v, RegisterView(f))
         self.schema = compiled
         self.files = files
+        self.columns = None
         self.registers = table
         return compiled
 
@@ -103,7 +127,10 @@ class Network:
 
     def clear(self) -> None:
         """Erase all registers (fresh adversarial start)."""
-        if self.files is not None:
+        if self.columns is not None:
+            for i in range(self.columns.n):
+                self.columns.clear_node(i)
+        elif self.files is not None:
             for f in self.files.values():
                 f.clear()
         else:
@@ -112,6 +139,17 @@ class Network:
 
     def alarms(self) -> Dict[NodeId, str]:
         """Nodes currently raising an alarm, with their reasons."""
+        store = self.columns
+        if store is not None:
+            a = self.schema.alarm_slot
+            col = store.data[a]
+            if type(col) is list:
+                return {store.nodes[i]: reason
+                        for i, reason in enumerate(col)
+                        if reason is not UNSET and reason is not None}
+            # alarm declared with a packed kind: resolve per node
+            return {store.nodes[i]: reason for i in range(store.n)
+                    if (reason := store.get_value(i, a)) is not None}
         files = self.files
         if files is not None:
             a = self.schema.alarm_slot
@@ -129,6 +167,17 @@ class Network:
 
     def has_alarm(self) -> bool:
         """Whether any node currently raises an alarm (O(n), no dict)."""
+        store = self.columns
+        if store is not None:
+            a = self.schema.alarm_slot
+            col = store.data[a]
+            if type(col) is list:
+                for reason in col:
+                    if reason is not UNSET and reason is not None:
+                        return True
+                return False
+            return any(store.get_value(i, a) is not None
+                       for i in range(store.n))
         files = self.files
         if files is not None:
             a = self.schema.alarm_slot
@@ -148,7 +197,10 @@ class Network:
         Harness code that pokes a protocol outside a scheduler (budget
         probes, examples) must use this instead of constructing a
         :class:`NodeContext` directly: a protocol bound to slot handles
-        needs a :class:`SlotNodeContext`."""
+        needs a slot-addressed context."""
+        if self.columns is not None:
+            from .columnar import ColumnarNodeContext
+            return ColumnarNodeContext(self, node, self.columns)
         if self.files is not None:
             return SlotNodeContext(self, node, self.files)
         return NodeContext(self, node, self.registers)
@@ -156,6 +208,10 @@ class Network:
     def max_memory_bits(self) -> int:
         """max over nodes of the bits of non-ghost registers (the paper's
         memory-size measure); 0 for an empty graph."""
+        if self.columns is not None:
+            store = self.columns
+            return max((store.node_bits(i) for i in range(store.n)),
+                       default=0)
         if self.files is not None:
             return max((f.bits() for f in self.files.values()), default=0)
         return max((register_bits(regs) for regs in self.registers.values()),
@@ -163,6 +219,9 @@ class Network:
 
     def total_memory_bits(self) -> int:
         """Sum over nodes of non-ghost register bits."""
+        if self.columns is not None:
+            store = self.columns
+            return sum(store.node_bits(i) for i in range(store.n))
         if self.files is not None:
             return sum(f.bits() for f in self.files.values())
         return sum(register_bits(regs) for regs in self.registers.values())

@@ -5,7 +5,7 @@ marker labels, and verifier working memory (Section 2.4).  Protocols store
 per-node state in named registers; :func:`bit_size` estimates the number of
 bits needed to encode a register value.
 
-Two storage representations coexist:
+Three storage representations coexist:
 
 * the **legacy dict store** — each node owns a plain ``Dict[str, Any]``;
   always available, and the reference semantics for every differential
@@ -19,10 +19,14 @@ Two storage representations coexist:
   cached per slot, and per-round snapshots copy slot lists instead of
   rebuilding dicts.  :class:`RegisterView` keeps a dict-compatible
   ``MutableMapping`` face over a file so fault injection, markers, and
-  the bit accounting keep working unchanged.
+  the bit accounting keep working unchanged;
+* the **columnar store** (:mod:`repro.sim.columnar`) — the same
+  compiled schema laid out as one column per register over a dense node
+  index: nat kinds in ``array('q')``, str/tuple kinds interned into a
+  shared pool, opaque boxed.
 
-The two representations are observably equivalent: the same writes
-produce the same mapping contents, the same bit accounting, and the same
+The representations are observably equivalent: the same writes produce
+the same mapping contents, the same bit accounting, and the same
 protocol behaviour (``tests/test_storage_differential.py`` proves it).
 
 Conventions
@@ -47,8 +51,10 @@ from typing import (Any, Dict, Iterable, Iterator, List, Mapping,
 
 #: register kinds a schema may declare.  ``nat`` marks registers whose
 #: reads go through the bounded non-negative-int coercion (the verifier's
-#: ``_nat``); the coercion cache is maintained for *every* slot, so the
-#: kind is declarative — documentation plus future packing decisions.
+#: ``_nat``).  Under register files the coercion cache is maintained for
+#: *every* slot, so the kind is declarative there; the columnar store
+#: packs by kind — ``nat`` into ``array('q')`` columns, ``str``/``tuple``
+#: through the interning pool, ``opaque`` boxed.
 KIND_NAT = "nat"
 KIND_STR = "str"
 KIND_TUPLE = "tuple"

@@ -12,13 +12,17 @@ the paper's strongly fair distributed daemon).
 
 Storage: when the protocol declares a register schema
 (:meth:`Protocol.register_schema`) both schedulers back the network with
-array-based register files (:meth:`Network.adopt_schema`), bind the
+typed register storage (:meth:`Network.adopt_schema`), bind the
 protocol's register names to integer slot handles once, and drive steps
-through :class:`~repro.sim.network.SlotNodeContext` — O(1) slot loads,
-write-time ``nat`` caching, and snapshots that copy slot lists instead
-of rebuilding dicts.  ``use_schema=False`` (or an undeclared protocol)
-keeps the legacy dict storage; both representations are bit-for-bit
-equivalent (``tests/test_storage_differential.py``).
+through a slot-addressed context.  The ``storage`` parameter selects
+the backend: ``"schema"`` (default) keeps per-node slot lists and
+:class:`~repro.sim.network.SlotNodeContext`; ``"columnar"`` packs the
+network into per-register columns (:mod:`repro.sim.columnar` —
+``array('q')`` nat columns, interning pool, bulk-copy snapshots) driven
+through :class:`~repro.sim.columnar.ColumnarNodeContext`; ``"dict"``
+(or an undeclared protocol) keeps the legacy dict storage.  All three
+representations are bit-for-bit equivalent
+(``tests/test_storage_differential.py``).
 """
 
 from __future__ import annotations
@@ -27,24 +31,57 @@ import random
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..graphs.weighted import NodeId
+from .columnar import ColumnarNodeContext
 from .network import (Network, NodeContext, Protocol, SlotNodeContext,
                       StopCondition)
 
+#: storage backends a scheduler can run a schema-declaring protocol on
+STORAGE_DICT = "dict"
+STORAGE_SCHEMA = "schema"
+STORAGE_COLUMNAR = "columnar"
+STORAGE_KINDS = (STORAGE_DICT, STORAGE_SCHEMA, STORAGE_COLUMNAR)
 
-def _bind_storage(network: Network, protocol: Protocol, use_schema: bool):
+
+def _storage_mode(storage, use_schema: bool) -> str:
+    """Normalize the scheduler storage selection: the ``storage`` name
+    wins when given; otherwise the legacy ``use_schema`` flag picks
+    between ``schema`` and ``dict``."""
+    if storage is None:
+        return STORAGE_SCHEMA if use_schema else STORAGE_DICT
+    if storage not in STORAGE_KINDS:
+        raise ValueError(f"unknown storage {storage!r} "
+                         f"(expected one of {STORAGE_KINDS})")
+    return storage
+
+
+def _bind_storage(network: Network, protocol: Protocol, storage: str):
     """Adopt the protocol's schema (if any) and bind its handles.
 
     Returns the compiled schema backing the run, or None for legacy dict
-    storage.  Binding always happens — a protocol previously bound to
-    slots by another scheduler must be re-bound to names before a dict
-    run."""
+    storage (or an undeclared protocol, which keeps dict storage under
+    every mode).  Binding always happens — a protocol previously bound
+    to slots by another scheduler must be re-bound to names before a
+    dict run."""
     compiled = None
-    if use_schema:
+    if storage != STORAGE_DICT:
         schema = protocol.register_schema()
         if schema is not None:
-            compiled = network.adopt_schema(schema)
+            compiled = network.adopt_schema(
+                schema, columnar=(storage == STORAGE_COLUMNAR))
     protocol.bind_registers(compiled)
     protocol._storage_binding = compiled
+    return compiled
+
+
+def _ensure_storage(network: Network, protocol: Protocol,
+                    storage: str, compiled):
+    """Re-adopt the scheduler's storage layout if another scheduler
+    switched the shared network's backing since the last run; returns
+    the compiled schema now backing it (``compiled`` when unchanged)."""
+    if compiled is None:
+        return None
+    if (storage == STORAGE_COLUMNAR) != (network.columns is not None):
+        return _bind_storage(network, protocol, storage)
     return compiled
 
 
@@ -94,15 +131,19 @@ class SynchronousScheduler:
     """
 
     def __init__(self, network: Network, protocol: Protocol,
-                 fast_path: bool = True, use_schema: bool = True) -> None:
+                 fast_path: bool = True, use_schema: bool = True,
+                 storage: Optional[str] = None) -> None:
         self.network = network
         self.protocol = protocol
         self.rounds = 0
         self._initialized = False
         self.fast_path = bool(fast_path) and (
             type(protocol).on_round_end is Protocol.on_round_end)
-        self._compiled = _bind_storage(network, protocol, use_schema)
+        self._storage = _storage_mode(storage, use_schema)
+        self._compiled = _bind_storage(network, protocol, self._storage)
         self._adjacency: Optional[Dict[NodeId, List[NodeId]]] = None
+        self._snap_store = None
+        self._col_contexts = None
 
     def _neighbors_of(self) -> Dict[NodeId, List[NodeId]]:
         if self._adjacency is None:
@@ -110,11 +151,33 @@ class SynchronousScheduler:
             self._adjacency = {v: graph.neighbors(v) for v in graph.nodes()}
         return self._adjacency
 
+    def _columnar_state(self):
+        """(snapshot store, per-node contexts), rebuilt when the network's
+        column store was replaced (storage switch, re-adoption)."""
+        store = self.network.columns
+        snap = self._snap_store
+        if snap is None or snap.schema is not store.schema or \
+                self._col_contexts is None or \
+                self._col_contexts[0] is not store:
+            snap = store.fork()
+            adjacency = self._neighbors_of()
+            contexts = {v: ColumnarNodeContext(self.network, v, store, snap,
+                                               adjacency[v])
+                        for v in self.network.graph.nodes()}
+            self._snap_store = snap
+            self._col_contexts = (store, contexts)
+        return self._snap_store, self._col_contexts[1]
+
     def initialize(self) -> None:
         """Run ``init_node`` at every node (idempotent)."""
         if self._initialized:
             return
-        if self._compiled is not None:
+        if self.network.columns is not None and self._compiled is not None:
+            snap, contexts = self._columnar_state()
+            snap.refresh_from(self.network.columns, full=True)
+            for v in self.network.graph.nodes():
+                self.protocol.init_node(contexts[v])
+        elif self._compiled is not None:
             files = self.network.files
             snapshot = {v: f.copy() for v, f in files.items()}
             adjacency = self._neighbors_of()
@@ -138,7 +201,13 @@ class SynchronousScheduler:
         becomes true.
         """
         _ensure_binding(self.protocol, self._compiled)
+        self._compiled = _ensure_storage(self.network, self.protocol,
+                                         self._storage, self._compiled)
         self.initialize()
+        if self._compiled is not None and self.network.columns is not None:
+            if self.fast_path:
+                return self._run_fast_columns(max_rounds, stop_when)
+            return self._run_naive_columns(max_rounds, stop_when)
         if self._compiled is not None:
             if self.fast_path:
                 return self._run_fast_slots(max_rounds, stop_when)
@@ -293,6 +362,89 @@ class SynchronousScheduler:
                 break
         return executed
 
+    # -- columnar paths --------------------------------------------------
+    def _run_naive_columns(self, max_rounds: int,
+                           stop_when: Optional[StopCondition]) -> int:
+        network = self.network
+        protocol = self.protocol
+        nodes = network.graph.nodes()
+        store = network.columns
+        snap, contexts = self._columnar_state()
+        executed = 0
+        for _ in range(max_rounds):
+            snap.refresh_from(store, full=True)
+            store.clear_dirty()
+            for v in nodes:
+                protocol.step(contexts[v])
+            self.rounds += 1
+            executed += 1
+            protocol.on_round_end(network, self.rounds)
+            if stop_when is not None and stop_when(network):
+                break
+        return executed
+
+    def _run_fast_columns(self, max_rounds: int,
+                          stop_when: Optional[StopCondition]) -> int:
+        """The fast path over columns: snapshot refresh is a bulk copy of
+        exactly the dirty columns (slice assignment, not per-slot loops),
+        and the quiescence skip keys off the store's conservative dirty
+        node list — sound because a node is only skipped when *no write
+        at all* happened in its closed neighbourhood last round, in which
+        case its deterministic step would rewrite its current state."""
+        network = self.network
+        protocol = self.protocol
+        nodes = network.graph.nodes()
+        store = network.columns
+        adjacency = self._neighbors_of()
+        node_order = {v: i for i, v in enumerate(nodes)}
+        snap, contexts = self._columnar_state()
+        executed = 0
+        # external writes (fault injection, resets) since the last call
+        # are not round-tracked: the first round re-snapshots and
+        # re-steps everything, exactly like the naive loop.
+        first = True
+        while executed < max_rounds:
+            if first:
+                snap.refresh_from(store, full=True)
+                store.clear_dirty()
+                active: Sequence[NodeId] = nodes
+                first = False
+            else:
+                dirty = store.dirty_node_list
+                if not dirty:
+                    # global quiescence: every remaining round is a no-op
+                    self.rounds += max_rounds - executed
+                    return max_rounds
+                snap.refresh_from(store)
+                if len(dirty) == len(nodes):
+                    active = nodes
+                else:
+                    stale: Set[NodeId] = set()
+                    for u in dirty:
+                        stale.add(u)
+                        stale.update(adjacency[u])
+                    active = (nodes if len(stale) >= len(nodes)
+                              else sorted(stale,
+                                          key=node_order.__getitem__))
+                store.clear_dirty()
+            dn = store.dirty_nodes
+            dlist = store.dirty_node_list
+            for v in active:
+                ctx = contexts[v]
+                ctx.wrote = False
+                protocol.step(ctx)
+                if ctx.wrote:
+                    i = ctx._i
+                    if not dn[i]:
+                        dn[i] = 1
+                        dlist.append(v)
+            self.rounds += 1
+            executed += 1
+            protocol.on_round_end(network, self.rounds)
+            if stop_when is not None and stop_when(network):
+                break
+        return executed
+
 
 # ---------------------------------------------------------------------------
 # daemons
@@ -341,6 +493,39 @@ class PermutationDaemon(Daemon):
             self.rng.shuffle(self._pending)
         return [self._pending.pop()]
 
+
+class LocalityBatchDaemon(Daemon):
+    """Locality batching: each batch activates one whole *closed
+    neighbourhood* — a center node followed by all of its neighbours —
+    with centers drawn from a fresh random permutation per sweep.
+
+    Consecutive activations then share most of their read scope, which
+    is what lets the dirty-aware scheduler's reuse amortize: once the
+    center's step turns out to be a no-op, its neighbours' activations
+    hit the unchanged-neighbourhood skip immediately (the scheduler's
+    ``steps_skipped`` counter is the visible accounting), and a columnar
+    store serves the whole batch out of the same few cache-hot columns.
+
+    Fairness: every node is its own center once per sweep, so every
+    node is activated at least once per sweep regardless of topology.
+    """
+
+    def __init__(self, graph, seed: int = 0) -> None:
+        self.graph = graph
+        self.rng = random.Random(seed)
+        self._centers: List[NodeId] = []
+        #: batches issued (one closed neighbourhood each)
+        self.batches = 0
+
+    def next_batch(self, nodes: Sequence[NodeId]) -> List[NodeId]:
+        if not self._centers:
+            self._centers = list(nodes)
+            self.rng.shuffle(self._centers)
+        center = self._centers.pop()
+        self.batches += 1
+        return [center] + self.graph.neighbors(center)
+
+
 class SlowNodesDaemon(Daemon):
     """Adversarial daemon: designated nodes run ``slowdown`` times less
     often than the rest (stretching asynchronous rounds)."""
@@ -387,7 +572,8 @@ class AsynchronousScheduler:
     def __init__(self, network: Network, protocol: Protocol,
                  daemon: Optional[Daemon] = None,
                  use_schema: bool = True,
-                 dirty_aware: bool = True) -> None:
+                 dirty_aware: bool = True,
+                 storage: Optional[str] = None) -> None:
         self.network = network
         self.protocol = protocol
         self.daemon = daemon if daemon is not None else PermutationDaemon()
@@ -398,12 +584,20 @@ class AsynchronousScheduler:
         self._initialized = False
         self.dirty_aware = bool(dirty_aware) and (
             type(protocol).on_round_end is Protocol.on_round_end)
-        self._compiled = _bind_storage(network, protocol, use_schema)
+        self._storage = _storage_mode(storage, use_schema)
+        self._compiled = _bind_storage(network, protocol, self._storage)
 
     def initialize(self) -> None:
         if self._initialized:
             return
-        if self._compiled is not None:
+        if self._compiled is not None and self.network.columns is not None:
+            graph = self.network.graph
+            store = self.network.columns
+            for v in graph.nodes():
+                ctx = ColumnarNodeContext(self.network, v, store, None,
+                                          graph.neighbors(v))
+                self.protocol.init_node(ctx)
+        elif self._compiled is not None:
             files = self.network.files
             graph = self.network.graph
             for v in graph.nodes():
@@ -420,6 +614,11 @@ class AsynchronousScheduler:
         """Fresh reusable per-node contexts over the live registers."""
         network = self.network
         graph = network.graph
+        if self._compiled is not None and network.columns is not None:
+            store = network.columns
+            return {v: ColumnarNodeContext(network, v, store, None,
+                                           graph.neighbors(v))
+                    for v in graph.nodes()}
         if self._compiled is not None:
             files = network.files
             return {v: SlotNodeContext(network, v, files, None,
@@ -435,6 +634,8 @@ class AsynchronousScheduler:
         stop condition fires, checked at activation granularity).  Returns
         the number of asynchronous rounds completed."""
         _ensure_binding(self.protocol, self._compiled)
+        self._compiled = _ensure_storage(self.network, self.protocol,
+                                         self._storage, self._compiled)
         self.initialize()
         network = self.network
         protocol = self.protocol
@@ -442,7 +643,8 @@ class AsynchronousScheduler:
         all_nodes = set(nodes)
         neighbors = {v: network.graph.neighbors(v) for v in nodes}
         contexts = self._contexts()
-        slot_mode = self._compiled is not None
+        columnar = self._compiled is not None and network.columns is not None
+        slot_mode = self._compiled is not None and not columnar
         dirty_aware = self.dirty_aware
         # per-run dirty tracking: registers may have been rewritten
         # externally since the last call, so no skip survives a run()
@@ -469,7 +671,15 @@ class AsynchronousScheduler:
                     self.steps_skipped += 1
                 else:
                     ctx = contexts[v]
-                    if dirty_aware:
+                    if not dirty_aware:
+                        protocol.step(ctx)
+                    elif columnar:
+                        ctx.wrote = False
+                        protocol.step(ctx)
+                        if ctx.wrote:
+                            changed_at[v] = tick
+                        stepped_at[v] = tick
+                    else:
                         tracker = {} if slot_mode else set()
                         ctx._dirty = tracker
                         if slot_mode:
@@ -479,8 +689,6 @@ class AsynchronousScheduler:
                         if tracker:
                             changed_at[v] = tick
                         stepped_at[v] = tick
-                    else:
-                        protocol.step(ctx)
                 self.activations += 1
                 budget -= 1
                 self._covered.add(v)

@@ -66,6 +66,26 @@ def rotation_settled(network, min_rotations: int = 1,
     """
     if network.has_alarm():
         return True
+    store = getattr(network, "columns", None)
+    if store is not None and REG_ROT in network.schema.slots:
+        from ..sim.columnar import SENT_CEIL
+        rot = network.schema.slots[REG_ROT]
+        # nat column: the common entries are plain counter ints; the
+        # sentinel-coded ones (unwritten, None, boxed adversarial junk)
+        # resolve through get_value and apply the exact dict-backend
+        # expression, so "missing counts as 0" — and even the TypeError
+        # a non-int count raises — match across storages
+        col = store.data[rot]
+        nodes = store.nodes
+        for i, v in enumerate(col):
+            if v <= SENT_CEIL:
+                raw = store.get_value(i, rot)
+                v = (0 if raw is None else raw) or 0
+            floor = min_rotations if base is None \
+                else base.get(nodes[i], 0) + min_rotations
+            if v < floor:
+                return False
+        return True
     files = network.files
     if files is not None and REG_ROT in network.schema.slots:
         from ..sim.registers import UNSET
@@ -99,12 +119,14 @@ REG_TURN = "cmp_turn"        # server round-robin pointer ("simple" mode)
 
 #: (name, kind, init-default); ``_rot`` is declared but not initialized
 #: (the settle predicate treats missing as 0, matching dict storage).
+#: ``Ask``/``Want`` hold tuples (a piece; a ``(server, level)``
+#: request), declared so a columnar store interns them.
 _CMP_DECLS = (
-    (REG_ASK, "opaque", None),
+    (REG_ASK, "tuple", None),
     (REG_ASK_IDX, "nat", 0),
     (REG_ASK_WAIT, "nat", 0),
     (REG_ASK_WD, "nat", 0),
-    (REG_WANT, "opaque", None),
+    (REG_WANT, "tuple", None),
     (REG_ASK_NBR, "nat", 0),
     (REG_SVC_WD, "nat", 0),
     (REG_TURN, "nat", 0),
@@ -152,9 +174,9 @@ class ComparisonComponent:
         self.h_roots = resolve(REG_ROOTS)
         self._init_pairs = tuple(
             (resolve(name), default) for name, _kind, default in _CMP_DECLS)
-        # label-derived cache: node -> [sentinel, levels, {level: u0}]
-        # (register files only; invalidated when the stable sentinel
-        # moves)
+        # label-derived cache: node -> (sentinel, levels, {level: u0})
+        # (register files/columns only; invalidated when the stable
+        # sentinel moves)
         self._label_cache = {}
         self._cur_cands = None
 

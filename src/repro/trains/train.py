@@ -104,17 +104,21 @@ def _decode_car(out: Any) -> Optional[Tuple]:
 #: ``seq`` is declared but deliberately *not* initialized by
 #: ``init_node`` (the convergecast writes it on first use) — keeping the
 #: mapping contents identical to the historical dict behaviour.
+#: The pipeline's tuple-valued registers (cars, broadcast slots, acks,
+#: rotation keys) are declared ``tuple``: a columnar store then interns
+#: them — a piece circulating a part is one pool entry plus int ids,
+#: and its validated decode is memoized per value instead of per node.
 _DYNAMIC_DECLS = (
-    ("out", "opaque", None),
+    ("out", "tuple", None),
     ("src", "nat", 0),
     ("cyc", "nat", 0),
-    ("done", "opaque", None),
-    ("act", "opaque", None),
-    ("tak", "opaque", None),
+    ("done", "nat", None),
+    ("act", "tuple", None),
+    ("tak", "tuple", None),
     ("bseq", "nat", 0),
-    ("bbuf", "opaque", None),
+    ("bbuf", "tuple", None),
     ("seen", "nat", 0),
-    ("last", "opaque", None),
+    ("last", "tuple", None),
     ("cnt", "nat", 0),
     ("sync", "opaque", False),
     ("wd", "nat", 0),

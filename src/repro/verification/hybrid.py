@@ -206,9 +206,11 @@ class HybridVerifierProtocol(Protocol):
         self.comparison.init_node(ctx)
 
     def budgets_for(self, ctx: NodeContext,
-                    sentinel: Optional[int] = None) -> Budgets:
+                    sentinel: Optional[int] = None,
+                    step_no: Optional[int] = None) -> Budgets:
         cached = ctx.get(self.h_bgt)
-        step_no = ctx.nat(self.h_vstep, cap=1 << 30) or 0
+        if step_no is None:
+            step_no = ctx.nat(self.h_vstep, cap=1 << 30) or 0
         if isinstance(cached, tuple) and len(cached) == 2 and \
                 isinstance(cached[1], Budgets) and step_no - cached[0] < 32:
             return cached[1]
@@ -244,7 +246,7 @@ class HybridVerifierProtocol(Protocol):
         alarms: List[str] = []
         if step_no % self.static_every == 0:
             alarms.extend(self._static_alarms(ctx, sentinel))
-        budgets = self.budgets_for(ctx, sentinel)
+        budgets = self.budgets_for(ctx, sentinel, step_no)
         held_top, _held_bot = self.comparison.held_levels(ctx)
         alarms.extend(self.top.step(ctx, budgets,
                                     hold_broadcast=held_top is not None,

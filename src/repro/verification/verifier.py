@@ -104,16 +104,20 @@ class MstVerifierProtocol(Protocol):
 
     # ------------------------------------------------------------------
     def budgets_for(self, ctx: NodeContext,
-                    sentinel: Optional[int] = None) -> Budgets:
+                    sentinel: Optional[int] = None,
+                    step_no: Optional[int] = None) -> Budgets:
         """Label-driven budgets, cached in ghost state and refreshed
         periodically (they are pure functions of slowly changing labels).
 
         The ghost-register refresh cadence (every 32 steps) is identical
-        under both storages; under register files the recomputation at a
-        refresh is additionally memoized on the label sentinel, so an
-        unchanged neighbourhood never re-derives its budgets."""
+        under every storage; under register files/columns the
+        recomputation at a refresh is additionally memoized on the label
+        sentinel, so an unchanged neighbourhood never re-derives its
+        budgets.  ``step_no`` lets :meth:`step` pass the counter it just
+        advanced instead of re-reading the register."""
         cached = ctx.get(self.h_bgt)
-        step_no = ctx.nat(self.h_vstep, cap=1 << 30) or 0
+        if step_no is None:
+            step_no = ctx.nat(self.h_vstep, cap=1 << 30) or 0
         if isinstance(cached, tuple) and len(cached) == 2 and \
                 isinstance(cached[1], Budgets) and step_no - cached[0] < 32:
             return cached[1]
@@ -151,7 +155,7 @@ class MstVerifierProtocol(Protocol):
         if step_no % self.static_every == 0:
             alarms.extend(self._static_alarms(ctx, sentinel))
 
-        budgets = self.budgets_for(ctx, sentinel)
+        budgets = self.budgets_for(ctx, sentinel, step_no)
         held_top, held_bot = self.comparison.held_levels(ctx)
         alarms.extend(self.top.step(ctx, budgets,
                                     hold_broadcast=held_top is not None,

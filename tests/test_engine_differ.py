@@ -1,0 +1,131 @@
+"""The cross-commit campaign differ (``repro.engine.differ``).
+
+A dump joined against itself must be clean; controlled edits to single
+metrics must flag exactly the right regressions; the CLI must exit
+non-zero on regressions (and zero under ``--warn-only``), so CI can
+gate on it directly.
+"""
+
+import json
+
+from repro.engine import (CampaignRunner, DiffConfig, diff_paths,
+                          diff_records, smoke_campaign)
+from repro.engine.__main__ import main as engine_main
+from repro.engine.runner import scenario_record
+
+
+def _records(path_specs, tmp_path, name, edit=None):
+    result = CampaignRunner(workers=1).run(path_specs)
+    records = [scenario_record(r) for r in result]
+    if edit is not None:
+        edit(records)
+    path = tmp_path / name
+    path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+    return path, records
+
+
+def test_self_diff_is_clean(tmp_path):
+    specs = smoke_campaign(seed=3)[:4]
+    old, _ = _records(specs, tmp_path, "old.jsonl")
+    new, _ = _records(specs, tmp_path, "new.jsonl")
+    result = diff_paths(str(old), str(new))
+    assert result.ok
+    assert result.joined == 4
+    assert not result.missing and not result.added
+
+
+def test_flags_each_regression_kind(tmp_path):
+    specs = smoke_campaign(seed=3)[:4]
+    old, base = _records(specs, tmp_path, "old.jsonl")
+
+    def worsen(records):
+        detected = [r for r in records
+                    if r["rounds_to_detection"] is not None]
+        assert detected, "smoke campaign must contain a detection"
+        detected[0]["rounds_to_detection"] += 5
+        records[0]["max_memory_bits"] += 1
+        records[1]["violation"] = "soundness"
+        records[2]["wall_time"] = records[2]["wall_time"] * 10 + 1.0
+
+    new, _ = _records(specs, tmp_path, "new.jsonl", edit=worsen)
+    result = diff_paths(str(old), str(new))
+    metrics = sorted({r.metric for r in result.regressions})
+    assert "rounds_to_detection" in metrics
+    assert "max_memory_bits" in metrics
+    assert "violation" in metrics
+    assert "wall_time" in metrics
+
+
+def test_detection_lost_is_a_regression():
+    old = {("k", 1): {"key": "k", "seed": 1, "violation": None,
+                      "rounds_to_detection": 9, "expected_detection": True,
+                      "max_memory_bits": 1, "total_memory_bits": 1,
+                      "wall_time": 0.1}}
+    new = {("k", 1): dict(old[("k", 1)], rounds_to_detection=None,
+                          violation="soundness")}
+    result = diff_records(old, new)
+    assert not result.ok
+    assert any(r.metric == "violation" for r in result.regressions)
+
+
+def test_tolerances_and_missing(tmp_path):
+    old = {("k", 1): {"key": "k", "seed": 1, "violation": None,
+                      "rounds_to_detection": 100, "expected_detection": True,
+                      "max_memory_bits": 50, "total_memory_bits": 500,
+                      "wall_time": 0.1},
+           ("gone", 2): {"key": "gone", "seed": 2, "violation": None,
+                         "rounds_to_detection": None,
+                         "expected_detection": False,
+                         "max_memory_bits": 1, "total_memory_bits": 1,
+                         "wall_time": 0.1}}
+    new = {("k", 1): dict(old[("k", 1)], rounds_to_detection=105)}
+    assert not diff_records(old, new).ok
+    relaxed = diff_records(old, new, DiffConfig(rounds_tol=0.1))
+    assert relaxed.ok
+    assert relaxed.missing == [("gone", 2)]
+    strict = diff_records(old, new, DiffConfig(rounds_tol=0.1,
+                                               strict_missing=True))
+    assert not strict.ok
+
+
+def test_fixed_violation_skips_perf_comparison():
+    """A commit that *fixes* a violation must not fail the gate because
+    the broken baseline's metrics looked 'faster' (e.g. a premature
+    alarm that detected in 2 rounds)."""
+    old = {("k", 1): {"key": "k", "seed": 1, "violation": "completeness",
+                      "rounds_to_detection": 2, "expected_detection": True,
+                      "max_memory_bits": 10, "total_memory_bits": 10,
+                      "wall_time": 0.01}}
+    new = {("k", 1): dict(old[("k", 1)], violation=None,
+                          rounds_to_detection=9, max_memory_bits=50,
+                          total_memory_bits=200)}
+    result = diff_records(old, new)
+    assert result.ok
+    assert any(r.metric == "violation" for r in result.improvements)
+
+
+def test_zero_baseline_tolerance_is_absolute():
+    """At a zero baseline the relative tolerance acts as an absolute
+    allowance (otherwise --rounds-tol could never admit a 0 -> 1
+    shift)."""
+    rec = {"key": "k", "seed": 1, "violation": None,
+           "rounds_to_detection": 0, "expected_detection": True,
+           "max_memory_bits": 1, "total_memory_bits": 1, "wall_time": 0.01}
+    old = {("k", 1): rec}
+    new = {("k", 1): dict(rec, rounds_to_detection=1)}
+    assert not diff_records(old, new).ok
+    assert diff_records(old, new, DiffConfig(rounds_tol=1.0)).ok
+
+
+def test_cli_exit_codes(tmp_path):
+    specs = smoke_campaign(seed=3)[:3]
+    old, _ = _records(specs, tmp_path, "old.jsonl")
+
+    def worsen(records):
+        records[0]["max_memory_bits"] += 8
+
+    new, _ = _records(specs, tmp_path, "new.jsonl", edit=worsen)
+    assert engine_main(["diff", str(old), str(old)]) == 0
+    assert engine_main(["diff", str(old), str(new)]) == 1
+    assert engine_main(["diff", str(old), str(new), "--warn-only"]) == 0
+    assert engine_main(["diff", str(old), str(new), "--mem-tol", "0.5"]) == 0

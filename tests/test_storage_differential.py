@@ -1,22 +1,24 @@
-"""Differential test: register-file storage is bit-for-bit equivalent to
-the legacy dict storage.
+"""Differential test: every storage backend is bit-for-bit equivalent.
 
-The typed register file (``repro.sim.registers``) re-represents node
-state — slot-indexed lists, write-time nat caching, decode caches,
-stable-version counters, label-derived protocol caches — but none of
-that may be *observable*: the same scenario must produce identical
-alarms, rounds, activations, register contents, and memory-bit
-accounting under both backends, for every scheduler and protocol.
+Three backends coexist: the legacy per-node dict store (the reference
+semantics), the typed register file (``repro.sim.registers``, slot
+lists per node), and the columnar store (``repro.sim.columnar`` —
+``array('q')`` columns, interning pool, conservative column/node dirty
+tracking).  They re-represent node state, but none of that may be
+*observable*: the same scenario must produce identical alarms, rounds,
+activations, register contents, and memory-bit accounting under every
+backend, for every scheduler and protocol.
 
 Two layers of evidence:
 
 * a randomized scenario sweep driven through the campaign engine with
-  the ``storage`` schedule parameter flipped between ``schema`` and
-  ``dict`` (scenario seeds derive from ``campaign_seed``, so
+  the ``storage`` schedule parameter swept over ``dict`` / ``schema`` /
+  ``columnar`` (scenario seeds derive from ``campaign_seed``, so
   ``REPRO_TEST_SEED`` re-randomizes the whole sweep);
 * direct scheduler-level runs comparing full register traces through
-  settle/inject/detect phases, including the dirty-aware asynchronous
-  scheduler's skip logic.
+  settle/inject/detect phases across all three label formats (train
+  verifier, hybrid, sqlog), including the dirty-aware asynchronous
+  scheduler's skip logic and the locality-batching daemon.
 """
 
 import dataclasses
@@ -25,7 +27,8 @@ import pytest
 
 from repro.engine import axis, derive_seed, run_scenario, ScenarioSpec
 from repro.graphs.generators import random_connected_graph
-from repro.sim import (AsynchronousScheduler, FaultInjector, Network,
+from repro.sim import (STORAGE_KINDS, AsynchronousScheduler,
+                       FaultInjector, LocalityBatchDaemon, Network,
                        PermutationDaemon, RandomDaemon, RoundRobinDaemon,
                        SynchronousScheduler, first_alarm)
 from repro.verification import make_network
@@ -33,16 +36,19 @@ from repro.verification.hybrid import HybridVerifierProtocol, hybrid_labels
 from repro.verification.marker import run_marker
 from repro.verification.verifier import MstVerifierProtocol
 
+STORAGES = STORAGE_KINDS
+
 
 def _strip_spec(result):
     """Result fields that must match across storages (drop wall_time)."""
     d = dataclasses.asdict(result)
     d.pop("wall_time")
+    d.pop("spec")
     return d
 
 
-def _spec_pairs(campaign_seed):
-    """(schema spec, dict spec) pairs across every axis kind."""
+def _spec_triples(campaign_seed):
+    """Storage triples of one spec, across every axis kind."""
     cells = [
         ("random", dict(n=12, extra=8), "none", {}, "sync", "verifier"),
         ("random", dict(n=12, extra=8), "corrupt", dict(count=1),
@@ -55,40 +61,48 @@ def _spec_pairs(campaign_seed):
         ("random", dict(n=12, extra=8), "label_swap", {}, "permutation",
          "sqlog"),
         ("path", dict(n=10), "corrupt", dict(count=1), "sync", "sqlog"),
+        ("random", dict(n=12, extra=8), "corrupt", dict(count=1),
+         "locality", "verifier"),
+        ("ring", dict(n=8), "corrupt", dict(count=1), "locality", "sqlog"),
     ]
-    pairs = []
+    triples = []
     for topo, tp, fault, fp, sched, proto in cells:
         seed = derive_seed(campaign_seed, "storage-diff", topo, fault,
                            sched, proto)
         base = dict(topology=axis(topo, **tp), fault=axis(fault, **fp),
                     protocol=axis(proto), seed=seed, max_rounds=20_000)
-        pairs.append((
-            ScenarioSpec(schedule=axis(sched, storage="schema"), **base),
-            ScenarioSpec(schedule=axis(sched, storage="dict"), **base),
-        ))
-    return pairs
+        triples.append(tuple(
+            ScenarioSpec(schedule=axis(sched, storage=storage), **base)
+            for storage in STORAGES))
+    return triples
 
 
 def test_scenarios_match_across_storage(campaign_seed):
-    """The same scenario under schema-backed and dict storage yields
-    identical alarms, rounds, memory bits, and every other metric."""
-    for schema_spec, dict_spec in _spec_pairs(campaign_seed):
-        schema_result = run_scenario(schema_spec)
-        dict_result = run_scenario(dict_spec)
-        assert schema_result.error is None, schema_spec.key
-        a = _strip_spec(schema_result)
-        b = _strip_spec(dict_result)
-        # the spec differs only in the storage parameter, by construction
-        a.pop("spec")
-        b.pop("spec")
-        assert a == b, f"storage divergence in {schema_spec.key}"
+    """The same scenario under all three storages yields identical
+    alarms, rounds, memory bits, and every other metric."""
+    for triple in _spec_triples(campaign_seed):
+        results = [run_scenario(spec) for spec in triple]
+        assert results[0].error is None, triple[0].key
+        ref = _strip_spec(results[0])
+        for spec, result in zip(triple[1:], results[1:]):
+            assert _strip_spec(result) == ref, \
+                f"storage divergence in {spec.key}"
 
 
-def _run_sync(graph, use_schema, fast_path, seed):
+def _protocol_for(kind, synchronous):
+    if kind == "verifier":
+        return MstVerifierProtocol(synchronous=synchronous)
+    if kind == "hybrid":
+        return HybridVerifierProtocol(synchronous=synchronous)
+    from repro.baselines.pls_sqlog import SqLogPlsProtocol
+    return SqLogPlsProtocol()
+
+
+def _run_sync(graph, storage, fast_path, seed, proto_kind="verifier"):
     net = make_network(graph)
-    proto = MstVerifierProtocol(synchronous=True)
+    proto = _protocol_for(proto_kind, True)
     sched = SynchronousScheduler(net, proto, fast_path=fast_path,
-                                 use_schema=use_schema)
+                                 storage=storage)
     trace = []
 
     def record(n):
@@ -103,34 +117,40 @@ def _run_sync(graph, use_schema, fast_path, seed):
             net.max_memory_bits(), net.total_memory_bits())
 
 
-def test_sync_register_trace_bitwise_equal(campaign_seed):
+@pytest.mark.parametrize("proto_kind", ["verifier", "sqlog"])
+def test_sync_register_trace_bitwise_equal(proto_kind, campaign_seed):
     """Full per-round register traces match across storage x fast_path
-    through a settle/inject/detect run."""
+    through a settle/inject/detect run, for both label formats that run
+    standalone."""
     g = random_connected_graph(16, 26, seed=campaign_seed % 1009)
-    ref = _run_sync(g, use_schema=False, fast_path=False,
-                    seed=campaign_seed)
-    for use_schema, fast_path in [(False, True), (True, False),
-                                  (True, True)]:
-        got = _run_sync(g, use_schema=use_schema, fast_path=fast_path,
-                        seed=campaign_seed)
-        assert got == ref, (use_schema, fast_path)
+    ref = _run_sync(g, "dict", False, campaign_seed, proto_kind)
+    for storage, fast_path in [("dict", True), ("schema", False),
+                               ("schema", True), ("columnar", False),
+                               ("columnar", True)]:
+        got = _run_sync(g, storage, fast_path, campaign_seed, proto_kind)
+        assert got == ref, (storage, fast_path)
 
 
 @pytest.mark.parametrize("daemon_cls", [PermutationDaemon, RoundRobinDaemon,
-                                        RandomDaemon])
+                                        RandomDaemon, LocalityBatchDaemon])
 def test_async_dirty_aware_bitwise_equal(daemon_cls, campaign_seed):
-    """The dirty-aware asynchronous scheduler (and both storages) matches
-    the naive activation loop: same rounds, activations, alarms, and
-    final registers."""
+    """The dirty-aware asynchronous scheduler (under every storage and
+    daemon, including locality batching) matches the naive activation
+    loop: same rounds, activations, alarms, and final registers."""
     g = random_connected_graph(12, 20, seed=campaign_seed % 997)
 
-    def run(use_schema, dirty_aware):
+    def make_daemon():
+        if daemon_cls is RoundRobinDaemon:
+            return daemon_cls()
+        if daemon_cls is LocalityBatchDaemon:
+            return daemon_cls(g, seed=7)
+        return daemon_cls(seed=7)
+
+    def run(storage, dirty_aware):
         net = make_network(g)
         proto = MstVerifierProtocol(synchronous=False)
-        daemon = daemon_cls() if daemon_cls is RoundRobinDaemon \
-            else daemon_cls(seed=7)
-        sched = AsynchronousScheduler(net, proto, daemon,
-                                      use_schema=use_schema,
+        sched = AsynchronousScheduler(net, proto, make_daemon(),
+                                      storage=storage,
                                       dirty_aware=dirty_aware)
         sched.run(25)
         inj = FaultInjector(net, seed=campaign_seed)
@@ -139,58 +159,68 @@ def test_async_dirty_aware_bitwise_equal(daemon_cls, campaign_seed):
         return (r, sched.rounds, sched.activations, net.alarms(),
                 {v: dict(regs) for v, regs in net.registers.items()})
 
-    ref = run(False, False)
-    for use_schema, dirty_aware in [(False, True), (True, False),
-                                    (True, True)]:
-        assert run(use_schema, dirty_aware) == ref, (use_schema, dirty_aware)
+    ref = run("dict", False)
+    for storage in STORAGES:
+        for dirty_aware in (False, True):
+            if (storage, dirty_aware) == ("dict", False):
+                continue
+            assert run(storage, dirty_aware) == ref, (storage, dirty_aware)
 
 
 def test_async_dirty_aware_skips_quiescent_nodes():
     """On an accepting 1-round PLS run the dirty-aware scheduler provably
     skips re-steps (each node executes once per run, the rest skip) while
-    producing the identical outcome."""
+    producing the identical outcome — under both slot and columnar
+    storage, and under the locality daemon (whose whole-neighbourhood
+    batches are exactly what the skip amortizes)."""
     from repro.baselines.pls_sqlog import SqLogPlsProtocol, sqlog_labels
 
     g = random_connected_graph(14, 24, seed=5)
     labels = sqlog_labels(g)
 
-    def run(dirty_aware):
+    def run(storage, dirty_aware, locality=False):
         net = Network(g)
         net.install(labels)
-        sched = AsynchronousScheduler(net, SqLogPlsProtocol(),
-                                      PermutationDaemon(seed=1),
+        daemon = LocalityBatchDaemon(g, seed=1) if locality \
+            else PermutationDaemon(seed=1)
+        sched = AsynchronousScheduler(net, SqLogPlsProtocol(), daemon,
+                                      storage=storage,
                                       dirty_aware=dirty_aware)
         r = sched.run(30)
         return (r, sched.rounds, sched.activations, net.alarms(),
                 {v: dict(regs) for v, regs in net.registers.items()},
                 sched.steps_skipped)
 
-    naive = run(False)
-    aware = run(True)
-    assert naive[:5] == aware[:5]
-    assert naive[5] == 0
-    # every activation after each node's first no-op step is skipped
-    assert aware[5] >= aware[2] - 2 * g.n
+    for locality in (False, True):
+        naive = run("schema", False, locality)
+        assert naive[5] == 0
+        for storage in ("schema", "columnar"):
+            aware = run(storage, True, locality)
+            assert naive[:5] == aware[:5], (storage, locality)
+            # every activation after each node's first no-op step skips
+            assert aware[5] >= aware[2] - 2 * g.n, (storage, locality)
 
 
 def test_fault_recipes_storage_independent(campaign_seed):
     """The fault injector's rng draws must not depend on the storage
     backend's iteration order: the same seed corrupts the same registers
-    to the same values under both representations."""
+    to the same values under all three representations."""
     g = random_connected_graph(10, 16, seed=3)
     marker = run_marker(g)
 
-    def corrupted(use_schema):
+    def corrupted(storage):
         net = make_network(g, marker)
         proto = MstVerifierProtocol(synchronous=True)
-        sched = SynchronousScheduler(net, proto, use_schema=use_schema)
+        sched = SynchronousScheduler(net, proto, storage=storage)
         sched.run(10)
         inj = FaultInjector(net, seed=campaign_seed)
         inj.scramble_node(g.nodes()[0])
         inj.corrupt_random_nodes(2, fraction=0.4)
         return {v: dict(regs) for v, regs in net.registers.items()}
 
-    assert corrupted(True) == corrupted(False)
+    ref = corrupted("dict")
+    assert corrupted("schema") == ref
+    assert corrupted("columnar") == ref
 
 
 def test_hybrid_storage_differential(campaign_seed):
@@ -205,42 +235,67 @@ def test_hybrid_storage_differential(campaign_seed):
     assert wrong is not None
     labels = hybrid_labels(labels_for_claimed_tree(g, wrong))
 
-    def run(use_schema):
+    def run(storage):
         net = Network(g)
         net.install(labels)
         proto = HybridVerifierProtocol(synchronous=True)
-        sched = SynchronousScheduler(net, proto, use_schema=use_schema)
+        sched = SynchronousScheduler(net, proto, storage=storage)
         r = sched.run(5000, stop_when=first_alarm)
         return (r, net.alarms(),
                 {v: dict(regs) for v, regs in net.registers.items()})
 
-    a, b = run(True), run(False)
-    assert a == b
-    assert a[1], "hybrid must reject the adversarial labeling"
+    ref = run("dict")
+    assert run("schema") == ref
+    assert run("columnar") == ref
+    assert ref[1], "hybrid must reject the adversarial labeling"
 
 
 def test_protocol_shared_across_schedulers_rebinds():
-    """A protocol instance handed to a second scheduler (different
-    storage, different network) is re-bound before each run, so neither
-    scheduler runs with the other's handles or label caches."""
+    """A protocol instance handed to other schedulers (different
+    storages, different networks) is re-bound before each run, so no
+    scheduler runs with another's handles or label caches."""
     g1 = random_connected_graph(10, 16, seed=1)
     g2 = random_connected_graph(10, 16, seed=2)
+    g3 = random_connected_graph(10, 16, seed=4)
     proto = MstVerifierProtocol(synchronous=True)
-    net1, net2 = make_network(g1), make_network(g2)
-    s1 = SynchronousScheduler(net1, proto, use_schema=False)
-    s2 = SynchronousScheduler(net2, proto, use_schema=True)
+    net1, net2, net3 = make_network(g1), make_network(g2), make_network(g3)
+    s1 = SynchronousScheduler(net1, proto, storage="dict")
+    s2 = SynchronousScheduler(net2, proto, storage="schema")
+    s3 = SynchronousScheduler(net3, proto, storage="columnar")
     # interleave: each run must rebind to its own storage
-    s1.run(3)
-    s2.run(3)
-    s1.run(3)
-    s2.run(3)
-    assert not net1.alarms() and not net2.alarms()
+    for _ in range(2):
+        s1.run(3)
+        s2.run(3)
+        s3.run(3)
+    assert not net1.alarms() and not net2.alarms() and not net3.alarms()
 
     # reference: fresh protocols, same schedules
-    for g, use_schema, net in ((g1, False, net1), (g2, True, net2)):
+    for g, storage, net in ((g1, "dict", net1), (g2, "schema", net2),
+                            (g3, "columnar", net3)):
         ref_net = make_network(g)
         ref = SynchronousScheduler(ref_net, MstVerifierProtocol(
-            synchronous=True), use_schema=use_schema)
+            synchronous=True), storage=storage)
         ref.run(6)
         assert {v: dict(r) for v, r in ref_net.registers.items()} == \
             {v: dict(r) for v, r in net.registers.items()}
+
+
+def test_shared_network_across_storage_schedulers():
+    """Two schedulers with different storage modes sharing one *network*
+    re-adopt the backing layout on each run (values preserved through
+    the slot-file -> columns -> slot-file round trips) and behave
+    exactly like a same-storage scheduler pair."""
+    g = random_connected_graph(10, 16, seed=9)
+
+    def interleave(second_storage):
+        net = make_network(g)
+        s1 = SynchronousScheduler(net, MstVerifierProtocol(
+            synchronous=True), storage="schema")
+        s2 = SynchronousScheduler(net, MstVerifierProtocol(
+            synchronous=True), storage=second_storage)
+        s1.run(3)
+        s2.run(3)   # columnar: switches the network to columns
+        s1.run(3)   # and back to slot files
+        return {v: dict(r) for v, r in net.registers.items()}
+
+    assert interleave("columnar") == interleave("schema")
