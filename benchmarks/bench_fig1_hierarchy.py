@@ -2,16 +2,23 @@
 
 Regenerates the hierarchy drawing data: every active fragment per level,
 its root, and its candidate (selected outgoing) edge.
+
+Engine-shaped since PR 4: the instance comes from
+:func:`repro.engine.paper_example_campaign` and the hierarchy is
+derived from the exact same graph via ``graph_for``; ``--out`` emits
+the scenario records as JSONL joinable by
+``python -m repro.engine diff`` across commits.
 """
 
 from conftest import report
 
-from repro.graphs.paper_example import ID_TO_NAME, build_paper_graph
+from repro.engine import CampaignRunner, graph_for, paper_example_campaign
+from repro.graphs.paper_example import ID_TO_NAME
 from repro.mst import run_sync_mst
 
 
-def render_hierarchy() -> str:
-    result = run_sync_mst(build_paper_graph())
+def render_hierarchy(graph) -> str:
+    result = run_sync_mst(graph)
     lines = []
     for level in range(result.hierarchy.height, -1, -1):
         frags = sorted(result.hierarchy.by_level(level),
@@ -32,8 +39,43 @@ def render_hierarchy() -> str:
     return "\n".join(lines)
 
 
+def run_campaign(seed=0, workers=1, out=None):
+    specs = paper_example_campaign(seed=seed)
+    result = CampaignRunner(workers=workers).run(specs)
+    body = render_hierarchy(graph_for(specs[0]))
+    lines = [body, ""]
+    for spec, res in zip(specs, result):
+        lines.append(f"engine scenario {spec.key}: "
+                     f"{'ok' if res.ok else res.violation}")
+    if out:
+        written = result.dump_jsonl(out)
+        lines.append(f"wrote {written} scenario record(s) to {out}")
+    return result, "\n".join(lines)
+
+
 def test_fig1_hierarchy(once):
-    body = once(render_hierarchy)
+    result, body = once(run_campaign)
+    assert not result.violations(), result.summary()
     assert "level 4: {abcdefghijklmnopqr}" in body
     assert "ell = 4" in body
     report("F1", "Figure 1 — hierarchy of the example tree", body)
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--out", default=None,
+                        help="dump the engine sweep as JSONL (joinable "
+                             "by `python -m repro.engine diff`)")
+    args = parser.parse_args(argv)
+    result, body = run_campaign(seed=args.seed, workers=args.workers,
+                                out=args.out)
+    print(body)
+    return 1 if result.violations() else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,103 @@
+"""E14 — KMW-style lower-bound sweep at 10k+ nodes (columnar backend).
+
+The Section-9 reduction builds the instances behind the Omega(log n)
+detection-time bound — every base edge subdivided into a ``2 tau + 2``
+path ("A Breezing Proof of the KMW Bound" treats exactly this kind of
+local-model sweep as one bulk round; see PAPERS.md).  PR 3's columnar
+store made the 10k+-node scale memory-feasible and PR 4's
+bulk-activation plane makes the per-node static-check sweep a batched
+column pass; this benchmark wires the sweep into the campaign engine
+(:func:`repro.engine.kmw_sweep_campaign`) so it emits JSONL joinable by
+``python -m repro.engine diff`` across commits.
+
+Per subdivided instance (growing tau, largest cell > 10k nodes):
+
+* **completeness** — honest labels, quiet rounds, per-node memory-bit
+  accounting (the O(log n)-bits story must survive the blow-up);
+* **detection** — two scrambled nodes, settle-free: the 1-round static
+  checks must land the alarm within a couple of rounds regardless of
+  the instance size (detection time is local even on lower-bound
+  instances; only the *comparison* bound stretches with tau).
+
+``--quick`` shrinks the cells for CI smoke (< 20 s); ``--out`` dumps
+the records as JSONL.
+"""
+
+from conftest import report
+
+from repro.analysis import format_table
+from repro.engine import CampaignRunner, graph_for, kmw_sweep_campaign
+
+#: CI smoke cells: same shape, toy sizes.
+QUICK_CELLS = ((16, 24, 1), (24, 38, 2))
+
+
+def run_sweep(cells=None, seed=0, workers=1, out=None):
+    specs = kmw_sweep_campaign(seed=seed) if cells is None else \
+        kmw_sweep_campaign(cells=cells, seed=seed)
+    result = CampaignRunner(workers=workers).run(specs)
+    rows = []
+    for spec, res in zip(specs, result):
+        graph = graph_for(spec)
+        tau = spec.topology.get("tau")
+        rows.append([
+            spec.topology.get("base_n"), tau, graph.n,
+            spec.fault.kind,
+            "-" if res.rounds_to_detection is None
+            else res.rounds_to_detection,
+            res.max_memory_bits, res.total_memory_bits,
+            "ok" if res.ok else str(res.violation),
+        ])
+    table = format_table(
+        ["base n", "tau", "n'", "fault", "detect rounds",
+         "max bits/node", "total bits", "verdict"], rows)
+    if out:
+        written = result.dump_jsonl(out)
+        table += f"\nwrote {written} scenario record(s) to {out}"
+    return result, rows, table
+
+
+def test_kmw_sweep(once):
+    result, rows, table = once(run_sweep)
+    assert not result.violations(), result.summary()
+    biggest = max(r[2] for r in rows)
+    assert biggest >= 10_000, (biggest, "the sweep must reach the "
+                               "10k+-node scale the columnar backend "
+                               "unlocked")
+    detections = [r[4] for r in rows if r[3] == "scramble"]
+    assert all(isinstance(d, int) and d <= 4 for d in detections), \
+        (detections, "scrambled labels must trip the static checks "
+         "within a few rounds at every scale")
+    body = (table + "\n\ndetection stays O(1) rounds across the tau "
+            "sweep (the static checks are 1-round-local even on "
+            "lower-bound instances) while per-node memory stays in the "
+            "O(log n) regime — the scale itself, >= 10k nodes on the "
+            "columnar backend, is what PR 3/PR 4 bought.")
+    report("E14", "KMW-style lower-bound sweep (subdivided instances, "
+           "columnar)", body)
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true",
+                        help="toy cells, < 20s (CI smoke)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--out", default=None,
+                        help="dump the sweep as JSONL (joinable by "
+                             "`python -m repro.engine diff`)")
+    args = parser.parse_args(argv)
+    cells = QUICK_CELLS if args.quick else None
+    result, rows, table = run_sweep(cells=cells, seed=args.seed,
+                                    workers=args.workers, out=args.out)
+    print(table)
+    bad = result.violations()
+    if bad:
+        print(f"{len(bad)} violation(s)")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,26 +2,48 @@
 
 Regenerates the exact table from the paper; every entry is asserted
 against the hard-coded original.
+
+Engine-shaped since PR 4: the instance comes from
+:func:`repro.engine.paper_example_campaign` (the paper example as
+completeness scenarios under all three label formats) and the strings
+are derived from the exact same graph via ``graph_for``, so
+``--out table2.jsonl`` emits records joinable by
+``python -m repro.engine diff`` across commits — the label-table
+artifact rides the same trend series as every other campaign.
 """
 
 from conftest import report
 
+from repro.engine import CampaignRunner, graph_for, paper_example_campaign
 from repro.graphs.paper_example import (ID_TO_NAME, NAME_TO_ID, NODE_NAMES,
                                         TABLE2_ENDP, TABLE2_OR_ENDP,
-                                        TABLE2_PARENTS, TABLE2_ROOTS,
-                                        build_paper_graph)
+                                        TABLE2_PARENTS, TABLE2_ROOTS)
 from repro.labels.strings import compute_node_strings, format_table2
 from repro.mst import run_sync_mst
 
 
-def regenerate():
-    result = run_sync_mst(build_paper_graph())
-    strings = compute_node_strings(result.hierarchy)
-    return strings, format_table2(strings, names=ID_TO_NAME)
+def run_campaign(seed=0, workers=1, out=None):
+    """The engine sweep plus the Table-2 derivation on its instance."""
+    specs = paper_example_campaign(seed=seed)
+    result = CampaignRunner(workers=workers).run(specs)
+    graph = graph_for(specs[0])
+    strings = compute_node_strings(run_sync_mst(graph).hierarchy)
+    table = format_table2(strings, names=ID_TO_NAME)
+    lines = [table, ""]
+    for spec, res in zip(specs, result):
+        lines.append(
+            f"engine scenario {spec.key}: "
+            f"{'ok' if res.ok else res.violation}, "
+            f"max memory {res.max_memory_bits} bits")
+    if out:
+        written = result.dump_jsonl(out)
+        lines.append(f"wrote {written} scenario record(s) to {out}")
+    return result, strings, "\n".join(lines)
 
 
 def test_table2_strings(once):
-    strings, table = once(regenerate)
+    result, strings, body = once(run_campaign)
+    assert not result.violations(), result.summary()
     mismatches = []
     for name in NODE_NAMES:
         s = strings[NAME_TO_ID[name]]
@@ -35,5 +57,27 @@ def test_table2_strings(once):
             mismatches.append((name, "Or-EndP"))
     assert not mismatches, mismatches
     footer = ("\nall 18 x 4 strings match Table 2 of the paper exactly "
-              "(72/72 rows)")
-    report("T2", "Table 2 — label strings of the example", table + footer)
+              "(72/72 rows); the same instance runs clean through the "
+              "engine under all three label formats")
+    report("T2", "Table 2 — label strings of the example", body + footer)
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--out", default=None,
+                        help="dump the engine sweep as JSONL (joinable "
+                             "by `python -m repro.engine diff`)")
+    args = parser.parse_args(argv)
+    result, _strings, body = run_campaign(seed=args.seed,
+                                          workers=args.workers,
+                                          out=args.out)
+    print(body)
+    return 1 if result.violations() else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,7 @@ from ..labels.wellforming import (check_ell, check_endp_parents,
                                   check_roots_string, check_size,
                                   check_spanning_tree, sorted_levels)
 from ..mst.sync_mst import run_sync_mst
+from ..sim.bulk import drive_batch
 from ..sim.network import NodeContext, Protocol
 from ..verification.marker import MarkerOutput
 
@@ -187,6 +188,31 @@ class SqLogPlsProtocol(Protocol):
             reasons = sqlog_check(ctx)
         if reasons:
             ctx.alarm(reasons[0])
+
+    def bulk_step(self, batch) -> None:
+        """Bulk-activation sweep: the whole step is a static verdict
+        check, so a fused batch is one pass over the sentinel-keyed
+        verdict cache with the dispatch hoisted — an accepting batch
+        performs no writes at all, which is what lets the schedulers'
+        quiescence/skip machinery retire it wholesale."""
+        ops = batch.ops
+        if ops is None or not ops.fused or batch.gate is not None or \
+                batch.after is not None or \
+                not getattr(self, "_slot_bound", False):
+            drive_batch(self.step, batch)
+            return
+        cache = self._check_cache
+        cache_get = cache.get
+        for ctx in batch.contexts:
+            sentinel = ctx.stable_sentinel()
+            ent = cache_get(ctx.node)
+            if ent is not None and ent[0] == sentinel:
+                reasons = ent[1]
+            else:
+                reasons = sqlog_check(ctx)
+                cache[ctx.node] = (sentinel, reasons)
+            if reasons:
+                ctx.alarm(reasons[0])
 
 
 def sqlog_marker_output(graph: WeightedGraph):

@@ -38,8 +38,12 @@ def diff_main(argv) -> int:
                              "(default 0.5 = flag >1.5x blowups)")
     parser.add_argument("--no-time", action="store_true",
                         help="ignore wall time entirely")
+    parser.add_argument("--soft-time", action="store_true",
+                        help="wall-time regressions are reported as "
+                             "warnings but never fail the gate (the "
+                             "deterministic metrics stay hard)")
     parser.add_argument("--strict", action="store_true",
-                        help="scenarios missing from NEW count as "
+                        help="scenarios removed in NEW count as "
                              "regressions")
     parser.add_argument("--warn-only", action="store_true",
                         help="report regressions but exit 0 (soft gate)")
@@ -47,7 +51,8 @@ def diff_main(argv) -> int:
     config = DiffConfig(rounds_tol=args.rounds_tol, mem_tol=args.mem_tol,
                         time_tol=args.time_tol,
                         check_time=not args.no_time,
-                        strict_missing=args.strict)
+                        strict_missing=args.strict,
+                        soft_time=args.soft_time)
     result = diff_paths(args.old, args.new, config)
     print(result.summary())
     if not result.ok and args.warn_only:

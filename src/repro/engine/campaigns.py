@@ -9,7 +9,7 @@ plus one list here — not another bespoke script.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from .scenarios import spec_is_satisfiable
 from .spec import Axis, ScenarioSpec, axis, derive_seed, grid
@@ -185,6 +185,77 @@ def partition_census_campaign(sizes: Sequence[int] = (32, 96),
             completeness_rounds=rounds,
         )
         for n in sizes
+    ]
+
+
+#: the default KMW sweep cells ``(base_n, base_edges, tau)``; the last
+#: cell subdivides past 10k nodes (memory-feasible on columnar per
+#: PR 3 — the whole point of the sweep).
+KMW_SWEEP_CELLS = ((60, 100, 1), (120, 200, 2), (200, 340, 4),
+                   (320, 560, 6))
+
+
+def kmw_sweep_campaign(cells: Sequence[Tuple[int, int, int]]
+                       = KMW_SWEEP_CELLS,
+                       seed: int = 0,
+                       storage: str = "columnar",
+                       rounds: int = 4,
+                       max_rounds: int = 400) -> List[ScenarioSpec]:
+    """KMW-style lower-bound sweep (PAPERS.md): verifier workloads on
+    the Section-9 subdivided instances at growing ``tau`` — the graph
+    family behind the Omega(log n) detection-time bound — at sizes the
+    columnar backend makes memory-feasible (10k+ nodes at the largest
+    default cell).
+
+    Per cell, on the same instance (shared ``topology_seed``): a
+    completeness scenario (honest labels, a few quiet rounds, memory
+    accounting — the O(log n)-bits-per-node story at scale) and a
+    scramble-detection scenario (settle-free injection: scrambled
+    labels violate the 1-round static checks, so detection lands within
+    a round or two even at 10k nodes — ``rounds_to_detection`` is the
+    trend series the differ joins across commits)."""
+    specs: List[ScenarioSpec] = []
+    for base_n, extra, tau in cells:
+        topo = axis("subdivided", base_n=base_n, extra=extra, tau=tau)
+        proto = axis("verifier", static_every=2)
+        schedule = axis("sync", storage=storage)
+        tseed = derive_seed(seed, "kmw-instance", base_n, extra, tau)
+        specs.append(ScenarioSpec(
+            topology=topo, fault=Axis("none"), schedule=schedule,
+            protocol=proto,
+            seed=derive_seed(seed, "kmw-complete", base_n, extra, tau),
+            topology_seed=tseed, completeness_rounds=rounds))
+        specs.append(ScenarioSpec(
+            topology=topo, fault=axis("scramble", count=2),
+            schedule=schedule, protocol=proto,
+            seed=derive_seed(seed, "kmw-detect", base_n, extra, tau),
+            topology_seed=tseed, settle_rounds=0, max_rounds=max_rounds))
+    return specs
+
+
+def paper_example_campaign(seed: int = 0,
+                           rounds: int = 12) -> List[ScenarioSpec]:
+    """The 18-node paper example (Figures 1-3 / Tables 1-2) as
+    scenarios: honest labels under every protocol's label format, quiet
+    completeness rounds, memory accounting.
+
+    The label-table benchmarks (``bench_table2_strings``,
+    ``bench_fig1_hierarchy``) run their figure/table derivations from
+    the *same* instance via :func:`~repro.engine.scenarios.graph_for`
+    and dump these records as JSONL, so the paper-example artifacts are
+    a cross-commit trend series like every other campaign instead of a
+    bespoke script.  (``bench_table1_selfstab_comparison`` stays
+    bespoke: it compares published *models* from the literature table,
+    not executable scenarios — see README.)"""
+    protocols = (axis("verifier", static_every=2),
+                 axis("hybrid", static_every=2), axis("sqlog"))
+    return [
+        ScenarioSpec(
+            topology=Axis("paper"), fault=Axis("none"),
+            schedule=axis("sync"), protocol=proto,
+            seed=derive_seed(seed, "paper-example", str(proto)),
+            completeness_rounds=rounds)
+        for proto in protocols
     ]
 
 

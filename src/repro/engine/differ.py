@@ -14,9 +14,18 @@ on ``key`` + ``seed`` (the stable scenario identity
   noisy, so the default only catches blowups — tighten on quiet runners
   or disable with ``--no-time``);
 * **correctness** — a scenario that newly violates
-  soundness/completeness or errors is always a regression, and a
-  scenario that disappeared from the new dump is reported (``--strict``
-  turns missing scenarios into regressions too).
+  soundness/completeness or errors is always a regression — including a
+  scenario that exists *only* in the new dump (an added scenario that
+  arrives violating must not slip past the gate just because it has no
+  baseline to join against);
+* **membership** — scenarios present in only one dump are reported as
+  named categories (*removed* / *added*) with their keys, never
+  silently dropped from the join; ``--strict`` turns removed scenarios
+  into regressions too.
+
+``--soft-time`` downgrades wall-time regressions to *warnings*
+(reported, exit 0): the deterministic metrics stay a hard gate while
+the noisy one stays visible — the CI configuration the ROADMAP wants.
 
 Exit status: 0 when clean (or ``--warn-only``), 1 when any regression
 was found — so CI can gate a commit on the dump of the previous one.
@@ -64,6 +73,10 @@ class DiffConfig:
     time_tol: float = 0.5       # fractional slack on wall time (0.5 = 1.5x)
     check_time: bool = True
     strict_missing: bool = False
+    #: wall-time regressions become warnings (reported, never gate):
+    #: the deterministic metrics stay hard while the noisy one stays
+    #: visible.
+    soft_time: bool = False
 
 
 @dataclass
@@ -81,33 +94,52 @@ class Regression:
 
 @dataclass
 class DiffResult:
-    """Outcome of one dump comparison."""
+    """Outcome of one dump comparison.
+
+    ``missing`` are the *removed* scenarios (present only in the old
+    dump) and ``added`` the scenarios present only in the new one —
+    both reported as named categories in :meth:`summary`, never
+    silently dropped from the join.  ``warnings`` carry soft-gated
+    findings (wall-time regressions under ``soft_time``) that never
+    affect :attr:`ok`.
+    """
 
     joined: int = 0
     missing: List[Key] = field(default_factory=list)
     added: List[Key] = field(default_factory=list)
     regressions: List[Regression] = field(default_factory=list)
     improvements: List[Regression] = field(default_factory=list)
+    warnings: List[Regression] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.regressions
 
+    @staticmethod
+    def _keys(label: str, keys: List[Key], cap: int = 10) -> List[str]:
+        lines = [f"  {label} {key} seed={seed}" for key, seed in keys[:cap]]
+        if len(keys) > cap:
+            lines.append(f"  ... and {len(keys) - cap} more "
+                         f"{label.strip()}(s)")
+        return lines
+
     def summary(self) -> str:
         lines = [
             f"joined {self.joined} scenario(s); "
             f"{len(self.regressions)} regression(s), "
+            f"{len(self.warnings)} warning(s), "
             f"{len(self.improvements)} improvement(s), "
-            f"{len(self.missing)} missing, {len(self.added)} added",
+            f"{len(self.missing)} removed scenario(s), "
+            f"{len(self.added)} added scenario(s)",
         ]
         for r in self.regressions:
             lines.append(f"  REGRESSION {r}")
+        for r in self.warnings:
+            lines.append(f"  WARNING    {r}")
         for r in self.improvements[:10]:
             lines.append(f"  improved   {r}")
-        for key, seed in self.missing[:10]:
-            lines.append(f"  missing    {key} seed={seed}")
-        for key, seed in self.added[:10]:
-            lines.append(f"  added      {key} seed={seed}")
+        lines.extend(self._keys("removed scenario", self.missing))
+        lines.extend(self._keys("added scenario  ", self.added))
         return "\n".join(lines)
 
 
@@ -136,8 +168,17 @@ def diff_records(old: Dict[Key, Dict[str, Any]],
     result.added = sorted(k for k in new if k not in old)
     if config.strict_missing:
         result.regressions.extend(
-            Regression(key, seed, "missing", "present", "absent")
+            Regression(key, seed, "removed", "present", "absent")
             for key, seed in result.missing)
+    # an added scenario has no baseline to join against, but arriving
+    # *violating* is a correctness regression all the same — silently
+    # skipping unjoined records would let a broken new scenario pass
+    # the gate on the commit that introduces it
+    for key, seed in result.added:
+        violation = new[(key, seed)].get("violation")
+        if violation:
+            result.regressions.append(
+                Regression(key, seed, "added-violation", None, violation))
 
     for ident in sorted(k for k in old if k in new):
         o, n = old[ident], new[ident]
@@ -185,8 +226,10 @@ def diff_records(old: Dict[Key, Dict[str, Any]],
                         Regression(key, seed, metric, ov, None))
                 continue
             if worse:
-                result.regressions.append(
-                    Regression(key, seed, metric, ov, nv))
+                sink = result.warnings if (metric == "wall_time" and
+                                           config.soft_time) \
+                    else result.regressions
+                sink.append(Regression(key, seed, metric, ov, nv))
             elif ov is not None and nv is not None and nv < ov:
                 result.improvements.append(
                     Regression(key, seed, metric, ov, nv))

@@ -25,12 +25,13 @@ from typing import Any, Iterable, List, Mapping, Optional, Tuple
 Params = Tuple[Tuple[str, Any], ...]
 
 #: schedule parameters that select an *implementation* (storage backend,
-#: scheduler fast path, dirty awareness) rather than a different
-#: experiment: they are excluded from the seed derivation so that
-#: flipping them reproduces the exact same scenario — the storage
-#: differential tests depend on this, and so does comparing benchmark
-#: trends across backends.
-IMPL_SCHEDULE_PARAMS = frozenset({"storage", "fast_path", "dirty_aware"})
+#: scheduler fast path, dirty awareness, the bulk-activation plane)
+#: rather than a different experiment: they are excluded from the seed
+#: derivation so that flipping them reproduces the exact same scenario —
+#: the storage/bulk differential tests depend on this, and so does
+#: comparing benchmark trends across backends.
+IMPL_SCHEDULE_PARAMS = frozenset({"storage", "fast_path", "dirty_aware",
+                                  "bulk"})
 
 
 def _freeze(params: Mapping[str, Any]) -> Params:

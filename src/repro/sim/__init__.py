@@ -2,6 +2,7 @@
 asynchronous schedulers with pluggable daemons, typed register files with
 bit accounting, and transient-fault injection."""
 
+from .bulk import BulkBatch, ColumnarBulkOps, drive_batch
 from .columnar import ColumnStore, ColumnarNodeContext, ColumnarNodeFacade
 from .network import (ALARM, Network, NodeContext, Protocol, SlotNodeContext,
                       first_alarm)
@@ -19,6 +20,7 @@ from .faults import FAULT_MARK, FaultInjector, detection_distance
 __all__ = [
     "ALARM", "Network", "NodeContext", "Protocol", "SlotNodeContext",
     "first_alarm",
+    "BulkBatch", "ColumnarBulkOps", "drive_batch",
     "ColumnStore", "ColumnarNodeContext", "ColumnarNodeFacade",
     "KIND_NAT", "KIND_OPAQUE", "KIND_STR", "KIND_TUPLE",
     "CompiledSchema", "RegisterFile", "RegisterSchema", "RegisterView",

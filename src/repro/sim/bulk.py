@@ -1,0 +1,164 @@
+"""The bulk-activation plane: whole batches of activations at once.
+
+PR 3 established that the columnar backend hit the pure-Python wall:
+per verifier step, ~70 fine-grained context calls of protocol logic
+dominate, so storage layout alone cannot buy further per-step time.
+The next lever is *batching at the protocol level* — this module is the
+contract between schedulers, protocols, and storage backends that makes
+it possible without giving up the repo's bit-for-bit equivalence
+guarantees.
+
+The plane has three layers:
+
+* **Protocols** declare the capability by overriding
+  :meth:`~repro.sim.network.Protocol.bulk_step` (``None`` on the base
+  class).  The contract: ``bulk_step(batch)`` must be *observationally
+  identical* to running ``self.step(ctx)`` for every context of the
+  batch in order, honouring the batch's ``gate``/``after`` callbacks —
+  same register contents, same alarms, same write tracking.  Protocols
+  typically fuse their read-mostly phase (the static-check sweep, PLS
+  verdict checks, train bookkeeping reads) across the batch and fall
+  back to :func:`drive_batch` whenever fusion is not licensed.
+* **Schedulers** route their activation batches through ``bulk_step``
+  when the protocol declares it (``bulk=False`` keeps the scalar loops):
+  the synchronous schedulers hand over one whole round of active nodes;
+  the asynchronous scheduler hands over multi-node daemon batches — the
+  locality daemon's closed neighbourhoods are the natural unit — for
+  protocols that additionally declare ``bulk_live`` (live batches never
+  fuse, so routing them is worthwhile only for a protocol with a
+  genuinely batched live path).  Skip logic, activation accounting, and
+  stop conditions stay in the scheduler, threaded through the
+  callbacks.
+* **Storage backends** supply the fused primitives.  On columnar
+  storage (:class:`ColumnarBulkOps`) a fused read-modify-write is a
+  single sweep over an ``array('q')`` column with one dirty mark per
+  batch (:meth:`~repro.sim.columnar.ColumnStore.inc_nat_batch`,
+  :meth:`~repro.sim.columnar.ColumnStore.gather_values`); dict and
+  schema storage have no vectorizable layout, so ``batch.ops`` is None
+  there and protocols run the generic per-node fallback driver — which
+  is what keeps all three backends bit-for-bit equivalent
+  (``tests/test_bulk_plane.py`` proves bulk == scalar on every backend
+  under every scheduler kind).
+
+Fusion license: ``batch.ops.fused`` is True only when the scheduler
+guarantees that (a) neighbour reads go to a snapshot (never the live
+store), and (b) the batch cannot be aborted between activations
+(synchronous rounds check ``stop_when`` at round boundaries).  Under
+those two facts, hoisting *own-register* writes of distinct nodes past
+each other is unobservable, so a protocol may run one column sweep for
+the whole batch.  Asynchronous batches run live with activation-granular
+stop conditions, so they never license fusion — they still benefit from
+the plane's per-batch caches and from the locality daemon's amortized
+skip.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+#: gate callback: ``gate(k, ctx) -> bool`` — False skips activation k
+#: (the scheduler counts it as skipped); True performs any pre-step
+#: setup (write trackers) and licenses the step.
+GateFn = Callable[[int, Any], bool]
+#: after callback: ``after(k, ctx, stepped) -> bool`` — runs the
+#: scheduler's per-activation accounting; True aborts the batch
+#: (stop condition fired).
+#:
+#: INTERLEAVING CONTRACT: the callbacks carry per-activation state
+#: (the async scheduler's logical tick) between a gate call and its
+#: matching after call, so a bulk_step implementation MUST drive them
+#: strictly interleaved per activation — ``gate(k)``, then the step,
+#: then ``after(k)``, before ``gate(k+1)`` — exactly as
+#: :func:`drive_batch` does.  Batching all gates up front (e.g. to
+#: precompute a skip set) hands every ``after`` the final gate's tick
+#: and silently corrupts the dirty-aware skip accounting.
+AfterFn = Callable[[int, Any, bool], bool]
+
+
+class BulkBatch:
+    """One scheduler-issued batch of activations.
+
+    ``contexts`` are the per-node contexts in activation order;
+    ``indices`` the matching dense node indices on columnar storage
+    (None elsewhere); ``ops`` the backend's fused primitives (None when
+    only per-node semantics are licensed).  A protocol whose bulk sweep
+    wrote every node of the batch sets ``wrote_all`` so the scheduler
+    can mark the whole batch dirty in one pass instead of consuming
+    per-context ``wrote`` flags.
+    """
+
+    __slots__ = ("contexts", "indices", "ops", "gate", "after",
+                 "wrote_all")
+
+    def __init__(self, contexts: List[Any],
+                 indices: Optional[List[int]] = None,
+                 ops: Optional["ColumnarBulkOps"] = None,
+                 gate: Optional[GateFn] = None,
+                 after: Optional[AfterFn] = None) -> None:
+        self.contexts = contexts
+        self.indices = indices
+        self.ops = ops
+        self.gate = gate
+        self.after = after
+        self.wrote_all = False
+
+
+def drive_batch(step: Callable[[Any], None], batch: BulkBatch) -> None:
+    """The generic per-node fallback driver.
+
+    Executes the batch exactly like the scalar loops — one ``step(ctx)``
+    per context, in order, honouring ``gate``/``after`` — so a protocol
+    that cannot (or may not) fuse simply delegates here and stays
+    bit-for-bit equivalent on every backend.
+    """
+    gate = batch.gate
+    after = batch.after
+    if gate is None and after is None:
+        for ctx in batch.contexts:
+            step(ctx)
+        return
+    for k, ctx in enumerate(batch.contexts):
+        stepped = gate is None or gate(k, ctx)
+        if stepped:
+            step(ctx)
+        if after is not None and after(k, ctx, stepped):
+            return
+
+
+class ColumnarBulkOps:
+    """Fused batch primitives over a :class:`~repro.sim.columnar.ColumnStore`.
+
+    Handed to protocols by the *synchronous* schedulers on columnar
+    storage (``fused=True``: neighbour reads come from ``snap``, the
+    batch cannot abort mid-round).  The per-value semantics of every
+    primitive replicate the scalar context API exactly — including
+    sentinel encodings, boxed-overflow junk, and stable-version
+    bookkeeping — so fusing is a pure reordering of own-register writes.
+    """
+
+    __slots__ = ("store", "snap")
+
+    #: fusion license (see module docstring); the asynchronous scheduler
+    #: never passes ops, so live batches cannot fuse by construction.
+    fused = True
+
+    def __init__(self, store, snap=None) -> None:
+        self.store = store
+        self.snap = store if snap is None else snap
+
+    def inc_nat(self, batch: BulkBatch, handle: int,
+                cap: int = 1 << 30) -> List[int]:
+        """Fused ``(nat(own) or 0) + 1`` read-modify-write over the
+        batch; returns the new per-node values in batch order and marks
+        the column dirty once.  The caller is responsible for write
+        tracking (typically ``batch.wrote_all = True``)."""
+        return self.store.inc_nat_batch(batch.indices, handle, cap)
+
+    def gather(self, batch: BulkBatch, handle: int,
+               default: Any = None) -> List[Any]:
+        """Batch read of an own-register column in batch order — the
+        values a scalar ``ctx.get`` loop would return (see
+        :meth:`~repro.sim.columnar.ColumnStore.gather_values`); the
+        verifier/hybrid sweeps read their budget ghost registers for
+        the whole batch through this."""
+        return self.store.gather_values(batch.indices, handle, default)

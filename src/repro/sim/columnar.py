@@ -324,6 +324,121 @@ class ColumnStore:
         self.dirty_node_list.clear()
         self.extras_dirty.clear()
 
+    # -- batch entry points (the bulk-activation plane) ------------------
+    def inc_nat_batch(self, idx: List[int], slot: int,
+                      cap: int = 1 << 30) -> List[int]:
+        """Fused read-modify-write: apply the scalar context semantics
+        of ``new = (nat(value) or 0) + 1; set(new)`` to every node index
+        of ``idx`` in one column sweep, marking the column dirty once.
+
+        Matches :class:`ColumnarNodeContext` bit for bit: sentinel
+        entries (UNSET/None), boxed junk, bools, and over-cap ints all
+        coerce to 0 and restart at 1; stale boxed-overflow entries are
+        dropped exactly as a scalar write would drop them.  Node-level
+        dirty tracking is the caller's job (the bulk driver marks the
+        whole batch).  Returns the new values in ``idx`` order."""
+        col = self.data[slot]
+        out: List[int] = []
+        append = out.append
+        if type(col) is array:
+            ovf = self.overflow[slot]
+            if ovf:
+                pop = ovf.pop
+                for i in idx:
+                    v = col[i]
+                    v = v + 1 if 0 <= v <= cap else 1
+                    col[i] = v
+                    append(v)
+                    pop(i, None)
+            else:
+                for i in idx:
+                    v = col[i]
+                    v = v + 1 if 0 <= v <= cap else 1
+                    col[i] = v
+                    append(v)
+            self.dirty_cols[slot] = 1
+            if self.schema.stable_mask[slot]:
+                sv = self.stable_versions
+                for i in idx:
+                    sv[i] += 1
+                self.stable_epoch += len(idx)
+            return out
+        # pooled/boxed columns (a nat-semantics register declared with a
+        # non-nat kind): the slow-path write keeps full bookkeeping
+        for i in idx:
+            v = nat_value(self.get_value(i, slot), cap)
+            v = (v or 0) + 1
+            self.set_value(i, slot, v)
+            append(v)
+        return out
+
+    def gather_values(self, idx: List[int], slot: int,
+                      default: Any = None) -> List[Any]:
+        """Batch read of one column at the given node indices (the
+        values a scalar ``ctx.get`` loop would return, in order) in a
+        single sweep — pooled ids resolve straight off the shared pool,
+        sentinels and boxed overflow decode inline, with none of the
+        per-node context dispatch a scalar read loop pays."""
+        col = self.data[slot]
+        if type(col) is list:
+            return [default if (v := col[i]) is UNSET else v for i in idx]
+        out: List[Any] = []
+        append = out.append
+        if type(col) is PoolColumn:
+            pool = self.pool_values
+            for i in idx:
+                v = col[i]
+                if v > SENT_CEIL:
+                    append(pool[v])
+                elif v == NONE_S:
+                    append(None)
+                elif v == UNSET_S:
+                    append(default)
+                else:
+                    append(self.overflow[slot][i])
+            return out
+        for i in idx:
+            v = col[i]
+            if v > SENT_CEIL:
+                append(v)
+            elif v == NONE_S:
+                append(None)
+            elif v == UNSET_S:
+                append(default)
+            else:
+                append(self.overflow[slot][i])
+        return out
+
+    def make_nat_writer(self, slot: int):
+        """A closure replicating the array-column branch of
+        :meth:`ColumnarNodeContext.set` — the single source of truth
+        for fused nat writes (range check, ``None`` sentinel, boxed
+        overflow pop/re-box, dirty-column mark).  The bulk plane's
+        fused sweeps (:meth:`TrainComponent.make_bulk_step
+        <repro.trains.train.TrainComponent.make_bulk_step>`,
+        :meth:`ComparisonComponent.make_bulk_sync
+        <repro.trains.comparison.ComparisonComponent.make_bulk_sync>`)
+        bind one per written column; per-context ``wrote`` flags are
+        the caller's contract (``batch.wrote_all``)."""
+        col = self.data[slot]
+        overflow = self.overflow
+        box = self._box
+        dc = self.dirty_cols
+
+        def write(i: int, val) -> None:
+            ovf = overflow[slot]
+            if ovf:
+                ovf.pop(i, None)
+            if type(val) is int and INT_LO < val < INT_HI:
+                col[i] = val
+            elif val is None:
+                col[i] = NONE_S
+            else:
+                col[i] = box(slot, i, val)
+            dc[slot] = 1
+
+        return write
+
     def decode_col(self, slot: int) -> List[Any]:
         dec = self.decoded[slot]
         if dec is None:

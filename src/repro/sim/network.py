@@ -530,7 +530,36 @@ class Protocol:
     integer slot handles once (``bind_registers(None)`` restores
     name-string handles for dict storage).  Protocols without a schema
     keep the legacy dict behaviour everywhere.
+
+    **Bulk-activation plane** (:mod:`repro.sim.bulk`): a protocol may
+    additionally declare that it can execute a whole scheduler batch at
+    once by overriding :attr:`bulk_step` with a method
+    ``bulk_step(batch)`` — the schedulers then hand it entire rounds
+    (synchronous) or daemon batches (asynchronous) instead of stepping
+    node by node.  The contract is strict: ``bulk_step(batch)`` must be
+    observationally identical to ``for ctx in batch.contexts:
+    self.step(ctx)`` honouring the batch's ``gate``/``after`` callbacks
+    strictly interleaved per activation (see the interleaving contract
+    in :mod:`repro.sim.bulk`); :func:`repro.sim.bulk.drive_batch` is
+    the always-correct fallback driver, and fused column sweeps are
+    licensed only by ``batch.ops``.  ``bulk_step = None`` (the base
+    default) keeps the scalar loops.
     """
+
+    #: bulk-activation capability: None (scalar-only) on the base class;
+    #: protocols that can run whole batches override this with a method.
+    bulk_step = None
+
+    #: whether ``bulk_step`` is worth calling on *live* multi-node
+    #: batches (asynchronous daemons).  Live batches never license
+    #: fusion — activation-granular stops and live neighbour reads
+    #: forbid write hoisting — so routing them through the per-node
+    #: fallback driver is pure callback overhead unless the protocol
+    #: has a genuinely batched live path; the asynchronous scheduler
+    #: only routes batches when this is True.  (The routing machinery
+    #: is fully implemented and tested — a conflict-free batching
+    #: daemon can license async fusion later; see ROADMAP.)
+    bulk_live = False
 
     def register_schema(self) -> Optional[RegisterSchema]:
         """The protocol's register declaration (None: undeclared)."""

@@ -23,6 +23,16 @@ through :class:`~repro.sim.columnar.ColumnarNodeContext`; ``"dict"``
 (or an undeclared protocol) keeps the legacy dict storage.  All three
 representations are bit-for-bit equivalent
 (``tests/test_storage_differential.py``).
+
+Bulk-activation plane: when the protocol declares
+:meth:`Protocol.bulk_step` (and ``bulk=True``, the default), both
+schedulers route activation batches through it instead of stepping node
+by node — the synchronous scheduler hands over whole rounds of active
+nodes (with fused column ops licensed on columnar storage), the
+asynchronous scheduler every multi-node daemon batch (skip logic and
+accounting threaded through the batch callbacks).  ``bulk=False`` keeps
+the scalar loops; both modes are bit-for-bit equivalent
+(``tests/test_bulk_plane.py``).  See :mod:`repro.sim.bulk`.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ import random
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..graphs.weighted import NodeId
+from .bulk import BulkBatch, ColumnarBulkOps
 from .columnar import ColumnarNodeContext
 from .network import (Network, NodeContext, Protocol, SlotNodeContext,
                       StopCondition)
@@ -132,18 +143,23 @@ class SynchronousScheduler:
 
     def __init__(self, network: Network, protocol: Protocol,
                  fast_path: bool = True, use_schema: bool = True,
-                 storage: Optional[str] = None) -> None:
+                 storage: Optional[str] = None,
+                 bulk: bool = True) -> None:
         self.network = network
         self.protocol = protocol
         self.rounds = 0
         self._initialized = False
         self.fast_path = bool(fast_path) and (
             type(protocol).on_round_end is Protocol.on_round_end)
+        #: bulk-activation plane: hand whole rounds to the protocol's
+        #: declared ``bulk_step`` (``bulk=False`` keeps the scalar loop)
+        self._bulk_step = protocol.bulk_step if bulk else None
         self._storage = _storage_mode(storage, use_schema)
         self._compiled = _bind_storage(network, protocol, self._storage)
         self._adjacency: Optional[Dict[NodeId, List[NodeId]]] = None
         self._snap_store = None
         self._col_contexts = None
+        self._bulk_ops = None
 
     def _neighbors_of(self) -> Dict[NodeId, List[NodeId]]:
         if self._adjacency is None:
@@ -167,6 +183,14 @@ class SynchronousScheduler:
             self._snap_store = snap
             self._col_contexts = (store, contexts)
         return self._snap_store, self._col_contexts[1]
+
+    def _bulk_ops_for(self, store, snap):
+        """The fused batch ops for (store, snap), cached so protocols
+        can key their fused closures on the ops object's identity."""
+        ops = self._bulk_ops
+        if ops is None or ops.store is not store or ops.snap is not snap:
+            ops = self._bulk_ops = ColumnarBulkOps(store, snap)
+        return ops
 
     def initialize(self) -> None:
         """Run ``init_node`` at every node (idempotent)."""
@@ -215,10 +239,17 @@ class SynchronousScheduler:
         if self.fast_path:
             return self._run_fast(max_rounds, stop_when)
         executed = 0
+        bulk_step = self._bulk_step
         for _ in range(max_rounds):
             snapshot = self._snapshot()
-            for v in self.network.graph.nodes():
-                self.protocol.step(NodeContext(self.network, v, snapshot))
+            if bulk_step is not None:
+                bulk_step(BulkBatch([
+                    NodeContext(self.network, v, snapshot)
+                    for v in self.network.graph.nodes()]))
+            else:
+                for v in self.network.graph.nodes():
+                    self.protocol.step(NodeContext(self.network, v,
+                                                   snapshot))
             self.rounds += 1
             executed += 1
             self.protocol.on_round_end(self.network, self.rounds)
@@ -230,6 +261,7 @@ class SynchronousScheduler:
                   stop_when: Optional[StopCondition]) -> int:
         network = self.network
         protocol = self.protocol
+        bulk_step = self._bulk_step
         nodes = network.graph.nodes()
         neighbors = network.graph.neighbors
         registers = network.registers
@@ -267,8 +299,14 @@ class SynchronousScheduler:
                               else sorted(stale,
                                           key=node_order.__getitem__))
             changed: Set[NodeId] = set()
-            for v in active:
-                protocol.step(NodeContext(network, v, snapshot, changed))
+            if bulk_step is not None:
+                bulk_step(BulkBatch([
+                    NodeContext(network, v, snapshot, changed)
+                    for v in active]))
+            else:
+                for v in active:
+                    protocol.step(NodeContext(network, v, snapshot,
+                                              changed))
             self.rounds += 1
             executed += 1
             self.protocol.on_round_end(network, self.rounds)
@@ -286,11 +324,17 @@ class SynchronousScheduler:
         files = network.files
         adjacency = self._neighbors_of()
         executed = 0
+        bulk_step = self._bulk_step
         for _ in range(max_rounds):
             snapshot = {v: f.copy() for v, f in files.items()}
-            for v in nodes:
-                protocol.step(SlotNodeContext(network, v, snapshot, None,
-                                              adjacency[v]))
+            if bulk_step is not None:
+                bulk_step(BulkBatch([
+                    SlotNodeContext(network, v, snapshot, None,
+                                    adjacency[v]) for v in nodes]))
+            else:
+                for v in nodes:
+                    protocol.step(SlotNodeContext(network, v, snapshot,
+                                                  None, adjacency[v]))
             self.rounds += 1
             executed += 1
             protocol.on_round_end(network, self.rounds)
@@ -302,6 +346,7 @@ class SynchronousScheduler:
                         stop_when: Optional[StopCondition]) -> int:
         network = self.network
         protocol = self.protocol
+        bulk_step = self._bulk_step
         nodes = network.graph.nodes()
         files = network.files
         adjacency = self._neighbors_of()
@@ -349,11 +394,21 @@ class SynchronousScheduler:
                               else sorted(stale,
                                           key=node_order.__getitem__))
             changed: Dict[NodeId, set] = {}
-            for v in active:
-                ctx = contexts[v]
-                ctx._dirty = changed
-                ctx._marks = None
-                protocol.step(ctx)
+            if bulk_step is not None:
+                batch_ctxs = []
+                append = batch_ctxs.append
+                for v in active:
+                    ctx = contexts[v]
+                    ctx._dirty = changed
+                    ctx._marks = None
+                    append(ctx)
+                bulk_step(BulkBatch(batch_ctxs))
+            else:
+                for v in active:
+                    ctx = contexts[v]
+                    ctx._dirty = changed
+                    ctx._marks = None
+                    protocol.step(ctx)
             self.rounds += 1
             executed += 1
             protocol.on_round_end(network, self.rounds)
@@ -367,15 +422,23 @@ class SynchronousScheduler:
                            stop_when: Optional[StopCondition]) -> int:
         network = self.network
         protocol = self.protocol
+        bulk_step = self._bulk_step
         nodes = network.graph.nodes()
         store = network.columns
         snap, contexts = self._columnar_state()
+        if bulk_step is not None:
+            ops = self._bulk_ops_for(store, snap)
+            ctx_list = [contexts[v] for v in nodes]
+            idx_list = [c._i for c in ctx_list]
         executed = 0
         for _ in range(max_rounds):
             snap.refresh_from(store, full=True)
             store.clear_dirty()
-            for v in nodes:
-                protocol.step(contexts[v])
+            if bulk_step is not None:
+                bulk_step(BulkBatch(ctx_list, idx_list, ops))
+            else:
+                for v in nodes:
+                    protocol.step(contexts[v])
             self.rounds += 1
             executed += 1
             protocol.on_round_end(network, self.rounds)
@@ -393,11 +456,14 @@ class SynchronousScheduler:
         case its deterministic step would rewrite its current state."""
         network = self.network
         protocol = self.protocol
+        bulk_step = self._bulk_step
         nodes = network.graph.nodes()
         store = network.columns
         adjacency = self._neighbors_of()
         node_order = {v: i for i, v in enumerate(nodes)}
         snap, contexts = self._columnar_state()
+        ops = self._bulk_ops_for(store, snap) if bulk_step is not None \
+            else None
         executed = 0
         # external writes (fault injection, resets) since the last call
         # are not round-tracked: the first round re-snapshots and
@@ -429,15 +495,47 @@ class SynchronousScheduler:
                 store.clear_dirty()
             dn = store.dirty_nodes
             dlist = store.dirty_node_list
-            for v in active:
-                ctx = contexts[v]
-                ctx.wrote = False
-                protocol.step(ctx)
-                if ctx.wrote:
-                    i = ctx._i
-                    if not dn[i]:
-                        dn[i] = 1
-                        dlist.append(v)
+            if bulk_step is not None:
+                batch_ctxs = []
+                batch_idx = []
+                capp = batch_ctxs.append
+                iapp = batch_idx.append
+                for v in active:
+                    ctx = contexts[v]
+                    ctx.wrote = False
+                    capp(ctx)
+                    iapp(ctx._i)
+                batch = BulkBatch(batch_ctxs, batch_idx, ops)
+                bulk_step(batch)
+                if batch.wrote_all:
+                    # the protocol's fused sweep wrote every node of the
+                    # batch: mark the round dirty in one pass
+                    if len(batch_ctxs) == len(nodes):
+                        dn[:] = b"\x01" * len(dn)
+                        dlist[:] = nodes
+                    else:
+                        for ctx in batch_ctxs:
+                            i = ctx._i
+                            if not dn[i]:
+                                dn[i] = 1
+                                dlist.append(ctx.node)
+                else:
+                    for ctx in batch_ctxs:
+                        if ctx.wrote:
+                            i = ctx._i
+                            if not dn[i]:
+                                dn[i] = 1
+                                dlist.append(ctx.node)
+            else:
+                for v in active:
+                    ctx = contexts[v]
+                    ctx.wrote = False
+                    protocol.step(ctx)
+                    if ctx.wrote:
+                        i = ctx._i
+                        if not dn[i]:
+                            dn[i] = 1
+                            dlist.append(v)
             self.rounds += 1
             executed += 1
             protocol.on_round_end(network, self.rounds)
@@ -573,7 +671,8 @@ class AsynchronousScheduler:
                  daemon: Optional[Daemon] = None,
                  use_schema: bool = True,
                  dirty_aware: bool = True,
-                 storage: Optional[str] = None) -> None:
+                 storage: Optional[str] = None,
+                 bulk: bool = True) -> None:
         self.network = network
         self.protocol = protocol
         self.daemon = daemon if daemon is not None else PermutationDaemon()
@@ -584,6 +683,17 @@ class AsynchronousScheduler:
         self._initialized = False
         self.dirty_aware = bool(dirty_aware) and (
             type(protocol).on_round_end is Protocol.on_round_end)
+        #: bulk-activation plane: multi-node daemon batches (the
+        #: locality daemon's closed neighbourhoods) go to the protocol's
+        #: declared ``bulk_step``; skip logic and accounting stay here,
+        #: threaded through the batch callbacks.  Live batches carry no
+        #: fused ops — activation-granular stop conditions forbid
+        #: cross-node write hoisting — so the route engages only for
+        #: protocols that declare ``bulk_live`` (otherwise it would be
+        #: pure per-activation callback overhead on the skip-heavy hot
+        #: path).
+        self._bulk_step = protocol.bulk_step \
+            if bulk and getattr(protocol, "bulk_live", False) else None
         self._storage = _storage_mode(storage, use_schema)
         self._compiled = _bind_storage(network, protocol, self._storage)
 
@@ -655,8 +765,72 @@ class AsynchronousScheduler:
         start_rounds = self.rounds
         budget = max_activations if max_activations is not None else (
             max_rounds * len(nodes) * 4 + 64)
+        bulk_step = self._bulk_step
+        stopped = False
+
+        # bulk-plane callbacks: the exact per-activation semantics of the
+        # scalar loop below (skip check + write-tracker setup in ``gate``,
+        # tracking/accounting/stop in ``after``), threaded through
+        # Protocol.bulk_step for multi-node daemon batches.
+        def gate(k, ctx):
+            nonlocal tick
+            tick += 1
+            if not dirty_aware:
+                return True
+            v = ctx.node
+            st = stepped_at.get(v)
+            if st is not None and changed_at.get(v, 0) < st:
+                skip = True
+                for u in neighbors[v]:
+                    if changed_at.get(u, 0) >= st:
+                        skip = False
+                        break
+                if skip:
+                    return False
+            if columnar:
+                ctx.wrote = False
+            else:
+                ctx._dirty = {} if slot_mode else set()
+                if slot_mode:
+                    ctx._marks = None
+            return True
+
+        def after(k, ctx, stepped):
+            nonlocal budget, stopped
+            v = ctx.node
+            if not stepped:
+                self.steps_skipped += 1
+            elif dirty_aware:
+                if columnar:
+                    if ctx.wrote:
+                        changed_at[v] = tick
+                else:
+                    tracker = ctx._dirty
+                    ctx._dirty = None
+                    if tracker:
+                        changed_at[v] = tick
+                stepped_at[v] = tick
+            self.activations += 1
+            budget -= 1
+            self._covered.add(v)
+            if self._covered == all_nodes:
+                self.rounds += 1
+                self._covered = set()
+                self.protocol.on_round_end(self.network, self.rounds)
+            if stop_when is not None and stop_when(self.network):
+                stopped = True
+                return True
+            return False
+
         while self.rounds - start_rounds < max_rounds and budget > 0:
-            for v in self.daemon.next_batch(nodes):
+            batch_nodes = self.daemon.next_batch(nodes)
+            if bulk_step is not None and len(batch_nodes) > 1:
+                bulk_step(BulkBatch([contexts[v] for v in batch_nodes],
+                                    gate=gate, after=after))
+                if stopped:
+                    return self.rounds - start_rounds
+                continue
+            for v in batch_nodes:
                 tick += 1
                 skip = False
                 if dirty_aware:

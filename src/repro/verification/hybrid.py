@@ -28,6 +28,7 @@ from ..graphs.weighted import NodeId, WeightedGraph
 from ..labels import registers as R
 from ..labels.strings import ENDP_DOWN, ENDP_UP
 from ..labels.wellforming import sorted_levels, static_check
+from ..sim.bulk import drive_batch
 from ..sim.network import NodeContext, Protocol
 from ..sim.registers import ALARM, RegisterSchema, handle_resolver
 from ..trains.budgets import Budgets, node_budgets
@@ -35,7 +36,8 @@ from ..trains.comparison import (MODE_SYNC_WINDOW, MODE_WANT,
                                  ComparisonComponent)
 from ..trains.train import TrainComponent, _nat, valid_piece
 from .marker import MarkerOutput, run_marker
-from .verifier import REG_BUDGET_CACHE, REG_VSTEP
+from .verifier import (REG_BUDGET_CACHE, REG_VSTEP,
+                       fused_verifier_sweep)
 
 #: the replicated bottom pieces: tuple of (root, level, weight), sorted.
 REG_OWN_BOT = "ownbot"
@@ -197,6 +199,8 @@ class HybridVerifierProtocol(Protocol):
         self._slot_bound = compiled is not None
         self._static_cache = {}
         self._budget_cache = {}
+        # bulk plane: fused component closures, keyed on the ops object
+        self._fused = None
 
     def init_node(self, ctx: NodeContext) -> None:
         ctx.set(self.h_alarm, None)
@@ -255,3 +259,16 @@ class HybridVerifierProtocol(Protocol):
         alarms.extend(self.comparison.step(ctx, budgets, sentinel))
         if alarms:
             ctx.alarm(alarms[0])
+
+    def bulk_step(self, batch) -> None:
+        """Bulk-activation sweep: the shared fused verifier sweep with
+        only the Top train (bottom levels verify inside the static
+        phase via the replicated pieces); see
+        :func:`repro.verification.verifier.fused_verifier_sweep` for
+        the fusion license and equivalence contract."""
+        ops = batch.ops
+        if ops is None or not ops.fused or batch.gate is not None \
+                or batch.after is not None:
+            drive_batch(self.step, batch)
+            return
+        fused_verifier_sweep(self, batch, (self.top,), self.comparison)

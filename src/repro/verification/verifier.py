@@ -36,6 +36,7 @@ from ..labels.registers import (REG_BOT_COUNT, REG_BOT_ROOT,
                                 REG_TOP_COUNT, REG_TOP_ROOT,
                                 declare_label_registers)
 from ..labels.wellforming import static_check
+from ..sim.bulk import drive_batch
 from ..sim.network import NodeContext, Protocol
 from ..sim.registers import ALARM, RegisterSchema, handle_resolver
 from ..trains.budgets import Budgets, node_budgets
@@ -45,6 +46,83 @@ from ..trains.train import TrainComponent
 
 REG_VSTEP = "vstep"
 REG_BUDGET_CACHE = "_bgt"
+
+
+def fused_verifier_sweep(proto, batch, trains, comparison) -> None:
+    """The shared fused bulk sweep of the train verifiers (the full
+    verifier passes both trains, the hybrid only Top — one driver so
+    the two sweeps cannot drift apart).
+
+    With fused column ops licensed (synchronous round on columnar
+    storage), the step counters of the whole batch advance in one
+    ``array('q')`` sweep, the budget ghost registers are gathered once
+    per batch, and the per-node bodies run with the dispatch layers
+    hoisted out of the loop: column-fused train and comparison steps
+    (:meth:`TrainComponent.make_bulk_step
+    <repro.trains.train.TrainComponent.make_bulk_step>`,
+    :meth:`ComparisonComponent.make_bulk_sync
+    <repro.trains.comparison.ComparisonComponent.make_bulk_sync>`, with
+    scalar adapters where a component declines to fuse), no
+    intermediate alarm-list splicing.  Everything executes the exact
+    scalar ``step`` sequence per node — including the alarm priority
+    order statics > trains in order > comparison — so the sweep is
+    bit-for-bit equivalent (``tests/test_bulk_plane.py``).
+
+    ``proto`` must carry the verifier-shaped surface: ``h_vstep``,
+    ``h_bgt``, ``static_every``, ``_static_alarms``, ``budgets_for``,
+    and the ``_fused`` closure cache (reset by ``bind_registers``).
+    """
+    ops = batch.ops
+    contexts = batch.contexts
+    step_nos = ops.inc_nat(batch, proto.h_vstep)
+    batch.wrote_all = True
+    bgts = ops.gather(batch, proto.h_bgt)
+    se = proto.static_every
+    statics = proto._static_alarms
+    budgets_for = proto.budgets_for
+    fused = proto._fused
+    if fused is None or fused[0] is not ops:
+        steps = tuple(
+            f if f is not None else
+            (lambda ctx, b, h, s, _t=train: _t.step(ctx, b, h,
+                                                    sentinel=s))
+            for train, f in ((t, t.make_bulk_step(ops)) for t in trains))
+        cmp_fused = comparison.make_bulk_sync(ops)
+        comp_step = cmp_fused if cmp_fused is not None \
+            else comparison.step
+        fused = proto._fused = (ops, steps, comp_step)
+    _, train_steps, comp_step = fused
+    sync_window = comparison.mode == MODE_SYNC_WINDOW
+    held = comparison.held_levels
+    serve = comparison.serve_turn
+    for k, ctx in enumerate(contexts):
+        step_no = step_nos[k]
+        sentinel = ctx.stable_sentinel()
+        first = statics(ctx, sentinel) if step_no % se == 0 else None
+        cached = bgts[k]
+        if isinstance(cached, tuple) and len(cached) == 2 and \
+                isinstance(cached[1], Budgets) and \
+                step_no - cached[0] < 32:
+            budgets = cached[1]
+        else:
+            budgets = budgets_for(ctx, sentinel, step_no)
+        if sync_window:
+            for tr_step in train_steps:
+                a = tr_step(ctx, budgets, False, sentinel)
+                if a and not first:
+                    first = a
+        else:
+            held_levels = held(ctx)
+            for tr_step, h in zip(train_steps, held_levels):
+                a = tr_step(ctx, budgets, h is not None, sentinel)
+                if a and not first:
+                    first = a
+            serve(ctx)
+        a = comp_step(ctx, budgets, sentinel)
+        if a and not first:
+            first = a
+        if first:
+            ctx.alarm(first[0])
 
 
 class MstVerifierProtocol(Protocol):
@@ -93,6 +171,8 @@ class MstVerifierProtocol(Protocol):
         self._slot_bound = compiled is not None
         self._static_cache = {}
         self._budget_cache = {}
+        # bulk plane: fused component closures, keyed on the ops object
+        self._fused = None
 
     # ------------------------------------------------------------------
     def init_node(self, ctx: NodeContext) -> None:
@@ -168,3 +248,18 @@ class MstVerifierProtocol(Protocol):
 
         if alarms:
             ctx.alarm(alarms[0])
+
+    # ------------------------------------------------------------------
+    def bulk_step(self, batch) -> None:
+        """One whole scheduler batch (the bulk-activation plane): the
+        shared fused sweep over both trains when fusion is licensed,
+        the generic per-node fallback driver otherwise (dict/schema
+        storage, live asynchronous batches, callback-gated batches).
+        See :func:`fused_verifier_sweep`."""
+        ops = batch.ops
+        if ops is None or not ops.fused or batch.gate is not None \
+                or batch.after is not None:
+            drive_batch(self.step, batch)
+            return
+        fused_verifier_sweep(self, batch, (self.top, self.bottom),
+                             self.comparison)

@@ -1,0 +1,251 @@
+"""Bulk-activation plane differential tests (``repro.sim.bulk``).
+
+The plane's contract: routing batches through ``Protocol.bulk_step``
+(scheduler default) is *bit-for-bit* equivalent to the scalar per-node
+loops (``bulk=False``) — same register traces, alarms, rounds,
+activations, skip accounting, and memory bits — on every storage
+backend (dict / schema / columnar), under every scheduler kind (sync /
+async daemons / the locality-batching daemon), for every protocol that
+declares a bulk sweep, and in the presence of adversarial junk planted
+into nat/tuple columns mid-sweep (the fused column ops must degrade
+exactly like the scalar context writes, and the dirty/skip machinery
+must stay sound across batched writes).
+"""
+
+import pytest
+
+from repro.engine import axis, derive_seed, run_scenario, ScenarioSpec
+from repro.graphs.generators import random_connected_graph
+from repro.sim import (STORAGE_KINDS, AsynchronousScheduler,
+                       FaultInjector, LocalityBatchDaemon, Network,
+                       PermutationDaemon, SynchronousScheduler,
+                       first_alarm)
+from repro.sim.columnar import ColumnStore
+from repro.sim.registers import CompiledSchema
+from repro.verification import make_network
+from repro.verification.hybrid import HybridVerifierProtocol
+from repro.verification.verifier import MstVerifierProtocol
+
+STORAGES = STORAGE_KINDS
+
+
+def _protocol(kind, synchronous):
+    if kind == "verifier":
+        return MstVerifierProtocol(synchronous=synchronous)
+    if kind == "hybrid":
+        return HybridVerifierProtocol(synchronous=synchronous)
+    from repro.baselines.pls_sqlog import SqLogPlsProtocol
+    return SqLogPlsProtocol()
+
+
+class LiveBulkVerifier(MstVerifierProtocol):
+    """The verifier with the live-batch capability declared: no shipped
+    protocol opts in (live batches cannot fuse, so routing them would
+    be pure callback overhead), but the async routing machinery — gate
+    callbacks doing skip checks and tracker setup, after callbacks
+    doing accounting and stop conditions, the fallback driver honouring
+    both — must stay exactly equivalent for the daemon that eventually
+    licenses it."""
+
+    bulk_live = True
+
+
+def _run_sync(graph, storage, bulk, seed, proto_kind, fast_path=True):
+    net = make_network(graph)
+    sched = SynchronousScheduler(net, _protocol(proto_kind, True),
+                                 fast_path=fast_path, storage=storage,
+                                 bulk=bulk)
+    trace = []
+
+    def record(n):
+        trace.append({v: dict(r) for v, r in n.registers.items()})
+        return bool(n.alarms())
+
+    sched.run(30)
+    inj = FaultInjector(net, seed=seed)
+    inj.corrupt_random_nodes(2, fraction=0.5)
+    detect = sched.run(2500, stop_when=record)
+    return (detect, sched.rounds, net.alarms(), trace,
+            net.max_memory_bits(), net.total_memory_bits())
+
+
+@pytest.mark.parametrize("proto_kind", ["verifier", "hybrid", "sqlog"])
+def test_sync_bulk_vs_scalar_bitwise_equal(proto_kind, campaign_seed):
+    """Full per-round register traces of a settle/inject/detect run
+    match between the bulk plane and the scalar loop on every storage
+    backend (columnar exercises the fused column sweep; dict/schema the
+    generic fallback driver), fast path and naive loop alike."""
+    g = random_connected_graph(14, 22, seed=campaign_seed % 1013)
+    ref = _run_sync(g, "dict", False, campaign_seed, proto_kind)
+    for storage in STORAGES:
+        for fast_path in (True, False):
+            got = _run_sync(g, storage, True, campaign_seed, proto_kind,
+                            fast_path)
+            assert got == ref, (storage, fast_path)
+
+
+@pytest.mark.parametrize("daemon_kind", ["permutation", "locality"])
+def test_async_bulk_vs_scalar_equal(daemon_kind, campaign_seed):
+    """Asynchronous daemon batches routed through the bulk plane (the
+    locality daemon's whole neighbourhoods engage it; singleton daemons
+    keep the scalar loop) match the scalar execution exactly — including
+    the dirty-aware skip accounting, which must stay sound when a whole
+    batch's writes land through ``bulk_step``."""
+    g = random_connected_graph(12, 20, seed=campaign_seed % 983)
+
+    def run(storage, bulk, dirty_aware=True):
+        daemon = LocalityBatchDaemon(g, seed=5) \
+            if daemon_kind == "locality" else PermutationDaemon(seed=5)
+        net = make_network(g)
+        proto = LiveBulkVerifier(synchronous=False) if bulk \
+            else MstVerifierProtocol(synchronous=False)
+        sched = AsynchronousScheduler(net, proto,
+                                      daemon, storage=storage, bulk=bulk,
+                                      dirty_aware=dirty_aware)
+        sched.run(20)
+        inj = FaultInjector(net, seed=campaign_seed)
+        inj.corrupt_random_nodes(2, fraction=0.5)
+        r = sched.run(2000, stop_when=first_alarm)
+        return (r, sched.rounds, sched.activations, sched.steps_skipped,
+                net.alarms(),
+                {v: dict(regs) for v, regs in net.registers.items()})
+
+    for storage in STORAGES:
+        ref = run(storage, bulk=False)
+        assert run(storage, bulk=True) == ref, storage
+    # and against the naive (non-dirty-aware, scalar dict) ground truth,
+    # minus the skip counter naive never increments
+    naive = run("dict", bulk=False, dirty_aware=False)
+    bulk = run("columnar", bulk=True)
+    assert bulk[:3] + bulk[4:] == naive[:3] + naive[4:]
+
+
+def test_engine_bulk_flag_matrix(campaign_seed):
+    """The ``bulk`` schedule parameter is implementation-only: flipping
+    it reproduces the identical scenario (seeds, faults, metrics) on
+    every backend, through the campaign engine."""
+    cells = [("sync", "verifier"), ("sync", "sqlog"),
+             ("locality", "verifier"), ("permutation", "hybrid")]
+    for sched, proto in cells:
+        seed = derive_seed(campaign_seed, "bulk-flag", sched, proto)
+        results = []
+        for storage in STORAGES:
+            for bulk in (False, True):
+                spec = ScenarioSpec(
+                    topology=axis("random", n=12, extra=8),
+                    fault=axis("corrupt", count=1, fraction=0.6),
+                    schedule=axis(sched, storage=storage, bulk=bulk),
+                    protocol=axis(proto), seed=seed, max_rounds=20_000)
+                r = run_scenario(spec)
+                assert r.error is None, (spec.key, r.error)
+                results.append((r.detected, r.rounds_run,
+                                r.rounds_to_detection, r.alarm_reasons,
+                                r.max_memory_bits, r.total_memory_bits,
+                                r.activations))
+        assert len(set(results)) == 1, (sched, proto, results)
+
+
+def _plant_junk(net):
+    """Adversarial junk straight into declared nat/tuple registers:
+    strings and bools in nat columns, huge ints beyond int64, an
+    unhashable list in a tuple column, a bool-vs-int shape collision.
+    On columnar storage these exercise the boxed-overflow and typed-pool
+    paths that the fused batch ops must replicate."""
+    nodes = net.graph.nodes()
+    regs = net.registers
+    regs[nodes[0]]["vstep"] = "not-a-counter"
+    regs[nodes[1]]["vstep"] = True
+    regs[nodes[1]]["tt_wd"] = 1 << 70
+    regs[nodes[2]]["tt_bbuf"] = [1, 2, 3]          # unhashable in a tuple col
+    regs[nodes[2]]["cmp_ask"] = (1, True)          # vs interned (1, 1)
+    regs[nodes[3]]["tt_out"] = (1, 1)
+    regs[nodes[3]]["vstep"] = -7
+
+
+@pytest.mark.parametrize("storage", STORAGES)
+def test_junk_mid_sweep_bulk_equals_scalar(storage, campaign_seed):
+    """Fault-injected junk in nat/tuple registers mid-sweep: the fused
+    ``inc_nat`` sweep must coerce sentinel-coded and boxed junk exactly
+    like the scalar context (restart at 1, drop stale boxed overflow),
+    and the run must keep matching the scalar loop bit for bit."""
+    g = random_connected_graph(12, 20, seed=campaign_seed % 967)
+
+    def run(bulk):
+        net = make_network(g)
+        sched = SynchronousScheduler(net, _protocol("verifier", True),
+                                     storage=storage, bulk=bulk)
+        sched.run(12)
+        _plant_junk(net)
+        sched.run(40)   # keep sweeping over the junk
+        return (sched.rounds, net.alarms(),
+                {v: dict(r) for v, r in net.registers.items()},
+                net.max_memory_bits(), net.total_memory_bits())
+
+    assert run(True) == run(False)
+
+
+def test_junk_mid_sweep_skip_soundness_async(campaign_seed):
+    """Skip soundness survives batched writes over junk: the
+    locality-batched dirty-aware scheduler on columnar storage, with
+    junk planted between runs, still matches the naive scalar loop."""
+    g = random_connected_graph(10, 16, seed=campaign_seed % 953)
+
+    def run(storage, bulk, dirty_aware):
+        net = make_network(g)
+        proto = LiveBulkVerifier(synchronous=False) if bulk \
+            else MstVerifierProtocol(synchronous=False)
+        sched = AsynchronousScheduler(net, proto,
+                                      LocalityBatchDaemon(g, seed=3),
+                                      storage=storage, bulk=bulk,
+                                      dirty_aware=dirty_aware)
+        sched.run(10)
+        _plant_junk(net)
+        r = sched.run(25)
+        return (r, sched.rounds, sched.activations, net.alarms(),
+                {v: dict(regs) for v, regs in net.registers.items()})
+
+    ref = run("dict", bulk=False, dirty_aware=False)
+    for storage in STORAGES:
+        assert run(storage, bulk=True, dirty_aware=True) == ref, storage
+
+
+def test_inc_nat_batch_semantics():
+    """The fused column RMW coerces exactly like the scalar context:
+    unset/None/bool/str/huge/negative all restart at 1, in-range values
+    increment, boxed overflow entries are dropped by the write."""
+    schema = CompiledSchema(["x", "t"], ["nat", "tuple"], [None, None])
+    store = ColumnStore(schema, list(range(7)))
+    x = schema.slots["x"]
+    store.set_value(1, x, 5)
+    store.set_value(2, x, None)
+    store.set_value(3, x, "junk")       # boxed
+    store.set_value(4, x, True)         # boxed (bools keep their type)
+    store.set_value(5, x, 1 << 70)      # boxed (beyond int64)
+    store.set_value(6, x, -3)           # stored, but not a nat
+    out = store.inc_nat_batch(list(range(7)), x)
+    assert out == [1, 6, 1, 1, 1, 1, 1]
+    assert not store.overflow[x], "stale boxed entries must be dropped"
+    assert [store.get_value(i, x) for i in range(7)] == out
+    # pooled column fallback keeps the same semantics
+    t = schema.slots["t"]
+    store.set_value(0, t, (1, 2))
+    assert store.inc_nat_batch([0, 1], t) == [1, 1]
+    assert store.get_value(0, t) == 1
+
+
+def test_gather_values_batch():
+    schema = CompiledSchema(["n", "t", "o"], ["nat", "tuple", "opaque"],
+                            [None, None, None])
+    store = ColumnStore(schema, list(range(4)))
+    n, t, o = (schema.slots[k] for k in ("n", "t", "o"))
+    store.set_value(0, n, 9)
+    store.set_value(1, n, None)
+    store.set_value(2, n, "boxed")
+    store.set_value(0, t, ("a", 1))
+    store.set_value(1, t, [9])          # unhashable -> boxed
+    store.set_value(0, o, {"d": 1})
+    assert store.gather_values([0, 1, 2, 3], n, "dflt") == \
+        [9, None, "boxed", "dflt"]
+    assert store.gather_values([0, 1, 2, 3], t) == \
+        [("a", 1), [9], None, None]
+    assert store.gather_values([0, 1], o, 0) == [{"d": 1}, 0]

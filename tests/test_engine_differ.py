@@ -117,6 +117,69 @@ def test_zero_baseline_tolerance_is_absolute():
     assert diff_records(old, new, DiffConfig(rounds_tol=1.0)).ok
 
 
+def test_added_scenarios_are_named_and_gated():
+    """Scenarios present only in the new dump are reported as a named
+    category (added) instead of silently dropped from the join — and
+    an added scenario that arrives *violating* is a regression even
+    though it has no baseline record."""
+    base = {"key": "k", "seed": 1, "violation": None,
+            "rounds_to_detection": 5, "expected_detection": True,
+            "max_memory_bits": 1, "total_memory_bits": 1,
+            "wall_time": 0.1}
+    old = {("k", 1): base}
+    clean_add = {("k", 1): base,
+                 ("fresh", 2): dict(base, key="fresh", seed=2)}
+    result = diff_records(old, clean_add)
+    assert result.ok
+    assert result.added == [("fresh", 2)]
+    assert "added scenario" in result.summary()
+    bad_add = {("k", 1): base,
+               ("fresh", 2): dict(base, key="fresh", seed=2,
+                                  violation="soundness")}
+    result = diff_records(old, bad_add)
+    assert not result.ok
+    assert [r.metric for r in result.regressions] == ["added-violation"]
+
+
+def test_removed_scenarios_are_named():
+    base = {"key": "k", "seed": 1, "violation": None,
+            "rounds_to_detection": 5, "expected_detection": True,
+            "max_memory_bits": 1, "total_memory_bits": 1,
+            "wall_time": 0.1}
+    old = {("k", 1): base, ("gone", 2): dict(base, key="gone", seed=2)}
+    result = diff_records(old, {("k", 1): base})
+    assert result.ok and result.missing == [("gone", 2)]
+    assert "removed scenario" in result.summary()
+
+
+def test_soft_time_warns_but_keeps_hard_metrics(tmp_path):
+    """--soft-time: wall-time blowups become warnings (exit 0) while
+    rounds/memory regressions still fail — the hardened CI gate."""
+    rec = {"key": "k", "seed": 1, "violation": None,
+           "rounds_to_detection": 5, "expected_detection": True,
+           "max_memory_bits": 10, "total_memory_bits": 10,
+           "wall_time": 1.0}
+    old = {("k", 1): rec}
+    slow = {("k", 1): dict(rec, wall_time=9.0)}
+    soft = diff_records(old, slow, DiffConfig(soft_time=True))
+    assert soft.ok
+    assert [w.metric for w in soft.warnings] == ["wall_time"]
+    assert "WARNING" in soft.summary()
+    assert not diff_records(old, slow).ok   # hard by default
+    worse = {("k", 1): dict(rec, wall_time=9.0, max_memory_bits=11)}
+    hard = diff_records(old, worse, DiffConfig(soft_time=True))
+    assert not hard.ok
+    assert [r.metric for r in hard.regressions] == ["max_memory_bits"]
+    # CLI plumbing
+    old_p = tmp_path / "old.jsonl"
+    new_p = tmp_path / "new.jsonl"
+    old_p.write_text(json.dumps(rec) + "\n")
+    new_p.write_text(json.dumps(dict(rec, wall_time=9.0)) + "\n")
+    assert engine_main(["diff", str(old_p), str(new_p)]) == 1
+    assert engine_main(["diff", str(old_p), str(new_p),
+                        "--soft-time"]) == 0
+
+
 def test_cli_exit_codes(tmp_path):
     specs = smoke_campaign(seed=3)[:3]
     old, _ = _records(specs, tmp_path, "old.jsonl")
