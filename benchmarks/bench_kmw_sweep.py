@@ -21,12 +21,24 @@ Per subdivided instance (growing tau, largest cell > 10k nodes):
 
 ``--quick`` shrinks the cells for CI smoke (< 20 s); ``--out`` dumps
 the records as JSONL.
+
+``--tau-trend`` runs the *comparison-phase* detection-time experiment
+the scramble cells cannot see (``kmw_tau_trend_campaign``): a
+``piece_lie`` fault — a lie on a stored piece's claimed minimum
+weight, invisible to every 1-round static check — injected after
+settling on the same subdivided family at growing tau.  Detection
+must wait for the trains to rotate the lying piece past an Ask
+comparison, so ``rounds_to_detection`` records the Omega(log n)-style
+stretch vs tau (the trend the ROADMAP asked for).  The mode is quick
+by construction (small bases, the blow-up comes from tau); combine
+with ``--out`` for the JSONL trend series.
 """
 
 from conftest import report
 
 from repro.analysis import format_table
-from repro.engine import CampaignRunner, graph_for, kmw_sweep_campaign
+from repro.engine import (CampaignRunner, graph_for, kmw_sweep_campaign,
+                          kmw_tau_trend_campaign)
 
 #: CI smoke cells: same shape, toy sizes.
 QUICK_CELLS = ((16, 24, 1), (24, 38, 2))
@@ -51,6 +63,29 @@ def run_sweep(cells=None, seed=0, workers=1, out=None):
     table = format_table(
         ["base n", "tau", "n'", "fault", "detect rounds",
          "max bits/node", "total bits", "verdict"], rows)
+    if out:
+        written = result.dump_jsonl(out)
+        table += f"\nwrote {written} scenario record(s) to {out}"
+    return result, rows, table
+
+
+def run_tau_trend(seed=0, workers=1, out=None):
+    """The piece-lie detection-time trend vs tau (quick mode)."""
+    specs = kmw_tau_trend_campaign(seed=seed)
+    result = CampaignRunner(workers=workers).run(specs)
+    rows = []
+    for spec, res in zip(specs, result):
+        graph = graph_for(spec)
+        rows.append([
+            spec.topology.get("base_n"), spec.topology.get("tau"),
+            graph.n, res.settle_rounds,
+            "-" if res.rounds_to_detection is None
+            else res.rounds_to_detection,
+            "ok" if res.ok else str(res.violation),
+        ])
+    table = format_table(
+        ["base n", "tau", "n'", "settle rounds", "detect rounds",
+         "verdict"], rows)
     if out:
         written = result.dump_jsonl(out)
         table += f"\nwrote {written} scenario record(s) to {out}"
@@ -83,16 +118,36 @@ def main(argv=None):
     parser = argparse.ArgumentParser()
     parser.add_argument("--quick", action="store_true",
                         help="toy cells, < 20s (CI smoke)")
+    parser.add_argument("--tau-trend", action="store_true",
+                        help="piece-lie detection-time trend vs tau "
+                             "(comparison-phase faults; quick by "
+                             "construction, so it replaces the sweep "
+                             "and cannot be combined with --quick)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--out", default=None,
                         help="dump the sweep as JSONL (joinable by "
                              "`python -m repro.engine diff`)")
     args = parser.parse_args(argv)
-    cells = QUICK_CELLS if args.quick else None
-    result, rows, table = run_sweep(cells=cells, seed=args.seed,
-                                    workers=args.workers, out=args.out)
-    print(table)
+    if args.tau_trend and args.quick:
+        parser.error("--tau-trend is quick by construction and replaces "
+                     "the sweep; drop --quick")
+    if args.tau_trend:
+        result, rows, table = run_tau_trend(seed=args.seed,
+                                            workers=args.workers,
+                                            out=args.out)
+        print(table)
+        detections = [r[4] for r in rows]
+        if all(isinstance(d, int) for d in detections):
+            print("\npiece-lie detection waits for the trains "
+                  f"(rounds per tau: {detections}) — compare the "
+                  "scramble cells' O(1) static-check detection.")
+    else:
+        cells = QUICK_CELLS if args.quick else None
+        result, rows, table = run_sweep(cells=cells, seed=args.seed,
+                                        workers=args.workers,
+                                        out=args.out)
+        print(table)
     bad = result.violations()
     if bad:
         print(f"{len(bad)} violation(s)")

@@ -38,6 +38,16 @@ Dimensions on verifier workloads:
   best-of-repeats; the assertions gate the repeatable floor and the
   report documents the shortfall against the 1.5x target where the
   trains' dynamic pipeline traffic dominates.
+* **async bulk plane** (PR 5) — the *asynchronous* analogue: the
+  conflict-free daemon (``ConflictFreeDaemon``, schedule kind
+  ``independent``) pre-declares batches with pairwise disjoint closed
+  neighbourhoods, which licenses the fused columnar kernels on the
+  live (daemon-driven) path — one ``array('q')`` counter sweep per
+  batch, column-inlined trains, and the fused Want-mode comparison
+  kernels (``make_bulk_want``/``make_bulk_held``) — against the
+  scalar asynchronous columnar loop under the *same* daemon.
+  Interleaved best-of-repeats at n=500 and n=2000; floors asserted at
+  1.15x, shortfall vs the 1.3x target documented.
 
 Standalone smoke mode for CI (keeps the perf paths executing on every
 PR without gating on timings):
@@ -55,7 +65,8 @@ from conftest import report
 from repro.analysis import format_table
 from repro.baselines.pls_sqlog import SqLogPlsProtocol, sqlog_labels
 from repro.graphs.generators import random_connected_graph
-from repro.sim import Network, STORAGE_KINDS, SynchronousScheduler
+from repro.sim import (AsynchronousScheduler, ConflictFreeDaemon, Network,
+                       STORAGE_KINDS, SynchronousScheduler)
 from repro.verification import make_network
 from repro.verification.verifier import MstVerifierProtocol
 
@@ -64,6 +75,8 @@ BIG_N = 2000
 QUIESCENT_ROUNDS = 160
 PATROL_ROUNDS = 24
 BIG_PATROL_ROUNDS = 12
+ASYNC_ROUNDS = 16
+BIG_ASYNC_ROUNDS = 10
 
 STORAGES = STORAGE_KINDS
 
@@ -112,6 +125,31 @@ def _bulk_times(graph, rounds, repeats=2):
     return best
 
 
+def _async_bulk_times(graph, rounds, repeats=2):
+    """Best-of-``repeats`` asynchronous sweep time on columnar storage
+    under the conflict-free daemon: scalar activation loop
+    (``bulk=False`` — the PR 3 per-activation path) vs the live fused
+    column sweeps the ``conflict_free`` license enables, interleaved
+    like :func:`_patrol_times`.  Both sides run the *same* daemon, so
+    the ratio isolates the per-step effect of the fusion."""
+    best = {False: None, True: None}
+    for _ in range(repeats):
+        for bulk in (False, True):
+            net = make_network(graph)
+            proto = MstVerifierProtocol(synchronous=False, static_every=4)
+            sched = AsynchronousScheduler(
+                net, proto, ConflictFreeDaemon(graph, seed=7),
+                storage="columnar", bulk=bulk)
+            sched.run(2)
+            start = time.perf_counter()
+            executed = sched.run(rounds)
+            t = time.perf_counter() - start
+            assert executed == rounds
+            assert not net.alarms()
+            best[bulk] = t if best[bulk] is None else min(best[bulk], t)
+    return best
+
+
 def _peak_memory(graph, storage, rounds=6):
     """Peak traced bytes of building + running the train verifier."""
     tracemalloc.start()
@@ -126,7 +164,8 @@ def _peak_memory(graph, storage, rounds=6):
 
 def measure(n=N, big_n=BIG_N, quiescent_rounds=QUIESCENT_ROUNDS,
             patrol_rounds=PATROL_ROUNDS,
-            big_patrol_rounds=BIG_PATROL_ROUNDS, repeats=2):
+            big_patrol_rounds=BIG_PATROL_ROUNDS, repeats=2,
+            async_rounds=ASYNC_ROUNDS, big_async_rounds=BIG_ASYNC_ROUNDS):
     g = random_connected_graph(n, int(1.8 * n), seed=21)
     labels = sqlog_labels(g)
     quiescent = {}
@@ -152,13 +191,18 @@ def measure(n=N, big_n=BIG_N, quiescent_rounds=QUIESCENT_ROUNDS,
     # path) vs fused batch sweeps, small and campaign scale
     bulk = _bulk_times(g, patrol_rounds, repeats)
     bulk_big = _bulk_times(big, big_patrol_rounds, repeats)
+    # asynchronous bulk plane: conflict-free daemon batches, scalar vs
+    # live fused column sweeps, same two scales
+    async_bulk = _async_bulk_times(g, async_rounds, repeats)
+    async_bulk_big = _async_bulk_times(big, big_async_rounds, repeats)
     return (quiescent, patrolling, storage, storage_big, memory,
-            bulk, bulk_big)
+            bulk, bulk_big, async_bulk, async_bulk_big)
 
 
 def render(n, big_n, quiescent, patrolling, storage, storage_big, memory,
-           bulk, bulk_big, quiescent_rounds, patrol_rounds,
-           big_patrol_rounds):
+           bulk, bulk_big, async_bulk, async_bulk_big, quiescent_rounds,
+           patrol_rounds, big_patrol_rounds, async_rounds,
+           big_async_rounds):
     q_speedup = quiescent[False] / quiescent[True]
     p_speedup = patrolling[False] / patrolling[True]
     s_speedup = storage["dict"] / storage["schema"]
@@ -168,6 +212,8 @@ def render(n, big_n, quiescent, patrolling, storage, storage_big, memory,
     mem_factor = memory["schema"] / memory["columnar"]
     b_small = bulk[False] / bulk[True]
     b_big = bulk_big[False] / bulk_big[True]
+    a_small = async_bulk[False] / async_bulk[True]
+    a_big = async_bulk_big[False] / async_bulk_big[True]
     rows = [
         ["quiescent (1-round PLS accept)", quiescent_rounds,
          f"{quiescent[False]:.3f}", f"{quiescent[True]:.3f}",
@@ -193,6 +239,13 @@ def render(n, big_n, quiescent, patrolling, storage, storage_big, memory,
         [f"bulk plane at scale (n = {big_n})", big_patrol_rounds,
          f"{bulk_big[False]:.3f}", f"{bulk_big[True]:.3f}",
          f"{b_big:.2f}x"],
+        ["async bulk (conflict-free daemon, scalar vs fused)",
+         async_rounds,
+         f"{async_bulk[False]:.3f}", f"{async_bulk[True]:.3f}",
+         f"{a_small:.2f}x"],
+        [f"async bulk at scale (n = {big_n})", big_async_rounds,
+         f"{async_bulk_big[False]:.3f}", f"{async_bulk_big[True]:.3f}",
+         f"{a_big:.2f}x"],
     ]
     table = format_table(
         ["workload (n = %d)" % n, "rounds", "baseline s", "optimized s",
@@ -222,9 +275,24 @@ def render(n, big_n, quiescent, patrolling, storage, storage_big, memory,
             " — the remaining time is the trains' genuinely dynamic"
             " pipeline reads/writes, which no read-mostly fusion can"
             " batch away; the assertions gate the repeatable floor,"
+            " not the best case.  The async bulk rows take the same"
+            " fused kernels off the synchronous-only path: the"
+            " conflict-free daemon's disjoint closed-neighbourhood"
+            " batches license live fusion (one counter sweep per"
+            " batch, column-inlined trains, fused Want-mode"
+            f" comparison), buying {a_small:.2f}x per step at n = {n}"
+            f" and {a_big:.2f}x at n = {big_n} over the scalar async"
+            " columnar loop under the *same* daemon — the 1.3x target"
+            f" is {'met' if a_small >= 1.3 else 'missed'} at n = {n}"
+            f" and {'met' if a_big >= 1.3 else 'missed'} at"
+            f" n = {big_n} on this run.  Where the factor sags it sags"
+            " for the same reason as the sync rows — the trains'"
+            " dynamic pipeline traffic plus the want-handshake's"
+            " serve-one-neighbour cadence are inherently per-node —"
+            " so the assertions again gate the repeatable 1.15x floor,"
             " not the best case.")
     return (q_speedup, p_speedup, s_speedup, c_speedup, cs_big,
-            mem_factor, b_small, b_big, body)
+            mem_factor, b_small, b_big, a_small, a_big, body)
 
 
 def columnar_smoke_specs(seed=0):
@@ -237,7 +305,8 @@ def columnar_smoke_specs(seed=0):
         topologies=(axis("random", n=12, extra=10), axis("ring", n=8)),
         faults=(axis("none"), axis("corrupt", count=1, fraction=0.6)),
         schedules=(axis("sync", storage="columnar"),
-                   axis("locality", storage="columnar")),
+                   axis("locality", storage="columnar"),
+                   axis("independent", storage="columnar")),
         seed=seed,
         completeness_rounds=120,
         max_rounds=4_000,
@@ -247,12 +316,13 @@ def columnar_smoke_specs(seed=0):
 
 def test_scheduler_fastpath(once):
     (quiescent, patrolling, storage, storage_big, memory, bulk,
-     bulk_big) = once(measure)
+     bulk_big, async_bulk, async_bulk_big) = once(measure)
     (q_speedup, p_speedup, s_speedup, c_speedup, cs_big, mem_factor,
-     b_small, b_big, body) = render(
+     b_small, b_big, a_small, a_big, body) = render(
         N, BIG_N, quiescent, patrolling, storage, storage_big, memory,
-        bulk, bulk_big, QUIESCENT_ROUNDS, PATROL_ROUNDS,
-        BIG_PATROL_ROUNDS)
+        bulk, bulk_big, async_bulk, async_bulk_big, QUIESCENT_ROUNDS,
+        PATROL_ROUNDS, BIG_PATROL_ROUNDS, ASYNC_ROUNDS,
+        BIG_ASYNC_ROUNDS)
     assert q_speedup >= 2.0, (quiescent, "fast path must win >= 2x on a "
                               "quiescent 500-node verifier run")
     assert p_speedup >= 0.8, (patrolling, "fast path must not regress "
@@ -273,6 +343,15 @@ def test_scheduler_fastpath(once):
                              "columnar loop >= 1.25x per step")
     assert b_big >= 1.15, (bulk_big, "the bulk plane must hold the win "
                            "at campaign scale")
+    # async fusion: 1.3x measured at n=500 on a quiet machine, ~1.2x at
+    # n=2000; the gates hold the 1.15x repeatable floor (see the body's
+    # shortfall note — the residue is the trains' dynamic pipeline
+    # traffic plus the want handshake's per-node serve cadence)
+    assert a_small >= 1.15, (async_bulk, "conflict-free async fusion "
+                             "must beat the scalar async columnar loop "
+                             ">= 1.15x per step")
+    assert a_big >= 1.15, (async_bulk_big, "conflict-free async fusion "
+                           "must hold the win at campaign scale")
     report("E13", "fast-path scheduler + register file + columnar storage",
            body)
 
@@ -294,12 +373,13 @@ def main(argv=None):
     if args.quick:
         measured = measure(n=120, big_n=240, quiescent_rounds=40,
                            patrol_rounds=8, big_patrol_rounds=6,
-                           repeats=1)
-        *_, body = render(120, 240, *measured, 40, 8, 6)
+                           repeats=1, async_rounds=6, big_async_rounds=4)
+        *_, body = render(120, 240, *measured, 40, 8, 6, 6, 4)
     else:
         measured = measure()
         *_, body = render(N, BIG_N, *measured, QUIESCENT_ROUNDS,
-                          PATROL_ROUNDS, BIG_PATROL_ROUNDS)
+                          PATROL_ROUNDS, BIG_PATROL_ROUNDS,
+                          ASYNC_ROUNDS, BIG_ASYNC_ROUNDS)
     print(body)
     if args.out:
         from repro.engine import CampaignRunner

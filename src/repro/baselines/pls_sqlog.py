@@ -189,30 +189,42 @@ class SqLogPlsProtocol(Protocol):
         if reasons:
             ctx.alarm(reasons[0])
 
+    #: conflict-free asynchronous batches may route here (the body is a
+    #: read-only verdict-cache pass, valid under any interleaving)
+    bulk_conflict_free = True
+
     def bulk_step(self, batch) -> None:
         """Bulk-activation sweep: the whole step is a static verdict
-        check, so a fused batch is one pass over the sentinel-keyed
-        verdict cache with the dispatch hoisted — an accepting batch
-        performs no writes at all, which is what lets the schedulers'
-        quiescence/skip machinery retire it wholesale."""
-        ops = batch.ops
-        if ops is None or not ops.fused or batch.gate is not None or \
-                batch.after is not None or \
-                not getattr(self, "_slot_bound", False):
+        check, so a batch is one pass over the sentinel-keyed verdict
+        cache with the dispatch hoisted — an accepting batch performs
+        no writes at all, which is what lets the schedulers'
+        quiescence/skip machinery retire it wholesale.  The pass drives
+        ``gate``/``after`` strictly interleaved per activation (the
+        always-valid contract), so callback-gated batches — including
+        conflict-free asynchronous ones — take the same cached loop;
+        only undeclared (dict) storage falls back to the generic
+        driver."""
+        if not getattr(self, "_slot_bound", False):
             drive_batch(self.step, batch)
             return
+        gate = batch.gate
+        after = batch.after
         cache = self._check_cache
         cache_get = cache.get
-        for ctx in batch.contexts:
-            sentinel = ctx.stable_sentinel()
-            ent = cache_get(ctx.node)
-            if ent is not None and ent[0] == sentinel:
-                reasons = ent[1]
-            else:
-                reasons = sqlog_check(ctx)
-                cache[ctx.node] = (sentinel, reasons)
-            if reasons:
-                ctx.alarm(reasons[0])
+        for k, ctx in enumerate(batch.contexts):
+            stepped = gate is None or gate(k, ctx)
+            if stepped:
+                sentinel = ctx.stable_sentinel()
+                ent = cache_get(ctx.node)
+                if ent is not None and ent[0] == sentinel:
+                    reasons = ent[1]
+                else:
+                    reasons = sqlog_check(ctx)
+                    cache[ctx.node] = (sentinel, reasons)
+                if reasons:
+                    ctx.alarm(reasons[0])
+            if after is not None and after(k, ctx, stepped):
+                return
 
 
 def sqlog_marker_output(graph: WeightedGraph):

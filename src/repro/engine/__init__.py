@@ -21,7 +21,8 @@ a :class:`CampaignResult`.
 from .campaigns import (adversarial_labeling_matrix,
                         detection_distance_campaign,
                         detection_time_campaign, kmw_sweep_campaign,
-                        memory_campaign, paper_example_campaign,
+                        kmw_tau_trend_campaign, memory_campaign,
+                        paper_example_campaign,
                         partition_census_campaign, smoke_campaign,
                         soundness_completeness_matrix)
 from .differ import DiffConfig, DiffResult, diff_paths, diff_records
@@ -47,7 +48,8 @@ __all__ = [
     "dump_jsonl", "scenario_record",
     "adversarial_labeling_matrix",
     "detection_time_campaign", "detection_distance_campaign",
-    "kmw_sweep_campaign", "memory_campaign", "paper_example_campaign",
+    "kmw_sweep_campaign", "kmw_tau_trend_campaign", "memory_campaign",
+    "paper_example_campaign",
     "partition_census_campaign", "smoke_campaign",
     "soundness_completeness_matrix",
     "DiffConfig", "DiffResult", "diff_paths", "diff_records",

@@ -47,6 +47,10 @@ def diff_main(argv) -> int:
                              "regressions")
     parser.add_argument("--warn-only", action="store_true",
                         help="report regressions but exit 0 (soft gate)")
+    parser.add_argument("--json", metavar="REPORT.json", default=None,
+                        help="also write the diff as machine-readable "
+                             "JSON (regressions/warnings/improvements/"
+                             "membership + ok flag) for CI annotations")
     args = parser.parse_args(argv)
     config = DiffConfig(rounds_tol=args.rounds_tol, mem_tol=args.mem_tol,
                         time_tol=args.time_tol,
@@ -55,6 +59,13 @@ def diff_main(argv) -> int:
                         soft_time=args.soft_time)
     result = diff_paths(args.old, args.new, config)
     print(result.summary())
+    if args.json:
+        import json
+        with open(args.json, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True,
+                      default=str)
+            fh.write("\n")
+        print(f"wrote JSON report to {args.json}")
     if not result.ok and args.warn_only:
         print("(warn-only: regressions reported, exit 0)")
         return 0

@@ -233,6 +233,51 @@ def kmw_sweep_campaign(cells: Sequence[Tuple[int, int, int]]
     return specs
 
 
+#: the default tau-trend cells ``(base_n, base_edges, tau)``: one base
+#: family, growing tau — the instance blow-up the Omega(log n)
+#: comparison-phase bound rides on.
+KMW_TAU_TREND_CELLS = ((8, 10, 1), (8, 10, 2), (8, 10, 3), (8, 10, 4))
+
+
+def kmw_tau_trend_campaign(cells: Sequence[Tuple[int, int, int]]
+                           = KMW_TAU_TREND_CELLS,
+                           seed: int = 0,
+                           storage: str = "columnar",
+                           static_every: int = 4,
+                           max_rounds: int = 200_000
+                           ) -> List[ScenarioSpec]:
+    """Comparison-phase detection time vs ``tau`` on the Section-9
+    subdivided instances: the ``piece_lie`` fault (a lie on a stored
+    piece's claimed minimum weight — the hardest detectable class,
+    invisible to every static check) injected after settling, per
+    growing ``tau``.
+
+    This is the experiment the KMW sweep's scramble cells cannot see:
+    scrambles trip the 1-round static checks, so their detection time
+    is O(1) at every scale, while a piece lie must wait for the trains
+    to rotate the lying piece past a comparison — the detection time
+    that stretches with the subdivided instances' cycle structure
+    (Omega(log n) via the Section-9 reduction).  The subdivided
+    family's verification-safe re-weighting uses lexicographic tuple
+    weights, which :func:`~repro.verification.adversary.heavier_weight`
+    bumps like any other weight.  ``rounds_to_detection`` per tau is
+    the JSONL trend series (join with ``python -m repro.engine diff``).
+    """
+    specs: List[ScenarioSpec] = []
+    for base_n, extra, tau in cells:
+        topo = axis("subdivided", base_n=base_n, extra=extra, tau=tau)
+        specs.append(ScenarioSpec(
+            topology=topo,
+            fault=axis("piece_lie"),
+            schedule=axis("sync", storage=storage),
+            protocol=axis("verifier", static_every=static_every),
+            seed=derive_seed(seed, "kmw-tau", base_n, extra, tau),
+            topology_seed=derive_seed(seed, "kmw-instance", base_n,
+                                      extra, tau),
+            max_rounds=max_rounds))
+    return specs
+
+
 def paper_example_campaign(seed: int = 0,
                            rounds: int = 12) -> List[ScenarioSpec]:
     """The 18-node paper example (Figures 1-3 / Tables 1-2) as

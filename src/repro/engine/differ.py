@@ -27,6 +27,11 @@ on ``key`` + ``seed`` (the stable scenario identity
 (reported, exit 0): the deterministic metrics stay a hard gate while
 the noisy one stays visible — the CI configuration the ROADMAP wants.
 
+``--json REPORT.json`` additionally writes the whole report as
+machine-readable JSON (:meth:`DiffResult.to_dict`) so CI can annotate
+pull requests with the exact regressions without parsing the text
+summary; the exit status is unchanged.
+
 Exit status: 0 when clean (or ``--warn-only``), 1 when any regression
 was found — so CI can gate a commit on the dump of the previous one.
 """
@@ -122,6 +127,24 @@ class DiffResult:
             lines.append(f"  ... and {len(keys) - cap} more "
                          f"{label.strip()}(s)")
         return lines
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable report (``python -m repro.engine diff
+        --json``): everything the text summary carries, as plain JSON
+        types, so CI can annotate PRs without re-parsing text."""
+        def _reg(r: Regression) -> Dict[str, Any]:
+            return {"key": r.key, "seed": r.seed, "metric": r.metric,
+                    "old": r.old, "new": r.new}
+
+        return {
+            "ok": self.ok,
+            "joined": self.joined,
+            "regressions": [_reg(r) for r in self.regressions],
+            "warnings": [_reg(r) for r in self.warnings],
+            "improvements": [_reg(r) for r in self.improvements],
+            "removed": [{"key": k, "seed": s} for k, s in self.missing],
+            "added": [{"key": k, "seed": s} for k, s in self.added],
+        }
 
     def summary(self) -> str:
         lines = [

@@ -11,7 +11,9 @@ a registry in this module:
   plus ``none`` for completeness runs;
 * :data:`SCHEDULES` — the synchronous scheduler or an asynchronous
   daemon (``sync``, ``round_robin``, ``permutation``, ``random``,
-  ``slow_nodes``, ``locality`` — the neighbourhood-batching daemon);
+  ``slow_nodes``, ``locality`` — the neighbourhood-batching daemon —
+  and ``independent`` — the conflict-free daemon whose disjoint
+  closed-neighbourhood batches license asynchronous bulk fusion);
   every schedule accepts the implementation parameter
   ``storage="schema"|"dict"|"columnar"`` selecting the register
   backend;
@@ -44,10 +46,10 @@ from ..graphs.mst_reference import kruskal_mst
 from ..graphs.weighted import NodeId, WeightedGraph
 from ..sim.faults import FaultInjector, detection_distance
 from ..sim.network import Network, Protocol, first_alarm
-from ..sim.schedulers import (AsynchronousScheduler, LocalityBatchDaemon,
-                              PermutationDaemon, RandomDaemon,
-                              RoundRobinDaemon, SlowNodesDaemon,
-                              SynchronousScheduler)
+from ..sim.schedulers import (AsynchronousScheduler, ConflictFreeDaemon,
+                              LocalityBatchDaemon, PermutationDaemon,
+                              RandomDaemon, RoundRobinDaemon,
+                              SlowNodesDaemon, SynchronousScheduler)
 from ..trains.budgets import Budgets, compute_budgets
 from ..trains.comparison import rotation_settled
 from ..verification.adversary import (labels_for_claimed_tree,
@@ -277,12 +279,22 @@ def _make_locality(net, proto, params, seed):
                                  **flags)
 
 
+def _make_independent(net, proto, params, seed):
+    params = dict(params)
+    flags = _async_flags("independent", params)
+    _no_params("independent", params)
+    return AsynchronousScheduler(net, proto,
+                                 ConflictFreeDaemon(net.graph, seed=seed),
+                                 **flags)
+
+
 register_schedule("sync", True, _make_sync)
 register_schedule("round_robin", False, _make_round_robin)
 register_schedule("permutation", False, _make_permutation)
 register_schedule("random", False, _make_random)
 register_schedule("slow_nodes", False, _make_slow_nodes)
 register_schedule("locality", False, _make_locality)
+register_schedule("independent", False, _make_independent)
 
 
 # ---------------------------------------------------------------------------

@@ -11,10 +11,10 @@ from .registers import (KIND_NAT, KIND_OPAQUE, KIND_STR, KIND_TUPLE,
                         RegisterView, bit_size, compile_schema, is_ghost,
                         nat_value, register_bits)
 from .schedulers import (STORAGE_COLUMNAR, STORAGE_DICT, STORAGE_KINDS,
-                         STORAGE_SCHEMA, AsynchronousScheduler, Daemon,
-                         LocalityBatchDaemon, PermutationDaemon,
-                         RandomDaemon, RoundRobinDaemon, SlowNodesDaemon,
-                         SynchronousScheduler)
+                         STORAGE_SCHEMA, AsynchronousScheduler,
+                         ConflictFreeDaemon, Daemon, LocalityBatchDaemon,
+                         PermutationDaemon, RandomDaemon, RoundRobinDaemon,
+                         SlowNodesDaemon, SynchronousScheduler)
 from .faults import FAULT_MARK, FaultInjector, detection_distance
 
 __all__ = [
@@ -26,8 +26,8 @@ __all__ = [
     "CompiledSchema", "RegisterFile", "RegisterSchema", "RegisterView",
     "bit_size", "compile_schema", "is_ghost", "nat_value", "register_bits",
     "STORAGE_COLUMNAR", "STORAGE_DICT", "STORAGE_KINDS", "STORAGE_SCHEMA",
-    "AsynchronousScheduler", "Daemon", "LocalityBatchDaemon",
-    "PermutationDaemon", "RandomDaemon", "RoundRobinDaemon",
-    "SlowNodesDaemon", "SynchronousScheduler",
+    "AsynchronousScheduler", "ConflictFreeDaemon", "Daemon",
+    "LocalityBatchDaemon", "PermutationDaemon", "RandomDaemon",
+    "RoundRobinDaemon", "SlowNodesDaemon", "SynchronousScheduler",
     "FAULT_MARK", "FaultInjector", "detection_distance",
 ]

@@ -40,16 +40,39 @@ The plane has three layers:
   (``tests/test_bulk_plane.py`` proves bulk == scalar on every backend
   under every scheduler kind).
 
-Fusion license: ``batch.ops.fused`` is True only when the scheduler
-guarantees that (a) neighbour reads go to a snapshot (never the live
-store), and (b) the batch cannot be aborted between activations
-(synchronous rounds check ``stop_when`` at round boundaries).  Under
-those two facts, hoisting *own-register* writes of distinct nodes past
-each other is unobservable, so a protocol may run one column sweep for
-the whole batch.  Asynchronous batches run live with activation-granular
-stop conditions, so they never license fusion — they still benefit from
-the plane's per-batch caches and from the locality daemon's amortized
-skip.
+Fusion licenses: ``batch.ops.fused`` is True only when the scheduler
+guarantees that (a) no activation of the batch can observe a
+batchmate's write, and (b) the batch cannot be aborted between
+activations.  Under those two facts, hoisting *own-register* writes of
+distinct nodes past each other is unobservable, so a protocol may run
+one column sweep for the whole batch.  Two schedules grant it:
+
+* **synchronous rounds** — neighbour reads go to a snapshot (never the
+  live store) and ``stop_when`` is checked at round boundaries; the
+  batch carries no callbacks (PR 4's license);
+* **conflict-free asynchronous batches** (``batch.conflict_free``) — a
+  daemon such as :class:`~repro.sim.schedulers.ConflictFreeDaemon`
+  *pre-declares* that the batch's activated nodes have pairwise
+  disjoint closed neighbourhoods, so even *live* reads (each activation
+  reads exactly N[v]) cannot observe a batchmate's own-register write,
+  and the scheduler resolves stop conditions at batch boundaries (a
+  conflict-free batch models the distributed daemon's *simultaneous*
+  activation of an independent set — checking a stop "between" two
+  indistinguishable orderings is meaningless).  Such batches carry the
+  scheduler's ``gate``/``after`` callbacks, but the same disjointness
+  makes them **commute** across the batch: a gate reads only the
+  scheduler's per-node tracking of N[v] and an after writes only node
+  v's, so a fused implementation may run *all* gates first, one fused
+  sweep over the gated survivors, then *all* afters in activation order
+  — exactly what :func:`~repro.verification.verifier.
+  fused_verifier_sweep` does.  The after of a conflict-free batch never
+  aborts (the scheduler checks ``stop_when`` once per batch), so the
+  hoisted writes of later activations are never observably premature.
+
+Other asynchronous batches (the locality daemon's overlapping closed
+neighbourhoods) run live with activation-granular stop conditions, so
+they never license fusion — they still benefit from the plane's
+per-batch caches and from the locality daemon's amortized skip.
 """
 
 from __future__ import annotations
@@ -72,6 +95,16 @@ GateFn = Callable[[int, Any], bool]
 #: :func:`drive_batch` does.  Batching all gates up front (e.g. to
 #: precompute a skip set) hands every ``after`` the final gate's tick
 #: and silently corrupts the dirty-aware skip accounting.
+#:
+#: Exception: a batch carrying the ``conflict_free`` license may be
+#: driven gates-first / sweep / afters-last.  Batchmates with pairwise
+#: disjoint closed neighbourhoods never appear in each other's skip
+#: scope, so no gate reads what a batchmate's after wrote; and because
+#: the scheduler's activations of one batch are contiguous in tick
+#: order, collapsing the batch's recorded ticks onto the final gate's
+#: tick preserves every cross-batch ``changed_at``/``stepped_at``
+#: comparison (any other node's tick lies strictly before or strictly
+#: after the whole batch).
 AfterFn = Callable[[int, Any, bool], bool]
 
 
@@ -85,22 +118,31 @@ class BulkBatch:
     wrote every node of the batch sets ``wrote_all`` so the scheduler
     can mark the whole batch dirty in one pass instead of consuming
     per-context ``wrote`` flags.
+
+    ``conflict_free`` is the asynchronous fusion license (see the
+    module docstring): the issuing scheduler vouches that the batch's
+    activated nodes have pairwise disjoint closed neighbourhoods, that
+    its ``after`` never aborts mid-batch, and that ``gate``/``after``
+    commute across the batch — so a protocol may fuse the batch's
+    own-register column sweeps even though neighbour reads are live.
     """
 
     __slots__ = ("contexts", "indices", "ops", "gate", "after",
-                 "wrote_all")
+                 "wrote_all", "conflict_free")
 
     def __init__(self, contexts: List[Any],
                  indices: Optional[List[int]] = None,
                  ops: Optional["ColumnarBulkOps"] = None,
                  gate: Optional[GateFn] = None,
-                 after: Optional[AfterFn] = None) -> None:
+                 after: Optional[AfterFn] = None,
+                 conflict_free: bool = False) -> None:
         self.contexts = contexts
         self.indices = indices
         self.ops = ops
         self.gate = gate
         self.after = after
         self.wrote_all = False
+        self.conflict_free = conflict_free
 
 
 def drive_batch(step: Callable[[Any], None], batch: BulkBatch) -> None:
@@ -130,16 +172,21 @@ class ColumnarBulkOps:
 
     Handed to protocols by the *synchronous* schedulers on columnar
     storage (``fused=True``: neighbour reads come from ``snap``, the
-    batch cannot abort mid-round).  The per-value semantics of every
-    primitive replicate the scalar context API exactly — including
-    sentinel encodings, boxed-overflow junk, and stable-version
-    bookkeeping — so fusing is a pure reordering of own-register writes.
+    batch cannot abort mid-round), and by the asynchronous scheduler
+    with ``snap=None`` (so ``snap is store``: reads are live) on
+    batches carrying the ``conflict_free`` license — the only
+    asynchronous batches that may fuse.  The per-value semantics of
+    every primitive replicate the scalar context API exactly —
+    including sentinel encodings, boxed-overflow junk, and
+    stable-version bookkeeping — so fusing is a pure reordering of
+    own-register writes.
     """
 
     __slots__ = ("store", "snap")
 
-    #: fusion license (see module docstring); the asynchronous scheduler
-    #: never passes ops, so live batches cannot fuse by construction.
+    #: fusion license (see module docstring); the asynchronous
+    #: scheduler passes ops only on conflict-free batches, so an
+    #: unlicensed live batch cannot fuse by construction.
     fused = True
 
     def __init__(self, store, snap=None) -> None:

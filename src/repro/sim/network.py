@@ -551,15 +551,23 @@ class Protocol:
     bulk_step = None
 
     #: whether ``bulk_step`` is worth calling on *live* multi-node
-    #: batches (asynchronous daemons).  Live batches never license
-    #: fusion — activation-granular stops and live neighbour reads
+    #: batches (asynchronous daemons).  Unlicensed live batches never
+    #: fuse — activation-granular stops and live neighbour reads
     #: forbid write hoisting — so routing them through the per-node
     #: fallback driver is pure callback overhead unless the protocol
     #: has a genuinely batched live path; the asynchronous scheduler
-    #: only routes batches when this is True.  (The routing machinery
-    #: is fully implemented and tested — a conflict-free batching
-    #: daemon can license async fusion later; see ROADMAP.)
+    #: only routes such batches when this is True.
     bulk_live = False
+
+    #: whether ``bulk_step`` can fuse batches carrying the
+    #: ``conflict_free`` license (:class:`~repro.sim.schedulers.
+    #: ConflictFreeDaemon` batches: pairwise disjoint closed
+    #: neighbourhoods, batch-granular stops).  The asynchronous
+    #: scheduler routes conflict-free daemon batches — with live fused
+    #: column ops — only to protocols declaring this; a declaring
+    #: ``bulk_step`` must handle ``batch.conflict_free`` batches per
+    #: the commuting gate/after contract in :mod:`repro.sim.bulk`.
+    bulk_conflict_free = False
 
     def register_schema(self) -> Optional[RegisterSchema]:
         """The protocol's register declaration (None: undeclared)."""

@@ -30,9 +30,14 @@ schedulers route activation batches through it instead of stepping node
 by node — the synchronous scheduler hands over whole rounds of active
 nodes (with fused column ops licensed on columnar storage), the
 asynchronous scheduler every multi-node daemon batch (skip logic and
-accounting threaded through the batch callbacks).  ``bulk=False`` keeps
-the scalar loops; both modes are bit-for-bit equivalent
-(``tests/test_bulk_plane.py``).  See :mod:`repro.sim.bulk`.
+accounting threaded through the batch callbacks).  Asynchronous batches
+fuse only under the *conflict-free license*: a
+:class:`ConflictFreeDaemon` batch activates nodes with pairwise
+disjoint closed neighbourhoods, so live reads cannot observe a
+batchmate's write and the columnar kernels run off the
+synchronous-only path.  ``bulk=False`` keeps the scalar loops; both
+modes are bit-for-bit equivalent (``tests/test_bulk_plane.py``).  See
+:mod:`repro.sim.bulk`.
 """
 
 from __future__ import annotations
@@ -606,12 +611,18 @@ class LocalityBatchDaemon(Daemon):
 
     Fairness: every node is its own center once per sweep, so every
     node is activated at least once per sweep regardless of topology.
+
+    The closed-neighbourhood lists depend only on the static topology,
+    so they are computed once per daemon and memoized; each sweep only
+    re-permutes the centers.
     """
 
     def __init__(self, graph, seed: int = 0) -> None:
         self.graph = graph
         self.rng = random.Random(seed)
         self._centers: List[NodeId] = []
+        #: center -> closed neighbourhood, memoized (static topology)
+        self._closed: Dict[NodeId, List[NodeId]] = {}
         #: batches issued (one closed neighbourhood each)
         self.batches = 0
 
@@ -621,7 +632,107 @@ class LocalityBatchDaemon(Daemon):
             self.rng.shuffle(self._centers)
         center = self._centers.pop()
         self.batches += 1
-        return [center] + self.graph.neighbors(center)
+        batch = self._closed.get(center)
+        if batch is None:
+            batch = self._closed[center] = \
+                [center] + self.graph.neighbors(center)
+        return batch
+
+
+class ConflictFreeDaemon(Daemon):
+    """Conflict-free batching: each batch activates a set of nodes with
+    **pairwise disjoint closed neighbourhoods** (an independent set of
+    the square graph G² — no two batch members within distance 2), and
+    each sweep covers every node exactly once with a greedy
+    maximal-independent-set cover built from a fresh random permutation
+    (fair on any topology, like the locality daemon's centers).
+
+    The point is the *license*: an activated node reads exactly its
+    closed neighbourhood N[v] and writes only its own registers, so
+    inside a batch with pairwise disjoint N[v] no activation can
+    observe a batchmate's write — live executions of the batch members
+    in any order (or fused into one column sweep) are indistinguishable
+    from the sequential one.  The daemon therefore *pre-declares* the
+    batch conflict-free, and the asynchronous scheduler stamps the
+    ``conflict_free`` license onto each
+    :class:`~repro.sim.bulk.BulkBatch`, which is what lets the fused
+    columnar kernels of the bulk plane run off the synchronous-only
+    path (see :mod:`repro.sim.bulk`).
+
+    Semantics: a conflict-free batch models the distributed daemon
+    activating a whole independent set *simultaneously*; the scheduler
+    accordingly resolves stop conditions at batch boundaries (exactly
+    as synchronous rounds resolve them at round boundaries) — for every
+    storage backend and for the scalar loop too, so ``bulk`` stays an
+    implementation-only flag under this daemon.
+
+    The closed neighbourhoods are computed once per daemon (static
+    topology); each sweep only re-permutes the nodes and re-runs the
+    greedy first-fit cover over them.
+    """
+
+    #: schedulers read this to grant the conflict-free license
+    conflict_free = True
+
+    def __init__(self, graph, seed: int = 0) -> None:
+        self.graph = graph
+        self.rng = random.Random(seed)
+        #: the current sweep's remaining batches (reversed: pop() serves
+        #: them in cover order)
+        self._queue: List[List[NodeId]] = []
+        #: node -> distance-<=2 ball (the G² closed neighbourhood),
+        #: as dense indices — computed once (static topology)
+        self._ball2: Optional[List[List[int]]] = None
+        self._order: Optional[Dict[NodeId, int]] = None
+        #: batches issued / sweeps started (accounting)
+        self.batches = 0
+        self.sweeps = 0
+
+    def _balls(self, nodes: Sequence[NodeId]):
+        """Dense-indexed distance-2 balls, built once per daemon: two
+        nodes are G²-adjacent (closed neighbourhoods intersect) iff one
+        lies in the other's ball."""
+        if self._ball2 is None:
+            graph = self.graph
+            order = self._order = {v: k for k, v in enumerate(nodes)}
+            ball2 = self._ball2 = []
+            for v in nodes:
+                ball: set = {v}
+                for u in graph.neighbors(v):
+                    ball.add(u)
+                    ball.update(graph.neighbors(u))
+                ball2.append([order[w] for w in ball])
+        return self._ball2, self._order
+
+    def _cover(self, nodes: Sequence[NodeId]) -> List[List[NodeId]]:
+        """Greedy first-fit cover of ``nodes`` by G²-independent sets,
+        scanned in a fresh random order: a node joins the first batch
+        containing no other node within distance 2.  Per-node bitmasks
+        of blocked batches make a sweep O(sum |ball2(v)|) int ops."""
+        ball2, order = self._balls(nodes)
+        perm = list(nodes)
+        self.rng.shuffle(perm)
+        batches: List[List[NodeId]] = []
+        blocked = [0] * len(perm)    # per node: bitmask of unfit batches
+        for v in perm:
+            k = order[v]
+            m = blocked[k]
+            b = (~m & (m + 1)).bit_length() - 1   # lowest clear bit
+            if b == len(batches):
+                batches.append([v])
+            else:
+                batches[b].append(v)
+            bit = 1 << b
+            for w in ball2[k]:
+                blocked[w] |= bit
+        return batches
+
+    def next_batch(self, nodes: Sequence[NodeId]) -> List[NodeId]:
+        if not self._queue:
+            self._queue = self._cover(nodes)[::-1]
+            self.sweeps += 1
+        self.batches += 1
+        return self._queue.pop()
 
 
 class SlowNodesDaemon(Daemon):
@@ -683,17 +794,25 @@ class AsynchronousScheduler:
         self._initialized = False
         self.dirty_aware = bool(dirty_aware) and (
             type(protocol).on_round_end is Protocol.on_round_end)
-        #: bulk-activation plane: multi-node daemon batches (the
-        #: locality daemon's closed neighbourhoods) go to the protocol's
-        #: declared ``bulk_step``; skip logic and accounting stay here,
-        #: threaded through the batch callbacks.  Live batches carry no
-        #: fused ops — activation-granular stop conditions forbid
-        #: cross-node write hoisting — so the route engages only for
-        #: protocols that declare ``bulk_live`` (otherwise it would be
-        #: pure per-activation callback overhead on the skip-heavy hot
-        #: path).
+        #: bulk-activation plane: multi-node daemon batches go to the
+        #: protocol's declared ``bulk_step``; skip logic and accounting
+        #: stay here, threaded through the batch callbacks.  Unlicensed
+        #: live batches carry no fused ops — activation-granular stop
+        #: conditions forbid cross-node write hoisting — so that route
+        #: engages only for protocols that declare ``bulk_live``
+        #: (otherwise it would be pure per-activation callback overhead
+        #: on the skip-heavy hot path).  A *conflict-free* daemon
+        #: (:class:`ConflictFreeDaemon`) changes the license: its
+        #: batches have pairwise disjoint closed neighbourhoods and
+        #: batch-granular stops, so on columnar storage they are routed
+        #: with live fused column ops and the ``conflict_free`` stamp
+        #: to protocols declaring ``bulk_conflict_free``.
         self._bulk_step = protocol.bulk_step \
             if bulk and getattr(protocol, "bulk_live", False) else None
+        self._bulk_cf = protocol.bulk_step \
+            if bulk and getattr(protocol, "bulk_conflict_free", False) \
+            else None
+        self._live_ops = None
         self._storage = _storage_mode(storage, use_schema)
         self._compiled = _bind_storage(network, protocol, self._storage)
 
@@ -741,7 +860,9 @@ class AsynchronousScheduler:
             stop_when: Optional[StopCondition] = None,
             max_activations: Optional[int] = None) -> int:
         """Run until ``max_rounds`` asynchronous rounds complete (or the
-        stop condition fires, checked at activation granularity).  Returns
+        stop condition fires — checked at activation granularity, except
+        under a conflict-free daemon, whose batches model simultaneous
+        activations and resolve stops at batch boundaries).  Returns
         the number of asynchronous rounds completed."""
         _ensure_binding(self.protocol, self._compiled)
         self._compiled = _ensure_storage(self.network, self.protocol,
@@ -767,6 +888,19 @@ class AsynchronousScheduler:
             max_rounds * len(nodes) * 4 + 64)
         bulk_step = self._bulk_step
         stopped = False
+        # conflict-free daemons: batches are simultaneous activations,
+        # so stop conditions resolve at batch boundaries (for every
+        # storage and for the scalar loop alike — the semantics belong
+        # to the daemon, not to the bulk flag), and on columnar storage
+        # the batches route to ``bulk_step`` with live fused ops under
+        # the ``conflict_free`` license.
+        batch_stop = getattr(self.daemon, "conflict_free", False)
+        cf_step = self._bulk_cf if (batch_stop and columnar) else None
+        if cf_step is not None:
+            store = network.columns
+            cf_ops = self._live_ops
+            if cf_ops is None or cf_ops.store is not store:
+                cf_ops = self._live_ops = ColumnarBulkOps(store)
 
         # bulk-plane callbacks: the exact per-activation semantics of the
         # scalar loop below (skip check + write-tracker setup in ``gate``,
@@ -817,17 +951,31 @@ class AsynchronousScheduler:
                 self.rounds += 1
                 self._covered = set()
                 self.protocol.on_round_end(self.network, self.rounds)
-            if stop_when is not None and stop_when(self.network):
+            if not batch_stop and stop_when is not None and \
+                    stop_when(self.network):
                 stopped = True
                 return True
             return False
 
         while self.rounds - start_rounds < max_rounds and budget > 0:
             batch_nodes = self.daemon.next_batch(nodes)
-            if bulk_step is not None and len(batch_nodes) > 1:
+            multi = len(batch_nodes) > 1
+            if multi and cf_step is not None:
+                # the conflict-free license: live fused column ops,
+                # commuting gate/after, stop at the batch boundary
+                cf_step(BulkBatch([contexts[v] for v in batch_nodes],
+                                  None, cf_ops, gate=gate, after=after,
+                                  conflict_free=True))
+                if stop_when is not None and stop_when(network):
+                    return self.rounds - start_rounds
+                continue
+            if bulk_step is not None and multi:
                 bulk_step(BulkBatch([contexts[v] for v in batch_nodes],
                                     gate=gate, after=after))
                 if stopped:
+                    return self.rounds - start_rounds
+                if batch_stop and stop_when is not None and \
+                        stop_when(network):
                     return self.rounds - start_rounds
                 continue
             for v in batch_nodes:
@@ -872,7 +1020,13 @@ class AsynchronousScheduler:
                     self.protocol.on_round_end(self.network, self.rounds)
                 # activation granularity: a daemon handing out multi-node
                 # batches must not delay the stop past the activation that
-                # made it true.
-                if stop_when is not None and stop_when(self.network):
+                # made it true (conflict-free daemons excepted: their
+                # batches are simultaneous, so the stop resolves below at
+                # the batch boundary).
+                if not batch_stop and stop_when is not None and \
+                        stop_when(self.network):
                     return self.rounds - start_rounds
+            if batch_stop and stop_when is not None and \
+                    stop_when(self.network):
+                return self.rounds - start_rounds
         return self.rounds - start_rounds

@@ -645,3 +645,293 @@ class ComparisonComponent:
             return alarms
 
         return fused
+
+    def make_bulk_want(self, ops):
+        """A column-fused variant of :meth:`step` for the asynchronous
+        Want mode, for the bulk plane — the kernel that takes the
+        comparison mechanism off the synchronous-only fused path.
+
+        Same shape as :meth:`make_bulk_sync`, generalized to gather
+        from whatever column store the ops designate: under the
+        synchronous fusion license ``ops.snap`` is the round snapshot;
+        under the asynchronous *conflict-free* license the scheduler
+        passes ``snap=store``, so the very same closure reads
+        neighbours live — which the license makes unobservable (no
+        batchmate is within the closed-neighbourhood radius).  The hot
+        serve-one body (neighbour J-mask, displayed-piece lookup
+        through the shared decode memo, the ``Want`` filing and service
+        watchdog) is inlined to direct column indexing; the infrequent
+        transitions (acquire, advance, candidate lookup) stay on the
+        scalar helpers.  Same control flow, same junk coercions, same
+        writes in the same order as :meth:`step`; write-tracking
+        contract as in :meth:`TrainComponent.make_bulk_step`.  Returns
+        None unless the mode is ``want`` (the serialized
+        ``want-simple`` ablation stays scalar) and the layout is the
+        expected columnar one.
+        """
+        if self.mode != MODE_WANT or \
+                not getattr(ops, "fused", False) or \
+                type(self.h_ask) is not int:
+            return None
+        store = ops.store
+        snap = ops.snap
+        data = store.data
+        sdata = snap.data
+        h_ask, h_wd, h_want = self.h_ask, self.h_wd, self.h_want
+        h_nbr, h_svc = self.h_nbr, self.h_svc
+        h_jmask = self.h_jmask
+        h_tb, h_bb = self.top.h_bbuf, self.bottom.h_bbuf
+        stable = store.schema.stable_mask
+        if type(data[h_ask]) is not PoolColumn or \
+                type(data[h_want]) is not PoolColumn or \
+                any(type(data[h]) is not array
+                    for h in (h_wd, h_nbr, h_svc)) or \
+                type(sdata[h_jmask]) is not array or \
+                any(type(sdata[h]) is not PoolColumn
+                    for h in (h_tb, h_bb)) or \
+                any(stable[h] for h in (h_ask, h_want, h_wd, h_nbr,
+                                        h_svc)):
+            return None
+        ask_col, want_col, wd_col = data[h_ask], data[h_want], data[h_wd]
+        nbr_col, svc_col = data[h_nbr], data[h_svc]
+        s_jmask, s_tb, s_bb = sdata[h_jmask], sdata[h_tb], sdata[h_bb]
+        pool = store.pool_values
+        overflow = store.overflow
+        soverflow = snap.overflow
+        none_decode = store.none_decode  # shared with the snapshot
+        memos = store.decode_memo        # shared with the snapshot
+        memo_for = store.memo_for
+        intern = store.intern
+        dc = store.dirty_cols
+        cache = self._label_cache
+        w_wd = store.make_nat_writer(h_wd)
+        w_nbr = store.make_nat_writer(h_nbr)
+        w_svc = store.make_nat_writer(h_svc)
+        #: per-node neighbour-weight maps (static topology; see
+        #: make_bulk_sync)
+        weight_maps: dict = {}
+        MISS = self._MISS
+
+        def _w_want(i, val):
+            # the pooled branch of ctx.set for the Want register (a
+            # well-formed (server, level) tuple or None — both
+            # internable, so no unhashable branch is needed here)
+            ovf = overflow[h_want]
+            if ovf:
+                ovf.pop(i, None)
+            want_col[i] = NONE_S if val is None else intern(val)
+            dc[h_want] = 1
+
+        def _obs_at(j, s_col, h, level):
+            # _neighbor_piece's per-train half: u's displayed piece at
+            # ``level``, through the shared per-pool-id decode memo
+            v = s_col[j]
+            if v >= 0:
+                m = memos[h]
+                try:
+                    d = m[v]
+                except (TypeError, IndexError):
+                    d = NO_DECODE
+                if d is NO_DECODE:
+                    d = decode_observation(pool[v])
+                    memo_for(h, v)[v] = d
+            elif v == BOX_S:
+                d = decode_observation(soverflow[h][j])
+            else:
+                d = none_decode[h]
+                if d is NO_DECODE:
+                    d = none_decode[h] = decode_observation(None)
+            if d is not None and d.flag and d.piece[1] == level:
+                return d
+            return None
+
+        def fused(ctx, budgets, sentinel):
+            i = ctx._i
+            node = ctx.node
+            ent = cache.get(node)
+            if ent is None or ent[0] != sentinel:
+                ent = (sentinel, self._levels(ctx), {})
+                cache[node] = ent
+            levels = ent[1]
+            cands = ent[2]
+            self._cur_cands = cands
+            alarms: List[str] = []
+            if not levels:
+                return alarms
+            v = wd_col[i]
+            wd = (v if 0 <= v <= _NAT_CAP else 0) + 1
+            w_wd(i, wd)
+            if wd > budgets.ask_alarm:
+                alarms.append("ask: no comparison progress within budget")
+                w_wd(i, 0)
+            v = ask_col[i]
+            ask = pool[v] if v > SENT_CEIL else (
+                overflow[h_ask][i] if v == BOX_S else None)
+            if ask is not None and not valid_piece(ask):
+                ovf = overflow[h_ask]
+                if ovf:
+                    ovf.pop(i, None)
+                ask_col[i] = NONE_S
+                dc[h_ask] = 1
+                ask = None
+            if ask is None:
+                self._try_acquire(ctx, levels, budgets, alarms)
+                return alarms
+            # -- _async_serve_one, inlined ------------------------------
+            z, level, weight = ask
+            nbrs = ctx.neighbors
+            v = nbr_col[i]
+            idx = v if 0 < v <= _NAT_CAP else 0
+            if idx >= len(nbrs):
+                self._advance(ctx, levels)
+                return alarms
+            u = nbrs[idx]
+            j = ctx._nbr_idx[idx]
+            v = s_jmask[j]
+            obs = None
+            if 0 <= v <= _NAT_CAP and v & (1 << level):
+                # u claims the level: look for its displayed piece
+                obs = _obs_at(j, s_tb, h_tb, level) or \
+                    _obs_at(j, s_bb, h_bb, level)
+                if obs is None:
+                    # no event yet: file the Want, bump the service
+                    # watchdog, alarm on a starving server
+                    _w_want(i, (u, level))
+                    v = svc_col[i]
+                    svc = (v if 0 <= v <= _NAT_CAP else 0) + 1
+                    w_svc(i, svc)
+                    if svc > budgets.service:
+                        alarms.append("WANT: server never displayed the "
+                                      "requested piece")
+                        _w_want(i, None)
+                        w_nbr(i, idx + 1)
+                        w_svc(i, 0)
+                    return alarms
+            # the event E(v, u, level): _compare_with, inlined
+            u0 = cands.get(level, MISS)
+            if u0 is MISS:
+                u0 = self._candidate_neighbor_uncached(ctx, level)
+                cands[level] = u0
+            if obs is not None and obs.piece[0] == z:
+                if tuple(obs.piece) != tuple(ask):
+                    alarms.append("AGREE: same fragment, different piece "
+                                  "(Claim 8.3)")
+                if u0 == u:
+                    alarms.append("C1: candidate edge is internal to its "
+                                  "fragment")
+            else:
+                # u outside the fragment (or outside the level):
+                # _outgoing_checks
+                wmap = weight_maps.get(node)
+                if wmap is None:
+                    wmap = weight_maps[node] = {
+                        w: ctx.weight(w) for w in nbrs}
+                if weight is None:
+                    alarms.append("C2: the whole-tree fragment has an "
+                                  "outgoing edge")
+                else:
+                    try:
+                        violated = wmap[u] < weight
+                    except TypeError:
+                        alarms.append("C2: incomparable weights in piece")
+                        violated = False
+                    if violated:
+                        alarms.append("C2: outgoing edge lighter than "
+                                      "the claimed minimum")
+            if obs is not None:
+                _w_want(i, None)
+            w_nbr(i, idx + 1)
+            w_svc(i, 0)
+            return alarms
+
+        return fused
+
+    def make_bulk_held(self, ops):
+        """A column-fused :meth:`held_levels` for the Want mode — the
+        per-activation scan every verifier step performs before its
+        trains move (which neighbours filed a Want for a piece this
+        node currently displays).  Own broadcast slots decode through
+        the shared per-pool-id memo; the neighbours' ``Want`` registers
+        gather straight off the designated column store (the round
+        snapshot under the synchronous ablation, the live columns under
+        the conflict-free asynchronous license).  Exact transcription
+        of the scalar scan; returns None unless the mode is ``want``
+        and the layout is the expected columnar one.
+        """
+        if self.mode != MODE_WANT or \
+                not getattr(ops, "fused", False) or \
+                type(self.h_want) is not int:
+            return None
+        store = ops.store
+        snap = ops.snap
+        data = store.data
+        sdata = snap.data
+        h_want = self.h_want
+        h_tb, h_bb = self.top.h_bbuf, self.bottom.h_bbuf
+        if type(sdata[h_want]) is not PoolColumn or \
+                any(type(data[h]) is not PoolColumn for h in (h_tb, h_bb)):
+            return None
+        s_want = sdata[h_want]
+        tb_col, bb_col = data[h_tb], data[h_bb]
+        pool = store.pool_values
+        overflow = store.overflow
+        soverflow = snap.overflow
+        none_decode = store.none_decode
+        memos = store.decode_memo
+        memo_for = store.memo_for
+
+        def held(ctx):
+            # scan the neighbours' Want column first: a node is asked
+            # to hold only when some neighbour's request names it, and
+            # most activations find none — skipping the own-show
+            # decodes entirely.  held_x = lvl iff (some neighbour wants
+            # (me, lvl)) and (train x's own show is flagged at lvl) —
+            # the same conjunction the scalar scan evaluates, with the
+            # quantifiers commuted.
+            i = ctx._i
+            me = ctx.node
+            wanted = None
+            for j in ctx._nbr_idx:
+                v2 = s_want[j]
+                want = pool[v2] if v2 > SENT_CEIL else (
+                    soverflow[h_want][j] if v2 == BOX_S else None)
+                if isinstance(want, tuple) and len(want) == 2 and \
+                        want[0] == me:
+                    # a list, not a set: an adversarial want level may
+                    # be unhashable, and ``in`` must compare with ==
+                    # exactly like the scalar scan
+                    if wanted is None:
+                        wanted = [want[1]]
+                    else:
+                        wanted.append(want[1])
+            if wanted is None:
+                return (None, None)
+            held_top = held_bot = None
+            for col, h, attr in ((tb_col, h_tb, 0), (bb_col, h_bb, 1)):
+                v = col[i]
+                if v >= 0:
+                    m = memos[h]
+                    try:
+                        show = m[v]
+                    except (TypeError, IndexError):
+                        show = NO_DECODE
+                    if show is NO_DECODE:
+                        show = decode_observation(pool[v])
+                        memo_for(h, v)[v] = show
+                elif v == BOX_S:
+                    show = decode_observation(overflow[h][i])
+                else:
+                    show = none_decode[h]
+                    if show is NO_DECODE:
+                        show = none_decode[h] = decode_observation(None)
+                if show is None or not show.flag:
+                    continue
+                lvl = show.piece[1]
+                if lvl in wanted:
+                    if attr == 0:
+                        held_top = lvl
+                    else:
+                        held_bot = lvl
+            return (held_top, held_bot)
+
+        return held

@@ -87,6 +87,19 @@ def swap_one_mst_edge(graph: WeightedGraph,
     return None
 
 
+def heavier_weight(w: Any) -> Any:
+    """A strictly heavier weight comparable with ``w`` under the
+    graph's total order.  Numeric weights bump by one; the
+    lexicographic tuple weights of :mod:`repro.graphs.weights` (the
+    Section-9 subdivided instances use them) gain a suffix, which makes
+    the tuple strictly greater while staying comparable; ``None`` (a
+    whole-tree fragment claiming no outgoing edge) becomes the lightest
+    concrete claim."""
+    if isinstance(w, tuple):
+        return w + (1,)
+    return (w or 0) + 1
+
+
 def lie_about_used_piece(network, injector) -> None:
     """Increase the claimed minimum-outgoing weight of a stored piece
     whose fragment is guaranteed to be observed — the hardest detectable
@@ -107,6 +120,7 @@ def lie_about_used_piece(network, injector) -> None:
             if pieces:
                 z, lvl, w = pieces[0]
                 injector.corrupt_register(
-                    v, reg, ((z, lvl, (w or 0) + 1),) + tuple(pieces[1:]))
+                    v, reg,
+                    ((z, lvl, heavier_weight(w)),) + tuple(pieces[1:]))
                 return
     raise LookupError("no stored piece found to corrupt")

@@ -260,15 +260,21 @@ class HybridVerifierProtocol(Protocol):
         if alarms:
             ctx.alarm(alarms[0])
 
+    #: conflict-free asynchronous batches may fuse (see repro.sim.bulk)
+    bulk_conflict_free = True
+
     def bulk_step(self, batch) -> None:
         """Bulk-activation sweep: the shared fused verifier sweep with
         only the Top train (bottom levels verify inside the static
-        phase via the replicated pieces); see
+        phase via the replicated pieces), fused under either license —
+        synchronous columnar rounds or conflict-free asynchronous
+        batches; see
         :func:`repro.verification.verifier.fused_verifier_sweep` for
-        the fusion license and equivalence contract."""
+        the fusion licenses and equivalence contract."""
         ops = batch.ops
-        if ops is None or not ops.fused or batch.gate is not None \
-                or batch.after is not None:
+        if ops is None or not ops.fused or (
+                not batch.conflict_free and
+                (batch.gate is not None or batch.after is not None)):
             drive_batch(self.step, batch)
             return
         fused_verifier_sweep(self, batch, (self.top,), self.comparison)

@@ -53,12 +53,13 @@ def fused_verifier_sweep(proto, batch, trains, comparison) -> None:
     verifier passes both trains, the hybrid only Top — one driver so
     the two sweeps cannot drift apart).
 
-    With fused column ops licensed (synchronous round on columnar
-    storage), the step counters of the whole batch advance in one
-    ``array('q')`` sweep, the budget ghost registers are gathered once
-    per batch, and the per-node bodies run with the dispatch layers
-    hoisted out of the loop: column-fused train and comparison steps
-    (:meth:`TrainComponent.make_bulk_step
+    With fused column ops licensed — a synchronous round on columnar
+    storage, or an asynchronous conflict-free batch (live columns,
+    ``batch.conflict_free``) — the step counters of the whole batch
+    advance in one ``array('q')`` sweep, the budget ghost registers are
+    gathered once per batch, and the per-node bodies run with the
+    dispatch layers hoisted out of the loop: column-fused train and
+    comparison steps (:meth:`TrainComponent.make_bulk_step
     <repro.trains.train.TrainComponent.make_bulk_step>`,
     :meth:`ComparisonComponent.make_bulk_sync
     <repro.trains.comparison.ComparisonComponent.make_bulk_sync>`, with
@@ -68,15 +69,20 @@ def fused_verifier_sweep(proto, batch, trains, comparison) -> None:
     order statics > trains in order > comparison — so the sweep is
     bit-for-bit equivalent (``tests/test_bulk_plane.py``).
 
+    Conflict-free batches arrive with the scheduler's ``gate``/``after``
+    callbacks, which the license makes commute across the batch (see
+    :mod:`repro.sim.bulk`): the sweep runs every gate first, fuses over
+    the gated survivors only (a skipped activation must not advance its
+    step counter), sets each survivor's ``wrote`` flag (every stepped
+    activation writes at least its counter — exactly the scalar
+    outcome), and then runs every after in activation order.
+
     ``proto`` must carry the verifier-shaped surface: ``h_vstep``,
     ``h_bgt``, ``static_every``, ``_static_alarms``, ``budgets_for``,
     and the ``_fused`` closure cache (reset by ``bind_registers``).
     """
     ops = batch.ops
     contexts = batch.contexts
-    step_nos = ops.inc_nat(batch, proto.h_vstep)
-    batch.wrote_all = True
-    bgts = ops.gather(batch, proto.h_bgt)
     se = proto.static_every
     statics = proto._static_alarms
     budgets_for = proto.budgets_for
@@ -88,41 +94,88 @@ def fused_verifier_sweep(proto, batch, trains, comparison) -> None:
                                                     sentinel=s))
             for train, f in ((t, t.make_bulk_step(ops)) for t in trains))
         cmp_fused = comparison.make_bulk_sync(ops)
+        if cmp_fused is None:
+            cmp_fused = comparison.make_bulk_want(ops)
         comp_step = cmp_fused if cmp_fused is not None \
             else comparison.step
-        fused = proto._fused = (ops, steps, comp_step)
-    _, train_steps, comp_step = fused
+        held_fused = comparison.make_bulk_held(ops)
+        held = held_fused if held_fused is not None \
+            else comparison.held_levels
+        fused = proto._fused = (ops, steps, comp_step, held)
+    _, train_steps, comp_step, held = fused
     sync_window = comparison.mode == MODE_SYNC_WINDOW
-    held = comparison.held_levels
-    serve = comparison.serve_turn
-    for k, ctx in enumerate(contexts):
-        step_no = step_nos[k]
-        sentinel = ctx.stable_sentinel()
-        first = statics(ctx, sentinel) if step_no % se == 0 else None
-        cached = bgts[k]
-        if isinstance(cached, tuple) and len(cached) == 2 and \
-                isinstance(cached[1], Budgets) and \
-                step_no - cached[0] < 32:
-            budgets = cached[1]
-        else:
-            budgets = budgets_for(ctx, sentinel, step_no)
-        if sync_window:
-            for tr_step in train_steps:
-                a = tr_step(ctx, budgets, False, sentinel)
+    # serve_turn acts only in the serialized want-simple ablation; the
+    # per-node no-op call is hoisted out of the hot loop entirely
+    serve = comparison.serve_turn \
+        if comparison.mode == MODE_WANT_SIMPLE else None
+    tr0 = train_steps[0]
+    tr1 = train_steps[1] if len(train_steps) == 2 else None
+
+    def run_bodies(ctx_list, step_nos, bgts):
+        for k, ctx in enumerate(ctx_list):
+            step_no = step_nos[k]
+            sentinel = ctx.stable_sentinel()
+            first = statics(ctx, sentinel) if step_no % se == 0 else None
+            cached = bgts[k]
+            if isinstance(cached, tuple) and len(cached) == 2 and \
+                    isinstance(cached[1], Budgets) and \
+                    step_no - cached[0] < 32:
+                budgets = cached[1]
+            else:
+                budgets = budgets_for(ctx, sentinel, step_no)
+            if sync_window:
+                a = tr0(ctx, budgets, False, sentinel)
                 if a and not first:
                     first = a
-        else:
-            held_levels = held(ctx)
-            for tr_step, h in zip(train_steps, held_levels):
-                a = tr_step(ctx, budgets, h is not None, sentinel)
+                if tr1 is not None:
+                    a = tr1(ctx, budgets, False, sentinel)
+                    if a and not first:
+                        first = a
+            else:
+                ht, hb = held(ctx)
+                a = tr0(ctx, budgets, ht is not None, sentinel)
                 if a and not first:
                     first = a
-            serve(ctx)
-        a = comp_step(ctx, budgets, sentinel)
-        if a and not first:
-            first = a
-        if first:
-            ctx.alarm(first[0])
+                if tr1 is not None:
+                    a = tr1(ctx, budgets, hb is not None, sentinel)
+                    if a and not first:
+                        first = a
+                if serve is not None:
+                    serve(ctx)
+            a = comp_step(ctx, budgets, sentinel)
+            if a and not first:
+                first = a
+            if first:
+                ctx.alarm(first[0])
+
+    gate = batch.gate
+    after = batch.after
+    if gate is None and after is None:
+        step_nos = ops.inc_nat(batch, proto.h_vstep)
+        batch.wrote_all = True
+        bgts = ops.gather(batch, proto.h_bgt)
+        run_bodies(contexts, step_nos, bgts)
+        return
+    # conflict-free batch: commuting gates first, fused sweep over the
+    # survivors, afters last (in activation order)
+    if gate is None:
+        stepped = [True] * len(contexts)
+    else:
+        stepped = [gate(k, ctx) for k, ctx in enumerate(contexts)]
+    active = [ctx for ctx, s in zip(contexts, stepped) if s]
+    if active:
+        store = ops.store
+        idx = [ctx._i for ctx in active]
+        step_nos = store.inc_nat_batch(idx, proto.h_vstep)
+        bgts = store.gather_values(idx, proto.h_bgt)
+        for ctx in active:
+            # every stepped activation writes its step counter, so the
+            # scalar loop would flag every survivor as having written
+            ctx.wrote = True
+        run_bodies(active, step_nos, bgts)
+    if after is not None:
+        for k, ctx in enumerate(contexts):
+            after(k, ctx, stepped[k])
 
 
 class MstVerifierProtocol(Protocol):
@@ -250,15 +303,21 @@ class MstVerifierProtocol(Protocol):
             ctx.alarm(alarms[0])
 
     # ------------------------------------------------------------------
+    #: conflict-free asynchronous batches may fuse (the sweep handles
+    #: the commuting gate/after contract; see repro.sim.bulk)
+    bulk_conflict_free = True
+
     def bulk_step(self, batch) -> None:
         """One whole scheduler batch (the bulk-activation plane): the
-        shared fused sweep over both trains when fusion is licensed,
-        the generic per-node fallback driver otherwise (dict/schema
-        storage, live asynchronous batches, callback-gated batches).
+        shared fused sweep over both trains when fusion is licensed —
+        a synchronous columnar round, or a conflict-free asynchronous
+        batch — and the generic per-node fallback driver otherwise
+        (dict/schema storage, unlicensed live batches).
         See :func:`fused_verifier_sweep`."""
         ops = batch.ops
-        if ops is None or not ops.fused or batch.gate is not None \
-                or batch.after is not None:
+        if ops is None or not ops.fused or (
+                not batch.conflict_free and
+                (batch.gate is not None or batch.after is not None)):
             drive_batch(self.step, batch)
             return
         fused_verifier_sweep(self, batch, (self.top, self.bottom),

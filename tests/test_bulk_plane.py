@@ -14,12 +14,14 @@ must stay sound across batched writes).
 
 import pytest
 
-from repro.engine import axis, derive_seed, run_scenario, ScenarioSpec
-from repro.graphs.generators import random_connected_graph
+from repro.engine import TOPOLOGIES, axis, derive_seed, run_scenario, \
+    ScenarioSpec
+from repro.graphs.generators import (grid_graph, random_connected_graph,
+                                     star_graph)
 from repro.sim import (STORAGE_KINDS, AsynchronousScheduler,
-                       FaultInjector, LocalityBatchDaemon, Network,
-                       PermutationDaemon, SynchronousScheduler,
-                       first_alarm)
+                       ConflictFreeDaemon, FaultInjector,
+                       LocalityBatchDaemon, Network, PermutationDaemon,
+                       SynchronousScheduler, first_alarm)
 from repro.sim.columnar import ColumnStore
 from repro.sim.registers import CompiledSchema
 from repro.verification import make_network
@@ -84,20 +86,34 @@ def test_sync_bulk_vs_scalar_bitwise_equal(proto_kind, campaign_seed):
             assert got == ref, (storage, fast_path)
 
 
-@pytest.mark.parametrize("daemon_kind", ["permutation", "locality"])
+def _daemon(kind, g, seed):
+    if kind == "locality":
+        return LocalityBatchDaemon(g, seed=seed)
+    if kind == "independent":
+        return ConflictFreeDaemon(g, seed=seed)
+    return PermutationDaemon(seed=seed)
+
+
+@pytest.mark.parametrize("daemon_kind",
+                         ["permutation", "locality", "independent"])
 def test_async_bulk_vs_scalar_equal(daemon_kind, campaign_seed):
     """Asynchronous daemon batches routed through the bulk plane (the
-    locality daemon's whole neighbourhoods engage it; singleton daemons
-    keep the scalar loop) match the scalar execution exactly — including
-    the dirty-aware skip accounting, which must stay sound when a whole
-    batch's writes land through ``bulk_step``."""
+    locality daemon's whole neighbourhoods engage it via ``bulk_live``;
+    the conflict-free daemon's independent sets via the
+    ``conflict_free`` license — with *fused* column sweeps on columnar
+    storage; singleton daemons keep the scalar loop) match the scalar
+    execution exactly — including the dirty-aware skip accounting,
+    which must stay sound when a whole batch's writes land through
+    ``bulk_step``."""
     g = random_connected_graph(12, 20, seed=campaign_seed % 983)
+    cf = daemon_kind == "independent"
 
     def run(storage, bulk, dirty_aware=True):
-        daemon = LocalityBatchDaemon(g, seed=5) \
-            if daemon_kind == "locality" else PermutationDaemon(seed=5)
+        daemon = _daemon(daemon_kind, g, 5)
         net = make_network(g)
-        proto = LiveBulkVerifier(synchronous=False) if bulk \
+        # the conflict-free license needs no bulk_live declaration —
+        # the shipped verifier opts in via bulk_conflict_free
+        proto = LiveBulkVerifier(synchronous=False) if bulk and not cf \
             else MstVerifierProtocol(synchronous=False)
         sched = AsynchronousScheduler(net, proto,
                                       daemon, storage=storage, bulk=bulk,
@@ -123,9 +139,15 @@ def test_async_bulk_vs_scalar_equal(daemon_kind, campaign_seed):
 def test_engine_bulk_flag_matrix(campaign_seed):
     """The ``bulk`` schedule parameter is implementation-only: flipping
     it reproduces the identical scenario (seeds, faults, metrics) on
-    every backend, through the campaign engine."""
+    every backend, through the campaign engine.  The cells cover the
+    locality and conflict-free (``independent``) daemons across all
+    three protocols — the three-way differential matrix of the
+    asynchronous fusion license."""
     cells = [("sync", "verifier"), ("sync", "sqlog"),
-             ("locality", "verifier"), ("permutation", "hybrid")]
+             ("locality", "verifier"), ("locality", "hybrid"),
+             ("locality", "sqlog"), ("permutation", "hybrid"),
+             ("independent", "verifier"), ("independent", "hybrid"),
+             ("independent", "sqlog")]
     for sched, proto in cells:
         seed = derive_seed(campaign_seed, "bulk-flag", sched, proto)
         results = []
@@ -182,6 +204,71 @@ def test_junk_mid_sweep_bulk_equals_scalar(storage, campaign_seed):
                 net.max_memory_bits(), net.total_memory_bits())
 
     assert run(True) == run(False)
+
+
+def test_conflict_free_batches_are_independent(campaign_seed):
+    """License soundness: every batch the ``ConflictFreeDaemon`` issues
+    must have pairwise *disjoint closed neighbourhoods* (no two
+    activated nodes within distance 2 — the independence radius that
+    makes live fused sweeps unobservable), and every sweep must cover
+    every node exactly once (fairness), across random, dense-star,
+    grid, and Section-9 subdivided topologies."""
+    s = campaign_seed % 911
+    graphs = [
+        random_connected_graph(20, 34, seed=s),
+        star_graph(10, seed=s),
+        grid_graph(4, 5, seed=s),
+        TOPOLOGIES["subdivided"](seed=s, base_n=10, extra=14, tau=2),
+    ]
+    for g in graphs:
+        nodes = g.nodes()
+        closed = {v: {v, *g.neighbors(v)} for v in nodes}
+        daemon = ConflictFreeDaemon(g, seed=campaign_seed % 509)
+        for _sweep in range(3):
+            covered = []
+            while len(covered) < len(nodes):
+                batch = daemon.next_batch(nodes)
+                blocked = set()
+                for v in batch:
+                    assert blocked.isdisjoint(closed[v]), \
+                        (g.n, batch, v, "batchmates within the closed-"
+                         "neighbourhood radius")
+                    blocked |= closed[v]
+                covered.extend(batch)
+            assert sorted(covered) == sorted(nodes), \
+                (g.n, "a sweep must activate every node exactly once")
+
+
+def test_junk_mid_sweep_async_fused_equals_scalar(campaign_seed):
+    """The asynchronous mirror of the sync junk test: under the
+    conflict-free daemon, junk planted into nat/tuple columns between
+    runs must flow through the *live* fused column sweeps exactly like
+    the scalar context writes — bit-for-bit vs the scalar loop across
+    dict/schema/columnar, skip accounting included."""
+    g = random_connected_graph(12, 20, seed=campaign_seed % 941)
+
+    def run(storage, bulk, dirty_aware=True):
+        net = make_network(g)
+        proto = MstVerifierProtocol(synchronous=False)
+        sched = AsynchronousScheduler(net, proto,
+                                      ConflictFreeDaemon(g, seed=3),
+                                      storage=storage, bulk=bulk,
+                                      dirty_aware=dirty_aware)
+        sched.run(10)
+        _plant_junk(net)
+        r = sched.run(25)
+        return (r, sched.rounds, sched.activations, sched.steps_skipped,
+                net.alarms(),
+                {v: dict(regs) for v, regs in net.registers.items()})
+
+    ref = run("dict", bulk=False)
+    for storage in STORAGES:
+        assert run(storage, bulk=True) == ref, storage
+    # and against the naive scalar ground truth (minus the skip counter
+    # naive never increments)
+    naive = run("dict", bulk=False, dirty_aware=False)
+    fused = run("columnar", bulk=True)
+    assert fused[:3] + fused[4:] == naive[:3] + naive[4:]
 
 
 def test_junk_mid_sweep_skip_soundness_async(campaign_seed):
