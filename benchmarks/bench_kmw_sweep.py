@@ -31,14 +31,25 @@ must wait for the trains to rotate the lying piece past an Ask
 comparison, so ``rounds_to_detection`` records the Omega(log n)-style
 stretch vs tau (the trend the ROADMAP asked for).  The mode is quick
 by construction (small bases, the blow-up comes from tau); combine
-with ``--out`` for the JSONL trend series.
+with ``--out`` for the JSONL trend series, ``--quick`` for the CI
+subset of cells.
+
+``--tau-trend --warm-cache DIR`` exercises the settle-state cache on
+its headline workload: a populate-only cold pass (every cell pays the
+full settle) followed by a warm pass restoring each cell's settled
+network from DIR.  The run asserts the warm pass actually hit from the
+second cell on, that both passes agree on every deterministic field,
+and that the cold pass executed >= 3x the settle rounds of the warm
+one — the honest measure, computed from the per-scenario
+``settle_rounds - settle_rounds_saved`` recorded in the JSONL.
 """
 
 from conftest import report
 
 from repro.analysis import format_table
-from repro.engine import (CampaignRunner, graph_for, kmw_sweep_campaign,
-                          kmw_tau_trend_campaign)
+from repro.engine import (CampaignRunner, WarmCache, graph_for,
+                          kmw_sweep_campaign, kmw_tau_trend_campaign)
+from repro.engine.campaigns import KMW_TAU_TREND_CELLS
 
 #: CI smoke cells: same shape, toy sizes.
 QUICK_CELLS = ((16, 24, 1), (24, 38, 2))
@@ -69,10 +80,47 @@ def run_sweep(cells=None, seed=0, workers=1, out=None):
     return result, rows, table
 
 
-def run_tau_trend(seed=0, workers=1, out=None):
-    """The piece-lie detection-time trend vs tau (quick mode)."""
-    specs = kmw_tau_trend_campaign(seed=seed)
-    result = CampaignRunner(workers=workers).run(specs)
+def run_tau_trend(seed=0, workers=1, out=None, warm_cache=None,
+                  quick=False):
+    """The piece-lie detection-time trend vs tau.
+
+    With ``warm_cache`` the trend runs twice over the same cache
+    directory — a populate-only cold pass, then a warm pass — and
+    asserts the cache's contract: hits from the second cell on,
+    deterministic fields identical across passes, and >= 3x fewer
+    settle rounds executed warm than cold."""
+    cells = KMW_TAU_TREND_CELLS[:2] if quick else KMW_TAU_TREND_CELLS
+    specs = kmw_tau_trend_campaign(cells=cells, seed=seed)
+    warm_line = None
+    if warm_cache is None:
+        result = CampaignRunner(workers=workers).run(specs)
+    else:
+        cold = CampaignRunner(
+            workers=workers,
+            warm_cache=WarmCache(warm_cache, restore=False)).run(specs)
+        result = CampaignRunner(workers=workers,
+                                warm_cache=warm_cache).run(specs)
+        executed = lambda r: r.settle_rounds - r.settle_rounds_saved
+        cold_rounds = sum(executed(r) for r in cold)
+        warm_rounds = sum(executed(r) for r in result)
+        hits = sum(1 for r in result if r.cache_hit)
+        assert all(r.cache_hit is True for r in result[1:]), \
+            "every cell from the second on must restore from the cache"
+        for a, b in zip(cold, result):
+            assert (a.detected, a.settle_rounds, a.rounds_to_detection,
+                    a.max_memory_bits, a.total_memory_bits,
+                    a.activations) == \
+                (b.detected, b.settle_rounds, b.rounds_to_detection,
+                 b.max_memory_bits, b.total_memory_bits,
+                 b.activations), \
+                (a.spec.key, "warm pass diverged from cold pass")
+        assert cold_rounds >= 3 * max(warm_rounds, 1), \
+            (cold_rounds, warm_rounds,
+             "warm start must save >= 3x settle rounds")
+        warm_line = (f"warm start: {hits}/{len(result)} cache hit(s); "
+                     f"settle rounds executed cold={cold_rounds} "
+                     f"warm={warm_rounds} "
+                     f"({cold_rounds / max(warm_rounds, 1):.0f}x saved)")
     rows = []
     for spec, res in zip(specs, result):
         graph = graph_for(spec)
@@ -86,6 +134,8 @@ def run_tau_trend(seed=0, workers=1, out=None):
     table = format_table(
         ["base n", "tau", "n'", "settle rounds", "detect rounds",
          "verdict"], rows)
+    if warm_line:
+        table += "\n" + warm_line
     if out:
         written = result.dump_jsonl(out)
         table += f"\nwrote {written} scenario record(s) to {out}"
@@ -117,25 +167,32 @@ def main(argv=None):
 
     parser = argparse.ArgumentParser()
     parser.add_argument("--quick", action="store_true",
-                        help="toy cells, < 20s (CI smoke)")
+                        help="toy cells, < 20s (CI smoke); with "
+                             "--tau-trend: the first two trend cells")
     parser.add_argument("--tau-trend", action="store_true",
                         help="piece-lie detection-time trend vs tau "
-                             "(comparison-phase faults; quick by "
-                             "construction, so it replaces the sweep "
-                             "and cannot be combined with --quick)")
+                             "(comparison-phase faults; replaces the "
+                             "sweep)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--out", default=None,
                         help="dump the sweep as JSONL (joinable by "
                              "`python -m repro.engine diff`)")
+    parser.add_argument("--warm-cache", metavar="DIR", default=None,
+                        help="with --tau-trend: run a populate-only "
+                             "cold pass then a warm-started pass over "
+                             "this settle-snapshot cache directory, and "
+                             "assert the >= 3x settle-round saving")
     args = parser.parse_args(argv)
-    if args.tau_trend and args.quick:
-        parser.error("--tau-trend is quick by construction and replaces "
-                     "the sweep; drop --quick")
+    if args.warm_cache and not args.tau_trend:
+        parser.error("--warm-cache applies to --tau-trend (the sweep's "
+                     "detection cells are settle-free)")
     if args.tau_trend:
         result, rows, table = run_tau_trend(seed=args.seed,
                                             workers=args.workers,
-                                            out=args.out)
+                                            out=args.out,
+                                            warm_cache=args.warm_cache,
+                                            quick=args.quick)
         print(table)
         detections = [r[4] for r in rows]
         if all(isinstance(d, int) for d in detections):

@@ -35,6 +35,8 @@ from .scenarios import (FAULTS, PROTOCOLS, SCHEDULES, TOPOLOGIES,
                         register_schedule, register_topology,
                         run_scenario, spec_is_satisfiable)
 from .spec import Axis, ScenarioSpec, axis, derive_seed, grid
+from .warmcache import (WarmCache, WarmCacheWarning, get_warm_cache,
+                        set_warm_cache, warm_key)
 
 __all__ = [
     "Axis", "ScenarioSpec", "axis", "derive_seed", "grid",
@@ -53,4 +55,6 @@ __all__ = [
     "partition_census_campaign", "smoke_campaign",
     "soundness_completeness_matrix",
     "DiffConfig", "DiffResult", "diff_paths", "diff_records",
+    "WarmCache", "WarmCacheWarning", "warm_key",
+    "get_warm_cache", "set_warm_cache",
 ]

@@ -93,7 +93,25 @@ def main(argv=None) -> int:
                         help="dump per-scenario results as JSON lines "
                              "(one record per scenario; join on key+seed "
                              "to compare runs across commits)")
+    parser.add_argument("--warm-cache", metavar="DIR", default=None,
+                        help="settled-state snapshot cache directory: "
+                             "inject-fault scenarios restore their "
+                             "settled network from the cache instead of "
+                             "re-settling, and populate it on miss "
+                             "(shared across fault cells and runs)")
+    parser.add_argument("--no-warm-start", action="store_true",
+                        help="with --warm-cache: never restore, only "
+                             "populate (cold timings that leave a warm "
+                             "cache behind)")
     args = parser.parse_args(argv)
+
+    warm = None
+    if args.warm_cache:
+        from .warmcache import WarmCache
+        warm = WarmCache(args.warm_cache,
+                         restore=not args.no_warm_start)
+    elif args.no_warm_start:
+        parser.error("--no-warm-start requires --warm-cache")
 
     if args.matrix:
         specs = soundness_completeness_matrix(seed=args.seed)
@@ -107,10 +125,16 @@ def main(argv=None) -> int:
         print(f"[{done:3d}/{total}] {result.spec.key}: {status} "
               f"({result.wall_time:.2f}s)", flush=True)
 
-    runner = CampaignRunner(workers=args.workers)
+    runner = CampaignRunner(workers=args.workers, warm_cache=warm)
     result = runner.run(specs, progress=progress)
     print()
     print(result.summary())
+    if warm is not None:
+        hits = sum(1 for r in result if r.cache_hit)
+        lookups = sum(1 for r in result if r.cache_hit is not None)
+        saved = sum(r.settle_rounds_saved for r in result)
+        print(f"warm cache: {hits}/{lookups} hit(s), "
+              f"{saved} settle round(s) saved")
     if args.out:
         written = result.dump_jsonl(args.out)
         print(f"wrote {written} scenario record(s) to {args.out}")

@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from .scenarios import ScenarioResult, run_scenario
 from .spec import ScenarioSpec
+from .warmcache import WarmCache, get_warm_cache, set_warm_cache
 
 
 def scenario_record(result: ScenarioResult) -> Dict[str, Any]:
@@ -67,6 +68,8 @@ def scenario_record(result: ScenarioResult) -> Dict[str, Any]:
         "faulty_nodes": [str(v) for v in result.faulty_nodes],
         "activations": result.activations,
         "wall_time": round(result.wall_time, 6),
+        "cache_hit": result.cache_hit,
+        "settle_rounds_saved": result.settle_rounds_saved,
         "error": result.error,
     }
     return rec
@@ -83,6 +86,17 @@ def dump_jsonl(results: Iterable[ScenarioResult], path: str) -> int:
             fh.write(json.dumps(scenario_record(r), sort_keys=True) + "\n")
             count += 1
     return count
+
+
+def _pool_warm_init(warm_root: Optional[str], warm_restore: bool) -> None:
+    """Pool initializer: install the warm-start cache in each worker.
+
+    The cache ships as (root, restore) rather than as an object so the
+    initializer works under both ``fork`` and ``spawn`` start methods;
+    per-worker hit/miss counters stay local, the per-scenario outcome
+    travels back in the results."""
+    if warm_root is not None:
+        set_warm_cache(WarmCache(warm_root, restore=warm_restore))
 
 
 def _run_one(spec: ScenarioSpec) -> ScenarioResult:
@@ -182,12 +196,25 @@ class CampaignRunner:
     ``workers=None`` picks ``min(len(specs), cpu_count)``; ``workers=1``
     (or a single spec) runs inline, which keeps tracebacks pristine and
     lets the per-process instance cache accumulate across campaigns.
+
+    ``warm_cache`` (a :class:`~repro.engine.warmcache.WarmCache` or a
+    directory path) warm-starts inject-fault scenarios from settled
+    snapshots: cells sharing a settle configuration restore instead of
+    re-settling, across fault cells within the run and across runs over
+    the same directory.  The cache is installed ambiently for the run —
+    inline or via the pool initializer — and the previous ambient cache
+    is put back afterwards; without the parameter an already-ambient
+    cache (``set_warm_cache``) is honored.
     """
 
     def __init__(self, workers: Optional[int] = None,
-                 mp_context: Optional[str] = None) -> None:
+                 mp_context: Optional[str] = None,
+                 warm_cache: Optional[Any] = None) -> None:
         self.workers = workers
         self.mp_context = mp_context
+        if isinstance(warm_cache, str):
+            warm_cache = WarmCache(warm_cache)
+        self.warm_cache: Optional[WarmCache] = warm_cache
 
     def run(self, specs: Iterable[ScenarioSpec],
             progress: Optional[Callable[[int, int, ScenarioResult],
@@ -198,18 +225,27 @@ class CampaignRunner:
             workers = min(len(spec_list), os.cpu_count() or 1) or 1
         start = time.perf_counter()
         results: List[ScenarioResult]
+        active = self.warm_cache if self.warm_cache is not None \
+            else get_warm_cache()
         if workers <= 1 or len(spec_list) <= 1:
             workers = 1
             results = []
-            for i, spec in enumerate(spec_list):
-                r = _run_one(spec)
-                results.append(r)
-                if progress is not None:
-                    progress(i + 1, len(spec_list), r)
+            previous = set_warm_cache(active)
+            try:
+                for i, spec in enumerate(spec_list):
+                    r = _run_one(spec)
+                    results.append(r)
+                    if progress is not None:
+                        progress(i + 1, len(spec_list), r)
+            finally:
+                set_warm_cache(previous)
         else:
             ctx = multiprocessing.get_context(self.mp_context)
             chunksize = max(1, len(spec_list) // (4 * workers))
-            with ctx.Pool(processes=workers) as pool:
+            initargs = (active.root, active.restore) \
+                if active is not None else (None, True)
+            with ctx.Pool(processes=workers, initializer=_pool_warm_init,
+                          initargs=initargs) as pool:
                 results = []
                 for i, r in enumerate(pool.imap(_run_one, spec_list,
                                                 chunksize=chunksize)):
@@ -222,6 +258,8 @@ class CampaignRunner:
 
 
 def run_campaign(specs: Iterable[ScenarioSpec],
-                 workers: Optional[int] = None) -> CampaignResult:
-    """One-call convenience: ``CampaignRunner(workers).run(specs)``."""
-    return CampaignRunner(workers=workers).run(specs)
+                 workers: Optional[int] = None,
+                 warm_cache: Optional[Any] = None) -> CampaignResult:
+    """One-call convenience: ``CampaignRunner(...).run(specs)``."""
+    return CampaignRunner(workers=workers,
+                          warm_cache=warm_cache).run(specs)

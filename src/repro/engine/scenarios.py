@@ -31,6 +31,7 @@ that share a topology.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 from random import Random
@@ -57,8 +58,11 @@ from ..verification.adversary import (labels_for_claimed_tree,
                                       swap_one_mst_edge)
 from ..verification.hybrid import HybridVerifierProtocol, hybrid_labels
 from ..verification.marker import MarkerOutput, run_marker
+from ..sim.snapshot import (SnapshotError, capture_run_state,
+                            restore_run_state)
 from ..verification.verifier import MstVerifierProtocol
 from .spec import Axis, ScenarioSpec
+from .warmcache import WarmCacheWarning, get_warm_cache, warm_key
 
 
 class ScenarioError(ValueError):
@@ -461,6 +465,14 @@ class ScenarioResult:
     faulty_nodes: Tuple[NodeId, ...] = ()
     activations: Optional[int] = None
     wall_time: float = 0.0
+    #: warm-start cache outcome: ``None`` when no cache was consulted
+    #: (no cache active, or the scenario has no settle phase), else
+    #: whether the settled state was restored from the cache.
+    cache_hit: Optional[bool] = None
+    #: settle rounds *not* re-executed thanks to a warm start (0 on a
+    #: miss; on a hit equals ``settle_rounds``, which reports the
+    #: cached cold run's count so records stay comparable).
+    settle_rounds_saved: int = 0
     error: Optional[str] = None
 
     @property
@@ -543,6 +555,8 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     detected = False
     rounds_to_detection: Optional[int] = None
     dist: Optional[int] = None
+    cache_hit: Optional[bool] = None
+    settle_saved = 0
 
     if fault_entry.mode == MODE_NONE:
         rounds = spec.completeness_rounds
@@ -560,14 +574,41 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     else:
         settle_budget = spec.settle_rounds if spec.settle_rounds is not None \
             else budgets.settle
-        settle_rounds = scheduler.run(settle_budget,
-                                      stop_when=proto_entry.settled)
+        warm = get_warm_cache()
+        wkey = None
+        if warm is not None and settle_budget > 0:
+            wkey = warm_key(spec, synchronous, settle_budget, topo_seed,
+                            daemon_seed)
+            cache_hit = False
+            payload = warm.load(wkey)
+            if payload is not None:
+                try:
+                    settle_rounds = restore_run_state(network, scheduler,
+                                                      payload)
+                except SnapshotError as exc:
+                    warnings.warn(
+                        f"warm-start snapshot for {spec.key} is not "
+                        f"restorable ({exc}); settling cold",
+                        WarmCacheWarning, stacklevel=2)
+                else:
+                    cache_hit = True
+                    settle_saved = settle_rounds
+        if not cache_hit:
+            settle_rounds = scheduler.run(settle_budget,
+                                          stop_when=proto_entry.settled)
         if network.alarms():
             premature = True
             detected = True
             expected = True
             rounds_run = settle_rounds
         else:
+            if wkey is not None and not cache_hit:
+                # only alarm-free settled state is cacheable (a restored
+                # premature alarm would skip the settle-phase accounting)
+                payload = capture_run_state(network, scheduler,
+                                            settle_rounds)
+                if payload is not None:
+                    warm.store(wkey, payload)
             injector = FaultInjector(network, seed=fault_seed)
             fault_entry.inject(network, injector, spec.fault.param_dict())
             faulty = tuple(injector.faulty_nodes)
@@ -595,4 +636,6 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         faulty_nodes=faulty,
         activations=getattr(scheduler, "activations", None),
         wall_time=time.perf_counter() - start,
+        cache_hit=cache_hit,
+        settle_rounds_saved=settle_saved,
     )

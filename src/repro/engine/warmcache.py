@@ -1,0 +1,174 @@
+"""Content-addressed warm-start cache for settled network state.
+
+``WarmCache`` is a directory of :mod:`repro.sim.snapshot` wire-format
+files, one per *semantic* settle configuration.  Before the settle
+phase of an inject-fault scenario the engine computes :func:`warm_key`
+and asks the cache; on a hit the settled state is restored instead of
+re-executed, on a miss the freshly settled state is stored.  Cells of
+one campaign, repeated campaign runs, and different implementation
+configurations (storage backend, bulk plane, fast path, dirty
+awareness) all share entries — those axes are proven bit-for-bit
+equivalent, so they are deliberately *excluded* from the key.
+
+The key covers exactly what determines the settled state:
+
+* the topology axis and resolved topology seed;
+* the protocol axis (label family + protocol params);
+* the schedule axis **minus** ``IMPL_SCHEDULE_PARAMS`` — semantic
+  schedule knobs (e.g. ``slow_nodes(count=...)``) change the key, the
+  implementation-only ones cannot (``tests/test_snapshot_restore.py``
+  enumerates the registries to keep that invariant honest);
+* for asynchronous schedules the resolved daemon seed (settling
+  consumes daemon randomness; synchronous settling is seed-free);
+* the settle horizon.
+
+Failure policy: a cache must never crash a campaign and never be
+silently wrong.  Unreadable, truncated, or bit-flipped entries fail
+the snapshot checksum, emit a :class:`WarmCacheWarning`, and count as
+a miss (the subsequent cold settle overwrites the bad entry); a payload
+that fails validation against the freshly built network does the same
+at the restore site.  All writes are atomic (temp file + rename), so
+concurrent campaign workers can share one directory.
+
+The active cache is ambient per process (:func:`set_warm_cache` /
+:func:`get_warm_cache`): scenario code stays signature-stable and
+multiprocessing workers inherit the cache through a pool initializer
+rather than through every task tuple.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import warnings
+from typing import Any, Dict, Mapping, Optional
+
+from ..sim.snapshot import SnapshotError, decode_snapshot, encode_snapshot
+from .spec import IMPL_SCHEDULE_PARAMS, ScenarioSpec
+
+__all__ = ["CACHE_VERSION", "WarmCache", "WarmCacheWarning", "warm_key",
+           "get_warm_cache", "set_warm_cache"]
+
+#: bumped whenever key derivation or payload semantics change — old
+#: entries then simply never hit again
+CACHE_VERSION = 1
+
+
+class WarmCacheWarning(UserWarning):
+    """A warm-cache entry could not be used (corrupt, truncated, or
+    unrestorable); the scenario fell back to a cold settle."""
+
+
+def warm_key(spec: ScenarioSpec, synchronous: bool, settle_budget: int,
+             topology_seed: int, daemon_seed: int) -> str:
+    """Content address of ``spec``'s settled state (hex sha256).
+
+    ``topology_seed`` and ``daemon_seed`` must be the *resolved* seeds
+    the scenario will actually run with; ``settle_budget`` the resolved
+    round budget.  Synchronous settling is deterministic given topology
+    and protocol, so the daemon seed only enters for asynchronous
+    schedules — synchronous fault cells that differ only in fault axis
+    or base seed share one entry."""
+    parts = [
+        f"v{CACHE_VERSION}",
+        f"topology={spec.topology}",
+        f"topology_seed={topology_seed}",
+        f"protocol={spec.protocol}",
+        f"schedule={spec.schedule.without(IMPL_SCHEDULE_PARAMS)}",
+        "sync" if synchronous else f"daemon_seed={daemon_seed}",
+        f"settle={settle_budget}",
+    ]
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+
+class WarmCache:
+    """On-disk snapshot cache rooted at ``root`` (created lazily).
+
+    ``restore=False`` turns the cache populate-only: every lookup
+    misses, but settled state is still stored — the honest way to
+    measure a cold pass while leaving a warm cache behind
+    (``--no-warm-start``)."""
+
+    def __init__(self, root: str, restore: bool = True) -> None:
+        self.root = root
+        self.restore = restore
+        #: lookup accounting for this process (campaign workers each
+        #: count their own; records carry the per-scenario outcome)
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, key: str) -> str:
+        return os.path.join(self.root, key + ".snap")
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The decoded payload for ``key``, or ``None`` on a miss.
+        Corrupt entries warn and miss; they are repaired by the store
+        that follows the cold settle."""
+        if not self.restore:
+            return None
+        path = self.path(key)
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError as exc:
+            warnings.warn(f"warm cache entry {path} unreadable ({exc}); "
+                          f"settling cold", WarmCacheWarning,
+                          stacklevel=2)
+            self.misses += 1
+            return None
+        try:
+            payload = decode_snapshot(blob)
+        except SnapshotError as exc:
+            warnings.warn(f"warm cache entry {path} rejected ({exc}); "
+                          f"settling cold", WarmCacheWarning,
+                          stacklevel=2)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: Mapping[str, Any]) -> bool:
+        """Atomically write ``payload`` under ``key`` (overwriting any
+        stale or corrupt entry).  Best-effort: a full disk or unwritable
+        directory warns instead of failing the scenario."""
+        path = self.path(key)
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            blob = encode_snapshot(payload)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            warnings.warn(f"warm cache entry {path} not stored ({exc})",
+                          WarmCacheWarning, stacklevel=2)
+            return False
+        return True
+
+
+_ACTIVE: Optional[WarmCache] = None
+
+
+def get_warm_cache() -> Optional[WarmCache]:
+    """The process-ambient cache scenarios consult (``None`` = cold)."""
+    return _ACTIVE
+
+
+def set_warm_cache(cache: Optional[WarmCache]) -> Optional[WarmCache]:
+    """Install ``cache`` as the ambient cache; returns the previous one
+    so callers can restore it (the runner brackets its runs)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = cache
+    return previous

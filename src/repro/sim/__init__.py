@@ -16,6 +16,10 @@ from .schedulers import (STORAGE_COLUMNAR, STORAGE_DICT, STORAGE_KINDS,
                          PermutationDaemon, RandomDaemon, RoundRobinDaemon,
                          SlowNodesDaemon, SynchronousScheduler)
 from .faults import FAULT_MARK, FaultInjector, detection_distance
+from .snapshot import (SnapshotError, capture_network, capture_run_state,
+                       capture_scheduler, decode_snapshot, encode_snapshot,
+                       restore_network, restore_run_state,
+                       restore_scheduler)
 
 __all__ = [
     "ALARM", "Network", "NodeContext", "Protocol", "SlotNodeContext",
@@ -30,4 +34,7 @@ __all__ = [
     "LocalityBatchDaemon", "PermutationDaemon", "RandomDaemon",
     "RoundRobinDaemon", "SlowNodesDaemon", "SynchronousScheduler",
     "FAULT_MARK", "FaultInjector", "detection_distance",
+    "SnapshotError", "capture_network", "capture_run_state",
+    "capture_scheduler", "decode_snapshot", "encode_snapshot",
+    "restore_network", "restore_run_state", "restore_scheduler",
 ]

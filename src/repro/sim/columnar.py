@@ -523,6 +523,105 @@ class ColumnStore:
         snap._zero_nodes = self._zero_nodes
         return snap
 
+    # -- checkpoint serialization (:mod:`repro.sim.snapshot`) ------------
+    def serialize(self) -> Dict[str, Any]:
+        """The store's full state as one picklable dict: raw column
+        bytes for the packed kinds, the interning-pool value table, the
+        boxed overflow, extras, and the stable-version state.  The pool
+        *indexes* are not shipped — :meth:`restore_serialized` rebuilds
+        them from the value table, which keeps the payload small and
+        the restored ids exact."""
+        cols: List[Any] = []
+        for col in self.data:
+            if type(col) is PoolColumn:
+                cols.append(("pool", col.tobytes()))
+            elif type(col) is array:
+                cols.append(("nat", col.tobytes()))
+            else:
+                cols.append(("box", col[:]))
+        return {
+            "names": tuple(self.schema.names),
+            "nodes": list(self.nodes),
+            "cols": cols,
+            "overflow": [dict(o) if o else None for o in self.overflow],
+            "pool": list(self.pool_values),
+            "extras": [dict(e) if e else None for e in self.extras],
+            "stable_versions": self.stable_versions.tobytes(),
+            "stable_epoch": self.stable_epoch,
+        }
+
+    def _check_serialized(self, state: Mapping[str, Any]) -> None:
+        """Reject a payload that does not fit this store *before* any
+        mutation, so a failed restore leaves the store untouched."""
+        if tuple(state["names"]) != tuple(self.schema.names) or \
+                list(state["nodes"]) != self.nodes:
+            raise ValueError("serialized state does not match this "
+                             "store's schema/node layout")
+        cols = state["cols"]
+        if len(cols) != self.schema.size:
+            raise ValueError("serialized column count mismatch")
+        for (tag, data), col in zip(cols, self.data):
+            want = ("pool" if type(col) is PoolColumn
+                    else "nat" if type(col) is array else "box")
+            if tag != want:
+                raise ValueError(f"serialized column kind {tag!r} does "
+                                 f"not match the store's {want!r}")
+            if len(data) != (self.n if tag == "box"
+                             else self.n * col.itemsize):
+                raise ValueError("serialized column length mismatch")
+        if len(state["stable_versions"]) != \
+                self.n * self.stable_versions.itemsize or \
+                len(state["overflow"]) != self.schema.size or \
+                len(state["extras"]) != self.n:
+            raise ValueError("serialized per-node state length mismatch")
+
+    def restore_serialized(self, state: Mapping[str, Any]) -> None:
+        """Restore a :meth:`serialize` payload **in place**, exactly:
+        column contents, boxed overflow, extras, stable versions, and —
+        bit for bit — the interning-pool ids.
+
+        The pool indexes are rebuilt from the value table with the same
+        first-occurrence / typed-key split :meth:`intern` produced, so
+        a circulating piece re-interned after the restore resolves to
+        its original id instead of re-validating into a duplicate.  All
+        mutation is in place (contexts and snapshots alias the pool
+        lists and columns); derived decode caches are dropped (pool ids
+        changed meaning wholesale) and dirty tracking is reset (run
+        boundaries re-snapshot fully anyway)."""
+        self._check_serialized(state)
+        pool = self.pool_values
+        pool[:] = state["pool"]
+        index = self.pool_index
+        typed = self.pool_typed
+        index.clear()
+        typed.clear()
+        for pid, value in enumerate(pool):
+            prev = index.get(value)
+            if prev is None:
+                index[value] = pid
+            elif not (pool[prev] is value or same_shape(pool[prev], value)):
+                typed.setdefault(typed_key(value), pid)
+        for slot, (tag, data) in enumerate(state["cols"]):
+            col = self.data[slot]
+            if tag == "box":
+                col[:] = data
+            else:
+                fresh = array("q")
+                fresh.frombytes(data)
+                col[:] = fresh
+        self.overflow[:] = [dict(o) if o else None
+                            for o in state["overflow"]]
+        self.extras[:] = [dict(e) if e else None for e in state["extras"]]
+        sv = array("q")
+        sv.frombytes(state["stable_versions"])
+        self.stable_versions[:] = sv
+        self.stable_epoch = state["stable_epoch"]
+        size = self.schema.size
+        self.decoded[:] = [None] * size
+        self.decode_memo[:] = [None] * size
+        self.none_decode[:] = [NO_DECODE] * size
+        self.clear_dirty()
+
     def refresh_from(self, live: "ColumnStore", full: bool = False) -> None:
         """Bulk-refresh this snapshot from ``live``'s dirty state.
 

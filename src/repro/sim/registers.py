@@ -312,6 +312,30 @@ class RegisterFile:
                             dict(self.extra) if self.extra else None,
                             self.stable_version, self.decoded[:])
 
+    # -- checkpoint serialization (:mod:`repro.sim.snapshot`) -----------
+    def serialize(self) -> Dict[str, Any]:
+        """The file's state as a picklable dict.  Only the raw slots,
+        extras, and stable counter ship — ``nats`` and ``decoded`` are
+        derived state that :meth:`restore_serialized` recomputes."""
+        return {"slots": self.slots[:],
+                "extra": dict(self.extra) if self.extra else None,
+                "stable_version": self.stable_version}
+
+    def restore_serialized(self, state: Mapping[str, Any]) -> None:
+        """Restore a :meth:`serialize` payload in place (contexts alias
+        the slot lists), rebuilding the nat cache and dropping decode
+        memos.  Raises without mutating on a slot-count mismatch."""
+        slots = state["slots"]
+        if len(slots) != self.schema.size:
+            raise ValueError("serialized slot count does not match the "
+                             "schema")
+        self.slots[:] = slots
+        self.nats[:] = [nat_cache_value(v) for v in slots]
+        self.decoded[:] = [NO_DECODE] * self.schema.size
+        extra = state["extra"]
+        self.extra = dict(extra) if extra else None
+        self.stable_version = state["stable_version"]
+
     # -- slot access ----------------------------------------------------
     def set_slot(self, i: int, value: Any) -> None:
         self.slots[i] = value

@@ -43,7 +43,8 @@ modes are bit-for-bit equivalent (``tests/test_bulk_plane.py``).  See
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import (Any, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Set)
 
 from ..graphs.weighted import NodeId
 from .bulk import BulkBatch, ColumnarBulkOps
@@ -554,7 +555,16 @@ class SynchronousScheduler:
 # ---------------------------------------------------------------------------
 
 class Daemon:
-    """Chooses which nodes to activate next (asynchronous adversary)."""
+    """Chooses which nodes to activate next (asynchronous adversary).
+
+    Daemons that want to support exact checkpoint/restore (see
+    :mod:`repro.sim.snapshot`) additionally implement ``state()`` /
+    ``set_state(state)`` returning/accepting one picklable dict that
+    captures every bit of cross-batch decision state — RNG state,
+    pending permutations, in-flight batch queues — but *not* memoized
+    topology caches, which are static and rebuilt on demand.  A daemon
+    without the pair simply is not snapshottable: the snapshot layer
+    skips caching rather than guessing."""
 
     def next_batch(self, nodes: Sequence[NodeId]) -> List[NodeId]:
         raise NotImplementedError
@@ -571,6 +581,12 @@ class RoundRobinDaemon(Daemon):
         self._index += 1
         return [node]
 
+    def state(self) -> Dict[str, Any]:
+        return {"index": self._index}
+
+    def set_state(self, state: Mapping[str, Any]) -> None:
+        self._index = state["index"]
+
 
 class RandomDaemon(Daemon):
     """Activates one uniformly random node per tick (fair with prob. 1)."""
@@ -580,6 +596,12 @@ class RandomDaemon(Daemon):
 
     def next_batch(self, nodes: Sequence[NodeId]) -> List[NodeId]:
         return [self.rng.choice(nodes)]
+
+    def state(self) -> Dict[str, Any]:
+        return {"rng": self.rng.getstate()}
+
+    def set_state(self, state: Mapping[str, Any]) -> None:
+        self.rng.setstate(state["rng"])
 
 
 class PermutationDaemon(Daemon):
@@ -595,6 +617,13 @@ class PermutationDaemon(Daemon):
             self._pending = list(nodes)
             self.rng.shuffle(self._pending)
         return [self._pending.pop()]
+
+    def state(self) -> Dict[str, Any]:
+        return {"rng": self.rng.getstate(), "pending": self._pending[:]}
+
+    def set_state(self, state: Mapping[str, Any]) -> None:
+        self.rng.setstate(state["rng"])
+        self._pending = list(state["pending"])
 
 
 class LocalityBatchDaemon(Daemon):
@@ -637,6 +666,16 @@ class LocalityBatchDaemon(Daemon):
             batch = self._closed[center] = \
                 [center] + self.graph.neighbors(center)
         return batch
+
+    def state(self) -> Dict[str, Any]:
+        # `_closed` is a static-topology memo, not decision state
+        return {"rng": self.rng.getstate(), "centers": self._centers[:],
+                "batches": self.batches}
+
+    def set_state(self, state: Mapping[str, Any]) -> None:
+        self.rng.setstate(state["rng"])
+        self._centers = list(state["centers"])
+        self.batches = state["batches"]
 
 
 class ConflictFreeDaemon(Daemon):
@@ -734,6 +773,18 @@ class ConflictFreeDaemon(Daemon):
         self.batches += 1
         return self._queue.pop()
 
+    def state(self) -> Dict[str, Any]:
+        # `_ball2`/`_order` are static-topology memos, rebuilt on demand
+        return {"rng": self.rng.getstate(),
+                "queue": [batch[:] for batch in self._queue],
+                "batches": self.batches, "sweeps": self.sweeps}
+
+    def set_state(self, state: Mapping[str, Any]) -> None:
+        self.rng.setstate(state["rng"])
+        self._queue = [list(batch) for batch in state["queue"]]
+        self.batches = state["batches"]
+        self.sweeps = state["sweeps"]
+
 
 class SlowNodesDaemon(Daemon):
     """Adversarial daemon: designated nodes run ``slowdown`` times less
@@ -758,6 +809,15 @@ class SlowNodesDaemon(Daemon):
             self.rng.shuffle(batch)
             self._pending = batch
         return [self._pending.pop()]
+
+    def state(self) -> Dict[str, Any]:
+        return {"rng": self.rng.getstate(), "pending": self._pending[:],
+                "cycle": self._cycle}
+
+    def set_state(self, state: Mapping[str, Any]) -> None:
+        self.rng.setstate(state["rng"])
+        self._pending = list(state["pending"])
+        self._cycle = state["cycle"]
 
 
 class AsynchronousScheduler:

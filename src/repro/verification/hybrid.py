@@ -188,6 +188,9 @@ class HybridVerifierProtocol(Protocol):
         return schema
 
     def bind_registers(self, compiled) -> None:
+        """See :meth:`MstVerifierProtocol.bind_registers`: besides
+        resolving handles this must reset every register-derived cache —
+        snapshot restore re-binds after replacing the registers."""
         resolve = handle_resolver(compiled)
         self.h_alarm = resolve(ALARM)
         self.h_vstep = resolve(REG_VSTEP)

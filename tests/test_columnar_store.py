@@ -140,6 +140,88 @@ def test_conservative_dirty_marking():
     assert not any(store.dirty_cols)
 
 
+def test_serialize_restore_roundtrips_pool_and_overflow_exactly():
+    """Checkpoint round-trip (satellite fix): restored pool ids must be
+    the original ids — a circulating piece re-interned after restore
+    resolves to its old id instead of re-validating into a duplicate —
+    the typed-pool split for ==-equal values of different types must
+    survive, and boxed overflow (unhashable junk, beyond-int64 nats)
+    must come back exactly."""
+    import pickle
+
+    store, compiled = _store()
+    piece = compiled.slot("piece")
+    count = compiled.slot("count")
+    label = compiled.slot("label")
+    store.set_value(0, piece, (1, 1))
+    store.set_value(1, piece, (1, True))     # ==-equal, typed pool
+    store.set_value(2, piece, [9, 9])        # unhashable: boxed
+    store.set_value(3, piece, (1, 1))        # re-interned: id of row 0
+    store.set_value(0, count, 1 << 70)       # beyond int64: boxed
+    store.set_value(1, count, 7)
+    store.set_value(2, label, "stable")      # bumps the stable epoch
+    ctx = _ctx(store, node=2)
+    assert ctx.stable_sentinel() is not None  # warm a decode memo
+
+    state = pickle.loads(pickle.dumps(store.serialize()))
+    fresh = ColumnStore(compiled, list(store.nodes))
+    fresh.set_value(0, piece, ("pre-existing", 3))  # must be overwritten
+    fresh.restore_serialized(state)
+
+    for slot in range(compiled.size):
+        assert list(fresh.data[slot]) == list(store.data[slot]), slot
+    assert fresh.pool_values == store.pool_values
+    assert fresh.overflow == store.overflow
+    assert fresh.extras == store.extras
+    assert list(fresh.stable_versions) == list(store.stable_versions)
+    assert fresh.stable_epoch == store.stable_epoch
+    # re-interning circulating values: original ids, no pool growth
+    pool_len = len(fresh.pool_values)
+    assert fresh.intern((1, 1)) == store.data[piece][0]
+    assert fresh.intern((1, True)) == store.data[piece][1]
+    assert fresh.intern("stable") == store.data[label][2]
+    assert len(fresh.pool_values) == pool_len
+    # values and their exact types round-trip
+    got0 = fresh.get_value(0, piece)
+    got1 = fresh.get_value(1, piece)
+    assert got0 == (1, 1) and type(got0[1]) is int
+    assert got1 == (1, True) and type(got1[1]) is bool
+    assert fresh.get_value(2, piece) == [9, 9]
+    assert fresh.get_value(0, count) == 1 << 70
+    assert fresh.get_value(1, count) == 7
+    # dirty tracking restarts clean after a restore
+    assert not fresh.dirty_node_list and not any(fresh.dirty_cols)
+
+
+def test_restore_serialized_validates_before_mutating():
+    """A payload for another layout raises and leaves the store
+    untouched (the warm-start path then settles cold off a clean
+    network)."""
+    store, compiled = _store()
+    store.set_value(0, compiled.slot("count"), 5)
+    state = store.serialize()
+
+    other_schema = RegisterSchema()
+    other_schema.declare("different", "nat", 0)
+    other = ColumnStore(compile_schema(other_schema), list(range(4)))
+    with pytest.raises(ValueError):
+        other.restore_serialized(state)
+    assert other.get_value(0, 0, "<unset>") == "<unset>"
+
+    small = ColumnStore(compiled, list(range(3)))   # node-count mismatch
+    with pytest.raises(ValueError):
+        small.restore_serialized(state)
+
+    target, _ = _store()
+    target.set_value(0, compiled.slot("label"), "keep")
+    bad = dict(state)
+    bad["pool"] = state["pool"] + ["tampered"]      # wrong pool is fine,
+    bad["cols"] = state["cols"][:-1]                # wrong shape is not
+    with pytest.raises(ValueError):
+        target.restore_serialized(bad)
+    assert target.get_value(0, compiled.slot("label")) == "keep"
+
+
 def test_snapshot_fork_and_refresh():
     store, compiled = _store()
     slot = compiled.slot("count")

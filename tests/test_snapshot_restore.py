@@ -1,0 +1,427 @@
+"""Restore-equivalence matrix for settle-state checkpoints.
+
+The warm-start cache replays saved settled state instead of re-settling;
+that is only trustworthy if restore is *indistinguishable* from never
+having stopped.  These tests prove it at the storage-differential
+suite's standard: settle → snapshot → restore into a freshly built
+network/scheduler/protocol → inject fault → run, compared bit-for-bit —
+full per-node register traces at every stop-condition poll, alarms,
+round/activation/skip counters, memory-bit accounting — against the
+uninterrupted settle → inject → run, across dict/schema/columnar
+storage × sync/async/locality/independent schedules ×
+verifier/hybrid/sqlog protocols, with adversarial junk planted in
+nat/tuple columns *before* the snapshot.
+
+The engine-level tests then pin the cache semantics: warm-started
+``run_scenario`` results equal cold ones field for field, the cache key
+ignores exactly the implementation-only schedule params (enumerated
+from the registries, so a newly registered param cannot silently alias
+a stale snapshot), and corrupt or truncated cache entries fall back to
+a cold settle with a :class:`WarmCacheWarning` — never a crash, never a
+silently wrong result.
+"""
+
+import os
+from dataclasses import asdict, replace
+
+import pytest
+
+from repro.engine import ScenarioSpec, axis, run_scenario
+from repro.engine.scenarios import PROTOCOLS, SCHEDULES
+from repro.engine.spec import IMPL_SCHEDULE_PARAMS, Axis
+from repro.engine.warmcache import (WarmCache, WarmCacheWarning,
+                                    set_warm_cache, warm_key)
+from repro.graphs.generators import random_connected_graph
+from repro.sim import (AsynchronousScheduler, ConflictFreeDaemon,
+                       FaultInjector, LocalityBatchDaemon, Network,
+                       PermutationDaemon, SynchronousScheduler)
+from repro.sim.snapshot import (SnapshotError, capture_run_state,
+                                decode_snapshot, encode_snapshot,
+                                restore_run_state)
+from repro.verification.marker import run_marker
+
+SETTLE_ROUNDS = 16
+DETECT_ROUNDS = 40
+DAEMON_SEED = 11
+FAULT_SEED = 77
+
+STORAGES = ("dict", "schema", "columnar")
+PROTOCOL_KINDS = ("verifier", "hybrid", "sqlog")
+SCHEDULE_KINDS = ("sync", "permutation", "locality", "independent")
+
+
+@pytest.fixture(scope="module")
+def instance():
+    graph = random_connected_graph(10, 16, seed=9)
+    return graph, run_marker(graph)
+
+
+def _build(instance, protocol_kind, schedule, storage):
+    """A fresh network/scheduler pair exactly as the engine builds one."""
+    graph, marker = instance
+    entry = PROTOCOLS[protocol_kind]
+    synchronous = schedule == "sync"
+    network = Network(graph)
+    network.install(entry.labels(graph, marker))
+    protocol = entry.make(synchronous, {})
+    if synchronous:
+        scheduler = SynchronousScheduler(network, protocol,
+                                         storage=storage)
+    else:
+        daemons = {"locality": lambda: LocalityBatchDaemon(
+                       graph, seed=DAEMON_SEED),
+                   "independent": lambda: ConflictFreeDaemon(
+                       graph, seed=DAEMON_SEED),
+                   "permutation": lambda: PermutationDaemon(
+                       seed=DAEMON_SEED)}
+        scheduler = AsynchronousScheduler(network, protocol,
+                                          daemon=daemons[schedule](),
+                                          storage=storage)
+    return network, scheduler
+
+
+def _plant_junk(network):
+    """Adversarial junk a snapshot must carry: a string in a
+    nat-declared register, an unhashable value in a tuple/str one, and
+    an undeclared extra with a beyond-int64 payload."""
+    v = network.graph.nodes()[1]
+    registers = network.registers[v]
+    schema = network.schema
+    if schema is not None:
+        nat = next((n for n, k in zip(schema.names, schema.kinds)
+                    if k == "nat"), None)
+        boxy = next((n for n, k in zip(schema.names, schema.kinds)
+                     if k in ("tuple", "str")), None)
+        if nat:
+            registers[nat] = "junk-in-nat"
+        if boxy:
+            registers[boxy] = ("boxed", [1, 2])
+    else:
+        registers["junk_nat"] = "junk-in-nat"
+        registers["junk_tup"] = ("boxed", [1, 2])
+    registers["_ghost_extra"] = ("planted", 1 << 70)
+
+
+def _settle(instance, protocol_kind, schedule, storage):
+    network, scheduler = _build(instance, protocol_kind, schedule,
+                                storage)
+    settled = scheduler.run(SETTLE_ROUNDS)
+    assert not network.has_alarm(), "honest labels must settle silently"
+    _plant_junk(network)
+    return network, scheduler, settled
+
+
+def _detect(network, scheduler):
+    """Inject the same fault and record everything observable at every
+    stop-condition poll."""
+    injector = FaultInjector(network, seed=FAULT_SEED)
+    injector.corrupt_random_nodes(2)
+    trace = []
+
+    def record(net):
+        trace.append({v: dict(net.registers[v])
+                      for v in net.graph.nodes()})
+        return net.has_alarm()
+
+    rounds = scheduler.run(DETECT_ROUNDS, stop_when=record)
+    return {
+        "rounds": rounds,
+        "sched_rounds": scheduler.rounds,
+        "activations": getattr(scheduler, "activations", None),
+        "skipped": getattr(scheduler, "steps_skipped", None),
+        "alarms": dict(network.alarms()),
+        "max_bits": network.max_memory_bits(),
+        "total_bits": network.total_memory_bits(),
+        "faulty": list(injector.faulty_nodes),
+        "trace": trace,
+    }
+
+
+@pytest.mark.parametrize("storage", STORAGES)
+@pytest.mark.parametrize("schedule", SCHEDULE_KINDS)
+@pytest.mark.parametrize("protocol_kind", PROTOCOL_KINDS)
+def test_restore_equivalence(instance, protocol_kind, schedule, storage):
+    """settle→snapshot→restore→inject ≡ settle→inject, bit for bit."""
+    network, scheduler, settled = _settle(instance, protocol_kind,
+                                          schedule, storage)
+    payload = capture_run_state(network, scheduler, settled)
+    assert payload is not None
+    blob = encode_snapshot(payload)          # through the wire format
+    settled_registers = {v: dict(network.registers[v])
+                         for v in network.graph.nodes()}
+    reference = _detect(network, scheduler)
+
+    fresh_net, fresh_sched = _build(instance, protocol_kind, schedule,
+                                    storage)
+    restored = restore_run_state(fresh_net, fresh_sched,
+                                 decode_snapshot(blob))
+    assert restored == settled
+    assert {v: dict(fresh_net.registers[v]) for v in
+            fresh_net.graph.nodes()} == settled_registers
+    assert _detect(fresh_net, fresh_sched) == reference
+
+
+@pytest.mark.parametrize("target_storage", ("dict", "columnar"))
+def test_restore_crosses_storage_backends(instance, target_storage):
+    """A snapshot taken on one backend restores onto another (the cache
+    key excludes ``storage``) with the same observable continuation."""
+    source_storage = "columnar" if target_storage == "dict" else "schema"
+    network, scheduler, settled = _settle(instance, "verifier", "sync",
+                                          source_storage)
+    payload = capture_run_state(network, scheduler, settled)
+    reference = _detect(network, scheduler)
+
+    fresh_net, fresh_sched = _build(instance, "verifier", "sync",
+                                    target_storage)
+    assert restore_run_state(fresh_net, fresh_sched, payload) == settled
+    assert _detect(fresh_net, fresh_sched) == reference
+
+
+def test_restore_validates_before_mutating(instance):
+    """A payload that does not fit the target raises and leaves the
+    target untouched — the caller's cold fallback then runs clean."""
+    network, scheduler, settled = _settle(instance, "verifier", "sync",
+                                          "columnar")
+    payload = capture_run_state(network, scheduler, settled)
+
+    other_graph = random_connected_graph(12, 18, seed=4)
+    other = Network(other_graph)
+    entry = PROTOCOLS["verifier"]
+    other.install(entry.labels(other_graph, run_marker(other_graph)))
+    sched = SynchronousScheduler(other, entry.make(True, {}),
+                                 storage="columnar")
+    before = {v: dict(other.registers[v]) for v in other_graph.nodes()}
+    with pytest.raises(SnapshotError):
+        restore_run_state(other, sched, payload)
+    assert {v: dict(other.registers[v])
+            for v in other_graph.nodes()} == before
+
+    # scheduler-kind mismatch, same topology
+    net2, sched2 = _build(instance, "verifier", "permutation", "dict")
+    with pytest.raises(SnapshotError):
+        restore_run_state(net2, sched2, payload)
+    # malformed payloads never half-apply either
+    net3, sched3 = _build(instance, "verifier", "sync", "dict")
+    with pytest.raises(SnapshotError):
+        restore_run_state(net3, sched3, {"version": 99})
+
+
+def test_wire_format_rejects_corruption():
+    payload = {"version": 1, "data": list(range(32))}
+    blob = encode_snapshot(payload)
+    assert decode_snapshot(blob) == payload
+    for bad in (b"", b"junk", blob[:-1], blob[: len(blob) // 2],
+                blob[:7] + b"\x00" * (len(blob) - 7)):
+        with pytest.raises(SnapshotError):
+            decode_snapshot(bad)
+    flipped = bytearray(blob)
+    flipped[len(blob) // 2] ^= 0xFF
+    with pytest.raises(SnapshotError):
+        decode_snapshot(bytes(flipped))
+
+
+# ---------------------------------------------------------------------------
+# engine-level warm start
+# ---------------------------------------------------------------------------
+
+def _spec(**overrides):
+    base = dict(topology=axis("random", n=10, extra=14),
+                fault=axis("corrupt", count=1),
+                schedule=axis("sync", storage="columnar"),
+                seed=5)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def _strip(result):
+    """Everything deterministic about a result (drop wall time and the
+    cache bookkeeping the comparison is about)."""
+    return {k: v for k, v in asdict(result).items()
+            if k not in ("wall_time", "cache_hit", "settle_rounds_saved",
+                         "spec")}
+
+
+@pytest.fixture
+def warm_dir(tmp_path):
+    cache = WarmCache(str(tmp_path / "warm"))
+    previous = set_warm_cache(cache)
+    yield cache
+    set_warm_cache(previous)
+
+
+@pytest.mark.parametrize("schedule", (axis("sync", storage="columnar"),
+                                      axis("permutation")))
+def test_run_scenario_warm_equals_cold(tmp_path, schedule):
+    spec = _spec(schedule=schedule)
+    cold = run_scenario(spec)
+    cache = WarmCache(str(tmp_path / "warm"))
+    previous = set_warm_cache(cache)
+    try:
+        miss = run_scenario(spec)
+        hit = run_scenario(spec)
+    finally:
+        set_warm_cache(previous)
+    assert miss.cache_hit is False and miss.settle_rounds_saved == 0
+    assert hit.cache_hit is True
+    assert hit.settle_rounds_saved == cold.settle_rounds > 0
+    assert _strip(miss) == _strip(cold)
+    assert _strip(hit) == _strip(cold)
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert cold.cache_hit is None            # no cache: never consulted
+
+
+def test_warm_cache_shared_across_impl_params(warm_dir):
+    """`storage`/`bulk`/... are proven equivalent, so cells differing
+    only in them share one entry — and restoring a columnar-written
+    snapshot into a dict-backed run reproduces the cold result."""
+    cold = run_scenario(_spec())           # columnar, populates
+    for params in ({"storage": "dict"}, {"storage": "schema"},
+                   {"bulk": False}, {"fast_path": False}):
+        result = run_scenario(_spec(schedule=axis("sync", **params)))
+        assert result.cache_hit is True, params
+        assert _strip(result) == _strip(cold)
+    assert warm_dir.misses == 1
+
+
+def test_warm_cache_not_consulted_without_settle_phase(warm_dir):
+    result = run_scenario(_spec(fault=axis("none")))
+    assert result.cache_hit is None
+    assert (warm_dir.hits, warm_dir.misses) == (0, 0)
+
+
+def test_populate_only_mode_never_restores(tmp_path):
+    """``restore=False`` (--no-warm-start): every lookup misses but the
+    settled state is still stored for a later warm run."""
+    root = str(tmp_path / "warm")
+    spec = _spec()
+    previous = set_warm_cache(WarmCache(root, restore=False))
+    try:
+        first = run_scenario(spec)
+        second = run_scenario(spec)
+    finally:
+        set_warm_cache(previous)
+    assert first.cache_hit is False and second.cache_hit is False
+    previous = set_warm_cache(WarmCache(root))
+    try:
+        third = run_scenario(spec)
+    finally:
+        set_warm_cache(previous)
+    assert third.cache_hit is True
+
+
+# ---------------------------------------------------------------------------
+# cache-key properties (enumerated from the registries)
+# ---------------------------------------------------------------------------
+
+def _key_of(spec, settle_budget=40, topology_seed=123):
+    synchronous, _ = SCHEDULES[spec.schedule.kind]
+    return warm_key(spec, synchronous, settle_budget, topology_seed,
+                    spec.derived_seed("daemon"))
+
+
+def test_impl_only_schedule_params_never_change_the_key():
+    """For every registered schedule kind, every implementation-only
+    param is invisible to both the key and the daemon seed."""
+    assert {"storage", "bulk", "fast_path",
+            "dirty_aware"} <= set(IMPL_SCHEDULE_PARAMS)
+    for kind in sorted(SCHEDULES):
+        base = _spec(schedule=Axis(kind))
+        for param in sorted(IMPL_SCHEDULE_PARAMS):
+            varied = _spec(schedule=axis(kind, **{param: "varied"}))
+            assert _key_of(varied) == _key_of(base), (kind, param)
+            assert varied.derived_seed("daemon") == \
+                base.derived_seed("daemon"), (kind, param)
+
+
+def test_semantic_schedule_params_always_change_the_key():
+    """Any schedule param *outside* IMPL_SCHEDULE_PARAMS is key-relevant
+    by construction — a future registered knob cannot silently alias a
+    stale snapshot.  Spot-checked on a real semantic param too."""
+    for kind in sorted(SCHEDULES):
+        base = _spec(schedule=Axis(kind))
+        varied = _spec(schedule=axis(kind, zz_future_knob=1))
+        assert _key_of(varied) != _key_of(base), kind
+    slow2 = _spec(schedule=axis("slow_nodes", count=2, slowdown=4))
+    slow3 = _spec(schedule=axis("slow_nodes", count=3, slowdown=4))
+    assert _key_of(slow2) != _key_of(slow3)
+
+
+def test_key_covers_semantic_axes_and_horizon():
+    base = _spec()
+    assert _key_of(base) == _key_of(base)
+    # topology spec, topology seed, protocol, settle horizon all enter
+    assert _key_of(_spec(topology=axis("random", n=12, extra=14))) \
+        != _key_of(base)
+    assert _key_of(base, topology_seed=124) != _key_of(base)
+    assert _key_of(_spec(protocol=axis("hybrid"))) != _key_of(base)
+    assert _key_of(base, settle_budget=41) != _key_of(base)
+    # synchronous settling is seed-free: fault cells differing only in
+    # base seed (hence fault/daemon seeds) share the entry...
+    assert _key_of(_spec(seed=6)) == _key_of(base)
+    # ...asynchronous settling consumes daemon randomness, so the seed
+    # (via the derived daemon seed) splits the key
+    async_base = _spec(schedule=axis("permutation"))
+    async_other = _spec(schedule=axis("permutation"), seed=6)
+    assert _key_of(async_base) != _key_of(async_other)
+    # the fault axis feeds the daemon seed derivation, so async cells
+    # with different faults settle differently and must not share
+    fault_a = _spec(schedule=axis("permutation"))
+    fault_b = _spec(schedule=axis("permutation"),
+                    fault=axis("scramble", count=1))
+    assert (_key_of(fault_a) == _key_of(fault_b)) == \
+        (fault_a.derived_seed("daemon") == fault_b.derived_seed("daemon"))
+
+
+# ---------------------------------------------------------------------------
+# corrupt cache entries: warn + cold fallback, never wrong
+# ---------------------------------------------------------------------------
+
+def _single_entry(cache):
+    files = [f for f in os.listdir(cache.root) if f.endswith(".snap")]
+    assert len(files) == 1
+    return os.path.join(cache.root, files[0])
+
+
+@pytest.mark.parametrize("corruption", ("bitflip", "truncate", "stub"))
+def test_corrupt_cache_entry_falls_back_cold(warm_dir, corruption):
+    spec = _spec()
+    cold = run_scenario(spec)              # miss: populates the cache
+    path = _single_entry(warm_dir)
+    blob = open(path, "rb").read()
+    if corruption == "bitflip":
+        bad = bytearray(blob)
+        bad[len(bad) // 2] ^= 0x01
+        blob = bytes(bad)
+    elif corruption == "truncate":
+        blob = blob[: len(blob) // 2]
+    else:
+        blob = blob[:3]
+    with open(path, "wb") as fh:
+        fh.write(blob)
+
+    with pytest.warns(WarmCacheWarning):
+        fallback = run_scenario(spec)
+    assert fallback.cache_hit is False
+    assert _strip(fallback) == _strip(cold)
+    # the cold fallback repaired the entry in place
+    repaired = run_scenario(spec)
+    assert repaired.cache_hit is True
+    assert _strip(repaired) == _strip(cold)
+
+
+def test_valid_snapshot_for_wrong_network_falls_back_cold(warm_dir,
+                                                          tmp_path):
+    """A checksum-valid payload that fails restore validation (here: a
+    different topology planted under the right key) warns and settles
+    cold instead of crashing or half-applying."""
+    spec = _spec()
+    cold = run_scenario(spec)
+    path = _single_entry(warm_dir)
+    payload = decode_snapshot(open(path, "rb").read())
+    payload["network"]["nodes"] = payload["network"]["nodes"][:-1]
+    with open(path, "wb") as fh:
+        fh.write(encode_snapshot(payload))
+    with pytest.warns(WarmCacheWarning):
+        fallback = run_scenario(spec)
+    assert fallback.cache_hit is False
+    assert _strip(fallback) == _strip(cold)
