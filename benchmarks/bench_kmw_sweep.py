@@ -22,6 +22,16 @@ Per subdivided instance (growing tau, largest cell > 10k nodes):
 ``--quick`` shrinks the cells for CI smoke (< 20 s); ``--out`` dumps
 the records as JSONL.
 
+``--xl`` (manual only, ~30-40 min of wall time — dominated by building
+and labelling the instances, not by the rounds — never CI) pushes the
+same sweep to ~50k and 100k+ nodes on ``storage="numpy"`` — the scale
+the PR 7 vector tier unlocks: whole-instance masked-ndarray sweeps
+keep the per-round cost sane where the scalar per-row replay would
+crawl.
+Per-cell peak-RSS rows ride along (``ru_maxrss``; tracemalloc is too
+slow to leave on at 100k), and ``--out`` appends one ``xl-meta`` JSONL
+line per cell with the RSS/wall samples after the scenario records.
+
 ``--tau-trend`` runs the *comparison-phase* detection-time experiment
 the scramble cells cannot see (``kmw_tau_trend_campaign``): a
 ``piece_lie`` fault — a lie on a stored piece's claimed minimum
@@ -53,6 +63,12 @@ from repro.engine.campaigns import KMW_TAU_TREND_CELLS
 
 #: CI smoke cells: same shape, toy sizes.
 QUICK_CELLS = ((16, 24, 1), (24, 38, 2))
+
+#: XL cells for ``--xl`` (manual only, never CI): the subdivided
+#: family pushed to the scale the numpy vector tier unlocks — the
+#: second cell crosses 100k nodes (1600 base nodes, 4999 base edges,
+#: tau=10 -> 2 tau = 20 subdivision nodes per edge -> 101,580 nodes).
+XL_CELLS = ((800, 1600, 10), (1600, 3400, 10))
 
 
 def run_sweep(cells=None, seed=0, workers=1, out=None):
@@ -142,6 +158,57 @@ def run_tau_trend(seed=0, workers=1, out=None, warm_cache=None,
     return result, rows, table
 
 
+def run_xl(seed=0, out=None):
+    """The ``--xl`` sweep: the subdivided family at 50k and 100k+
+    nodes on ``storage="numpy"`` — the scale target of the vector
+    tier.  Each cell runs inline (one spec at a time) so the
+    peak-memory rows are per-cell: process peak RSS sampled after each
+    scenario (``ru_maxrss`` — cheap enough to leave on at 100k, unlike
+    tracemalloc), plus the protocol's own per-node bit accounting from
+    the scenario records.  ``--out`` dumps the scenario JSONL followed
+    by one ``xl-meta`` line per cell carrying the RSS samples (the
+    differ never joins XL dumps; the meta lines are artifact-only)."""
+    import json
+    import resource
+    import time
+
+    specs = kmw_sweep_campaign(cells=XL_CELLS, seed=seed,
+                               storage="numpy", rounds=3,
+                               max_rounds=40)
+    rows, results, meta = [], [], []
+    for spec in specs:
+        start = time.perf_counter()
+        result = CampaignRunner(workers=1).run([spec])
+        wall = time.perf_counter() - start
+        res = result.results[0]
+        results.append(res)
+        peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        graph = graph_for(spec)
+        rows.append([
+            spec.topology.get("base_n"), spec.topology.get("tau"),
+            graph.n, spec.fault.kind,
+            "-" if res.rounds_to_detection is None
+            else res.rounds_to_detection,
+            res.max_memory_bits, f"{peak_kb / 1024:.0f}",
+            f"{wall:.1f}", "ok" if res.ok else str(res.violation),
+        ])
+        meta.append({"key": "xl-meta/" + spec.key, "n": graph.n,
+                     "peak_rss_kb": peak_kb, "wall_time": wall})
+    table = format_table(
+        ["base n", "tau", "n'", "fault", "detect rounds",
+         "max bits/node", "peak RSS MB", "wall s", "verdict"], rows)
+    if out:
+        from repro.engine.runner import dump_jsonl
+        written = dump_jsonl(results, out)
+        with open(out, "a") as fh:
+            for m in meta:
+                fh.write(json.dumps(m, sort_keys=True) + "\n")
+        table += (f"\nwrote {written} scenario record(s) + "
+                  f"{len(meta)} xl-meta line(s) to {out}")
+    bad = [r for r in results if not r.ok]
+    return bad, rows, table
+
+
 def test_kmw_sweep(once):
     result, rows, table = once(run_sweep)
     assert not result.violations(), result.summary()
@@ -173,6 +240,11 @@ def main(argv=None):
                         help="piece-lie detection-time trend vs tau "
                              "(comparison-phase faults; replaces the "
                              "sweep)")
+    parser.add_argument("--xl", action="store_true",
+                        help="50k/100k-node subdivided cells on the "
+                             "numpy vector tier, with per-cell peak-RSS "
+                             "rows (manual only — ~30-40 min of wall "
+                             "time, never part of CI)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--out", default=None,
@@ -187,6 +259,17 @@ def main(argv=None):
     if args.warm_cache and not args.tau_trend:
         parser.error("--warm-cache applies to --tau-trend (the sweep's "
                      "detection cells are settle-free)")
+    if args.xl and (args.quick or args.tau_trend):
+        parser.error("--xl is a standalone manual mode")
+    if args.xl:
+        bad, rows, table = run_xl(seed=args.seed, out=args.out)
+        print(table)
+        biggest = max(r[2] for r in rows)
+        print(f"\nlargest instance: {biggest} nodes on the numpy "
+              "vector tier")
+        if bad:
+            print(f"{len(bad)} violation(s)")
+        return 1 if bad else 0
     if args.tau_trend:
         result, rows, table = run_tau_trend(seed=args.seed,
                                             workers=args.workers,

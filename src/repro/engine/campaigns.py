@@ -310,7 +310,8 @@ def smoke_campaign(seed: int = 0) -> List[ScenarioSpec]:
         topologies=(axis("random", n=10, extra=6), axis("ring", n=8)),
         faults=(axis("none"), axis("corrupt", count=1, fraction=0.6),
                 axis("label_swap")),
-        schedules=(axis("sync"), axis("permutation")),
+        schedules=(axis("sync"), axis("permutation"),
+                   axis("sync", storage="numpy")),
         seed=seed,
         completeness_rounds=200,
         max_rounds=4_000,

@@ -182,6 +182,16 @@ class CampaignResult:
         lines.append(format_table(
             ["fault", "runs", "detected", "worst detection rounds",
              "max memory bits", "violations"], rows))
+        tiers = sorted({r.spec.schedule.get("storage", "dict")
+                        for r in self.results})
+        if tiers:
+            note = ""
+            if "numpy" in tiers:
+                from ..sim.npcolumnar import numpy_or_none
+                note = (" (vectorized numpy tier active)"
+                        if numpy_or_none() is not None else
+                        " (numpy unavailable: degraded to columnar)")
+            lines.append("storage tiers: " + ", ".join(tiers) + note)
         bad = self.violations()
         if bad:
             lines.append("violating scenarios:")

@@ -15,8 +15,8 @@ a registry in this module:
   and ``independent`` — the conflict-free daemon whose disjoint
   closed-neighbourhood batches license asynchronous bulk fusion);
   every schedule accepts the implementation parameter
-  ``storage="schema"|"dict"|"columnar"`` selecting the register
-  backend;
+  ``storage="schema"|"dict"|"columnar"|"numpy"`` selecting the
+  register backend;
 * :data:`PROTOCOLS` — the verifier under test (``verifier``, ``hybrid``,
   ``sqlog``).
 
@@ -206,14 +206,16 @@ def _storage_flag(kind: str, params: dict) -> str:
     """Pop the ``storage`` schedule parameter: ``"schema"`` (default)
     backs the network with the protocol's typed register file,
     ``"columnar"`` with the packed column store
-    (:mod:`repro.sim.columnar`), and ``"dict"`` forces the legacy
-    per-node dict store (the reference representation the differential
-    tests compare against)."""
+    (:mod:`repro.sim.columnar`), ``"numpy"`` with the vectorized numpy
+    column tier (:mod:`repro.sim.npcolumnar`; falls back to columnar
+    with a warning when numpy is absent), and ``"dict"`` forces the
+    legacy per-node dict store (the reference representation the
+    differential tests compare against)."""
     storage = params.pop("storage", "schema")
-    if storage not in ("schema", "dict", "columnar"):
+    if storage not in ("schema", "dict", "columnar", "numpy"):
         raise ScenarioError(
             f"{kind!r}: unknown storage {storage!r} "
-            "(expected 'schema', 'columnar' or 'dict')")
+            "(expected 'schema', 'columnar', 'numpy' or 'dict')")
     return storage
 
 

@@ -10,8 +10,11 @@ from .registers import (KIND_NAT, KIND_OPAQUE, KIND_STR, KIND_TUPLE,
                         CompiledSchema, RegisterFile, RegisterSchema,
                         RegisterView, bit_size, compile_schema, is_ghost,
                         nat_value, register_bits)
+from .npcolumnar import (NumpyColumnStore, NumpyFallbackWarning,
+                         numpy_or_none)
 from .schedulers import (STORAGE_COLUMNAR, STORAGE_DICT, STORAGE_KINDS,
-                         STORAGE_SCHEMA, AsynchronousScheduler,
+                         STORAGE_NUMPY, STORAGE_SCHEMA,
+                         AsynchronousScheduler,
                          ConflictFreeDaemon, Daemon, LocalityBatchDaemon,
                          PermutationDaemon, RandomDaemon, RoundRobinDaemon,
                          SlowNodesDaemon, SynchronousScheduler)
@@ -29,7 +32,9 @@ __all__ = [
     "KIND_NAT", "KIND_OPAQUE", "KIND_STR", "KIND_TUPLE",
     "CompiledSchema", "RegisterFile", "RegisterSchema", "RegisterView",
     "bit_size", "compile_schema", "is_ghost", "nat_value", "register_bits",
-    "STORAGE_COLUMNAR", "STORAGE_DICT", "STORAGE_KINDS", "STORAGE_SCHEMA",
+    "NumpyColumnStore", "NumpyFallbackWarning", "numpy_or_none",
+    "STORAGE_COLUMNAR", "STORAGE_DICT", "STORAGE_KINDS", "STORAGE_NUMPY",
+    "STORAGE_SCHEMA",
     "AsynchronousScheduler", "ConflictFreeDaemon", "Daemon",
     "LocalityBatchDaemon", "PermutationDaemon", "RandomDaemon",
     "RoundRobinDaemon", "SlowNodesDaemon", "SynchronousScheduler",

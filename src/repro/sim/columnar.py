@@ -496,8 +496,11 @@ class ColumnStore:
     # -- snapshots -------------------------------------------------------
     def fork(self) -> "ColumnStore":
         """A full snapshot copy sharing schema, indexing, pool, and
-        decode memos."""
-        snap = ColumnStore.__new__(ColumnStore)
+        decode memos.  Subclass-preserving: a numpy-tier store forks a
+        numpy-tier snapshot, so snapshot-side batch gathers and masked
+        refreshes stay vectorized."""
+        cls = type(self)
+        snap = cls.__new__(cls)
         snap.schema = self.schema
         snap.nodes = self.nodes
         snap.index = self.index

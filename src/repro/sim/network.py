@@ -81,22 +81,32 @@ class Network:
     def adopt_schema(self, schema, columnar: bool = False) -> CompiledSchema:
         """Convert node storage to register files of ``schema`` — per-node
         slot lists by default, network-wide columns under
-        ``columnar=True`` (see :mod:`repro.sim.columnar`).
+        ``columnar=True`` (see :mod:`repro.sim.columnar`), numpy-tier
+        columns under ``columnar="numpy"`` (same representation, vector
+        batch ops — see :mod:`repro.sim.npcolumnar`).
 
         Idempotent for an equal schema on the same layout; re-adopting a
-        different schema or switching layout rebuilds the storage from
-        the current register contents (values are preserved, undeclared
-        names land in the extras).  Returns the compiled schema now
-        backing the network.
+        different schema or switching layout (including columnar <->
+        numpy, which differ only by store class) rebuilds the storage
+        from the current register contents (values are preserved,
+        undeclared names land in the extras).  Returns the compiled
+        schema now backing the network.
         """
         compiled = compile_schema(schema)
+        if columnar == "numpy":
+            from .npcolumnar import NumpyColumnStore
+            store_cls = NumpyColumnStore
+        else:
+            from .columnar import ColumnStore
+            store_cls = ColumnStore
         if self.schema is not None and self.schema == compiled and \
-                (self.columns is not None) == columnar:
+                (self.columns is not None) == bool(columnar) and \
+                (self.columns is None or type(self.columns) is store_cls):
             return self.schema
         if columnar:
-            from .columnar import (ColumnStore, ColumnarNodeFacade)
+            from .columnar import ColumnarNodeFacade
             nodes = self.graph.nodes()
-            store = ColumnStore(compiled, nodes)
+            store = store_cls(compiled, nodes)
             table = RegisterTable()
             for v in nodes:
                 facade = ColumnarNodeFacade(store, v)

@@ -56,18 +56,31 @@ from .network import (Network, NodeContext, Protocol, SlotNodeContext,
 STORAGE_DICT = "dict"
 STORAGE_SCHEMA = "schema"
 STORAGE_COLUMNAR = "columnar"
-STORAGE_KINDS = (STORAGE_DICT, STORAGE_SCHEMA, STORAGE_COLUMNAR)
+STORAGE_NUMPY = "numpy"
+STORAGE_KINDS = (STORAGE_DICT, STORAGE_SCHEMA, STORAGE_COLUMNAR,
+                 STORAGE_NUMPY)
+
+#: the column-backed kinds (shared representation, different batch ops)
+_COLUMN_STORAGES = (STORAGE_COLUMNAR, STORAGE_NUMPY)
 
 
 def _storage_mode(storage, use_schema: bool) -> str:
     """Normalize the scheduler storage selection: the ``storage`` name
     wins when given; otherwise the legacy ``use_schema`` flag picks
-    between ``schema`` and ``dict``."""
+    between ``schema`` and ``dict``.  ``numpy`` without numpy installed
+    degrades to ``columnar`` with a one-shot warning — the tiers are
+    bit-for-bit identical, so this is an implementation substitution,
+    never a semantic one."""
     if storage is None:
         return STORAGE_SCHEMA if use_schema else STORAGE_DICT
     if storage not in STORAGE_KINDS:
         raise ValueError(f"unknown storage {storage!r} "
                          f"(expected one of {STORAGE_KINDS})")
+    if storage == STORAGE_NUMPY:
+        from .npcolumnar import numpy_or_none, warn_fallback_once
+        if numpy_or_none() is None:
+            warn_fallback_once()
+            return STORAGE_COLUMNAR
     return storage
 
 
@@ -84,7 +97,8 @@ def _bind_storage(network: Network, protocol: Protocol, storage: str):
         schema = protocol.register_schema()
         if schema is not None:
             compiled = network.adopt_schema(
-                schema, columnar=(storage == STORAGE_COLUMNAR))
+                schema, columnar=("numpy" if storage == STORAGE_NUMPY
+                                  else storage == STORAGE_COLUMNAR))
     protocol.bind_registers(compiled)
     protocol._storage_binding = compiled
     return compiled
@@ -97,8 +111,14 @@ def _ensure_storage(network: Network, protocol: Protocol,
     the compiled schema now backing it (``compiled`` when unchanged)."""
     if compiled is None:
         return None
-    if (storage == STORAGE_COLUMNAR) != (network.columns is not None):
+    want_columns = storage in _COLUMN_STORAGES
+    if want_columns != (network.columns is not None):
         return _bind_storage(network, protocol, storage)
+    if want_columns:
+        from .npcolumnar import NumpyColumnStore
+        if (type(network.columns) is NumpyColumnStore) != \
+                (storage == STORAGE_NUMPY):
+            return _bind_storage(network, protocol, storage)
     return compiled
 
 

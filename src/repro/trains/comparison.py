@@ -33,6 +33,7 @@ on dict storage, an integer slot under a compiled register schema.
 
 from __future__ import annotations
 
+import struct
 from array import array
 from typing import Any, List, Optional, Tuple
 
@@ -41,6 +42,9 @@ from ..labels.registers import (REG_DELIM, REG_ENDP, REG_JMASK,
 from ..labels.strings import ENDP_DOWN, ENDP_UP
 from ..labels.wellforming import sorted_levels
 from ..sim.columnar import BOX_S, NONE_S, PoolColumn, SENT_CEIL
+from ..sim.npcolumnar import (IDX_NOT, IDX_ODD, SHOW_NONE, WL_NEVER,
+                              WL_ODD, PoolIdCache, csr_take, idx_of,
+                              seg_any, view64)
 from ..sim.registers import NO_DECODE, handle_resolver
 from .budgets import Budgets
 from .train import (TrainComponent, TrainObservation, decode_observation,
@@ -665,14 +669,16 @@ class ComparisonComponent:
         scalar helpers.  Same control flow, same junk coercions, same
         writes in the same order as :meth:`step`; write-tracking
         contract as in :meth:`TrainComponent.make_bulk_step`.  Returns
-        None unless the mode is ``want`` (the serialized
-        ``want-simple`` ablation stays scalar) and the layout is the
+        None unless the mode is ``want`` or the serialized
+        ``want-simple`` ablation (whose only client-side difference is
+        the degree-scaled service budget) and the layout is the
         expected columnar one.
         """
-        if self.mode != MODE_WANT or \
+        if self.mode not in (MODE_WANT, MODE_WANT_SIMPLE) or \
                 not getattr(ops, "fused", False) or \
                 type(self.h_ask) is not int:
             return None
+        simple = self.mode == MODE_WANT_SIMPLE
         store = ops.store
         snap = ops.snap
         data = store.data
@@ -800,7 +806,8 @@ class ComparisonComponent:
                     v = svc_col[i]
                     svc = (v if 0 <= v <= _NAT_CAP else 0) + 1
                     w_svc(i, svc)
-                    if svc > budgets.service:
+                    scale = max(1, ctx.degree) if simple else 1
+                    if svc > budgets.service * scale:
                         alarms.append("WANT: server never displayed the "
                                       "requested piece")
                         _w_want(i, None)
@@ -855,22 +862,28 @@ class ComparisonComponent:
         gather straight off the designated column store (the round
         snapshot under the synchronous ablation, the live columns under
         the conflict-free asynchronous license).  Exact transcription
-        of the scalar scan; returns None unless the mode is ``want``
-        and the layout is the expected columnar one.
+        of the scalar scan — including the ``want-simple`` server's
+        round-robin filter, which reads only the neighbour whose turn
+        it is; returns None unless the mode is ``want`` /
+        ``want-simple`` and the layout is the expected columnar one.
         """
-        if self.mode != MODE_WANT or \
+        if self.mode not in (MODE_WANT, MODE_WANT_SIMPLE) or \
                 not getattr(ops, "fused", False) or \
                 type(self.h_want) is not int:
             return None
+        simple = self.mode == MODE_WANT_SIMPLE
         store = ops.store
         snap = ops.snap
         data = store.data
         sdata = snap.data
         h_want = self.h_want
+        h_turn = self.h_turn
         h_tb, h_bb = self.top.h_bbuf, self.bottom.h_bbuf
         if type(sdata[h_want]) is not PoolColumn or \
-                any(type(data[h]) is not PoolColumn for h in (h_tb, h_bb)):
+                any(type(data[h]) is not PoolColumn for h in (h_tb, h_bb)) \
+                or (simple and type(data[h_turn]) is not array):
             return None
+        turn_col = data[h_turn]
         s_want = sdata[h_want]
         tb_col, bb_col = data[h_tb], data[h_bb]
         pool = store.pool_values
@@ -890,8 +903,25 @@ class ComparisonComponent:
             # quantifiers commuted.
             i = ctx._i
             me = ctx.node
+            if simple and ctx.neighbors:
+                # the simple server honours one client per turn: only
+                # that neighbour's request can hold a level (the same
+                # nat coercion ctx.nat applies, inlined)
+                v = turn_col[i]
+                if v > SENT_CEIL:
+                    t = v if 0 <= v <= _NAT_CAP else 0
+                elif v == BOX_S:
+                    x = overflow[h_turn][i]
+                    t = x if (isinstance(x, int)
+                              and not isinstance(x, bool)
+                              and 0 <= x <= _NAT_CAP) else 0
+                else:
+                    t = 0
+                scan = (ctx._nbr_idx[t % len(ctx.neighbors)],)
+            else:
+                scan = ctx._nbr_idx
             wanted = None
-            for j in ctx._nbr_idx:
+            for j in scan:
                 v2 = s_want[j]
                 want = pool[v2] if v2 > SENT_CEIL else (
                     soverflow[h_want][j] if v2 == BOX_S else None)
@@ -935,3 +965,381 @@ class ComparisonComponent:
             return (held_top, held_bot)
 
         return held
+
+    def make_vector_kernel(self, ops, topo):
+        """The whole-column classifier for the comparison half of the
+        numpy-tier vector sweep (see
+        :meth:`TrainComponent.make_vector_kernel
+        <repro.trains.train.TrainComponent.make_vector_kernel>` for the
+        contract).  Most activations of the comparison are *trivial*:
+        the ask is held and no neighbour event fires (sync window), or
+        the served neighbour has not displayed the piece yet and the
+        ``Want`` stays filed (async).  Those paths reduce to int64
+        masks over the J-mask / broadcast-slot / ``Want`` columns plus
+        per-pool-id attribute lookups (piece validity, level, weight
+        class), with float64 edge-weight compares guarded to the range
+        where they are exact.  Anything else — acquire, advance,
+        events, alarms, boxed junk, odd ``==`` semantics — replays the
+        scalar fused body.
+        """
+        return _VectorCmpKernel(self, ops, topo)
+
+
+#: float64 bit pattern as an int64 (PoolIdCache cells are int64)
+def _f64bits(x: float) -> int:
+    return struct.unpack("<q", struct.pack("<d", x))[0]
+
+
+class _VectorCmpKernel:
+    """Vector classifier state for one :class:`ComparisonComponent`.
+
+    ``classify`` dispatches on the mode (sync window / Want); ``held``
+    is the Want mode's vectorized :meth:`~ComparisonComponent.held_levels`
+    — it returns per-row hold flags for the train classifiers plus a
+    soundness mask (rows whose hold could not be proven go scalar).
+    """
+
+    __slots__ = ("comp", "store", "snap", "topo", "ask_cache",
+                 "show_cache", "want_cache", "lvl_empty")
+
+    def __init__(self, comp, ops, topo):
+        self.comp = comp
+        self.store = ops.store
+        self.snap = ops.snap
+        self.topo = topo
+        store = ops.store
+
+        # shared identity interns: two pieces (or fragment roots) get
+        # the same id iff they compare equal under the scalar body's
+        # own comparisons.  Roots are plain non-bool ints (valid_piece)
+        # so dict equality IS ``==``; whole pieces are tuples, where
+        # both dict lookup and tuple ``==`` go through
+        # PyObject_RichCompareBool (identity-shortcut) item-wise — the
+        # same semantics, including same-object NaN weights.  An
+        # unhashable weight falls out as id -1 (never equal: scalar).
+        frags: dict = {}
+        pieces: dict = {}
+
+        def _piece_id(p):
+            try:
+                return pieces.setdefault(p, len(pieces))
+            except TypeError:
+                return -1
+
+        def ask_attrs(val):
+            # (valid, level, weight-kind, float64 weight bits,
+            #  fragment id, piece id); kind 1 means "compares exactly
+            # as float64 against edge weights"
+            if not valid_piece(val):
+                return (0, 0, 0, 0, -1, -1)
+            w = val[2]
+            if type(w) is float:
+                wk, bits = 1, _f64bits(w)
+            elif type(w) is bool:
+                wk, bits = 1, _f64bits(float(w))
+            elif type(w) is int and -(1 << 50) < w < (1 << 50):
+                wk, bits = 1, _f64bits(float(w))
+            elif w is None:
+                wk, bits = 0, 0
+            else:
+                wk, bits = 2, 0
+            return (1, val[1], wk, bits,
+                    frags.setdefault(val[0], len(frags)),
+                    _piece_id(tuple(val)))
+
+        def show_attrs(val):
+            # (level, fragment id, piece id) a show exposes to
+            # _neighbor_piece, or (SHOW_NONE, -1, -1)
+            d = decode_observation(val)
+            if d is not None and d.flag:
+                p = d.piece
+                return (p[1], frags.setdefault(p[0], len(frags)),
+                        _piece_id(tuple(p)))
+            return (SHOW_NONE, -1, -1)
+
+        def want_attrs(val):
+            # (who the request names, its level) under plain ==
+            # semantics; WL_ODD forces the scalar path
+            if isinstance(val, tuple) and len(val) == 2:
+                lv = val[1]
+                if type(lv) is bool:
+                    enc = int(lv)
+                elif type(lv) is int:
+                    enc = lv if -(1 << 40) < lv < (1 << 40) else WL_NEVER
+                elif type(lv) is float:
+                    if lv != lv or lv in (float("inf"), float("-inf")) \
+                            or not lv.is_integer():
+                        enc = WL_NEVER
+                    else:
+                        iv = int(lv)
+                        enc = iv if -(1 << 40) < iv < (1 << 40) \
+                            else WL_NEVER
+                elif type(lv) in (str, bytes, tuple, frozenset,
+                                  type(None)):
+                    enc = WL_NEVER      # never == a plain int level
+                else:
+                    enc = WL_ODD
+                return (idx_of(store, val[0]), enc)
+            return (IDX_NOT, WL_NEVER)
+
+        self.ask_cache = PoolIdCache(store, 6, ask_attrs)
+        self.show_cache = PoolIdCache(store, 3, show_attrs)
+        self.want_cache = PoolIdCache(store, 2, want_attrs)
+        self.lvl_empty = None
+
+    def rebuild(self, np, topo) -> None:
+        """Refresh the level-rotation emptiness flags, filling the
+        label cache with the exact fused-prologue fill code."""
+        comp = self.comp
+        cache = comp._label_cache
+        n = topo.n
+        lvl_empty = np.zeros(n, bool)
+        for i in range(n):
+            ctx = topo.ctxs[i]
+            sentinel = ctx.stable_sentinel()
+            ent = cache.get(ctx.node)
+            if ent is None or ent[0] != sentinel:
+                ent = (sentinel, comp._levels(ctx), {})
+                cache[ctx.node] = ent
+            lvl_empty[i] = not ent[1]
+        self.lvl_empty = lvl_empty
+
+    # -- shared prologue ---------------------------------------------------
+    def _prologue(self, np, ia):
+        comp, store = self.comp, self.store
+        data = store.data
+        empty = self.lvl_empty[ia]
+        wd_v = view64(data[comp.h_wd])[ia]
+        wd_new = np.where((wd_v >= 0) & (wd_v <= _NAT_CAP), wd_v, 0) + 1
+        asks = self.ask_cache.sync()
+        av = view64(data[comp.h_ask])[ia]
+        a_pool = (av >= 0) & (av < self.ask_cache.filled)
+        api = np.where(a_pool, av, 0)
+        ask_ok = a_pool & (asks[0][api] == 1)
+        lvl = asks[1][api]
+        # int64 shifts are defined only to 63; real levels are 0..256
+        # and a level above 62 cannot set a bit of a <=_NAT_CAP J-mask,
+        # but proving that per edge is not worth it: route scalar
+        lvl_ok = (lvl >= 0) & (lvl <= 62)
+        wk = asks[2][api]
+        wflt = asks[3][api].view(np.float64)
+        afid = np.where(ask_ok, asks[4][api], -1)
+        apid = np.where(ask_ok, asks[5][api], -1)
+        return empty, wd_new, ask_ok, lvl, lvl_ok, wk, wflt, afid, apid
+
+    def _show_levels(self, np, cols):
+        """Per input column of broadcast-slot pool ids: the shown level
+        (or SHOW_NONE) plus the show's fragment and piece intern ids
+        (or -1)."""
+        shows = self.show_cache.sync()
+        filled = self.show_cache.filled
+        out = []
+        for c in cols:
+            pooled = (c >= 0) & (c < filled)
+            ci = np.where(pooled, c, 0)
+            out.append((np.where(pooled, shows[0][ci], SHOW_NONE),
+                        np.where(pooled, shows[1][ci], -1),
+                        np.where(pooled, shows[2][ci], -1)))
+        return out
+
+    def _kill_overflow_rows(self, triv, row_of, slots):
+        store = self.store
+        for h in slots:
+            ovf = store.overflow[h]
+            if ovf:
+                for node_i in ovf:
+                    r = row_of[node_i]
+                    if r >= 0:
+                        triv[r] = False
+
+    # -- classifiers -------------------------------------------------------
+    def classify(self, np, ia, row_of, aa, sv):
+        if self.comp.mode == MODE_SYNC_WINDOW:
+            return self._classify_sync(np, ia, row_of, aa)
+        return self._classify_want(np, ia, row_of, aa, sv)
+
+    def _classify_sync(self, np, ia, row_of, aa):
+        comp, store, snap = self.comp, self.store, self.snap
+        data, sdata = store.data, snap.data
+        topo = self.topo
+        m = len(ia)
+        empty, wd_new, ask_ok, lvl, lvl_ok, wk, wflt, afid, apid = \
+            self._prologue(np, ia)
+        wait_v = view64(data[comp.h_wait])[ia]
+        wait = np.where((wait_v >= 0) & (wait_v <= _NAT_CAP), wait_v, 0)
+        cond = (wd_new <= aa) & ask_ok & lvl_ok & (wait > 1)
+        # per-edge replay of _sync_compare_all's silent paths: a
+        # neighbour inside the level must display the *same* piece and
+        # not be the cached candidate (else AGREE/C1 could fire); an
+        # outgoing edge must pass the weight check exactly.  Anything
+        # undecidable — boxed slots, odd weights, an uncached candidate
+        # — forces the scalar body.
+        e_node, e_pos = csr_take(topo.off, ia)
+        ej = topo.flat[e_pos]
+        jm = view64(sdata[comp.h_jmask])[ej]
+        lvl_e = lvl[e_node]
+        sh = np.where((lvl_e >= 0) & (lvl_e <= 62), lvl_e, 0)
+        u_has = (jm >= 0) & (jm <= _NAT_CAP) & (((jm >> sh) & 1) == 1)
+        tb = view64(sdata[comp.top.h_bbuf])[ej]
+        bb = view64(sdata[comp.bottom.h_bbuf])[ej]
+        (st, tf, tp), (sb, bf, bp) = self._show_levels(np, (tb, bb))
+        ebox = u_has & ((tb == BOX_S) | (bb == BOX_S))
+        # the scalar scan takes the top train's show first
+        obs_top = u_has & (st == lvl_e)
+        obs_bot = u_has & ~obs_top & (sb == lvl_e)
+        obs = obs_top | obs_bot
+        sfid = np.where(obs_top, tf, bf)
+        spid = np.where(obs_top, tp, bp)
+        same_frag = obs & (sfid == afid[e_node]) & (sfid >= 0)
+        same_piece = (spid >= 0) & (spid == apid[e_node])
+        out_ok = (wk[e_node] == 1) & topo.w_exact[e_pos] \
+            & ~(topo.wts[e_pos] < wflt[e_node])
+        # C1 needs the per-(node, level) candidate: read the scalar
+        # body's own cache; a cache miss stays scalar (and fills it)
+        u0i = np.full(m, -1, np.int64)
+        u0_miss = np.zeros(m, bool)
+        if same_frag.any():
+            need = seg_any(same_frag, e_node, m)
+            cache = comp._label_cache
+            MISS = comp._MISS
+            ctxs = topo.ctxs
+            for r in np.flatnonzero(need):
+                r = int(r)
+                ent = cache.get(ctxs[int(ia[r])].node)
+                u0 = MISS if ent is None \
+                    else ent[2].get(int(lvl[r]), MISS)
+                if u0 is MISS:
+                    u0_miss[r] = True
+                elif u0 is not None:
+                    u0x = idx_of(store, u0)
+                    if u0x == IDX_ODD:
+                        u0_miss[r] = True   # odd ==: scalar decides
+                    else:
+                        u0i[r] = u0x
+        bad = ebox \
+            | (~u_has & ~out_ok) \
+            | (obs & ~same_frag & ~out_ok) \
+            | (same_frag & (~same_piece | u0_miss[e_node]
+                            | (ej == u0i[e_node])))
+        triv = empty | (cond & ~seg_any(bad, e_node, m))
+        self._kill_overflow_rows(triv, row_of, (comp.h_wd, comp.h_wait))
+
+        h_wd, h_wait = comp.h_wd, comp.h_wait
+        dc = store.dirty_cols
+
+        def apply(final):
+            sel = final & ~empty
+            if sel.any():
+                rows = ia[sel]
+                view64(data[h_wd])[rows] = wd_new[sel]
+                dc[h_wd] = 1
+                view64(data[h_wait])[rows] = wait[sel] - 1
+                dc[h_wait] = 1
+
+        return triv, apply
+
+    def _classify_want(self, np, ia, row_of, aa, sv):
+        comp, store, snap = self.comp, self.store, self.snap
+        data, sdata = store.data, snap.data
+        topo = self.topo
+        m = len(ia)
+        empty, wd_new, ask_ok, lvl, lvl_ok, wk, wflt, _afid, _apid = \
+            self._prologue(np, ia)
+        if int(topo.off[-1]) == 0:
+            # no edges anywhere: every non-empty row advances (scalar)
+            return empty.copy(), lambda final: None
+        nr = view64(data[comp.h_nbr])[ia]
+        idx = np.where((nr > 0) & (nr <= _NAT_CAP), nr, 0)
+        in_rng = idx < topo.degs[ia]
+        pos = np.where(in_rng, topo.off[ia] + idx, 0)
+        j = topo.flat[pos]
+        jm = view64(sdata[comp.h_jmask])[j]
+        sh = np.where(lvl_ok, lvl, 0)
+        u_has = (jm >= 0) & (jm <= _NAT_CAP) & (((jm >> sh) & 1) == 1)
+        tb = view64(sdata[comp.top.h_bbuf])[j]
+        bb = view64(sdata[comp.bottom.h_bbuf])[j]
+        (st, _, _), (sb, _, _) = self._show_levels(np, (tb, bb))
+        ebox = u_has & ((tb == BOX_S) | (bb == BOX_S))
+        obs_found = u_has & ((st == lvl) | (sb == lvl))
+        out_bad = (wk != 1) | ~topo.w_exact[pos] | (topo.wts[pos] < wflt)
+        svc_v = view64(data[comp.h_svc])[ia]
+        svc_new = np.where((svc_v >= 0) & (svc_v <= _NAT_CAP),
+                           svc_v, 0) + 1
+        cond = ~empty & (wd_new <= aa) & ask_ok & lvl_ok & in_rng & ~ebox
+        # branch B: the served neighbour is outside the level and no
+        # outgoing check can alarm -> bump wd, advance nbr, clear svc
+        triv_b = cond & ~u_has & ~out_bad
+        # branch F: the neighbour claims the level but shows no piece
+        # yet -> file the Want, bump the service watchdog (under budget)
+        triv_f = cond & u_has & ~obs_found & (svc_new <= sv)
+        self._kill_overflow_rows(
+            triv_b, row_of, (comp.h_wd, comp.h_nbr, comp.h_svc))
+        triv = empty | triv_b | triv_f
+
+        h_wd, h_nbr, h_svc, h_want = (comp.h_wd, comp.h_nbr,
+                                      comp.h_svc, comp.h_want)
+        dc = store.dirty_cols
+        nodes = store.nodes
+        overflow = store.overflow
+        intern = store.intern
+        want_col = data[h_want]
+        w_wd = store.make_nat_writer(h_wd)
+        w_svc = store.make_nat_writer(h_svc)
+
+        def apply(final):
+            b = final & triv_b
+            if b.any():
+                rows = ia[b]
+                view64(data[h_wd])[rows] = wd_new[b]
+                dc[h_wd] = 1
+                view64(data[h_nbr])[rows] = idx[b] + 1
+                dc[h_nbr] = 1
+                view64(data[h_svc])[rows] = 0
+                dc[h_svc] = 1
+            f = final & triv_f
+            if f.any():
+                # the Want filing interns per-row tuples: a short
+                # python loop over the (few) waiting clients, through
+                # the store's canonical writers
+                ovf = overflow[h_want]
+                for r in np.flatnonzero(f):
+                    i = int(ia[r])
+                    w_wd(i, int(wd_new[r]))
+                    if ovf:
+                        ovf.pop(i, None)
+                    want_col[i] = intern(
+                        (nodes[int(j[r])], int(lvl[r])))
+                    w_svc(i, int(svc_new[r]))
+                dc[h_want] = 1
+
+        return triv, apply
+
+    # -- Want-mode hold flags ---------------------------------------------
+    def held(self, np, ia, row_of):
+        """(held_ok, hold_top, hold_bot): per-row "is a show held" for
+        the train classifiers, with held_ok False where boxed slots or
+        odd equality semantics leave the answer to the scalar body."""
+        comp, store, snap = self.comp, self.store, self.snap
+        topo = self.topo
+        m = len(ia)
+        if int(topo.off[-1]) == 0:
+            z = np.zeros(m, bool)
+            return np.ones(m, bool), z, z
+        e_node, e_pos = csr_take(topo.off, ia)
+        wr = view64(snap.data[comp.h_want])[topo.flat[e_pos]]
+        wants = self.want_cache.sync()
+        w_pool = (wr >= 0) & (wr < self.want_cache.filled)
+        wpi = np.where(w_pool, wr, 0)
+        wf = wants[0][wpi]
+        wl = wants[1][wpi]
+        mine = w_pool & (wf == ia[e_node])
+        odd = (wr == BOX_S) | (w_pool & ((wf == IDX_ODD)
+                                         | (mine & (wl == WL_ODD))))
+        tb = view64(store.data[comp.top.h_bbuf])[ia]       # own, live
+        bb = view64(store.data[comp.bottom.h_bbuf])[ia]
+        (st, _, _), (sb, _, _) = self._show_levels(np, (tb, bb))
+        obox = (tb == BOX_S) | (bb == BOX_S)
+        ht = seg_any(mine & (wl == st[e_node]), e_node, m)
+        hb = seg_any(mine & (wl == sb[e_node]), e_node, m)
+        held_ok = ~(seg_any(odd, e_node, m) | obox)
+        return held_ok, ht, hb

@@ -49,6 +49,8 @@ from ..labels.registers import (REG_DELIM, REG_JMASK, REG_PARENT_ID,
                                 REG_ROOTS)
 from ..labels.wellforming import level_is_bottom, sorted_levels
 from ..sim.columnar import BOX_S, NONE_S, PoolColumn, SENT_CEIL
+from ..sim.npcolumnar import (IDX_NOT, IDX_ODD, PoolIdCache, csr_take,
+                              idx_of, seg_any, view64)
 from ..sim.registers import NO_DECODE, UNSET, handle_resolver
 from .budgets import Budgets, compute_budgets
 
@@ -882,3 +884,390 @@ class TrainComponent:
             return alarms
 
         return fused
+
+    def make_vector_kernel(self, ops, topo):
+        """The whole-column classifier behind the numpy-tier vector
+        sweep (:func:`repro.verification.verifier.fused_verifier_sweep`
+        on a :class:`~repro.sim.npcolumnar.NumpyColumnStore`).
+
+        The fused step of most nodes on most activations is *trivial*:
+        it bumps the watchdog and returns without any other write or
+        alarm — the parent's activation car names another child (or is
+        absent), the subtree is done for the cycle, the broadcast is
+        blocked on a lagging child or has nothing to adopt.  Those exit
+        conditions are plain int64 comparisons over the train's nat
+        columns plus pool-id-indexed attribute lookups, so one ndarray
+        pass classifies every batch node; provably-trivial nodes get
+        their single watchdog write applied as one masked slice-store,
+        everything else (roots, adoption, car movement, boxed junk,
+        alarms — anything the masks cannot prove writes nothing more)
+        replays the exact scalar fused body.  Equivalence is therefore
+        by construction: the vector path only ever *skips* per-node
+        code whose effect it proved to be exactly the one masked write.
+
+        Returns an object with ``rebuild``/``classify`` (see
+        ``_VectorSweep``); call only when :meth:`make_bulk_step`
+        returned a closure (same layout preconditions) and numpy is
+        available.
+        """
+        return _VectorTrainKernel(self, ops, topo)
+
+
+class _VectorTrainKernel:
+    """Whole-column trivial-step classifier for one train component.
+
+    ``rebuild`` (per stability epoch) fills the component's label cache
+    eagerly with the exact fill code of the fused prologue and freezes
+    the part topology into flat arrays; ``classify`` (per sweep) proves,
+    with pure reads only, which batch rows' fused step would be exactly
+    "bump the watchdog and return".  Roots, rows under epoch adoption,
+    rows whose reads hit boxed overflow, and anything the masks cannot
+    decide stay non-trivial and replay the scalar fused body verbatim.
+    """
+
+    __slots__ = ("comp", "store", "snap", "act_cache", "obs_cache",
+                 "pidx", "idle", "bad", "coff", "cflat", "ctxs",
+                 "ccs", "needs", "w_bseq", "w_seen", "w_cnt", "w_wd")
+
+    def __init__(self, comp, ops, topo):
+        self.comp = comp
+        self.store = ops.store
+        self.snap = ops.snap
+        store = ops.store
+        self.w_bseq = store.make_nat_writer(comp.h_bseq)
+        self.w_seen = store.make_nat_writer(comp.h_seen)
+        self.w_cnt = store.make_nat_writer(comp.h_cnt)
+        self.w_wd = store.make_nat_writer(comp.h_wd)
+
+        def act_attrs(val):
+            # mirrors conv()'s activation-car check: (who is named,
+            # which cycle); IDX_ODD routes custom-__eq__ junk scalar
+            if isinstance(val, tuple) and len(val) == 2:
+                c = _nat(val[1], cap=SEQ_MOD)
+                return (idx_of(store, val[0]), -1 if c is None else c)
+            return (IDX_NOT, -1)
+
+        def obs_attrs(val):
+            return (1 if decode_observation(val) is not None else 0,)
+
+        self.act_cache = PoolIdCache(store, 2, act_attrs)
+        self.obs_cache = PoolIdCache(store, 1, obs_attrs)
+        self.pidx = None
+        self.idle = None
+        self.bad = None
+        self.coff = None
+        self.cflat = None
+        self.ctxs = None
+        self.ccs = None
+        self.needs = None
+
+    def rebuild(self, np, topo) -> None:
+        """Refresh label-derived row attributes (called when the joint
+        stable epoch moved; label registers are stable, so between
+        rebuilds every cached entry's sentinel still matches)."""
+        comp = self.comp
+        cache = comp._label_cache
+        index = self.store.index
+        n = topo.n
+        pidx = np.full(n, -1, np.int64)
+        idle = np.zeros(n, bool)
+        bad = np.zeros(n, bool)
+        ccs = [None] * n
+        needs = [0] * n
+        child_rows = []
+        for i in range(n):
+            ctx = topo.ctxs[i]
+            sentinel = ctx.stable_sentinel()
+            ent = cache.get(ctx.node)
+            if ent is not None and ent[0] == sentinel:
+                parent, children, _own, count_claim, needed = ent[1]
+            else:
+                parent = comp.part_parent(ctx)
+                children = comp.part_children(ctx)
+                own = comp.own_pieces(ctx)
+                count_claim = ctx.nat(comp.h_count, cap=4096)
+                needed = comp.needed_mask(ctx)
+                cache[ctx.node] = (
+                    sentinel,
+                    (parent, children, own, count_claim, needed))
+            idle[i] = count_claim == 0 and needed == 0
+            ccs[i] = count_claim
+            needs[i] = needed
+            crow = []
+            try:
+                if parent is not None:
+                    pidx[i] = index[parent]
+                for child in children:
+                    crow.append(index[child])
+            except (KeyError, TypeError, IndexError):
+                bad[i] = True   # unmappable label: the scalar body owns
+                crow = []       # whatever happens (including the raise)
+            child_rows.append(crow)
+        coff = np.zeros(n + 1, np.int64)
+        np.cumsum(np.fromiter((len(r) for r in child_rows), np.int64,
+                              count=n), out=coff[1:])
+        cflat = np.empty(int(coff[-1]), np.int64)
+        for i, r in enumerate(child_rows):
+            cflat[int(coff[i]):int(coff[i + 1])] = r
+        self.pidx, self.idle, self.bad = pidx, idle, bad
+        self.coff, self.cflat = coff, cflat
+        self.ctxs = topo.ctxs
+        self.ccs, self.needs = ccs, needs
+
+    def classify(self, np, ia, row_of, na, hold):
+        """(trivial-mask, broadcast-done-mask, apply, adopt-plans) for
+        the batch rows ``ia``.
+
+        ``na`` is the per-row node-alarm budget (-1 where unknown, which
+        simply fails the watchdog bound), ``hold`` the sweep's
+        hold_broadcast flag.  ``apply(final)`` performs the one masked
+        watchdog write for the rows the orchestrator kept.
+
+        The broadcast-done mask marks rows whose *broadcast half* is
+        proven silent (writes nothing, raises no alarm) or fully
+        planned as an adopt, even though the row as a whole is not
+        trivial — the replay loop steps those rows with
+        ``hold_broadcast=True``, skipping the child scan and adopt
+        logic the scalar body would re-derive, and then executes the
+        row's adopt plan (if any) so the writes land in scalar order.
+        Epoch adoption and the root-reset branch return before the
+        broadcast, so the flag is vacuous (and harmless) there; roots
+        never set it (their broadcast half drains ``out``)."""
+        comp = self.comp
+        store, snap = self.store, self.snap
+        data, sdata = store.data, snap.data
+        m = len(ia)
+        pidx = self.pidx[ia]
+        parented = (pidx >= 0) & ~self.bad[ia]
+        pj = np.where(pidx >= 0, pidx, 0)
+
+        # epoch adoption would reset before the watchdog ever bumps
+        ep_v = view64(data[comp.h_ep])[ia]
+        pe = view64(sdata[comp.h_ep])[pj]
+        pep_valid = (pe >= 0) & (pe <= SEQ_MOD)
+        epoch_ok = ~pep_valid | ((ep_v > SENT_CEIL) & (ep_v == pe))
+
+        # watchdog: idle rows skip it; others must stay under budget
+        # (over-budget rows alarm and reset — scalar's job)
+        idle = self.idle[ia]
+        wd_v = view64(data[comp.h_wd])[ia]
+        wd_new = np.where((wd_v >= 0) & (wd_v <= _NAT_CAP), wd_v, 0) + 1
+        wd_ok = idle | (wd_new <= na)
+
+        # convergecast exits without writing iff the parent's activation
+        # car is absent / names someone else / is malformed, or names us
+        # for the cycle our subtree already finished
+        acts = self.act_cache.sync()
+        ar = view64(sdata[comp.h_act])[pj]
+        a_pool = (ar >= 0) & (ar < self.act_cache.filled)
+        api = np.where(a_pool, ar, 0)
+        af = acts[0][api]
+        ac = acts[1][api]
+        a_none = (ar <= SENT_CEIL) & (ar != BOX_S)
+        mine = a_pool & (af == ia)
+        odd = a_pool & (af == IDX_ODD)
+        not_mine = a_none | (a_pool & ~mine & ~odd)
+        cyc_v = view64(data[comp.h_cyc])[ia]
+        cyc = np.where((cyc_v >= 0) & (cyc_v <= SEQ_MOD), cyc_v, 0)
+        done_v = view64(data[comp.h_done])[ia]
+        done_eq = (done_v > SENT_CEIL) & (done_v == cyc)
+        conv_triv = not_mine | (mine & ((ac == -1)
+                                        | ((ac == cyc) & done_eq)))
+
+        pending = {}
+        if hold is True:
+            bc_triv = np.ones(m, bool)
+            bc_done = np.zeros(m, bool)
+        else:
+            # broadcast exits without writing iff a child's slot lags
+            # (first-mismatch return) or there is nothing to adopt; any
+            # boxed read in the gate makes the row scalar
+            bseq_v = view64(data[comp.h_bseq])[ia]
+            bseq = np.where((bseq_v >= 0) & (bseq_v <= SEQ_MOD),
+                            bseq_v, 0)
+            e_node, e_pos = csr_take(self.coff, ia)
+            cb = view64(sdata[comp.h_bseq])[self.cflat[e_pos]]
+            any_box = seg_any(cb == BOX_S, e_node, m)
+            any_mism = seg_any((cb <= SENT_CEIL)
+                               | (cb != bseq[e_node]), e_node, m)
+            obs_ok = self.obs_cache.sync()[0]
+            pb = view64(sdata[comp.h_bbuf])[pj]
+            b_pool = (pb >= 0) & (pb < self.obs_cache.filled)
+            pobs_valid = b_pool & (obs_ok[np.where(b_pool, pb, 0)] == 1)
+            psr = view64(sdata[comp.h_bseq])[pj]
+            advance = ((psr >= 0) & (psr <= SEQ_MOD) & (psr != bseq)
+                       & pobs_valid)
+            bc_triv = ~any_box & (any_mism
+                                  | (~advance & (pb != BOX_S)))
+            # the broadcast-adopt fast path: every child in step, the
+            # parent's slot holds a decodable observation one sequence
+            # ahead — the scalar body would adopt it and account the
+            # piece.  Rows whose adopt is provably alarm-free and free
+            # of junk comparisons get the exact write sequence planned
+            # here and executed after the prologue (masked wd write or
+            # scalar replay with the broadcast held); the rest replay.
+            adopt = (parented & epoch_ok & ~any_box & ~any_mism
+                     & advance)
+            if hold is not False:    # per-row hold mask (Want mode)
+                adopt &= ~hold
+            if adopt.any():
+                pending = self._plan_adopts(np.flatnonzero(adopt),
+                                            ia, pb, psr)
+                if pending:
+                    planned = np.zeros(m, bool)
+                    planned[list(pending)] = True
+                    bc_triv = bc_triv | planned
+            # proven-handled broadcast for parented rows, regardless of
+            # what the prologue or convergecast do (they touch none of
+            # the gate's reads before the broadcast would run)
+            bc_done = parented & bc_triv
+            if hold is not False:
+                bc_triv = hold | bc_triv
+
+        triv = parented & epoch_ok & wd_ok & conv_triv & bc_triv
+        ovf = store.overflow[comp.h_wd]
+        if ovf:
+            # the nat writer pops a row's boxed entry; keep those scalar
+            for node_i in ovf:
+                r = row_of[node_i]
+                if r >= 0:
+                    triv[r] = False
+
+        h_wd = comp.h_wd
+        dc = store.dirty_cols
+
+        exec_adopt = self._exec_adopt
+
+        def apply(final):
+            sel = final & ~idle
+            if sel.any():
+                view64(data[h_wd])[ia[sel]] = wd_new[sel]
+                dc[h_wd] = 1
+            for k, ent in pending.items():
+                # scalar order: the watchdog bump lands first, the
+                # adopted piece's accounting may then reset it
+                if final[k]:
+                    exec_adopt(ent)
+
+        return triv, bc_done, apply, pending
+
+    def _plan_adopts(self, rows, ia, pb, psr):
+        """Vet the adopt-candidate rows for the exact-write fast path.
+
+        A row qualifies only when the full adopt — membership flag,
+        root-consistency checks, boundary comparison, and the interning
+        of the new slot values — is provably alarm-free and touches no
+        value whose comparison or hash the masks cannot trust (boxed
+        overflow, junk tuples, unhashable weights); everything else is
+        left for the scalar replay.  Returns ``{row: plan}`` for
+        :meth:`_exec_adopt`."""
+        comp = self.comp
+        store = self.store
+        pool = store.pool_values
+        overflow = store.overflow
+        memos = store.decode_memo
+        memo_for = store.memo_for
+        data = store.data
+        h_bbuf, h_roots = comp.h_bbuf, comp.h_roots
+        roots_col = data[h_roots]
+        last_col = data[comp.h_last]
+        membership = comp.membership_flag
+        ctxs = self.ctxs
+        ccs, needs = self.ccs, self.needs
+        ia_l = ia
+        pending = {}
+        for k in rows.tolist():
+            i = int(ia_l[k])
+            v = int(pb[k])
+            memo = memos[h_bbuf]
+            try:
+                pobs = memo[v]
+            except (TypeError, IndexError):
+                pobs = NO_DECODE
+            if pobs is NO_DECODE:
+                pobs = decode_observation(pool[v])
+                memo_for(h_bbuf, v)[v] = pobs
+            piece = pobs.piece
+            level, root = piece[1], piece[0]
+            ctx = ctxs[i]
+            flag = membership(ctx, piece, pobs.flag)
+            rv = roots_col[i]
+            roots = pool[rv] if rv > SENT_CEIL else (
+                overflow[h_roots][i] if rv == BOX_S else None)
+            if flag and isinstance(roots, str) and level < len(roots):
+                rc = roots[level]
+                if (rc == "1" and root != ctx.node) or \
+                        (rc == "0" and root == ctx.node):
+                    continue        # would alarm: the scalar body owns it
+            lv = last_col[i]
+            if lv == BOX_S:
+                continue            # boxed junk comparison stays scalar
+            last = pool[lv] if lv > SENT_CEIL else None
+            if last is None:
+                boundary = False
+            elif type(last) is tuple and len(last) == 2 and \
+                    type(last[0]) is int and type(last[1]) is int:
+                boundary = (level, root) <= last
+            else:
+                continue            # junk tuple comparison stays scalar
+            try:
+                hash(piece)         # the new slot must intern cleanly
+            except Exception:
+                continue
+            nbseq = ((int(psr[k]) - 1) % SEQ_MOD + 1) % SEQ_MOD
+            pending[k] = (i, piece, flag, level, root, boundary, nbseq,
+                          ccs[i], needs[i])
+        return pending
+
+    def _exec_adopt(self, ent):
+        """Apply one planned adopt: the exact write sequence of the
+        scalar broadcast's adopt branch plus ``account`` (alarm-free by
+        :meth:`_plan_adopts`), via the store's own writers."""
+        i, piece, flag, level, root, boundary, nbseq, cc, nd = ent
+        comp = self.comp
+        store = self.store
+        data = store.data
+        h_bbuf, h_last, h_sync = comp.h_bbuf, comp.h_last, comp.h_sync
+        overflow = store.overflow
+        dc = store.dirty_cols
+        ovf = overflow[h_bbuf]
+        if ovf:
+            ovf.pop(i, None)
+        data[h_bbuf][i] = store.intern((piece, flag))
+        dc[h_bbuf] = 1
+        self.w_bseq(i, nbseq)
+        if boundary:
+            good = True
+            sync_col = data[h_sync]
+            v = sync_col[i]
+            if v is not UNSET and v:
+                v = data[comp.h_seen][i]
+                seen = v if 0 <= v <= _NAT_CAP else 0
+                if nd & ~seen:
+                    good = False
+                v = data[comp.h_cnt][i]
+                cnt = v if 0 <= v <= (1 << 20) else 0
+                if cc is not None and cnt != cc:
+                    good = False
+            sync_col[i] = True
+            dec = store.decoded[h_sync]
+            if dec is not None:
+                dec[i] = NO_DECODE
+            dc[h_sync] = 1
+            self.w_seen(i, (1 << level) if flag else 0)
+            self.w_cnt(i, 1)
+            if good:
+                self.w_wd(i, 0)
+        else:
+            if flag:
+                v = data[comp.h_seen][i]
+                seen = v if 0 <= v <= _NAT_CAP else 0
+                self.w_seen(i, seen | (1 << level))
+            v = data[comp.h_cnt][i]
+            cnt = v if 0 <= v <= (1 << 20) else 0
+            self.w_cnt(i, cnt + 1)
+        ovf = overflow[h_last]
+        if ovf:
+            ovf.pop(i, None)
+        data[h_last][i] = store.intern((level, root))
+        dc[h_last] = 1

@@ -38,6 +38,7 @@ from ..labels.registers import (REG_BOT_COUNT, REG_BOT_ROOT,
 from ..labels.wellforming import static_check
 from ..sim.bulk import drive_batch
 from ..sim.network import NodeContext, Protocol
+from ..sim.npcolumnar import VecTopo, numpy_or_none
 from ..sim.registers import ALARM, RegisterSchema, handle_resolver
 from ..trains.budgets import Budgets, node_budgets
 from ..trains.comparison import (MODE_SYNC_WINDOW, MODE_WANT,
@@ -88,11 +89,12 @@ def fused_verifier_sweep(proto, batch, trains, comparison) -> None:
     budgets_for = proto.budgets_for
     fused = proto._fused
     if fused is None or fused[0] is not ops:
+        raw_steps = tuple(t.make_bulk_step(ops) for t in trains)
         steps = tuple(
             f if f is not None else
             (lambda ctx, b, h, s, _t=train: _t.step(ctx, b, h,
                                                     sentinel=s))
-            for train, f in ((t, t.make_bulk_step(ops)) for t in trains))
+            for train, f in zip(trains, raw_steps))
         cmp_fused = comparison.make_bulk_sync(ops)
         if cmp_fused is None:
             cmp_fused = comparison.make_bulk_want(ops)
@@ -101,8 +103,22 @@ def fused_verifier_sweep(proto, batch, trains, comparison) -> None:
         held_fused = comparison.make_bulk_held(ops)
         held = held_fused if held_fused is not None \
             else comparison.held_levels
-        fused = proto._fused = (ops, steps, comp_step, held)
-    _, train_steps, comp_step, held = fused
+        # the vector tier sits strictly above full fusion: a numpy
+        # store, numpy importable, every component fused, and a mode
+        # whose per-node bodies the classifiers model (want-simple's
+        # serialized server stays scalar)
+        vec = None
+        if (getattr(ops.store, "numpy_tier", False)
+                and numpy_or_none() is not None
+                and comparison.mode in (MODE_SYNC_WINDOW, MODE_WANT)
+                and all(f is not None for f in raw_steps)
+                and cmp_fused is not None
+                and (comparison.mode == MODE_SYNC_WINDOW
+                     or held_fused is not None)):
+            vec = _VectorSweep(proto, trains, comparison, ops,
+                               raw_steps, cmp_fused, held_fused)
+        fused = proto._fused = (ops, steps, comp_step, held, vec)
+    _, train_steps, comp_step, held, vec = fused
     sync_window = comparison.mode == MODE_SYNC_WINDOW
     # serve_turn acts only in the serialized want-simple ablation; the
     # per-node no-op call is hoisted out of the hot loop entirely
@@ -154,7 +170,9 @@ def fused_verifier_sweep(proto, batch, trains, comparison) -> None:
         step_nos = ops.inc_nat(batch, proto.h_vstep)
         batch.wrote_all = True
         bgts = ops.gather(batch, proto.h_bgt)
-        run_bodies(contexts, step_nos, bgts)
+        if vec is None or \
+                not vec.run(contexts, step_nos, bgts, run_bodies):
+            run_bodies(contexts, step_nos, bgts)
         return
     # conflict-free batch: commuting gates first, fused sweep over the
     # survivors, afters last (in activation order)
@@ -172,10 +190,233 @@ def fused_verifier_sweep(proto, batch, trains, comparison) -> None:
             # every stepped activation writes its step counter, so the
             # scalar loop would flag every survivor as having written
             ctx.wrote = True
-        run_bodies(active, step_nos, bgts)
+        if vec is None or \
+                not vec.run(active, step_nos, bgts, run_bodies):
+            run_bodies(active, step_nos, bgts)
     if after is not None:
         for k, ctx in enumerate(contexts):
             after(k, ctx, stepped[k])
+
+
+class _VectorSweep:
+    """The numpy-tier whole-batch sweep behind
+    :func:`fused_verifier_sweep`.
+
+    Each component's classifier proves, per batch row, whether that
+    component's fused step is exactly its masked column write(s) — no
+    alarm, no transition.  Trivial (component, row) pairs get the
+    write applied as one masked slice-store; the rest replay the exact
+    scalar fused bodies, *per component*: a row whose top train is
+    mid-transition still vectorizes its bottom train and comparison
+    halves.  The replay loop mirrors ``run_bodies`` body for body
+    (statics first, trains in order, comparison, alarm priority), so
+    the sweep is bit-for-bit equivalent to the scalar path on every
+    input, including planted junk; the split is conservative by
+    construction (an unprovable pair is merely residual), and what
+    varies with the input is only how much of the batch vectorizes.
+
+    Per-row label-derived attributes (part topology, level rotations,
+    static-check verdicts) rebuild when the joint stable epoch moves —
+    the same sentinel discipline the scalar caches key on.  Budget
+    thresholds come only from rows whose ghost budget cache is valid
+    for this step; a stale row goes residual, where ``budgets_for``
+    refreshes the ghost register exactly as the scalar sweep would.
+    """
+
+    #: below this many rows the classification overhead beats the
+    #: savings (conflict-free batches are often small)
+    MIN_BATCH = 48
+
+    def __init__(self, proto, trains, comparison, ops,
+                 raw_steps, cmp_fused, held_fused) -> None:
+        self.proto = proto
+        self.comparison = comparison
+        self.store = ops.store
+        self.snap = ops.snap
+        self.topo = VecTopo(ops.store.n)
+        self.train_kerns = tuple(
+            t.make_vector_kernel(ops, self.topo) for t in trains)
+        self.comp_kern = comparison.make_vector_kernel(ops, self.topo)
+        self.tr0 = raw_steps[0]
+        self.tr1 = raw_steps[1] if len(raw_steps) == 2 else None
+        self.comp_step = cmp_fused
+        self.held = held_fused
+        self.want = comparison.mode == MODE_WANT
+        self.key = None
+        self.statics_empty = None
+        self.row_of = None
+
+    def _rebuild(self, np) -> None:
+        proto = self.proto
+        topo = self.topo
+        n = topo.n
+        statics_empty = np.zeros(n, bool)
+        statics = proto._static_alarms
+        for i in range(n):
+            ctx = topo.ctxs[i]
+            statics_empty[i] = \
+                not statics(ctx, ctx.stable_sentinel())
+        self.statics_empty = statics_empty
+        for kern in self.train_kerns:
+            kern.rebuild(np, topo)
+        self.comp_kern.rebuild(np, topo)
+        if self.row_of is None:
+            self.row_of = np.empty(n, np.int64)
+        self.key = self.store.stable_epoch + self.snap.stable_epoch
+
+    def run(self, ctx_list, step_nos, bgts, run_bodies) -> bool:
+        """Vector-sweep the batch; False defers it to the caller's
+        scalar loop (numpy disabled, batch too small, or topology not
+        yet fully observed)."""
+        np = numpy_or_none()
+        m = len(ctx_list)
+        if np is None or m < self.MIN_BATCH:
+            return False
+        if not self.topo.offer(ctx_list):
+            return False
+        proto = self.proto
+        key = self.store.stable_epoch + self.snap.stable_epoch
+        if key != self.key:
+            self._rebuild(np)
+        ia = np.fromiter((ctx._i for ctx in ctx_list), np.int64,
+                         count=m)
+        row_of = self.row_of
+        row_of[:] = -1
+        row_of[ia] = np.arange(m, dtype=np.int64)
+        stat_ok = self.statics_empty[ia].copy()
+        se = proto.static_every
+        if se > 1:
+            snos = np.fromiter(step_nos, np.int64, count=m)
+            stat_ok |= (snos % se) != 0
+        # budget thresholds row by row (id-keying Budgets objects would
+        # be unsound across gc reuse; the attribute reads are cheap)
+        na = np.full(m, -1, np.int64)
+        aa = np.full(m, -1, np.int64)
+        sv = np.full(m, -1, np.int64)
+        bgok = np.zeros(m, bool)
+        for k in range(m):
+            c = bgts[k]
+            if isinstance(c, tuple) and len(c) == 2 and \
+                    isinstance(c[1], Budgets) and \
+                    step_nos[k] - c[0] < 32:
+                b = c[1]
+                bgok[k] = True
+                na[k] = b.node_alarm
+                aa[k] = b.ask_alarm
+                sv[k] = b.service
+        if self.want:
+            held_ok, ht, hb = self.comp_kern.held(np, ia, row_of)
+            holds = (ht, hb)
+        else:
+            held_ok = None
+            holds = (False, False)
+        trivs = []
+        applies = []
+        bc_dones = []
+        adopts = []
+        for kern, hold in zip(self.train_kerns, holds):
+            triv, bc_done, apply, pend = kern.classify(np, ia, row_of,
+                                                       na, hold)
+            if held_ok is not None:
+                # an unprovable hold flag poisons the train inputs
+                triv &= held_ok
+            trivs.append(triv)
+            bc_dones.append(bc_done)
+            applies.append(apply)
+            adopts.append(pend)
+        ctriv, capply = self.comp_kern.classify(np, ia, row_of, aa, sv)
+        trivs.append(ctriv)
+        applies.append(capply)
+        any_triv = False
+        full = stat_ok & bgok
+        for triv in trivs:
+            full &= triv
+            any_triv = any_triv or triv.any()
+        if not any_triv:
+            run_bodies(ctx_list, step_nos, bgts)
+            return True
+        for triv, apply in zip(trivs, applies):
+            apply(triv)
+        if full.all():
+            return True
+        self._run_partial(np.flatnonzero(~full), ctx_list, step_nos,
+                          bgts, trivs, bc_dones, adopts, holds,
+                          held_ok)
+        return True
+
+    def _run_partial(self, resid, ctx_list, step_nos, bgts, trivs,
+                     bc_dones, adopts, holds, held_ok) -> None:
+        """Replay the scalar fused bodies for every non-trivial
+        (component, row) pair — the exact ``run_bodies`` sequence with
+        the already-applied components skipped."""
+        proto = self.proto
+        statics = proto._static_alarms
+        budgets_for = proto.budgets_for
+        se = proto.static_every
+        tr0, tr1 = self.tr0, self.tr1
+        comp_step = self.comp_step
+        held = self.held
+        want = self.want
+        # plain-list views: per-element indexing of numpy bool arrays
+        # costs more than the loop bodies it gates
+        t0 = trivs[0].tolist()
+        t1 = trivs[1].tolist() if tr1 is not None else None
+        tc = trivs[-1].tolist()
+        b0 = bc_dones[0].tolist()
+        b1 = bc_dones[1].tolist() if tr1 is not None else None
+        p0 = adopts[0]
+        p1 = adopts[1] if tr1 is not None else None
+        kerns = self.train_kerns
+        htm, hbm = holds
+        if want:
+            held_ok = held_ok.tolist()
+            htm = htm.tolist()
+            hbm = hbm.tolist()
+        for r in resid.tolist():
+            k = r
+            ctx = ctx_list[k]
+            step_no = step_nos[k]
+            sentinel = ctx.stable_sentinel()
+            first = statics(ctx, sentinel) if step_no % se == 0 else None
+            cached = bgts[k]
+            if isinstance(cached, tuple) and len(cached) == 2 and \
+                    isinstance(cached[1], Budgets) and \
+                    step_no - cached[0] < 32:
+                budgets = cached[1]
+            else:
+                budgets = budgets_for(ctx, sentinel, step_no)
+            if want:
+                if held_ok[k]:
+                    h0, h1 = htm[k], hbm[k]
+                else:
+                    hlt, hlb = held(ctx)
+                    h0, h1 = hlt is not None, hlb is not None
+            else:
+                h0 = h1 = False
+            if not t0[k]:
+                a = tr0(ctx, budgets, h0 or b0[k], sentinel)
+                ent = p0.get(k)
+                if ent is not None and not h0:
+                    # the planned adopt lands after the prologue and
+                    # convergecast, exactly where the scalar broadcast
+                    # would have written it (a live hold cancels it,
+                    # as it cancels the whole broadcast)
+                    kerns[0]._exec_adopt(ent)
+                if a and not first:
+                    first = a
+            if t1 is not None and not t1[k]:
+                a = tr1(ctx, budgets, h1 or b1[k], sentinel)
+                ent = p1.get(k)
+                if ent is not None and not h1:
+                    kerns[1]._exec_adopt(ent)
+                if a and not first:
+                    first = a
+            if not tc[k]:
+                a = comp_step(ctx, budgets, sentinel)
+                if a and not first:
+                    first = a
+            if first:
+                ctx.alarm(first[0])
 
 
 class MstVerifierProtocol(Protocol):

@@ -4,7 +4,7 @@ The plane's contract: routing batches through ``Protocol.bulk_step``
 (scheduler default) is *bit-for-bit* equivalent to the scalar per-node
 loops (``bulk=False``) — same register traces, alarms, rounds,
 activations, skip accounting, and memory bits — on every storage
-backend (dict / schema / columnar), under every scheduler kind (sync /
+backend (dict / schema / columnar / numpy), under every scheduler kind (sync /
 async daemons / the locality-batching daemon), for every protocol that
 declares a bulk sweep, and in the presence of adversarial junk planted
 into nat/tuple columns mid-sweep (the fused column ops must degrade
@@ -204,6 +204,59 @@ def test_junk_mid_sweep_bulk_equals_scalar(storage, campaign_seed):
                 net.max_memory_bits(), net.total_memory_bits())
 
     assert run(True) == run(False)
+
+
+def test_junk_mid_sweep_vector_path_big_n(campaign_seed):
+    """The sync junk differential at a size where the numpy tier's
+    whole-batch vector sweep actually engages (n >= the vector batch
+    floor): junk planted mid-run must be classified out row by row —
+    boxed rows, mismatch rows, alarm candidates all routed to the
+    scalar replay — while the clean majority stays on the masked
+    ndarray path, bit-for-bit with the scalar loop."""
+    g = random_connected_graph(64, 112, seed=campaign_seed % 1009)
+
+    def run(storage, bulk):
+        net = make_network(g)
+        sched = SynchronousScheduler(net, _protocol("verifier", True),
+                                     storage=storage, bulk=bulk)
+        sched.run(12)
+        _plant_junk(net)
+        sched.run(40)
+        return (sched.rounds, net.alarms(),
+                {v: dict(r) for v, r in net.registers.items()},
+                net.max_memory_bits(), net.total_memory_bits())
+
+    ref = run("dict", bulk=False)
+    assert run("numpy", bulk=True) == ref
+    assert run("columnar", bulk=True) == ref
+
+
+def test_junk_mid_sweep_async_vector_path(campaign_seed, monkeypatch):
+    """The conflict-free async mirror of the big-n vector test: with
+    the vector batch floor lowered so the daemon's ~modest independent
+    sets engage the masked-ndarray replay, junk planted between runs
+    must flow through the per-batch classify/apply split exactly like
+    the scalar context writes."""
+    from repro.verification.verifier import _VectorSweep
+    monkeypatch.setattr(_VectorSweep, "MIN_BATCH", 4)
+    g = random_connected_graph(40, 68, seed=campaign_seed % 929)
+
+    def run(storage, bulk):
+        net = make_network(g)
+        proto = MstVerifierProtocol(synchronous=False)
+        sched = AsynchronousScheduler(net, proto,
+                                      ConflictFreeDaemon(g, seed=3),
+                                      storage=storage, bulk=bulk)
+        sched.run(10)
+        _plant_junk(net)
+        r = sched.run(25)
+        return (r, sched.rounds, sched.activations, sched.steps_skipped,
+                net.alarms(),
+                {v: dict(regs) for v, regs in net.registers.items()})
+
+    ref = run("dict", bulk=False)
+    assert run("numpy", bulk=True) == ref
+    assert run("columnar", bulk=True) == ref
 
 
 def test_conflict_free_batches_are_independent(campaign_seed):

@@ -1,0 +1,116 @@
+"""Numpy column-tier contract tests (``repro.sim.npcolumnar``).
+
+The tier's promises: ``storage="numpy"`` is a drop-in ColumnStore —
+same slot handles, same ``array('q')`` sentinel encoding, same
+boxed-overflow junk contract — so every run is bit-for-bit equal to
+plain columnar; when numpy is unavailable (``REPRO_NO_NUMPY``, the CI
+fallback job's switch) the scheduler degrades to plain columnar with
+exactly one ``NumpyFallbackWarning``; and at sizes past the vector
+batch floor the masked-ndarray fused sweeps (convergecast-broadcast
+bookkeeping, Ask/Show, Want comparison) replace the scalar per-row
+replay without changing a single register — for the sync round license
+and for the ``want``/``want-simple`` ablations alike, junk included.
+"""
+
+import warnings
+
+import pytest
+
+from repro.graphs.generators import random_connected_graph
+from repro.sim import (AsynchronousScheduler, ConflictFreeDaemon,
+                       FaultInjector, SynchronousScheduler)
+from repro.sim.npcolumnar import (NumpyFallbackWarning,
+                                  _reset_fallback_warning, numpy_or_none)
+from repro.verification import make_network
+from repro.verification.verifier import MstVerifierProtocol
+
+
+def _snapshot(net, sched):
+    return (sched.rounds, net.alarms(),
+            {v: dict(r) for v, r in net.registers.items()},
+            net.max_memory_bits(), net.total_memory_bits())
+
+
+def _run_sync(graph, storage, seed, mode=None, junk=False, rounds=40):
+    net = make_network(graph)
+    proto = MstVerifierProtocol(synchronous=True, comparison_mode=mode)
+    sched = SynchronousScheduler(net, proto, storage=storage, bulk=True)
+    sched.run(12)
+    if junk:
+        nodes = graph.nodes()
+        regs = net.registers
+        regs[nodes[0]]["vstep"] = "not-a-counter"
+        regs[nodes[1]]["tt_wd"] = 1 << 70
+        regs[nodes[2]]["tt_bbuf"] = [1, 2, 3]
+        regs[nodes[3]]["tt_last"] = (True, "x")
+    else:
+        inj = FaultInjector(net, seed=seed)
+        inj.corrupt_random_nodes(2, fraction=0.5)
+    sched.run(rounds)
+    return _snapshot(net, sched)
+
+
+@pytest.mark.parametrize("mode", ["sync-window", "want", "want-simple"])
+@pytest.mark.parametrize("junk", [False, True])
+def test_vector_sweeps_equal_scalar_big_n(mode, junk, campaign_seed):
+    """Past the vector batch floor the numpy tier runs every protocol
+    mode through the masked fused sweeps; plain columnar runs the same
+    rounds through the scalar per-row kernels.  Faults or planted junk
+    force boxed/mismatch rows through the residual scalar replay.  The
+    final registers, alarms, and memory accounting must be identical."""
+    if numpy_or_none() is None:
+        pytest.skip("numpy unavailable")
+    g = random_connected_graph(72, 126, seed=campaign_seed % 991)
+    ref = _run_sync(g, "columnar", campaign_seed, mode=mode, junk=junk)
+    got = _run_sync(g, "numpy", campaign_seed, mode=mode, junk=junk)
+    assert got == ref, (mode, junk)
+
+
+def test_fallback_warns_once_and_matches_columnar(campaign_seed,
+                                                  monkeypatch):
+    """With numpy switched off the tier degrades to plain columnar:
+    one ``NumpyFallbackWarning`` for the whole process (not one per
+    scheduler), and the degraded run is bit-for-bit the columnar run."""
+    g = random_connected_graph(16, 26, seed=campaign_seed % 883)
+    ref = _run_sync(g, "columnar", campaign_seed)
+
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    _reset_fallback_warning()
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            got = _run_sync(g, "numpy", campaign_seed)
+            again = _run_sync(g, "numpy", campaign_seed)
+        hits = [w for w in caught
+                if issubclass(w.category, NumpyFallbackWarning)]
+        assert len(hits) == 1, "fallback must warn exactly once"
+        assert "columnar" in str(hits[0].message)
+        assert got == ref
+        assert again == ref
+    finally:
+        _reset_fallback_warning()
+
+
+def test_async_conflict_free_numpy_equals_columnar(campaign_seed):
+    """The PR 5 conflict-free license on the numpy tier: independent
+    daemon batches routed through the vectorized fused sweeps match
+    plain columnar exactly, activations and skip accounting included."""
+    if numpy_or_none() is None:
+        pytest.skip("numpy unavailable")
+    g = random_connected_graph(30, 50, seed=campaign_seed % 877)
+
+    def run(storage):
+        net = make_network(g)
+        proto = MstVerifierProtocol(synchronous=False)
+        sched = AsynchronousScheduler(net, proto,
+                                      ConflictFreeDaemon(g, seed=9),
+                                      storage=storage, bulk=True)
+        sched.run(15)
+        inj = FaultInjector(net, seed=campaign_seed)
+        inj.corrupt_random_nodes(2, fraction=0.5)
+        sched.run(30)
+        return (sched.rounds, sched.activations, sched.steps_skipped,
+                net.alarms(),
+                {v: dict(r) for v, r in net.registers.items()})
+
+    assert run("numpy") == run("columnar")

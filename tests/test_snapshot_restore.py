@@ -45,7 +45,7 @@ DETECT_ROUNDS = 40
 DAEMON_SEED = 11
 FAULT_SEED = 77
 
-STORAGES = ("dict", "schema", "columnar")
+STORAGES = ("dict", "schema", "columnar", "numpy")
 PROTOCOL_KINDS = ("verifier", "hybrid", "sqlog")
 SCHEDULE_KINDS = ("sync", "permutation", "locality", "independent")
 
@@ -161,11 +161,14 @@ def test_restore_equivalence(instance, protocol_kind, schedule, storage):
     assert _detect(fresh_net, fresh_sched) == reference
 
 
-@pytest.mark.parametrize("target_storage", ("dict", "columnar"))
+@pytest.mark.parametrize("target_storage", ("dict", "columnar", "numpy"))
 def test_restore_crosses_storage_backends(instance, target_storage):
     """A snapshot taken on one backend restores onto another (the cache
-    key excludes ``storage``) with the same observable continuation."""
-    source_storage = "columnar" if target_storage == "dict" else "schema"
+    key excludes ``storage``) with the same observable continuation —
+    including numpy-tier snapshots warming plain-columnar runs and
+    vice versa (the serialized buffer is the same raw int64 layout)."""
+    source_storage = {"dict": "numpy", "columnar": "schema",
+                      "numpy": "columnar"}[target_storage]
     network, scheduler, settled = _settle(instance, "verifier", "sync",
                                           source_storage)
     payload = capture_run_state(network, scheduler, settled)

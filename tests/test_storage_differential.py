@@ -1,19 +1,22 @@
 """Differential test: every storage backend is bit-for-bit equivalent.
 
-Three backends coexist: the legacy per-node dict store (the reference
+Four backends coexist: the legacy per-node dict store (the reference
 semantics), the typed register file (``repro.sim.registers``, slot
-lists per node), and the columnar store (``repro.sim.columnar`` —
+lists per node), the columnar store (``repro.sim.columnar`` —
 ``array('q')`` columns, interning pool, conservative column/node dirty
-tracking).  They re-represent node state, but none of that may be
-*observable*: the same scenario must produce identical alarms, rounds,
-activations, register contents, and memory-bit accounting under every
-backend, for every scheduler and protocol.
+tracking), and the numpy tier (``repro.sim.npcolumnar`` — the same
+columnar representation with vectorized bulk sweeps).  They
+re-represent node state, but none of that may be *observable*: the
+same scenario must produce identical alarms, rounds, activations,
+register contents, and memory-bit accounting under every backend, for
+every scheduler and protocol.
 
 Two layers of evidence:
 
 * a randomized scenario sweep driven through the campaign engine with
   the ``storage`` schedule parameter swept over ``dict`` / ``schema`` /
-  ``columnar`` (scenario seeds derive from ``campaign_seed``, so
+  ``columnar`` / ``numpy`` (scenario seeds derive from
+  ``campaign_seed``, so
   ``REPRO_TEST_SEED`` re-randomizes the whole sweep);
 * direct scheduler-level runs comparing full register traces through
   settle/inject/detect phases across all three label formats (train
@@ -126,7 +129,8 @@ def test_sync_register_trace_bitwise_equal(proto_kind, campaign_seed):
     ref = _run_sync(g, "dict", False, campaign_seed, proto_kind)
     for storage, fast_path in [("dict", True), ("schema", False),
                                ("schema", True), ("columnar", False),
-                               ("columnar", True)]:
+                               ("columnar", True), ("numpy", False),
+                               ("numpy", True)]:
         got = _run_sync(g, storage, fast_path, campaign_seed, proto_kind)
         assert got == ref, (storage, fast_path)
 
@@ -194,7 +198,7 @@ def test_async_dirty_aware_skips_quiescent_nodes():
     for locality in (False, True):
         naive = run("schema", False, locality)
         assert naive[5] == 0
-        for storage in ("schema", "columnar"):
+        for storage in ("schema", "columnar", "numpy"):
             aware = run(storage, True, locality)
             assert naive[:5] == aware[:5], (storage, locality)
             # every activation after each node's first no-op step skips
@@ -221,6 +225,7 @@ def test_fault_recipes_storage_independent(campaign_seed):
     ref = corrupted("dict")
     assert corrupted("schema") == ref
     assert corrupted("columnar") == ref
+    assert corrupted("numpy") == ref
 
 
 def test_hybrid_storage_differential(campaign_seed):
@@ -247,6 +252,7 @@ def test_hybrid_storage_differential(campaign_seed):
     ref = run("dict")
     assert run("schema") == ref
     assert run("columnar") == ref
+    assert run("numpy") == ref
     assert ref[1], "hybrid must reject the adversarial labeling"
 
 
