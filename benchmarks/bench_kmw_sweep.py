@@ -71,10 +71,12 @@ QUICK_CELLS = ((16, 24, 1), (24, 38, 2))
 XL_CELLS = ((800, 1600, 10), (1600, 3400, 10))
 
 
-def run_sweep(cells=None, seed=0, workers=1, out=None):
+def run_sweep(cells=None, seed=0, workers=1, out=None, manifest=None,
+              resume=False):
     specs = kmw_sweep_campaign(seed=seed) if cells is None else \
         kmw_sweep_campaign(cells=cells, seed=seed)
-    result = CampaignRunner(workers=workers).run(specs)
+    result = CampaignRunner(workers=workers, manifest=manifest,
+                            resume=resume).run(specs)
     rows = []
     for spec, res in zip(specs, result):
         graph = graph_for(spec)
@@ -255,10 +257,22 @@ def main(argv=None):
                              "cold pass then a warm-started pass over "
                              "this settle-snapshot cache directory, and "
                              "assert the >= 3x settle-round saving")
+    parser.add_argument("--manifest", metavar="DIR", default=None,
+                        help="sweep mode: stream results to a resumable "
+                             "manifest so a killed multi-hour sweep "
+                             "reruns only its missing cells")
+    parser.add_argument("--resume", action="store_true",
+                        help="with --manifest: rerun only the cells "
+                             "missing from the manifest index")
     args = parser.parse_args(argv)
     if args.warm_cache and not args.tau_trend:
         parser.error("--warm-cache applies to --tau-trend (the sweep's "
                      "detection cells are settle-free)")
+    if args.resume and not args.manifest:
+        parser.error("--resume requires --manifest")
+    if args.manifest and (args.tau_trend or args.xl):
+        parser.error("--manifest applies to the sweep mode (tau-trend "
+                     "and xl run cell-by-cell already)")
     if args.xl and (args.quick or args.tau_trend):
         parser.error("--xl is a standalone manual mode")
     if args.xl:
@@ -286,7 +300,9 @@ def main(argv=None):
         cells = QUICK_CELLS if args.quick else None
         result, rows, table = run_sweep(cells=cells, seed=args.seed,
                                         workers=args.workers,
-                                        out=args.out)
+                                        out=args.out,
+                                        manifest=args.manifest,
+                                        resume=args.resume)
         print(table)
     bad = result.violations()
     if bad:

@@ -25,15 +25,23 @@ from .campaigns import (adversarial_labeling_matrix,
                         paper_example_campaign,
                         partition_census_campaign, smoke_campaign,
                         soundness_completeness_matrix)
-from .differ import DiffConfig, DiffResult, diff_paths, diff_records
+from .differ import (DiffConfig, DiffResult, diff_paths, diff_records,
+                     record_failure)
+from .manifest import (CampaignManifest, ManifestWarning,
+                       result_from_record)
 from .runner import (CampaignResult, CampaignRunner, dump_jsonl,
                      run_campaign, scenario_record)
-from .scenarios import (FAULTS, PROTOCOLS, SCHEDULES, TOPOLOGIES,
-                        FaultEntry, ProtocolEntry, ScenarioError,
-                        ScenarioResult, clear_instance_cache, graph_for,
-                        register_fault, register_protocol,
-                        register_schedule, register_topology,
-                        run_scenario, spec_is_satisfiable)
+from .scenarios import (FAILURE_STATUSES, FAULTS, PROTOCOLS, SCHEDULES,
+                        STATUS_CRASHED, STATUS_ERROR, STATUS_OK,
+                        STATUS_QUARANTINED, STATUS_TIMEOUT,
+                        TERMINAL_STATUSES, TOPOLOGIES, FaultEntry,
+                        ProtocolEntry, ScenarioError, ScenarioResult,
+                        clear_instance_cache, graph_for, register_fault,
+                        register_protocol, register_schedule,
+                        register_topology, run_scenario,
+                        runtime_registered_axes, spec_is_satisfiable)
+from .supervise import (CampaignInterrupted, ChaosError, ChaosPolicy,
+                        SuperviseConfig, run_supervised, size_hint)
 from .spec import Axis, ScenarioSpec, axis, derive_seed, grid
 from .warmcache import (WarmCache, WarmCacheWarning, get_warm_cache,
                         set_warm_cache, warm_key)
@@ -42,6 +50,9 @@ __all__ = [
     "Axis", "ScenarioSpec", "axis", "derive_seed", "grid",
     "ScenarioError", "ScenarioResult", "run_scenario",
     "spec_is_satisfiable", "clear_instance_cache", "graph_for",
+    "runtime_registered_axes",
+    "STATUS_OK", "STATUS_ERROR", "STATUS_TIMEOUT", "STATUS_CRASHED",
+    "STATUS_QUARANTINED", "TERMINAL_STATUSES", "FAILURE_STATUSES",
     "FAULTS", "PROTOCOLS", "SCHEDULES", "TOPOLOGIES",
     "FaultEntry", "ProtocolEntry",
     "register_fault", "register_protocol", "register_schedule",
@@ -55,6 +66,10 @@ __all__ = [
     "partition_census_campaign", "smoke_campaign",
     "soundness_completeness_matrix",
     "DiffConfig", "DiffResult", "diff_paths", "diff_records",
+    "record_failure",
+    "CampaignManifest", "ManifestWarning", "result_from_record",
+    "CampaignInterrupted", "ChaosError", "ChaosPolicy",
+    "SuperviseConfig", "run_supervised", "size_hint",
     "WarmCache", "WarmCacheWarning", "warm_key",
     "get_warm_cache", "set_warm_cache",
 ]

@@ -5,6 +5,16 @@ every axis); ``--matrix`` runs the full soundness/completeness matrix.
 Exits non-zero on any completeness/soundness violation or scenario
 error, so CI can gate on it directly.
 
+Resilience flags (see :mod:`repro.engine.supervise` /
+:mod:`repro.engine.manifest`): ``--manifest DIR`` streams every
+terminal record to JSONL shards plus a completed-key index as cells
+finish; ``--resume`` re-runs only the cells missing from that index
+(after a crash, a CI preemption, or Ctrl-C — the interrupt handler
+prints the exact resume command).  ``--timeout``/``--retries``/
+``--timeout-retries``/``--backoff`` configure the supervisor;
+``--chaos crash=2,hang=1,attempts=1`` injects deterministic worker
+crashes/hangs/errors into chosen cells to exercise it.
+
 ``python -m repro.engine diff OLD.jsonl NEW.jsonl`` compares two result
 dumps (join on ``key`` + ``seed``) and exits non-zero on regressions in
 rounds-to-detection, memory bits, or wall time — the cross-commit perf
@@ -14,11 +24,13 @@ gate (see :mod:`repro.engine.differ`).
 from __future__ import annotations
 
 import argparse
+import shlex
 import sys
 
 from .campaigns import smoke_campaign, soundness_completeness_matrix
 from .differ import DiffConfig, diff_paths
 from .runner import CampaignRunner
+from .supervise import CampaignInterrupted, ChaosPolicy, SuperviseConfig
 
 
 def diff_main(argv) -> int:
@@ -103,6 +115,42 @@ def main(argv=None) -> int:
                         help="with --warm-cache: never restore, only "
                              "populate (cold timings that leave a warm "
                              "cache behind)")
+    parser.add_argument("--manifest", metavar="DIR", default=None,
+                        help="stream terminal records to JSONL shards + "
+                             "a completed-key index in DIR as cells "
+                             "finish (the resumable-campaign substrate)")
+    parser.add_argument("--resume", action="store_true",
+                        help="with --manifest: re-run only the cells "
+                             "missing from the index, reassemble the "
+                             "rest from the shards")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECS",
+                        help="per-cell wall-clock timeout for a "
+                             "~1000-node cell, scaled by topology size; "
+                             "a cell past its deadline is terminated "
+                             "instead of blocking the sweep (default: "
+                             "no deadline)")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="total attempts for cells whose worker "
+                             "crashed (OOM kill, preemption); retried "
+                             "on a fresh worker with backoff, "
+                             "quarantined when exhausted (default 2)")
+    parser.add_argument("--timeout-retries", type=int, default=1,
+                        metavar="N",
+                        help="total attempts for timed-out cells "
+                             "(default 1: a hang is usually "
+                             "deterministic)")
+    parser.add_argument("--backoff", type=float, default=0.5,
+                        metavar="SECS",
+                        help="base retry backoff, doubling per retry "
+                             "(default 0.5)")
+    parser.add_argument("--chaos", metavar="SPEC", default=None,
+                        help="inject deterministic worker failures into "
+                             "chosen cells to exercise the supervisor: "
+                             "'crash=2,hang=1,error=1,attempts=1' "
+                             "crashes/hangs/errors that many cells on "
+                             "their first ATTEMPTS attempts (needs "
+                             "--workers >= 2)")
     args = parser.parse_args(argv)
 
     warm = None
@@ -112,21 +160,57 @@ def main(argv=None) -> int:
                          restore=not args.no_warm_start)
     elif args.no_warm_start:
         parser.error("--no-warm-start requires --warm-cache")
+    if args.resume and not args.manifest:
+        parser.error("--resume requires --manifest")
 
     if args.matrix:
         specs = soundness_completeness_matrix(seed=args.seed)
     else:
         specs = smoke_campaign(seed=args.seed)
 
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = _parse_chaos(args.chaos, specs)
+        except ValueError as exc:
+            parser.error(f"--chaos: {exc}")
+        if args.workers is not None and args.workers <= 1:
+            parser.error("--chaos needs supervised workers "
+                         "(--workers >= 2): the inline path cannot "
+                         "survive a crash or hang of its own process")
+
     def progress(done, total, result):
         if args.quiet:
             return
         status = "ok" if result.ok else (result.violation or "?")
-        print(f"[{done:3d}/{total}] {result.spec.key}: {status} "
-              f"({result.wall_time:.2f}s)", flush=True)
+        retried = f" x{result.attempts}" if result.attempts > 1 else ""
+        print(f"[{done:3d}/{total}] {result.spec.key}: {status}"
+              f"{retried} ({result.wall_time:.2f}s)", flush=True)
 
-    runner = CampaignRunner(workers=args.workers, warm_cache=warm)
-    result = runner.run(specs, progress=progress)
+    config = SuperviseConfig(timeout=args.timeout,
+                             max_attempts=args.retries,
+                             timeout_attempts=args.timeout_retries,
+                             backoff=args.backoff, chaos=chaos)
+    runner = CampaignRunner(workers=args.workers, warm_cache=warm,
+                            supervise=config, manifest=args.manifest,
+                            resume=args.resume)
+    try:
+        result = runner.run(specs, progress=progress)
+    except CampaignInterrupted as exc:
+        print(f"\ninterrupted: {len(exc.results)}/{exc.total} "
+              f"scenario(s) completed"
+              + (" and flushed to the manifest" if args.manifest
+                 else ""))
+        if args.manifest:
+            resume_argv = list(argv) if argv else []
+            if "--resume" not in resume_argv:
+                resume_argv.append("--resume")
+            print("resume with: python -m repro.engine "
+                  + shlex.join(resume_argv))
+        else:
+            print("(run with --manifest DIR to make campaigns "
+                  "resumable)")
+        return 130
     print()
     print(result.summary())
     if warm is not None:
@@ -139,6 +223,26 @@ def main(argv=None) -> int:
         written = result.dump_jsonl(args.out)
         print(f"wrote {written} scenario record(s) to {args.out}")
     return 1 if result.violations() else 0
+
+
+def _parse_chaos(text: str, specs) -> ChaosPolicy:
+    """``crash=2,hang=1,error=1,attempts=1`` -> a deterministic
+    :class:`ChaosPolicy` over the campaign's cells."""
+    counts = {"crash": 0, "hang": 0, "error": 0, "attempts": 1}
+    for part in text.split(","):
+        name, sep, value = part.partition("=")
+        name = name.strip()
+        if name not in counts or not sep:
+            raise ValueError(
+                f"bad component {part!r} (expected "
+                f"crash=N,hang=N,error=N,attempts=N)")
+        try:
+            counts[name] = int(value)
+        except ValueError:
+            raise ValueError(f"bad count in {part!r}") from None
+    return ChaosPolicy.pick(specs, crash=counts["crash"],
+                            hang=counts["hang"], error=counts["error"],
+                            fail_attempts=counts["attempts"])
 
 
 if __name__ == "__main__":

@@ -18,6 +18,15 @@ on ``key`` + ``seed`` (the stable scenario identity
   scenario that exists *only* in the new dump (an added scenario that
   arrives violating must not slip past the gate just because it has no
   baseline to join against);
+* **execution status** — a scenario whose record carries a failure
+  status (``error``/``timeout``/``crashed``/``quarantined``, or a bare
+  ``error`` string in pre-status dumps) on either side becomes a named
+  category instead of a numeric comparison: newly failing is an
+  *error-appeared* regression, newly succeeding an *error-cleared*
+  improvement, and a failure whose kind changed an *error-status*
+  warning — the numeric metrics of a failed run are artifacts of the
+  failure (zero memory, null detection) and are never compared as if
+  they were valid;
 * **membership** — scenarios present in only one dump are reported as
   named categories (*removed* / *added*) with their keys, never
   silently dropped from the join; ``--strict`` turns removed scenarios
@@ -166,6 +175,22 @@ class DiffResult:
         return "\n".join(lines)
 
 
+def record_failure(rec: Dict[str, Any]) -> Optional[str]:
+    """The record's execution-failure kind, or ``None`` for a clean run.
+
+    New dumps carry an explicit terminal ``status``; legacy dumps
+    (pre-supervisor) only set ``error``, which counts as kind
+    ``"error"``.  A failed record's numeric metrics are artifacts of
+    the failure, so the differ must never compare them as if valid.
+    """
+    status = rec.get("status")
+    if status and status != "ok":
+        return str(status)
+    if rec.get("error"):
+        return "error"
+    return None
+
+
 def _worse(old: Optional[float], new: Optional[float],
            tol: float) -> Optional[bool]:
     """True/False when comparable, None when either side is absent.
@@ -208,7 +233,31 @@ def diff_records(old: Dict[Key, Dict[str, Any]],
         key, seed = ident
         result.joined += 1
 
-        # correctness first: these are regressions regardless of perf
+        # execution status first: a failed record (errored, timed out,
+        # crashed, or quarantined) has no valid metrics to compare
+        old_fail, new_fail = record_failure(o), record_failure(n)
+        if new_fail and not old_fail:
+            result.regressions.append(Regression(
+                key, seed, "error-appeared", None,
+                f"{new_fail}: {n.get('error')}" if n.get("error")
+                else new_fail))
+            continue
+        if old_fail and not new_fail:
+            result.improvements.append(Regression(
+                key, seed, "error-cleared", old_fail, None))
+            # the cell now *executes* — but it must also be correct:
+            # clearing a crash into a soundness violation is no fix
+            if n.get("violation"):
+                result.regressions.append(Regression(
+                    key, seed, "violation", None, n.get("violation")))
+            continue
+        if old_fail and new_fail:
+            if old_fail != new_fail:
+                result.warnings.append(Regression(
+                    key, seed, "error-status", old_fail, new_fail))
+            continue
+
+        # correctness next: these are regressions regardless of perf
         if n.get("violation") and not o.get("violation"):
             result.regressions.append(Regression(
                 key, seed, "violation", o.get("violation"),

@@ -1,25 +1,43 @@
-"""Campaign execution: fan scenarios out over processes, aggregate.
+"""Campaign execution: fan scenarios out under supervision, aggregate.
 
 ``CampaignRunner.run`` takes any iterable of
 :class:`~repro.engine.spec.ScenarioSpec` (typically from
 :func:`~repro.engine.spec.grid` or a builder in
 :mod:`repro.engine.campaigns`), executes every scenario — in-process
-when ``workers <= 1``, over a ``multiprocessing`` pool otherwise — and
-returns a :class:`CampaignResult` that keeps the results aligned with
-the input specs and answers the campaign-level questions: which
-scenarios violated completeness or soundness, how detection time and
-memory distribute per axis value, and how long the sweep took.
+when ``workers <= 1``, over *supervised* worker processes otherwise
+(:mod:`repro.engine.supervise`) — and returns a :class:`CampaignResult`
+that keeps the results aligned with the input specs and answers the
+campaign-level questions: which scenarios violated completeness or
+soundness, how detection time and memory distribute per axis value, and
+how long the sweep took.
 
-A scenario that raises is converted into a ``ScenarioResult`` carrying
-the error string, so one broken spec never aborts a sweep.
+Every scenario ends in a structured terminal status
+(:data:`~repro.engine.scenarios.TERMINAL_STATUSES`): a scenario that
+raises becomes an ``error`` result carrying the exception type and a
+bounded traceback tail; under supervision a crashed worker's cell is
+retried on a fresh worker, a cell exceeding its per-cell timeout is
+terminated, and retry-exhausted cells are quarantined — one broken,
+hung, or OOM-killed cell never aborts or wedges a sweep.
+
+With a ``manifest`` directory the runner streams each terminal record
+to a JSONL shard plus a completed-key index as it lands
+(:mod:`repro.engine.manifest`); ``resume=True`` then re-runs only the
+cells missing from the index and reassembles the rest, so a killed
+campaign continues where it stopped and its merged dump matches an
+uninterrupted run on every deterministic field.  ``KeyboardInterrupt``
+flushes completed results and raises
+:class:`~repro.engine.supervise.CampaignInterrupted` with them
+attached.
 
 Runtime-registered axis kinds (``register_topology`` etc.) live in the
 parent process's registries; workers inherit them only under the
 ``fork`` start method (the Linux default).  Under ``spawn``
-(macOS/Windows default) put the registrations in an importable module
-that runs at import time, or use ``workers=1`` — registered builders
-are arbitrary callables (often lambdas), so they cannot be shipped to
-spawn workers with the spec.
+(macOS/Windows default) the runner fails fast with the offending kinds
+by name (see :func:`~repro.engine.scenarios.runtime_registered_axes`)
+instead of letting workers die on an opaque ``KeyError``; pass a
+module-level ``worker_init`` callable that performs the registrations
+(it runs in every fresh worker), use ``mp_context="fork"``, or run with
+``workers=1``.
 """
 
 from __future__ import annotations
@@ -28,12 +46,15 @@ import json
 import multiprocessing
 import os
 import time
-import traceback
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from .scenarios import ScenarioResult, run_scenario
+from .manifest import CampaignManifest, result_from_record
+from .scenarios import (STATUS_OK, ScenarioError, ScenarioResult,
+                        runtime_registered_axes)
 from .spec import ScenarioSpec
+from .supervise import (CampaignInterrupted, SuperviseConfig, _run_one,
+                        run_supervised)
 from .warmcache import WarmCache, get_warm_cache, set_warm_cache
 
 
@@ -71,6 +92,10 @@ def scenario_record(result: ScenarioResult) -> Dict[str, Any]:
         "cache_hit": result.cache_hit,
         "settle_rounds_saved": result.settle_rounds_saved,
         "error": result.error,
+        "status": result.status,
+        "error_type": result.error_type,
+        "error_trace": list(result.error_trace),
+        "attempts": result.attempts,
     }
     return rec
 
@@ -88,27 +113,6 @@ def dump_jsonl(results: Iterable[ScenarioResult], path: str) -> int:
     return count
 
 
-def _pool_warm_init(warm_root: Optional[str], warm_restore: bool) -> None:
-    """Pool initializer: install the warm-start cache in each worker.
-
-    The cache ships as (root, restore) rather than as an object so the
-    initializer works under both ``fork`` and ``spawn`` start methods;
-    per-worker hit/miss counters stay local, the per-scenario outcome
-    travels back in the results."""
-    if warm_root is not None:
-        set_warm_cache(WarmCache(warm_root, restore=warm_restore))
-
-
-def _run_one(spec: ScenarioSpec) -> ScenarioResult:
-    """Worker entry point: never raises (module-level for pickling)."""
-    try:
-        return run_scenario(spec)
-    except Exception as exc:  # noqa: BLE001 - campaign must survive
-        detail = traceback.format_exc(limit=2).strip().splitlines()[-1]
-        return ScenarioResult(
-            spec=spec, error=f"{type(exc).__name__}: {exc} [{detail}]")
-
-
 @dataclass(frozen=True)
 class CampaignResult:
     """All scenario results of one campaign, in spec order."""
@@ -116,6 +120,8 @@ class CampaignResult:
     results: Tuple[ScenarioResult, ...]
     wall_time: float
     workers: int
+    #: results reassembled from a manifest instead of executed (resume).
+    resumed: int = 0
 
     def __len__(self) -> int:
         return len(self.results)
@@ -128,7 +134,8 @@ class CampaignResult:
 
     # -- campaign-level verdicts ---------------------------------------
     def violations(self) -> List[ScenarioResult]:
-        """Scenarios that falsified completeness/soundness or errored."""
+        """Scenarios that falsified completeness/soundness or failed to
+        execute (``error``/``timeout``/``crashed``/``quarantined``)."""
         return [r for r in self.results if not r.ok]
 
     def completeness_violations(self) -> List[ScenarioResult]:
@@ -140,6 +147,14 @@ class CampaignResult:
 
     def errors(self) -> List[ScenarioResult]:
         return [r for r in self.results if r.error is not None]
+
+    def statuses(self) -> Dict[str, int]:
+        """Terminal-status histogram (``ok``/``error``/``timeout``/
+        ``crashed``/``quarantined``)."""
+        counts: Dict[str, int] = {}
+        for r in self.results:
+            counts[r.status] = counts.get(r.status, 0) + 1
+        return counts
 
     # -- aggregation ----------------------------------------------------
     def by(self, role: str) -> Dict[str, List[ScenarioResult]]:
@@ -162,12 +177,17 @@ class CampaignResult:
     def summary(self) -> str:
         """A human-readable campaign report."""
         from ..analysis import format_table
-        lines = [
-            f"{len(self.results)} scenarios in {self.wall_time:.1f}s "
-            f"({self.workers} worker(s)); "
-            f"{len(self.violations())} violation(s), "
-            f"{len(self.errors())} error(s)",
-        ]
+        head = (f"{len(self.results)} scenarios in {self.wall_time:.1f}s "
+                f"({self.workers} worker(s)); "
+                f"{len(self.violations())} violation(s), "
+                f"{len(self.errors())} error(s)")
+        if self.resumed:
+            head += f"; {self.resumed} resumed from manifest"
+        lines = [head]
+        counts = self.statuses()
+        if set(counts) != {STATUS_OK} and counts:
+            lines.append("statuses: " + ", ".join(
+                f"{status}={n}" for status, n in sorted(counts.items())))
         rows = []
         for key, group in sorted(self.by("fault").items()):
             detected = sum(1 for r in group if r.detected)
@@ -206,70 +226,159 @@ class CampaignRunner:
     ``workers=None`` picks ``min(len(specs), cpu_count)``; ``workers=1``
     (or a single spec) runs inline, which keeps tracebacks pristine and
     lets the per-process instance cache accumulate across campaigns.
+    With more workers the specs are dispatched one at a time to
+    supervised worker processes (:func:`~repro.engine.supervise.
+    run_supervised`): crashed workers are detected and their cells
+    retried, cells exceeding ``supervise.timeout_for(spec)`` are
+    terminated, and every cell ends in a terminal status.
+
+    ``supervise`` (a :class:`~repro.engine.supervise.SuperviseConfig`)
+    sets timeouts, attempt budgets, backoff, the chaos hook, and
+    ``worker_init``; the default config has no deadline and one crash
+    retry.  The chaos hook only applies to supervised workers — the
+    inline path cannot survive a crash or hang of its own process.
+
+    ``manifest`` (a :class:`~repro.engine.manifest.CampaignManifest`
+    or a directory path) streams every terminal record to a JSONL
+    shard + completed-key index as it lands; ``resume=True`` re-runs
+    only the cells missing from the index and reassembles the rest
+    (``CampaignResult.resumed`` counts them).
 
     ``warm_cache`` (a :class:`~repro.engine.warmcache.WarmCache` or a
     directory path) warm-starts inject-fault scenarios from settled
     snapshots: cells sharing a settle configuration restore instead of
     re-settling, across fault cells within the run and across runs over
     the same directory.  The cache is installed ambiently for the run —
-    inline or via the pool initializer — and the previous ambient cache
-    is put back afterwards; without the parameter an already-ambient
-    cache (``set_warm_cache``) is honored.
+    inline or in each supervised worker — and the previous ambient
+    cache is put back afterwards; without the parameter an
+    already-ambient cache (``set_warm_cache``) is honored.
     """
 
     def __init__(self, workers: Optional[int] = None,
                  mp_context: Optional[str] = None,
-                 warm_cache: Optional[Any] = None) -> None:
+                 warm_cache: Optional[Any] = None,
+                 supervise: Optional[SuperviseConfig] = None,
+                 manifest: Optional[Any] = None,
+                 resume: bool = False) -> None:
         self.workers = workers
         self.mp_context = mp_context
         if isinstance(warm_cache, str):
             warm_cache = WarmCache(warm_cache)
         self.warm_cache: Optional[WarmCache] = warm_cache
+        self.supervise = supervise or SuperviseConfig()
+        if isinstance(manifest, str):
+            manifest = CampaignManifest(manifest)
+        self.manifest: Optional[CampaignManifest] = manifest
+        self.resume = resume
+        if resume and manifest is None:
+            raise ValueError("resume=True requires a manifest")
+
+    def _check_spawn_safe(self, specs: List[ScenarioSpec]) -> None:
+        """Fail fast when runtime-registered axes cannot reach spawned
+        workers (satellite: the opaque in-worker KeyError this used to
+        surface as)."""
+        method = multiprocessing.get_context(
+            self.mp_context).get_start_method()
+        if method == "fork" or self.supervise.worker_init is not None:
+            return
+        rogue = runtime_registered_axes(specs)
+        if not rogue:
+            return
+        detail = "; ".join(f"{role} kind(s) {kinds}"
+                           for role, kinds in rogue.items())
+        raise ScenarioError(
+            f"campaign uses runtime-registered {detail}, but the "
+            f"{method!r} start method re-imports the registries in "
+            f"every worker, so those registrations would be missing "
+            f"(workers die with an opaque KeyError). Workarounds: pass "
+            f"a module-level worker_init callable that performs the "
+            f"register_* calls (SuperviseConfig(worker_init=...)), use "
+            f"mp_context='fork', or run with workers=1.")
 
     def run(self, specs: Iterable[ScenarioSpec],
             progress: Optional[Callable[[int, int, ScenarioResult],
                                         None]] = None) -> CampaignResult:
         spec_list = list(specs)
+        start = time.perf_counter()
+
+        # resume: split completed cells (reassembled from the manifest)
+        # from the cells still to run
+        slots: List[Optional[ScenarioResult]] = [None] * len(spec_list)
+        todo: List[Tuple[int, ScenarioSpec]] = list(enumerate(spec_list))
+        resumed = 0
+        if self.manifest is not None and self.resume:
+            recorded = self.manifest.records()
+            todo = []
+            for i, spec in enumerate(spec_list):
+                rec = recorded.get((spec.key, spec.seed))
+                if rec is not None:
+                    slots[i] = result_from_record(spec, rec)
+                    resumed += 1
+                else:
+                    todo.append((i, spec))
+
         workers = self.workers
         if workers is None:
-            workers = min(len(spec_list), os.cpu_count() or 1) or 1
-        start = time.perf_counter()
-        results: List[ScenarioResult]
+            workers = min(len(todo), os.cpu_count() or 1) or 1
         active = self.warm_cache if self.warm_cache is not None \
             else get_warm_cache()
-        if workers <= 1 or len(spec_list) <= 1:
-            workers = 1
-            results = []
-            previous = set_warm_cache(active)
-            try:
-                for i, spec in enumerate(spec_list):
-                    r = _run_one(spec)
-                    results.append(r)
-                    if progress is not None:
-                        progress(i + 1, len(spec_list), r)
-            finally:
-                set_warm_cache(previous)
-        else:
-            ctx = multiprocessing.get_context(self.mp_context)
-            chunksize = max(1, len(spec_list) // (4 * workers))
-            initargs = (active.root, active.restore) \
-                if active is not None else (None, True)
-            with ctx.Pool(processes=workers, initializer=_pool_warm_init,
-                          initargs=initargs) as pool:
-                results = []
-                for i, r in enumerate(pool.imap(_run_one, spec_list,
-                                                chunksize=chunksize)):
-                    results.append(r)
-                    if progress is not None:
-                        progress(i + 1, len(spec_list), r)
-        return CampaignResult(results=tuple(results),
-                              wall_time=time.perf_counter() - start,
-                              workers=workers)
+
+        writer = self.manifest.open_writer() \
+            if self.manifest is not None and todo else None
+        executed = 0
+
+        def land(idx: int, result: ScenarioResult) -> None:
+            """A cell reached terminal status: stream it, then report."""
+            nonlocal executed
+            slots[idx] = result
+            executed += 1
+            if writer is not None:
+                writer.append(scenario_record(result))
+            if progress is not None:
+                progress(resumed + executed, len(spec_list), result)
+
+        try:
+            if workers <= 1 or len(todo) <= 1:
+                workers = 1
+                previous = set_warm_cache(active)
+                try:
+                    for i, spec in todo:
+                        land(i, _run_one(spec))
+                except KeyboardInterrupt:
+                    raise CampaignInterrupted(
+                        [r for r in slots if r is not None],
+                        len(spec_list)) from None
+                finally:
+                    set_warm_cache(previous)
+            else:
+                self._check_spawn_safe([spec for _, spec in todo])
+                try:
+                    run_supervised(
+                        [spec for _, spec in todo], workers,
+                        config=self.supervise,
+                        mp_context=self.mp_context,
+                        warm_root=active.root if active else None,
+                        warm_restore=active.restore if active else True,
+                        on_result=lambda pos, result: land(
+                            todo[pos][0], result))
+                except CampaignInterrupted:
+                    raise CampaignInterrupted(
+                        [r for r in slots if r is not None],
+                        len(spec_list)) from None
+        finally:
+            if writer is not None:
+                writer.close()
+
+        return CampaignResult(
+            results=tuple(r for r in slots if r is not None),
+            wall_time=time.perf_counter() - start,
+            workers=workers, resumed=resumed)
 
 
 def run_campaign(specs: Iterable[ScenarioSpec],
                  workers: Optional[int] = None,
-                 warm_cache: Optional[Any] = None) -> CampaignResult:
+                 warm_cache: Optional[Any] = None,
+                 **kwargs: Any) -> CampaignResult:
     """One-call convenience: ``CampaignRunner(...).run(specs)``."""
-    return CampaignRunner(workers=workers,
-                          warm_cache=warm_cache).run(specs)
+    return CampaignRunner(workers=workers, warm_cache=warm_cache,
+                          **kwargs).run(specs)

@@ -390,6 +390,35 @@ register_fault("label_swap", FaultEntry(mode=MODE_LABELING,
                                         marker=_label_swap_marker))
 
 
+#: the axis kinds registered by *importing this module* — what a
+#: freshly spawned worker process will know about.  Kinds registered at
+#: runtime (tests, notebooks, bespoke sweeps) exist only in the parent
+#: process; under the ``spawn``/``forkserver`` start methods the worker
+#: re-imports the registries and the runtime entries are simply absent,
+#: which used to surface as an opaque ``KeyError`` deep inside the
+#: pool.  The runner consults this snapshot to fail fast instead
+#: (:func:`runtime_registered_axes`).
+BUILTIN_AXIS_KINDS: Dict[str, frozenset] = {
+    "topology": frozenset(TOPOLOGIES),
+    "fault": frozenset(FAULTS),
+    "schedule": frozenset(SCHEDULES),
+    "protocol": frozenset(PROTOCOLS),
+}
+
+
+def runtime_registered_axes(specs) -> Dict[str, list]:
+    """``role -> sorted kinds`` used by ``specs`` but registered after
+    import (absent from :data:`BUILTIN_AXIS_KINDS`) — the axis values a
+    spawned worker cannot resolve."""
+    rogue: Dict[str, set] = {}
+    for spec in specs:
+        for role in ("topology", "fault", "schedule", "protocol"):
+            kind = getattr(spec, role).kind
+            if kind not in BUILTIN_AXIS_KINDS[role]:
+                rogue.setdefault(role, set()).add(kind)
+    return {role: sorted(kinds) for role, kinds in sorted(rogue.items())}
+
+
 # ---------------------------------------------------------------------------
 # instance cache (per process)
 # ---------------------------------------------------------------------------
@@ -444,6 +473,28 @@ def graph_for(spec: ScenarioSpec) -> WeightedGraph:
 VIOLATION_COMPLETENESS = "completeness"
 VIOLATION_SOUNDNESS = "soundness"
 
+#: terminal execution statuses — every scenario of a finished campaign
+#: carries exactly one, never an implicit "missing":
+#:
+#: * ``ok`` — ran to completion (possibly after supervised retries);
+#: * ``error`` — raised inside the worker (deterministic, not retried);
+#: * ``timeout`` — exceeded its per-cell wall-clock deadline and was
+#:   terminated (terminal when the timeout attempt budget is 1);
+#: * ``crashed`` — its worker process died mid-run (OOM kill,
+#:   preemption; terminal when the crash attempt budget is 1);
+#: * ``quarantined`` — a retryable failure exhausted a multi-attempt
+#:   budget: the supervisor parks the cell so the sweep continues, and
+#:   ``--resume`` will not re-run it (``error_type`` records the last
+#:   failure kind).
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+STATUS_CRASHED = "crashed"
+STATUS_QUARANTINED = "quarantined"
+TERMINAL_STATUSES = (STATUS_OK, STATUS_ERROR, STATUS_TIMEOUT,
+                     STATUS_CRASHED, STATUS_QUARANTINED)
+FAILURE_STATUSES = frozenset(TERMINAL_STATUSES) - {STATUS_OK}
+
 
 @dataclass(frozen=True)
 class ScenarioResult:
@@ -476,10 +527,27 @@ class ScenarioResult:
     #: cached cold run's count so records stay comparable).
     settle_rounds_saved: int = 0
     error: Optional[str] = None
+    #: terminal execution status (:data:`TERMINAL_STATUSES`); every
+    #: non-``ok`` status also carries a human-readable ``error``.
+    status: str = STATUS_OK
+    #: exception class name (``error`` status) or the failure kind a
+    #: quarantined cell last exhibited (``timeout``/``crashed``).
+    error_type: Optional[str] = None
+    #: bounded tail of the worker traceback (``error`` status), so the
+    #: differ and analytics can group failures by cause without
+    #: shipping unbounded text through every record.
+    error_trace: Tuple[str, ...] = ()
+    #: how many supervised attempts this terminal result took (1 when
+    #: the first attempt was terminal — including unsupervised runs).
+    attempts: int = 1
 
     @property
     def violation(self) -> Optional[str]:
         """Which paper property (if any) this scenario falsifies."""
+        if self.status != STATUS_OK:
+            # the terminal status is the stable category; the free-form
+            # message stays in ``error`` for humans
+            return self.status
         if self.error is not None:
             return self.error
         if self.premature_alarm:

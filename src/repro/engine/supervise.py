@@ -1,0 +1,461 @@
+"""Supervised campaign execution: crash/hang-tolerant worker fan-out.
+
+The bare ``multiprocessing.Pool.imap`` fan-out the runner used through
+PR 7 has the failure modes the paper's own subject matter warns about:
+one OOM-killed worker wedges the pool forever (``imap`` waits for a
+result that will never arrive), and one non-quiescing cell blocks the
+whole sweep.  This module replaces it with *per-task dispatch under
+supervision*:
+
+* every worker is a dedicated ``Process`` with its own duplex pipe; the
+  supervisor sends one ``(index, spec, attempt)`` at a time and tracks
+  a per-cell deadline;
+* a worker that **dies** mid-cell (OOM kill, preemption, segfault) is
+  detected through its process sentinel; the in-flight cell is retried
+  on a *fresh* worker with bounded attempts and exponential backoff;
+* a cell that exceeds its **per-cell wall-clock timeout** — configurable
+  and scaled by the topology size hint — is terminated (worker killed,
+  replacement spawned) instead of blocking the sweep;
+* every cell ends in a structured terminal status
+  (:data:`~repro.engine.scenarios.TERMINAL_STATUSES`): ``ok``,
+  ``error`` (raised inside the worker; deterministic, never retried),
+  ``timeout``/``crashed`` (the failure itself, when its attempt budget
+  is 1), or ``quarantined`` (a multi-attempt budget exhausted — the
+  supervisor parks the cell so the sweep continues and ``--resume``
+  skips it).  Nothing is ever silently missing.
+
+Results are delivered through an ``on_result`` callback *as they
+complete* (completion order, not spec order), which is what lets the
+runner stream JSONL shards and the completed-key manifest
+(:mod:`repro.engine.manifest`) for resumable campaigns.
+
+A deterministic :class:`ChaosPolicy` makes the supervisor itself
+testable: chosen cells crash (``os._exit``), hang (sleep past any
+deadline), or raise inside the worker for their first ``fail_attempts``
+attempts, then behave normally — so retried-to-ok, quarantine, and
+timeout paths are all exercised by ordinary tests and the CI chaos
+smoke job, under both ``fork`` and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from multiprocessing import get_context
+from multiprocessing.connection import wait as _conn_wait
+from typing import (Callable, Dict, FrozenSet, Iterable, List, Optional,
+                    Sequence, Tuple)
+
+from .scenarios import (STATUS_CRASHED, STATUS_ERROR, STATUS_QUARANTINED,
+                        STATUS_TIMEOUT, ScenarioResult, run_scenario)
+from .spec import ScenarioSpec
+
+__all__ = ["CampaignInterrupted", "ChaosError", "ChaosPolicy",
+           "SuperviseConfig", "run_supervised", "size_hint"]
+
+#: traceback lines kept on an ``error`` result — enough to group
+#: failures by cause, bounded so a deep recursion cannot bloat records.
+TRACEBACK_TAIL_LINES = 8
+
+
+class ChaosError(RuntimeError):
+    """The deterministic exception :class:`ChaosPolicy` raises in
+    ``error`` cells (distinguishable from real scenario failures)."""
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Deterministic fault injection *into the campaign fabric itself*.
+
+    Cells are selected by spec ``key``; an affected cell misbehaves on
+    its first :attr:`fail_attempts` attempts and runs normally
+    afterwards — so ``fail_attempts=1`` with a retry budget of 2
+    exercises the retried-to-ok path, while ``fail_attempts`` larger
+    than any budget exercises quarantine.  The policy is picklable and
+    ships to workers under both ``fork`` and ``spawn``.
+    """
+
+    crash_keys: FrozenSet[str] = frozenset()
+    hang_keys: FrozenSet[str] = frozenset()
+    error_keys: FrozenSet[str] = frozenset()
+    #: misbehave on attempts 1..fail_attempts, behave from then on.
+    fail_attempts: int = 1
+    #: how long a hanging cell sleeps (longer than any sane deadline).
+    hang_seconds: float = 3600.0
+
+    @classmethod
+    def pick(cls, specs: Iterable[ScenarioSpec], crash: int = 0,
+             hang: int = 0, error: int = 0, fail_attempts: int = 1,
+             hang_seconds: float = 3600.0) -> "ChaosPolicy":
+        """Select disjoint victim cells deterministically: the first
+        ``crash``/``hang``/``error`` keys in sorted key order, so the
+        same campaign + counts always picks the same cells."""
+        keys = sorted({s.key for s in specs})
+        take = deque(keys)
+        picked = []
+        for count in (crash, hang, error):
+            picked.append(frozenset(take.popleft()
+                                    for _ in range(min(count, len(take)))))
+        return cls(crash_keys=picked[0], hang_keys=picked[1],
+                   error_keys=picked[2], fail_attempts=fail_attempts,
+                   hang_seconds=hang_seconds)
+
+    def plan(self, spec: ScenarioSpec, attempt: int) -> Optional[str]:
+        """The misbehavior for this (cell, attempt), or ``None``."""
+        if attempt > self.fail_attempts:
+            return None
+        if spec.key in self.crash_keys:
+            return "crash"
+        if spec.key in self.hang_keys:
+            return "hang"
+        if spec.key in self.error_keys:
+            return "error"
+        return None
+
+    def apply(self, spec: ScenarioSpec, attempt: int) -> None:
+        """Misbehave inside the worker (called before the scenario)."""
+        action = self.plan(spec, attempt)
+        if action == "crash":
+            os._exit(137)       # the OOM killer's exit, unhandleable
+        elif action == "hang":
+            time.sleep(self.hang_seconds)
+        elif action == "error":
+            raise ChaosError(f"chaos error injected into {spec.key} "
+                             f"(attempt {attempt})")
+
+
+def size_hint(spec: ScenarioSpec) -> int:
+    """Best-effort node-count estimate from the topology axis params
+    (used only to *scale* per-cell timeouts, so approximate is fine)."""
+    topo = spec.topology
+    n = topo.get("n")
+    if n:
+        return int(n)
+    rows, cols = topo.get("rows"), topo.get("cols")
+    if rows and cols:
+        return int(rows) * int(cols)
+    if topo.kind == "caterpillar":
+        spine, legs = topo.get("spine", 4), topo.get("legs", 2)
+        return int(spine) * (1 + int(legs))
+    if topo.kind == "subdivided":
+        base_n = topo.get("base_n", 80)
+        extra = topo.get("extra", 130)
+        tau = topo.get("tau", 2)
+        # every base edge gains a 2*tau-node path (Figure 10)
+        return int(base_n + (base_n - 1 + extra) * 2 * tau)
+    return 16
+
+
+@dataclass(frozen=True)
+class SuperviseConfig:
+    """Supervision knobs (all have conservative defaults).
+
+    ``timeout`` is the *base* per-cell wall-clock deadline in seconds
+    for a cell of :attr:`timeout_scale` nodes or fewer; larger cells
+    get proportionally more (:meth:`timeout_for`).  ``None`` disables
+    deadlines entirely.
+
+    Attempt budgets are *totals* (first try included).  A retryable
+    failure with attempts left is re-dispatched to a fresh worker after
+    exponential backoff; when a kind's budget is 1 the failure status
+    itself (``crashed``/``timeout``) is terminal, and when a
+    multi-attempt budget is exhausted the cell is ``quarantined``.
+    Crashes default to one retry (transient OOM/preemption is the
+    common case); timeouts default to no retry (a hang is usually
+    deterministic — opt in via ``timeout_attempts``).
+    """
+
+    timeout: Optional[float] = None
+    #: nodes covered by the base timeout; cells above it scale linearly.
+    timeout_scale: float = 1000.0
+    max_attempts: int = 2          # total attempts for crashed cells
+    timeout_attempts: int = 1      # total attempts for timed-out cells
+    backoff: float = 0.5           # base retry delay, doubling per retry
+    chaos: Optional[ChaosPolicy] = None
+    #: module-level callable run once in every fresh worker before it
+    #: serves cells — the supported way to make runtime ``register_*``
+    #: axes visible under ``spawn`` (it must be importable by name).
+    worker_init: Optional[Callable[[], None]] = None
+
+    def timeout_for(self, spec: ScenarioSpec) -> Optional[float]:
+        """The cell's wall-clock deadline in seconds (``None`` = no
+        deadline), scaled by the topology size hint."""
+        if self.timeout is None:
+            return None
+        return self.timeout * max(1.0, size_hint(spec) /
+                                  self.timeout_scale)
+
+    def budget_for(self, kind: str) -> int:
+        return (self.max_attempts if kind == STATUS_CRASHED
+                else self.timeout_attempts)
+
+
+class CampaignInterrupted(KeyboardInterrupt):
+    """Ctrl-C (or a propagated ``KeyboardInterrupt``) during a
+    campaign: workers are terminated, completed results are attached
+    (already streamed to the manifest when one is active), and the CLI
+    prints the ``--resume`` command.  Subclasses ``KeyboardInterrupt``
+    so existing handlers keep working."""
+
+    def __init__(self, results: Sequence[ScenarioResult],
+                 total: int) -> None:
+        super().__init__(
+            f"campaign interrupted: {len(results)}/{total} scenario(s) "
+            f"completed")
+        self.results: Tuple[ScenarioResult, ...] = tuple(results)
+        self.total = total
+
+
+def _error_result(spec: ScenarioSpec, exc: BaseException) -> ScenarioResult:
+    """A terminal ``error`` result carrying the structured cause: the
+    exception class, message, and a bounded traceback tail (the old
+    runner kept only the last traceback line, which collapsed distinct
+    failure causes into one unreadable string)."""
+    import traceback
+    lines = traceback.format_exception(type(exc), exc, exc.__traceback__)
+    tail = "".join(lines).strip().splitlines()[-TRACEBACK_TAIL_LINES:]
+    return ScenarioResult(
+        spec=spec, status=STATUS_ERROR,
+        error=f"{type(exc).__name__}: {exc}",
+        error_type=type(exc).__name__,
+        error_trace=tuple(tail))
+
+
+def _run_one(spec: ScenarioSpec, attempt: int = 1,
+             chaos: Optional[ChaosPolicy] = None) -> ScenarioResult:
+    """Worker entry point: never raises (module-level for pickling)."""
+    try:
+        if chaos is not None:
+            chaos.apply(spec, attempt)
+        return run_scenario(spec)
+    except Exception as exc:  # noqa: BLE001 - campaign must survive
+        return _error_result(spec, exc)
+
+
+def _supervised_worker(conn, warm_root: Optional[str], warm_restore: bool,
+                       chaos: Optional[ChaosPolicy],
+                       worker_init: Optional[Callable[[], None]]) -> None:
+    """Worker loop: serve ``(index, spec, attempt)`` tasks until a
+    ``None`` sentinel or pipe EOF.  EOF also covers a *killed*
+    supervisor (``kill -9`` closes its pipe ends), so orphaned workers
+    exit instead of leaking."""
+    import signal
+    # Ctrl-C belongs to the supervisor: it terminates workers during
+    # shutdown, and a worker that also takes the SIGINT sprays a
+    # traceback mid-interrupt-message
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    if warm_root is not None:
+        from .warmcache import WarmCache, set_warm_cache
+        set_warm_cache(WarmCache(warm_root, restore=warm_restore))
+    if worker_init is not None:
+        worker_init()
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg is None:
+            break
+        idx, spec, attempt = msg
+        result = _run_one(spec, attempt=attempt, chaos=chaos)
+        try:
+            conn.send((idx, result))
+        except (BrokenPipeError, OSError):
+            break
+
+
+class _WorkerHandle:
+    """One supervised worker: its process, pipe, and in-flight task."""
+
+    __slots__ = ("proc", "conn", "task", "deadline")
+
+    def __init__(self, ctx, spawn_args) -> None:
+        parent, child = ctx.Pipe()
+        self.proc = ctx.Process(target=_supervised_worker,
+                                args=(child,) + spawn_args, daemon=True)
+        self.proc.start()
+        child.close()
+        self.conn = parent
+        self.task: Optional[Tuple[int, ScenarioSpec, int]] = None
+        self.deadline: Optional[float] = None
+
+    def retire(self) -> None:
+        """Close the pipe and make sure the process is gone."""
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(2.0)
+            if self.proc.is_alive():
+                self.proc.kill()
+                self.proc.join(2.0)
+        else:
+            self.proc.join(0.1)
+
+
+def run_supervised(specs: Sequence[ScenarioSpec], workers: int,
+                   config: Optional[SuperviseConfig] = None,
+                   mp_context: Optional[str] = None,
+                   warm_root: Optional[str] = None,
+                   warm_restore: bool = True,
+                   on_result: Optional[Callable[[int, ScenarioResult],
+                                                None]] = None
+                   ) -> List[ScenarioResult]:
+    """Execute ``specs`` under supervision; results in *spec order*.
+
+    ``on_result(index, result)`` fires in completion order as each cell
+    reaches a terminal status (the streaming hook).  Raises
+    :class:`CampaignInterrupted` on ``KeyboardInterrupt`` — including
+    one raised *by* ``on_result`` — with the completed results
+    attached, after terminating every worker.
+    """
+    config = config or SuperviseConfig()
+    specs = list(specs)
+    ctx = get_context(mp_context)
+    spawn_args = (warm_root, warm_restore, config.chaos,
+                  config.worker_init)
+    n_workers = max(1, min(workers, len(specs)))
+
+    results: List[Optional[ScenarioResult]] = [None] * len(specs)
+    pending = deque((i, spec, 1) for i, spec in enumerate(specs))
+    #: (ready_at, index, spec, next_attempt) — failed cells waiting out
+    #: their backoff before re-dispatch
+    retries: List[Tuple[float, int, ScenarioSpec, int]] = []
+    idle: List[_WorkerHandle] = []
+    busy: List[_WorkerHandle] = []
+    done = 0
+
+    def finish(idx: int, attempt: int, result: ScenarioResult) -> None:
+        nonlocal done
+        result = replace(result, attempts=attempt)
+        results[idx] = result
+        done += 1
+        if on_result is not None:
+            on_result(idx, result)
+
+    def fail(idx: int, spec: ScenarioSpec, attempt: int,
+             kind: str) -> None:
+        """A crashed/timed-out attempt: retry with backoff while the
+        kind's budget lasts, else record the terminal status."""
+        budget = config.budget_for(kind)
+        if attempt < budget:
+            delay = config.backoff * (2 ** (attempt - 1))
+            retries.append((time.monotonic() + delay, idx, spec,
+                            attempt + 1))
+            return
+        if kind == STATUS_CRASHED:
+            detail = "worker process died mid-run"
+        else:
+            deadline = config.timeout_for(spec)
+            detail = (f"exceeded per-cell timeout"
+                      f"{f' of {deadline:.1f}s' if deadline else ''}")
+        if budget > 1:
+            status = STATUS_QUARANTINED
+            message = (f"quarantined after {attempt} attempt(s); "
+                       f"last failure: {kind} ({detail})")
+        else:
+            status = kind
+            message = detail
+        finish(idx, attempt, ScenarioResult(
+            spec=spec, status=status, error=message, error_type=kind))
+
+    def crash(w: _WorkerHandle) -> None:
+        idx, spec, attempt = w.task
+        busy.remove(w)
+        w.retire()
+        fail(idx, spec, attempt, STATUS_CRASHED)
+
+    def expire(w: _WorkerHandle) -> None:
+        idx, spec, attempt = w.task
+        busy.remove(w)
+        w.retire()     # a hung worker cannot be reused: kill + replace
+        fail(idx, spec, attempt, STATUS_TIMEOUT)
+
+    def shutdown() -> None:
+        for w in busy + idle:
+            if w.task is None and w.proc.is_alive():
+                try:
+                    w.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+            w.retire()
+        busy.clear()
+        idle.clear()
+
+    try:
+        while done < len(specs):
+            now = time.monotonic()
+            if retries:
+                due = [r for r in retries if r[0] <= now]
+                if due:
+                    retries[:] = [r for r in retries if r[0] > now]
+                    for _, idx, spec, attempt in sorted(due):
+                        pending.append((idx, spec, attempt))
+            # keep the worker complement full (replacements for
+            # retired crashers/hangers) as long as there is work left
+            outstanding = len(pending) + len(retries) + len(busy)
+            while outstanding and len(idle) + len(busy) < min(
+                    n_workers, outstanding):
+                idle.append(_WorkerHandle(ctx, spawn_args))
+            while pending and idle:
+                idx, spec, attempt = pending.popleft()
+                w = idle.pop()
+                try:
+                    w.conn.send((idx, spec, attempt))
+                except (BrokenPipeError, OSError):
+                    # the idle worker died before dispatch: that is a
+                    # worker failure, not a cell failure — requeue the
+                    # cell at the same attempt and replace the worker
+                    w.retire()
+                    pending.appendleft((idx, spec, attempt))
+                    idle.append(_WorkerHandle(ctx, spawn_args))
+                    continue
+                t = config.timeout_for(spec)
+                w.task = (idx, spec, attempt)
+                w.deadline = None if t is None else now + t
+                busy.append(w)
+            if done >= len(specs):
+                break
+            # sleep until the next event: a result, a worker death, a
+            # deadline, or a retry coming due
+            horizon = [w.deadline for w in busy if w.deadline is not None]
+            horizon.extend(r[0] for r in retries)
+            limit = min(horizon) - now if horizon else 0.25
+            wait_for = max(0.0, min(limit, 0.25))
+            if busy:
+                watch = [w.conn for w in busy]
+                watch.extend(w.proc.sentinel for w in busy)
+                ready = _conn_wait(watch, wait_for)
+            else:
+                time.sleep(min(wait_for, 0.05) or 0.01)
+                ready = []
+            now = time.monotonic()
+            for w in list(busy):
+                if w.conn in ready or w.conn.poll():
+                    try:
+                        idx, result = w.conn.recv()
+                    except (EOFError, OSError):
+                        crash(w)     # died mid-send
+                        continue
+                    _, _, attempt = w.task
+                    w.task, w.deadline = None, None
+                    busy.remove(w)
+                    idle.append(w)
+                    finish(idx, attempt, result)
+                elif w.proc.sentinel in ready or not w.proc.is_alive():
+                    crash(w)
+                elif w.deadline is not None and now >= w.deadline:
+                    expire(w)
+        shutdown()
+        return list(results)   # type: ignore[return-value]
+    except KeyboardInterrupt:
+        shutdown()
+        raise CampaignInterrupted(
+            [r for r in results if r is not None], len(specs)) from None
+    except BaseException:
+        shutdown()
+        raise

@@ -219,3 +219,65 @@ class TestStorageAxis:
                 topology=axis("path", n=6),
                 schedule=axis("sync", storage="quantum"),
                 completeness_rounds=8))
+
+
+class TestStructuredErrors:
+    def test_error_result_carries_structured_cause(self):
+        """Satellite: error_type + a bounded traceback tail, not just
+        the last traceback line."""
+        specs = [ScenarioSpec(topology=axis("no_such_family"))]
+        result = run_campaign(specs, workers=1)
+        r = result[0]
+        assert r.status == "error"
+        assert r.error_type == "ScenarioError"
+        assert r.attempts == 1
+        assert r.error_trace and len(r.error_trace) <= 8
+        assert any("ScenarioError" in line for line in r.error_trace)
+        from repro.engine import scenario_record
+        rec = scenario_record(r)
+        assert rec["status"] == "error"
+        assert rec["error_type"] == "ScenarioError"
+        assert rec["error_trace"] == list(r.error_trace)
+
+    def test_ok_result_has_clean_status_fields(self):
+        res = run_scenario(ScenarioSpec(topology=axis("path", n=6),
+                                        completeness_rounds=16))
+        assert res.status == "ok"
+        assert res.error_type is None and res.error_trace == ()
+
+
+class TestSpawnSafety:
+    def test_spawn_with_runtime_axis_fails_fast(self):
+        """Satellite: spawn + runtime-registered axes used to die inside
+        the workers with an opaque KeyError; now the runner refuses up
+        front, naming the axis and the workarounds."""
+        import multiprocessing
+
+        from repro.engine import ScenarioError
+        from repro.engine.scenarios import _graph_for
+
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("no spawn start method on this platform")
+        name = "runtime_only_topology"
+        register_topology(name, lambda seed, n=6: ring_graph(n,
+                                                             seed=seed))
+        try:
+            specs = [ScenarioSpec(topology=axis(name, n=5), seed=s,
+                                  completeness_rounds=8)
+                     for s in range(3)]
+            runner = CampaignRunner(workers=2, mp_context="spawn")
+            with pytest.raises(ScenarioError) as info:
+                runner.run(specs)
+            message = str(info.value)
+            assert name in message and "spawn" in message
+            assert "worker_init" in message and "fork" in message
+            # inline execution stays available as the workaround
+            result = CampaignRunner(workers=1).run(specs)
+            assert all(r.ok for r in result)
+        finally:
+            TOPOLOGIES.pop(name)
+            _graph_for.cache_clear()
+
+    def test_builtin_axes_pass_spawn_check(self):
+        from repro.engine import runtime_registered_axes
+        assert runtime_registered_axes(smoke_campaign(seed=0)) == {}

@@ -192,3 +192,86 @@ def test_cli_exit_codes(tmp_path):
     assert engine_main(["diff", str(old), str(new)]) == 1
     assert engine_main(["diff", str(old), str(new), "--warn-only"]) == 0
     assert engine_main(["diff", str(old), str(new), "--mem-tol", "0.5"]) == 0
+
+
+def _rec(**over):
+    base = {"key": "k", "seed": 1, "violation": None,
+            "expected_detection": True, "rounds_to_detection": 3,
+            "max_memory_bits": 10, "total_memory_bits": 40,
+            "wall_time": 0.01, "error": None, "status": "ok"}
+    base.update(over)
+    return base
+
+
+def test_error_appeared_for_every_failure_status():
+    """A cell that newly errors/times out/crashes/quarantines is one
+    named regression — never a crash, never a metric comparison against
+    its junk numbers."""
+    from repro.engine import record_failure
+
+    old = {("k", 1): _rec()}
+    for status in ("error", "timeout", "crashed", "quarantined"):
+        new = {("k", 1): _rec(status=status, error="boom",
+                              rounds_to_detection=None,
+                              max_memory_bits=0, total_memory_bits=0)}
+        result = diff_records(old, new)
+        assert not result.ok
+        assert [r.metric for r in result.regressions] == \
+            ["error-appeared"], status
+        assert status in str(result.regressions[0].new)
+        assert record_failure(new[("k", 1)]) == status
+
+
+def test_error_cleared_is_an_improvement_unless_violating():
+    old = {("k", 1): _rec(status="crashed", error="died",
+                          rounds_to_detection=None, max_memory_bits=0,
+                          total_memory_bits=0)}
+    fixed = {("k", 1): _rec()}
+    result = diff_records(old, fixed)
+    assert result.ok
+    assert [r.metric for r in result.improvements] == ["error-cleared"]
+
+    # clearing a crash into a soundness violation is no fix
+    broken = {("k", 1): _rec(violation="soundness")}
+    result = diff_records(old, broken)
+    assert not result.ok
+    assert [r.metric for r in result.regressions] == ["violation"]
+
+
+def test_both_failed_never_compares_metrics():
+    """Two failed records carry junk metrics on both sides: the differ
+    must stay silent on numbers and only warn when the kind changed."""
+    old = {("k", 1): _rec(status="timeout", error="slow",
+                          rounds_to_detection=None,
+                          max_memory_bits=0, total_memory_bits=0)}
+    same = {("k", 1): _rec(status="timeout", error="slow again",
+                           rounds_to_detection=None,
+                           max_memory_bits=999999,
+                           total_memory_bits=999999)}
+    result = diff_records(old, same)
+    assert result.ok and not result.warnings
+
+    changed = {("k", 1): _rec(status="quarantined", error="parked",
+                              rounds_to_detection=None,
+                              max_memory_bits=0, total_memory_bits=0)}
+    result = diff_records(old, changed)
+    assert result.ok
+    assert [w.metric for w in result.warnings] == ["error-status"]
+    assert (result.warnings[0].old, result.warnings[0].new) == \
+        ("timeout", "quarantined")
+
+
+def test_legacy_error_string_records_still_join():
+    """Pre-supervisor dumps have no status field, only ``error``; they
+    must diff cleanly against new status-carrying dumps."""
+    legacy = {"key": "k", "seed": 1, "error": "ValueError: boom",
+              "violation": "ValueError: boom", "expected_detection": True,
+              "rounds_to_detection": None, "max_memory_bits": 0,
+              "total_memory_bits": 0, "wall_time": 0.01}
+    old = {("k", 1): legacy}
+    new = {("k", 1): _rec(status="error", error="ValueError: boom",
+                          rounds_to_detection=None, max_memory_bits=0,
+                          total_memory_bits=0)}
+    result = diff_records(old, new)
+    assert result.ok and not result.warnings   # both are kind "error"
+    assert diff_records(old, {("k", 1): _rec()}).improvements

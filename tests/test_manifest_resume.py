@@ -1,0 +1,241 @@
+"""Manifest/resume tests: shard+index durability, truncated-tail
+tolerance, record round-trips, resume-skips-completed semantics, and
+the merged dump of an interrupted-and-resumed campaign matching an
+uninterrupted run on every deterministic field."""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.engine import (CampaignManifest, CampaignRunner,
+                          ManifestWarning, ScenarioSpec, axis, grid,
+                          run_scenario, scenario_record)
+from repro.engine.manifest import result_from_record
+
+START_METHODS = ["fork", "spawn"] if "fork" in \
+    multiprocessing.get_all_start_methods() else ["spawn"]
+
+#: fields that legitimately differ between an uninterrupted run and an
+#: interrupted-and-resumed one
+NONDETERMINISTIC = {"wall_time", "attempts", "cache_hit",
+                    "settle_rounds_saved"}
+
+
+def tiny_grid(seed=11):
+    return grid(topologies=[axis("path", n=6), axis("ring", n=6)],
+                faults=[axis("none"), axis("corrupt", count=1)],
+                schedules=[axis("sync")], seed=seed,
+                completeness_rounds=20, max_rounds=2000)
+
+
+def deterministic(rec):
+    return {k: v for k, v in rec.items() if k not in NONDETERMINISTIC}
+
+
+class TestShardWriter:
+    def test_round_trip_through_shards_and_index(self, tmp_path):
+        specs = tiny_grid()
+        manifest = CampaignManifest(str(tmp_path / "m"))
+        with manifest.open_writer() as writer:
+            for spec in specs:
+                writer.append(scenario_record(run_scenario(spec)))
+        assert writer.written == len(specs)
+        completed = manifest.completed()
+        assert set(completed) == {(s.key, s.seed) for s in specs}
+        assert all(e["status"] == "ok" for e in completed.values())
+        records = manifest.records()
+        assert set(records) == set(completed)
+
+    def test_each_run_gets_its_own_shard(self, tmp_path):
+        specs = tiny_grid()
+        manifest = CampaignManifest(str(tmp_path / "m"))
+        with manifest.open_writer() as w1:
+            w1.append(scenario_record(run_scenario(specs[0])))
+        with manifest.open_writer() as w2:
+            w2.append(scenario_record(run_scenario(specs[1])))
+        assert w1.shard_name != w2.shard_name
+        assert len(manifest.completed()) == 2
+
+    def test_truncated_tail_line_is_skipped_not_fatal(self, tmp_path):
+        specs = tiny_grid()
+        manifest = CampaignManifest(str(tmp_path / "m"))
+        with manifest.open_writer() as writer:
+            for spec in specs[:2]:
+                writer.append(scenario_record(run_scenario(spec)))
+        # simulate the wreckage a kill -9 leaves: a half-written line
+        with open(manifest.manifest_path, "a") as fh:
+            fh.write('{"key": "path(n=6)/none/sy')
+        with pytest.warns(ManifestWarning):
+            completed = manifest.completed()
+        assert len(completed) == 2      # the torn cell counts missing
+
+    def test_later_index_entries_win(self, tmp_path):
+        spec = tiny_grid()[0]
+        manifest = CampaignManifest(str(tmp_path / "m"))
+        first = scenario_record(run_scenario(spec))
+        first["attempts"] = 1
+        second = dict(first, attempts=2)
+        with manifest.open_writer() as writer:
+            writer.append(first)
+            writer.append(second)
+        entry = manifest.completed()[(spec.key, spec.seed)]
+        assert entry["attempts"] == 2
+
+
+class TestRecordRoundTrip:
+    def test_result_from_record_preserves_every_recorded_field(self):
+        spec = ScenarioSpec(topology=axis("random", n=10, extra=6),
+                            fault=axis("corrupt", count=1),
+                            seed=4, max_rounds=4000)
+        rec = json.loads(json.dumps(scenario_record(run_scenario(spec))))
+        rebuilt = scenario_record(result_from_record(spec, rec))
+        assert rebuilt == rec
+
+    def test_error_record_round_trips(self):
+        spec = ScenarioSpec(topology=axis("no_such_family"), seed=1)
+        from repro.engine.supervise import _run_one
+        rec = json.loads(json.dumps(scenario_record(_run_one(spec))))
+        rebuilt = result_from_record(spec, rec)
+        assert rebuilt.status == "error"
+        assert rebuilt.error_type == rec["error_type"]
+        assert list(rebuilt.error_trace) == rec["error_trace"]
+
+
+class TestResume:
+    def test_resume_reruns_only_missing_cells(self, tmp_path):
+        specs = tiny_grid()
+        root = str(tmp_path / "m")
+        # first run covers only half the campaign, as if killed mid-way
+        partial = CampaignRunner(workers=1, manifest=root)
+        partial.run(specs[:2])
+        executed = []
+        resumed_runner = CampaignRunner(workers=1, manifest=root,
+                                        resume=True)
+        result = resumed_runner.run(
+            specs, progress=lambda d, t, r: executed.append(r))
+        assert result.resumed == 2
+        assert len(result) == len(specs)
+        assert "resumed from manifest" in result.summary()
+        # the manifest now covers everything: a second resume runs none
+        again = CampaignRunner(workers=1, manifest=root,
+                               resume=True).run(specs)
+        assert again.resumed == len(specs)
+
+    def test_merged_dump_matches_uninterrupted_run(self, tmp_path):
+        specs = tiny_grid()
+        baseline = CampaignRunner(workers=1).run(specs)
+        base_records = [scenario_record(r) for r in baseline]
+
+        root = str(tmp_path / "m")
+        CampaignRunner(workers=1, manifest=root).run(specs[:3])
+        CampaignRunner(workers=1, manifest=root,
+                       resume=True).run(specs)
+        manifest = CampaignManifest(root)
+        merged = manifest.merge_records(specs)
+        assert len(merged) == len(specs)
+        for base, got in zip(base_records, merged):
+            assert deterministic(base) == deterministic(got)
+
+    @pytest.mark.parametrize("method", START_METHODS)
+    def test_supervised_resume_matches_uninterrupted_run(
+            self, tmp_path, method):
+        """The acceptance flow under both start methods: a campaign
+        interrupted mid-run and resumed through supervised workers
+        merges to the same deterministic fields as an uninterrupted
+        run."""
+        specs = tiny_grid()
+        baseline = CampaignRunner(workers=2, mp_context=method).run(specs)
+        base_records = [scenario_record(r) for r in baseline]
+
+        root = str(tmp_path / "m")
+        interrupted = []
+
+        def interrupt(done, total, result):
+            interrupted.append(result)
+            if done >= 2:
+                raise KeyboardInterrupt
+
+        from repro.engine import CampaignInterrupted
+        with pytest.raises(CampaignInterrupted):
+            CampaignRunner(workers=2, mp_context=method,
+                           manifest=root).run(specs, progress=interrupt)
+        survivors = len(CampaignManifest(root).completed())
+        assert 2 <= survivors < len(specs)
+
+        result = CampaignRunner(workers=2, mp_context=method,
+                                manifest=root, resume=True).run(specs)
+        assert result.resumed == survivors
+        merged = CampaignManifest(root).merge_records(specs)
+        assert [deterministic(r) for r in merged] == \
+            [deterministic(r) for r in base_records]
+
+    def test_merge_to_writes_spec_ordered_jsonl(self, tmp_path):
+        specs = tiny_grid()
+        root = str(tmp_path / "m")
+        CampaignRunner(workers=1, manifest=root).run(specs)
+        out = tmp_path / "merged.jsonl"
+        count = CampaignManifest(root).merge_to(str(out), specs)
+        assert count == len(specs)
+        keys = [json.loads(line)["key"]
+                for line in out.read_text().splitlines()]
+        assert keys == [s.key for s in specs]
+
+    def test_resume_requires_manifest(self):
+        with pytest.raises(ValueError, match="manifest"):
+            CampaignRunner(workers=1, resume=True)
+
+    def test_failure_statuses_count_as_completed(self, tmp_path):
+        """A quarantined/errored cell is terminal: resume must not
+        re-run (or re-hang) it on every attempt."""
+        specs = tiny_grid()
+        bad = ScenarioSpec(topology=axis("no_such_family"), seed=9)
+        root = str(tmp_path / "m")
+        CampaignRunner(workers=1, manifest=root).run([bad])
+        result = CampaignRunner(workers=1, manifest=root,
+                                resume=True).run([bad] + specs[:1])
+        assert result.resumed == 1
+        assert result[0].status == "error"
+        assert result[1].status == "ok"
+
+
+class TestCLI:
+    def test_kill_and_resume_flow(self, tmp_path):
+        from repro.engine.__main__ import main
+
+        root = str(tmp_path / "m")
+        out = tmp_path / "resumed.jsonl"
+        # uninterrupted reference
+        ref = tmp_path / "ref.jsonl"
+        assert main(["--workers", "1", "--quiet",
+                     "--out", str(ref)]) == 0
+        # a run that streams to the manifest, then a resume that dumps
+        assert main(["--workers", "1", "--quiet",
+                     "--manifest", root]) == 0
+        assert main(["--workers", "1", "--quiet", "--manifest", root,
+                     "--resume", "--out", str(out)]) == 0
+        ref_recs = [json.loads(x) for x in ref.read_text().splitlines()]
+        got_recs = [json.loads(x) for x in out.read_text().splitlines()]
+        assert [deterministic(r) for r in ref_recs] == \
+            [deterministic(r) for r in got_recs]
+
+    def test_resume_flag_requires_manifest_flag(self, capsys):
+        from repro.engine.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--resume"])
+        assert "--manifest" in capsys.readouterr().err
+
+    def test_chaos_flag_rejects_inline_workers(self, capsys):
+        from repro.engine.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--workers", "1", "--chaos", "crash=1"])
+        assert "--workers" in capsys.readouterr().err
+
+    def test_bad_chaos_spec_is_rejected(self, capsys):
+        from repro.engine.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--workers", "2", "--chaos", "explode=3"])
+        assert "chaos" in capsys.readouterr().err

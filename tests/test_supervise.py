@@ -1,0 +1,188 @@
+"""Supervised execution tests: the chaos matrix (crash/hang/error cells
+all reach structured terminal statuses, nothing silently missing),
+retry/quarantine budgets, per-cell timeout scaling, and interrupt
+semantics — under both ``fork`` and ``spawn`` start methods."""
+
+import multiprocessing
+
+import pytest
+
+from repro.engine import (CampaignInterrupted, CampaignRunner,
+                          ChaosPolicy, ScenarioSpec, SuperviseConfig,
+                          axis, size_hint)
+from repro.engine.scenarios import (STATUS_CRASHED, STATUS_ERROR,
+                                    STATUS_OK, STATUS_QUARANTINED,
+                                    STATUS_TIMEOUT, TERMINAL_STATUSES)
+
+START_METHODS = ["fork", "spawn"] if "fork" in \
+    multiprocessing.get_all_start_methods() else ["spawn"]
+
+
+def tiny_specs(count=6, seed=0):
+    """Distinct-key, sub-100ms cells: path completeness checks."""
+    return [ScenarioSpec(topology=axis("path", n=4 + i),
+                         completeness_rounds=8, seed=seed)
+            for i in range(count)]
+
+
+def run_chaos(specs, chaos, *, workers=2, mp_context="fork", **knobs):
+    knobs.setdefault("backoff", 0.05)
+    config = SuperviseConfig(chaos=chaos, **knobs)
+    runner = CampaignRunner(workers=workers, mp_context=mp_context,
+                            supervise=config)
+    return runner.run(specs)
+
+
+class TestChaosPolicy:
+    def test_pick_is_deterministic_and_disjoint(self):
+        specs = tiny_specs(6)
+        a = ChaosPolicy.pick(specs, crash=2, hang=1, error=2)
+        b = ChaosPolicy.pick(list(reversed(specs)), crash=2, hang=1,
+                             error=2)
+        assert a == b
+        assert len(a.crash_keys) == 2 and len(a.hang_keys) == 1
+        assert len(a.error_keys) == 2
+        assert not (a.crash_keys & a.hang_keys)
+        assert not (a.crash_keys & a.error_keys)
+        assert not (a.hang_keys & a.error_keys)
+
+    def test_pick_never_overruns_the_campaign(self):
+        specs = tiny_specs(2)
+        p = ChaosPolicy.pick(specs, crash=5, hang=5, error=5)
+        assert len(p.crash_keys | p.hang_keys | p.error_keys) == 2
+
+    def test_plan_respects_fail_attempts(self):
+        spec = tiny_specs(1)[0]
+        p = ChaosPolicy(crash_keys=frozenset({spec.key}),
+                        fail_attempts=2)
+        assert p.plan(spec, 1) == "crash"
+        assert p.plan(spec, 2) == "crash"
+        assert p.plan(spec, 3) is None
+        assert p.plan(tiny_specs(2)[1], 1) is None
+
+
+class TestSuperviseConfig:
+    def test_timeout_scales_with_topology_size(self):
+        config = SuperviseConfig(timeout=10.0, timeout_scale=100.0)
+        small = ScenarioSpec(topology=axis("path", n=50))
+        large = ScenarioSpec(topology=axis("path", n=400))
+        assert config.timeout_for(small) == 10.0      # under the scale
+        assert config.timeout_for(large) == 40.0      # 4x the scale
+        assert SuperviseConfig().timeout_for(small) is None
+
+    def test_size_hint_families(self):
+        assert size_hint(ScenarioSpec(topology=axis("path", n=7))) == 7
+        assert size_hint(ScenarioSpec(
+            topology=axis("grid", rows=3, cols=5))) == 15
+        # unknown family: a conservative default, never a crash
+        assert size_hint(ScenarioSpec(topology=axis("mystery"))) > 0
+
+    def test_budgets_by_kind(self):
+        config = SuperviseConfig(max_attempts=3, timeout_attempts=2)
+        assert config.budget_for(STATUS_CRASHED) == 3
+        assert config.budget_for(STATUS_TIMEOUT) == 2
+
+
+class TestChaosMatrix:
+    """The acceptance matrix: every cell ends in a terminal status."""
+
+    def test_crash_is_retried_to_ok(self):
+        specs = tiny_specs(6)
+        chaos = ChaosPolicy.pick(specs, crash=2, fail_attempts=1)
+        result = run_chaos(specs, chaos, max_attempts=2)
+        assert len(result) == len(specs)
+        assert all(r.status == STATUS_OK for r in result)
+        retried = [r for r in result if r.spec.key in chaos.crash_keys]
+        assert len(retried) == 2
+        assert all(r.attempts == 2 for r in retried)
+        assert all(r.attempts == 1 for r in result
+                   if r.spec.key not in chaos.crash_keys)
+
+    def test_persistent_crash_is_quarantined(self):
+        specs = tiny_specs(4)
+        chaos = ChaosPolicy.pick(specs, crash=1, fail_attempts=99)
+        result = run_chaos(specs, chaos, max_attempts=2)
+        bad = [r for r in result if r.spec.key in chaos.crash_keys]
+        assert len(bad) == 1 and bad[0].status == STATUS_QUARANTINED
+        assert bad[0].error_type == STATUS_CRASHED
+        assert bad[0].attempts == 2
+        assert "quarantined" in bad[0].error
+        assert all(r.status == STATUS_OK for r in result
+                   if r.spec.key not in chaos.crash_keys)
+
+    def test_single_attempt_crash_keeps_raw_status(self):
+        specs = tiny_specs(3)
+        chaos = ChaosPolicy.pick(specs, crash=1, fail_attempts=99)
+        result = run_chaos(specs, chaos, max_attempts=1)
+        bad = [r for r in result if r.spec.key in chaos.crash_keys]
+        assert bad[0].status == STATUS_CRASHED
+        assert bad[0].violation == STATUS_CRASHED
+
+    def test_hang_is_terminated_as_timeout(self):
+        specs = tiny_specs(3)
+        chaos = ChaosPolicy.pick(specs, hang=1, fail_attempts=99,
+                                 hang_seconds=60.0)
+        result = run_chaos(specs, chaos, timeout=1.0,
+                           timeout_attempts=1)
+        hung = [r for r in result if r.spec.key in chaos.hang_keys]
+        assert hung[0].status == STATUS_TIMEOUT
+        assert "timeout" in hung[0].error
+        assert all(r.status == STATUS_OK for r in result
+                   if r.spec.key not in chaos.hang_keys)
+
+    def test_error_cell_is_terminal_and_never_retried(self):
+        specs = tiny_specs(3)
+        chaos = ChaosPolicy.pick(specs, error=1, fail_attempts=99)
+        result = run_chaos(specs, chaos, max_attempts=3)
+        bad = [r for r in result if r.spec.key in chaos.error_keys]
+        assert bad[0].status == STATUS_ERROR
+        assert bad[0].error_type == "ChaosError"
+        assert bad[0].attempts == 1
+        assert bad[0].error_trace
+
+    def test_full_matrix_nothing_missing(self):
+        specs = tiny_specs(8)
+        chaos = ChaosPolicy.pick(specs, crash=2, hang=1, error=1,
+                                 fail_attempts=1, hang_seconds=60.0)
+        result = run_chaos(specs, chaos, timeout=2.0, max_attempts=2,
+                           timeout_attempts=2)
+        # every cell is present, in spec order, with a terminal status
+        assert [r.spec.key for r in result] == [s.key for s in specs]
+        assert all(r.status in TERMINAL_STATUSES for r in result)
+        # fail_attempts=1 inside the budgets: everything retried to ok
+        # except the error cell (deterministic, never retried)
+        for r in result:
+            if r.spec.key in chaos.error_keys:
+                assert r.status == STATUS_ERROR
+            else:
+                assert r.status == STATUS_OK, (r.spec.key, r.error)
+
+    @pytest.mark.parametrize("method", START_METHODS)
+    def test_chaos_matrix_under_both_start_methods(self, method):
+        specs = tiny_specs(3)
+        chaos = ChaosPolicy.pick(specs, crash=1, fail_attempts=1)
+        result = run_chaos(specs, chaos, mp_context=method,
+                           max_attempts=2)
+        assert all(r.status == STATUS_OK for r in result)
+        assert sum(r.attempts for r in result) == len(specs) + 1
+
+
+class TestInterrupt:
+    def test_keyboard_interrupt_carries_partial_results(self):
+        specs = tiny_specs(6)
+
+        def progress(done, total, result):
+            if done >= 2:
+                raise KeyboardInterrupt
+
+        runner = CampaignRunner(workers=2)
+        with pytest.raises(CampaignInterrupted) as info:
+            runner.run(specs, progress=progress)
+        exc = info.value
+        assert exc.total == len(specs)
+        assert 2 <= len(exc.results) < len(specs)
+        assert all(r.status in TERMINAL_STATUSES for r in exc.results)
+
+    def test_interrupt_is_a_keyboard_interrupt(self):
+        # existing KeyboardInterrupt handlers must keep catching it
+        assert issubclass(CampaignInterrupted, KeyboardInterrupt)
