@@ -192,6 +192,10 @@ class SqLogPlsProtocol(Protocol):
     #: conflict-free asynchronous batches may route here (the body is a
     #: read-only verdict-cache pass, valid under any interleaving)
     bulk_conflict_free = True
+    #: coalesced batches too: the pass below replays ``boundary`` at
+    #: the original batch boundaries (and the dict fallback delegates
+    #: to the segment-aware generic driver)
+    bulk_segments = True
 
     def bulk_step(self, batch) -> None:
         """Bulk-activation sweep: the whole step is a static verdict
@@ -211,6 +215,15 @@ class SqLogPlsProtocol(Protocol):
         after = batch.after
         cache = self._check_cache
         cache_get = cache.get
+        segments = batch.segments
+        boundary = batch.boundary
+        seg_ends = []
+        if segments is not None:
+            k = 0
+            for seg_len in segments:
+                k += seg_len
+                seg_ends.append(k)
+        seg = 0
         for k, ctx in enumerate(batch.contexts):
             stepped = gate is None or gate(k, ctx)
             if stepped:
@@ -225,6 +238,10 @@ class SqLogPlsProtocol(Protocol):
                     ctx.alarm(reasons[0])
             if after is not None and after(k, ctx, stepped):
                 return
+            while seg < len(seg_ends) and k + 1 == seg_ends[seg]:
+                if boundary is not None and boundary(seg):
+                    return
+                seg += 1
 
 
 def sqlog_marker_output(graph: WeightedGraph):

@@ -245,6 +245,13 @@ def result_from_record(spec: ScenarioSpec,
         alarm_reasons=tuple(rec.get("alarm_reasons", ())),
         faulty_nodes=tuple(rec.get("faulty_nodes", ())),
         activations=rec.get("activations"),
+        super_batches=rec.get("super_batches"),
+        batches_coalesced=rec.get("batches_coalesced"),
+        rows_fused=rec.get("rows_fused"),
+        rows_residual=rec.get("rows_residual"),
+        rows_scalar=rec.get("rows_scalar"),
+        plan_rebuilds=rec.get("plan_rebuilds"),
+        plan_refreshes=rec.get("plan_refreshes"),
         wall_time=rec.get("wall_time", 0.0),
         cache_hit=rec.get("cache_hit"),
         settle_rounds_saved=rec.get("settle_rounds_saved", 0),

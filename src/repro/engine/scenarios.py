@@ -12,11 +12,16 @@ a registry in this module:
 * :data:`SCHEDULES` — the synchronous scheduler or an asynchronous
   daemon (``sync``, ``round_robin``, ``permutation``, ``random``,
   ``slow_nodes``, ``locality`` — the neighbourhood-batching daemon —
-  and ``independent`` — the conflict-free daemon whose disjoint
-  closed-neighbourhood batches license asynchronous bulk fusion);
+  ``independent`` — the conflict-free daemon whose disjoint
+  closed-neighbourhood batches license asynchronous bulk fusion — and
+  ``tiled`` — the hybrid daemon that sweeps distance-2 tiles and
+  partitions each tile into conflict-free sub-batches);
   every schedule accepts the implementation parameter
   ``storage="schema"|"dict"|"columnar"|"numpy"`` selecting the
-  register backend;
+  register backend; asynchronous schedules additionally accept
+  ``coalesce`` and ``vec_min_batch`` (conflict-free super-batch
+  coalescing and the vector tier's batch-size gate — implementation
+  parameters, excluded from seed derivation like ``storage``);
 * :data:`PROTOCOLS` — the verifier under test (``verifier``, ``hybrid``,
   ``sqlog``).
 
@@ -50,7 +55,8 @@ from ..sim.network import Network, Protocol, first_alarm
 from ..sim.schedulers import (AsynchronousScheduler, ConflictFreeDaemon,
                               LocalityBatchDaemon, PermutationDaemon,
                               RandomDaemon, RoundRobinDaemon,
-                              SlowNodesDaemon, SynchronousScheduler)
+                              SlowNodesDaemon, SynchronousScheduler,
+                              TiledConflictFreeDaemon)
 from ..trains.budgets import Budgets, compute_budgets
 from ..trains.comparison import rotation_settled
 from ..verification.adversary import (labels_for_claimed_tree,
@@ -242,7 +248,9 @@ def _slow_nodes_daemon(network: Network, params: dict, seed: int):
 def _async_flags(kind: str, params: dict) -> dict:
     flags = {"storage": _storage_flag(kind, params),
              "dirty_aware": params.pop("dirty_aware", True),
-             "bulk": params.pop("bulk", True)}
+             "bulk": params.pop("bulk", True),
+             "coalesce": params.pop("coalesce", True),
+             "vec_min_batch": params.pop("vec_min_batch", None)}
     return flags
 
 
@@ -294,6 +302,16 @@ def _make_independent(net, proto, params, seed):
                                  **flags)
 
 
+def _make_tiled(net, proto, params, seed):
+    params = dict(params)
+    flags = _async_flags("tiled", params)
+    _no_params("tiled", params)
+    return AsynchronousScheduler(net, proto,
+                                 TiledConflictFreeDaemon(net.graph,
+                                                         seed=seed),
+                                 **flags)
+
+
 register_schedule("sync", True, _make_sync)
 register_schedule("round_robin", False, _make_round_robin)
 register_schedule("permutation", False, _make_permutation)
@@ -301,6 +319,7 @@ register_schedule("random", False, _make_random)
 register_schedule("slow_nodes", False, _make_slow_nodes)
 register_schedule("locality", False, _make_locality)
 register_schedule("independent", False, _make_independent)
+register_schedule("tiled", False, _make_tiled)
 
 
 # ---------------------------------------------------------------------------
@@ -496,6 +515,13 @@ TERMINAL_STATUSES = (STATUS_OK, STATUS_ERROR, STATUS_TIMEOUT,
 FAILURE_STATUSES = frozenset(TERMINAL_STATUSES) - {STATUS_OK}
 
 
+#: the protocol ``bulk_stats`` keys mirrored onto :class:`ScenarioResult`
+#: (an unknown future key is simply not surfaced rather than crashing
+#: result assembly)
+_BULK_STAT_FIELDS = ("rows_fused", "rows_residual", "rows_scalar",
+                     "plan_rebuilds", "plan_refreshes")
+
+
 @dataclass(frozen=True)
 class ScenarioResult:
     """Structured outcome of one scenario (picklable, aggregatable)."""
@@ -517,6 +543,18 @@ class ScenarioResult:
     alarm_reasons: Tuple[str, ...] = ()
     faulty_nodes: Tuple[NodeId, ...] = ()
     activations: Optional[int] = None
+    #: asynchronous bulk-plane accounting (``None`` outside the fused
+    #: async path): conflict-free super-batches issued, original daemon
+    #: batches coalesced into them, rows fused through the vector tier,
+    #: rows replayed with partial verdicts (residual), rows replayed
+    #: fully scalar, and persistent per-sweep plan rebuilds/refreshes.
+    super_batches: Optional[int] = None
+    batches_coalesced: Optional[int] = None
+    rows_fused: Optional[int] = None
+    rows_residual: Optional[int] = None
+    rows_scalar: Optional[int] = None
+    plan_rebuilds: Optional[int] = None
+    plan_refreshes: Optional[int] = None
     wall_time: float = 0.0
     #: warm-start cache outcome: ``None`` when no cache was consulted
     #: (no cache active, or the scenario has no settle phase), else
@@ -705,7 +743,11 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         alarm_reasons=tuple(sorted(set(alarms.values()))[:3]),
         faulty_nodes=faulty,
         activations=getattr(scheduler, "activations", None),
+        super_batches=getattr(scheduler, "super_batches", None),
+        batches_coalesced=getattr(scheduler, "batches_coalesced", None),
         wall_time=time.perf_counter() - start,
+        **{k: v for k, v in (getattr(protocol, "bulk_stats", None)
+                             or {}).items() if k in _BULK_STAT_FIELDS},
         cache_hit=cache_hit,
         settle_rounds_saved=settle_saved,
     )

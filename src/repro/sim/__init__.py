@@ -17,7 +17,8 @@ from .schedulers import (STORAGE_COLUMNAR, STORAGE_DICT, STORAGE_KINDS,
                          AsynchronousScheduler,
                          ConflictFreeDaemon, Daemon, LocalityBatchDaemon,
                          PermutationDaemon, RandomDaemon, RoundRobinDaemon,
-                         SlowNodesDaemon, SynchronousScheduler)
+                         SlowNodesDaemon, SynchronousScheduler,
+                         TiledConflictFreeDaemon)
 from .faults import FAULT_MARK, FaultInjector, detection_distance
 from .snapshot import (SnapshotError, capture_network, capture_run_state,
                        capture_scheduler, decode_snapshot, encode_snapshot,
@@ -38,6 +39,7 @@ __all__ = [
     "AsynchronousScheduler", "ConflictFreeDaemon", "Daemon",
     "LocalityBatchDaemon", "PermutationDaemon", "RandomDaemon",
     "RoundRobinDaemon", "SlowNodesDaemon", "SynchronousScheduler",
+    "TiledConflictFreeDaemon",
     "FAULT_MARK", "FaultInjector", "detection_distance",
     "SnapshotError", "capture_network", "capture_run_state",
     "capture_scheduler", "decode_snapshot", "encode_snapshot",

@@ -106,6 +106,14 @@ GateFn = Callable[[int, Any], bool]
 #: comparison (any other node's tick lies strictly before or strictly
 #: after the whole batch).
 AfterFn = Callable[[int, Any, bool], bool]
+#: boundary callback: ``boundary(i) -> bool`` — runs after segment i of
+#: a *coalesced* batch (see :attr:`BulkBatch.segments`) completes its
+#: afters; it replays everything the issuing scheduler would have done
+#: between the original batches (stop-condition checks, round/budget
+#: limits).  True aborts the remaining segments: the scheduler requeues
+#: them, so observable semantics stay bit-for-bit identical to issuing
+#: the original batches one at a time.
+BoundaryFn = Callable[[int], bool]
 
 
 class BulkBatch:
@@ -125,17 +133,45 @@ class BulkBatch:
     its ``after`` never aborts mid-batch, and that ``gate``/``after``
     commute across the batch — so a protocol may fuse the batch's
     own-register column sweeps even though neighbour reads are live.
+
+    ``segments`` marks a *coalesced* conflict-free batch: a scheduler
+    that fused several consecutive same-sweep batches into this one
+    records their lengths here (in issue order; they sum to
+    ``len(contexts)``) and supplies ``boundary``, called after each
+    segment's afters.  The license is per *segment*: members of
+    distinct segments may share neighbourhoods, so an implementation
+    must drive segments strictly in order — segment i's gates run only
+    after segment i-1's afters (and its fused sweep observes segment
+    i-1's writes), with ``boundary(i-1)`` in between; ``boundary``
+    returning True aborts the remaining segments.  ``segments is
+    None`` (the default) is the ordinary single-batch case.
+
+    ``plan_key`` identifies the daemon sweep this batch belongs to
+    (None: no sweep identity).  Batches carrying equal consecutive
+    keys let a fused implementation reuse a sweep-lifetime vector plan
+    (classification state) across them; the key changes whenever
+    registers may have been written outside the batch stream (a new
+    ``run()`` call, a new sweep, a protocol round-end hook).
+
+    ``vec_min_batch`` threads the scheduler's configured minimum
+    vector-tier batch size to the fused kernels (None: kernel
+    default) — an implementation-only knob, never semantics.
     """
 
     __slots__ = ("contexts", "indices", "ops", "gate", "after",
-                 "wrote_all", "conflict_free")
+                 "wrote_all", "conflict_free", "segments", "boundary",
+                 "plan_key", "vec_min_batch")
 
     def __init__(self, contexts: List[Any],
                  indices: Optional[List[int]] = None,
                  ops: Optional["ColumnarBulkOps"] = None,
                  gate: Optional[GateFn] = None,
                  after: Optional[AfterFn] = None,
-                 conflict_free: bool = False) -> None:
+                 conflict_free: bool = False,
+                 segments: Optional[List[int]] = None,
+                 boundary: Optional[BoundaryFn] = None,
+                 plan_key: Optional[Any] = None,
+                 vec_min_batch: Optional[int] = None) -> None:
         self.contexts = contexts
         self.indices = indices
         self.ops = ops
@@ -143,15 +179,20 @@ class BulkBatch:
         self.after = after
         self.wrote_all = False
         self.conflict_free = conflict_free
+        self.segments = segments
+        self.boundary = boundary
+        self.plan_key = plan_key
+        self.vec_min_batch = vec_min_batch
 
 
 def drive_batch(step: Callable[[Any], None], batch: BulkBatch) -> None:
     """The generic per-node fallback driver.
 
     Executes the batch exactly like the scalar loops — one ``step(ctx)``
-    per context, in order, honouring ``gate``/``after`` — so a protocol
-    that cannot (or may not) fuse simply delegates here and stays
-    bit-for-bit equivalent on every backend.
+    per context, in order, honouring ``gate``/``after`` (and, on a
+    coalesced batch, ``boundary`` at the original batch boundaries) —
+    so a protocol that cannot (or may not) fuse simply delegates here
+    and stays bit-for-bit equivalent on every backend.
     """
     gate = batch.gate
     after = batch.after
@@ -159,11 +200,28 @@ def drive_batch(step: Callable[[Any], None], batch: BulkBatch) -> None:
         for ctx in batch.contexts:
             step(ctx)
         return
-    for k, ctx in enumerate(batch.contexts):
-        stepped = gate is None or gate(k, ctx)
-        if stepped:
-            step(ctx)
-        if after is not None and after(k, ctx, stepped):
+    segments = batch.segments
+    if segments is None:
+        for k, ctx in enumerate(batch.contexts):
+            stepped = gate is None or gate(k, ctx)
+            if stepped:
+                step(ctx)
+            if after is not None and after(k, ctx, stepped):
+                return
+        return
+    boundary = batch.boundary
+    contexts = batch.contexts
+    k = 0
+    for i, seg_len in enumerate(segments):
+        for _ in range(seg_len):
+            ctx = contexts[k]
+            stepped = gate is None or gate(k, ctx)
+            if stepped:
+                step(ctx)
+            if after is not None and after(k, ctx, stepped):
+                return
+            k += 1
+        if boundary is not None and boundary(i):
             return
 
 

@@ -579,6 +579,17 @@ class Protocol:
     #: the commuting gate/after contract in :mod:`repro.sim.bulk`.
     bulk_conflict_free = False
 
+    #: whether ``bulk_step`` honours *coalesced* conflict-free batches
+    #: (``batch.segments``/``batch.boundary``, see
+    #: :class:`~repro.sim.bulk.BulkBatch`): segments driven strictly in
+    #: order with ``boundary`` replayed at the original batch
+    #: boundaries.  The asynchronous scheduler only coalesces
+    #: consecutive same-sweep batches for protocols declaring this;
+    #: :func:`repro.sim.bulk.drive_batch` already honours the contract,
+    #: so a ``bulk_step`` delegating every callback-carrying batch
+    #: there may declare it for free.
+    bulk_segments = False
+
     def register_schema(self) -> Optional[RegisterSchema]:
         """The protocol's register declaration (None: undeclared)."""
         return None

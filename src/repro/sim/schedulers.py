@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import random
 from typing import (Any, Dict, Iterable, List, Mapping, Optional,
-                    Sequence, Set)
+                    Sequence, Set, Tuple)
 
 from ..graphs.weighted import NodeId
 from .bulk import BulkBatch, ColumnarBulkOps
@@ -170,11 +170,15 @@ class SynchronousScheduler:
     def __init__(self, network: Network, protocol: Protocol,
                  fast_path: bool = True, use_schema: bool = True,
                  storage: Optional[str] = None,
-                 bulk: bool = True) -> None:
+                 bulk: bool = True,
+                 vec_min_batch: Optional[int] = None) -> None:
         self.network = network
         self.protocol = protocol
         self.rounds = 0
         self._initialized = False
+        #: minimum batch size for the numpy vector tier (None: kernel
+        #: default) — implementation-only, threaded through BulkBatch
+        self.vec_min_batch = vec_min_batch
         self.fast_path = bool(fast_path) and (
             type(protocol).on_round_end is Protocol.on_round_end)
         #: bulk-activation plane: hand whole rounds to the protocol's
@@ -461,7 +465,8 @@ class SynchronousScheduler:
             snap.refresh_from(store, full=True)
             store.clear_dirty()
             if bulk_step is not None:
-                bulk_step(BulkBatch(ctx_list, idx_list, ops))
+                bulk_step(BulkBatch(ctx_list, idx_list, ops,
+                                    vec_min_batch=self.vec_min_batch))
             else:
                 for v in nodes:
                     protocol.step(contexts[v])
@@ -531,7 +536,8 @@ class SynchronousScheduler:
                     ctx.wrote = False
                     capp(ctx)
                     iapp(ctx._i)
-                batch = BulkBatch(batch_ctxs, batch_idx, ops)
+                batch = BulkBatch(batch_ctxs, batch_idx, ops,
+                                  vec_min_batch=self.vec_min_batch)
                 bulk_step(batch)
                 if batch.wrote_all:
                     # the protocol's fused sweep wrote every node of the
@@ -698,7 +704,130 @@ class LocalityBatchDaemon(Daemon):
         self.batches = state["batches"]
 
 
-class ConflictFreeDaemon(Daemon):
+class _CoverDaemon(Daemon):
+    """Shared machinery for daemons that issue each sweep as a
+    pre-computed cover of the node set by G²-independent batches
+    (pairwise disjoint closed neighbourhoods), queued and served one
+    batch per ``next_batch`` call.
+
+    Subclasses implement ``_cover(nodes)`` returning the sweep's batch
+    list; the base class owns the queue, the memoized distance-2 balls,
+    the greedy first-fit partitioner, issue accounting, snapshot
+    ``state()/set_state()``, and the ``take_pending``/``requeue`` pair
+    the coalescing scheduler uses to fuse consecutive same-sweep
+    batches without perturbing daemon state.
+    """
+
+    #: schedulers read this to grant the conflict-free license
+    conflict_free = True
+
+    def __init__(self, graph, seed: int = 0) -> None:
+        self.graph = graph
+        self.rng = random.Random(seed)
+        #: the current sweep's remaining batches (reversed: pop() serves
+        #: them in cover order)
+        self._queue: List[List[NodeId]] = []
+        #: node -> distance-<=2 ball (the G² closed neighbourhood),
+        #: as dense indices — memoized per node sequence
+        self._ball2: Optional[List[List[int]]] = None
+        self._order: Optional[Dict[NodeId, int]] = None
+        #: the exact node sequence the ball memo was built for: dense
+        #: indices are positions in this sequence, so a changed node set
+        #: (or order) must rebuild the memo rather than silently serve
+        #: stale balls that would corrupt covers under topology churn
+        self._ball_sig: Optional[Tuple[NodeId, ...]] = None
+        #: batches issued / sweeps started (accounting)
+        self.batches = 0
+        self.sweeps = 0
+
+    def _balls(self, nodes: Sequence[NodeId]):
+        """Dense-indexed distance-2 balls: two nodes are G²-adjacent
+        (closed neighbourhoods intersect) iff one lies in the other's
+        ball.  Memoized on the node sequence and rebuilt when it
+        changes between sweeps.  Each ball is sorted so downstream tile
+        construction is deterministic across interpreter builds."""
+        sig = tuple(nodes)
+        if self._ball2 is None or self._ball_sig != sig:
+            graph = self.graph
+            order = self._order = {v: k for k, v in enumerate(nodes)}
+            ball2 = self._ball2 = []
+            for v in nodes:
+                ball: set = {v}
+                for u in graph.neighbors(v):
+                    ball.add(u)
+                    ball.update(graph.neighbors(u))
+                ball2.append(sorted(order[w] for w in ball))
+            self._ball_sig = sig
+        return self._ball2, self._order
+
+    def _partition(self, scan: Sequence[NodeId], ball2, order,
+                   blocked: Optional[Dict[int, int]] = None
+                   ) -> List[List[NodeId]]:
+        """Greedy first-fit partition of ``scan`` (in order) into
+        G²-independent batches: a node joins the first batch containing
+        no other node within distance 2.  Per-node bitmasks of blocked
+        batches make it O(sum |ball2(v)|) int ops."""
+        if blocked is None:
+            blocked = {}
+        batches: List[List[NodeId]] = []
+        get = blocked.get
+        for v in scan:
+            k = order[v]
+            m = get(k, 0)
+            b = (~m & (m + 1)).bit_length() - 1   # lowest clear bit
+            if b == len(batches):
+                batches.append([v])
+            else:
+                batches[b].append(v)
+            bit = 1 << b
+            for w in ball2[k]:
+                blocked[w] = get(w, 0) | bit
+        return batches
+
+    def _cover(self, nodes: Sequence[NodeId]) -> List[List[NodeId]]:
+        raise NotImplementedError
+
+    def next_batch(self, nodes: Sequence[NodeId]) -> List[NodeId]:
+        if not self._queue:
+            self._queue = self._cover(nodes)[::-1]
+            self.sweeps += 1
+        self.batches += 1
+        return self._queue.pop()
+
+    def take_pending(self) -> List[List[NodeId]]:
+        """Drain the current sweep's remaining batches, in cover order,
+        counting each as issued.  The coalescing scheduler uses this to
+        fuse consecutive same-sweep batches into one super-batch while
+        keeping ``batches`` and ``state()`` bit-for-bit identical to
+        one-at-a-time issue; batches it does not execute come back via
+        :meth:`requeue`."""
+        taken = self._queue[::-1]
+        self._queue = []
+        self.batches += len(taken)
+        return taken
+
+    def requeue(self, batches: Sequence[List[NodeId]]) -> None:
+        """Return un-executed batches taken by :meth:`take_pending`
+        (in cover order), un-counting them; subsequent calls serve them
+        again, in order, before anything else."""
+        if batches:
+            self._queue.extend(reversed(batches))
+            self.batches -= len(batches)
+
+    def state(self) -> Dict[str, Any]:
+        # ball memos are static-topology caches, rebuilt on demand
+        return {"rng": self.rng.getstate(),
+                "queue": [batch[:] for batch in self._queue],
+                "batches": self.batches, "sweeps": self.sweeps}
+
+    def set_state(self, state: Mapping[str, Any]) -> None:
+        self.rng.setstate(state["rng"])
+        self._queue = [list(batch) for batch in state["queue"]]
+        self.batches = state["batches"]
+        self.sweeps = state["sweeps"]
+
+
+class ConflictFreeDaemon(_CoverDaemon):
     """Conflict-free batching: each batch activates a set of nodes with
     **pairwise disjoint closed neighbourhoods** (an independent set of
     the square graph G² — no two batch members within distance 2), and
@@ -725,85 +854,60 @@ class ConflictFreeDaemon(Daemon):
     storage backend and for the scalar loop too, so ``bulk`` stays an
     implementation-only flag under this daemon.
 
-    The closed neighbourhoods are computed once per daemon (static
-    topology); each sweep only re-permutes the nodes and re-runs the
-    greedy first-fit cover over them.
+    The closed neighbourhoods are memoized per node sequence (static
+    topology: computed once); each sweep only re-permutes the nodes and
+    re-runs the greedy first-fit cover over them.
     """
-
-    #: schedulers read this to grant the conflict-free license
-    conflict_free = True
-
-    def __init__(self, graph, seed: int = 0) -> None:
-        self.graph = graph
-        self.rng = random.Random(seed)
-        #: the current sweep's remaining batches (reversed: pop() serves
-        #: them in cover order)
-        self._queue: List[List[NodeId]] = []
-        #: node -> distance-<=2 ball (the G² closed neighbourhood),
-        #: as dense indices — computed once (static topology)
-        self._ball2: Optional[List[List[int]]] = None
-        self._order: Optional[Dict[NodeId, int]] = None
-        #: batches issued / sweeps started (accounting)
-        self.batches = 0
-        self.sweeps = 0
-
-    def _balls(self, nodes: Sequence[NodeId]):
-        """Dense-indexed distance-2 balls, built once per daemon: two
-        nodes are G²-adjacent (closed neighbourhoods intersect) iff one
-        lies in the other's ball."""
-        if self._ball2 is None:
-            graph = self.graph
-            order = self._order = {v: k for k, v in enumerate(nodes)}
-            ball2 = self._ball2 = []
-            for v in nodes:
-                ball: set = {v}
-                for u in graph.neighbors(v):
-                    ball.add(u)
-                    ball.update(graph.neighbors(u))
-                ball2.append([order[w] for w in ball])
-        return self._ball2, self._order
 
     def _cover(self, nodes: Sequence[NodeId]) -> List[List[NodeId]]:
         """Greedy first-fit cover of ``nodes`` by G²-independent sets,
-        scanned in a fresh random order: a node joins the first batch
-        containing no other node within distance 2.  Per-node bitmasks
-        of blocked batches make a sweep O(sum |ball2(v)|) int ops."""
+        scanned in a fresh random order."""
         ball2, order = self._balls(nodes)
         perm = list(nodes)
         self.rng.shuffle(perm)
+        return self._partition(perm, ball2, order)
+
+
+class TiledConflictFreeDaemon(_CoverDaemon):
+    """Tiled hybrid daemon (schedule kind ``"tiled"``): locality
+    batching under the conflict-free license.
+
+    Each sweep shuffles the nodes into a fresh random center order;
+    each center contributes one *tile* — the not-yet-covered part of
+    its distance-2 ball — and the tile is partitioned into
+    G²-independent sub-batches issued consecutively.  Every batch
+    therefore carries the conflict-free license (fused columnar
+    execution), while consecutive batches stay inside one ball: they
+    share most of their read scope, so the dirty-aware scheduler's
+    unchanged-neighbourhood skip and a columnar store's cache locality
+    amortize exactly as under the locality daemon — the hybrid of
+    ROADMAP's "skip amortization + fusion license" item.
+
+    Geometry: *within* one closed neighbourhood N[v] any two members
+    are within distance 2 of each other through v, so conflict-free
+    tiles of N[v] itself degenerate to singletons — the useful tile is
+    the distance-2 ball, whose members can be pairwise G²-independent
+    (e.g. the center's neighbours' neighbours avoiding each other).
+
+    Fairness: tiles are carved from the uncovered remainder and every
+    node lies in its own ball, so each sweep activates every node
+    exactly once, like the other cover daemons.
+    """
+
+    def _cover(self, nodes: Sequence[NodeId]) -> List[List[NodeId]]:
+        ball2, order = self._balls(nodes)
+        centers = list(nodes)
+        self.rng.shuffle(centers)
+        covered = [False] * len(centers)
         batches: List[List[NodeId]] = []
-        blocked = [0] * len(perm)    # per node: bitmask of unfit batches
-        for v in perm:
-            k = order[v]
-            m = blocked[k]
-            b = (~m & (m + 1)).bit_length() - 1   # lowest clear bit
-            if b == len(batches):
-                batches.append([v])
-            else:
-                batches[b].append(v)
-            bit = 1 << b
-            for w in ball2[k]:
-                blocked[w] |= bit
+        for c in centers:
+            tile = [nodes[k] for k in ball2[order[c]] if not covered[k]]
+            if not tile:
+                continue
+            for v in tile:
+                covered[order[v]] = True
+            batches.extend(self._partition(tile, ball2, order))
         return batches
-
-    def next_batch(self, nodes: Sequence[NodeId]) -> List[NodeId]:
-        if not self._queue:
-            self._queue = self._cover(nodes)[::-1]
-            self.sweeps += 1
-        self.batches += 1
-        return self._queue.pop()
-
-    def state(self) -> Dict[str, Any]:
-        # `_ball2`/`_order` are static-topology memos, rebuilt on demand
-        return {"rng": self.rng.getstate(),
-                "queue": [batch[:] for batch in self._queue],
-                "batches": self.batches, "sweeps": self.sweeps}
-
-    def set_state(self, state: Mapping[str, Any]) -> None:
-        self.rng.setstate(state["rng"])
-        self._queue = [list(batch) for batch in state["queue"]]
-        self.batches = state["batches"]
-        self.sweeps = state["sweeps"]
 
 
 class SlowNodesDaemon(Daemon):
@@ -863,13 +967,34 @@ class AsynchronousScheduler:
                  use_schema: bool = True,
                  dirty_aware: bool = True,
                  storage: Optional[str] = None,
-                 bulk: bool = True) -> None:
+                 bulk: bool = True,
+                 coalesce: bool = True,
+                 vec_min_batch: Optional[int] = None) -> None:
         self.network = network
         self.protocol = protocol
         self.daemon = daemon if daemon is not None else PermutationDaemon()
         self.rounds = 0
         self.activations = 0
         self.steps_skipped = 0
+        #: coalesced super-batches issued / original batches they fused
+        #: (accounting; zero when coalescing never engaged)
+        self.super_batches = 0
+        self.batches_coalesced = 0
+        #: coalesce consecutive conflict-free batches of one daemon
+        #: sweep into a single fused super-batch (implementation-only:
+        #: gate/after/stop checks are replayed at the original batch
+        #: boundaries, so traces are bit-for-bit identical either way).
+        #: Engages only when the conflict-free fused route is live and
+        #: both the daemon (``take_pending``/``requeue``) and the
+        #: protocol (``bulk_segments``) support it.
+        self.coalesce = bool(coalesce)
+        #: minimum batch size for the numpy vector tier (None: kernel
+        #: default) — implementation-only, threaded through BulkBatch
+        self.vec_min_batch = vec_min_batch
+        #: run() serial number: part of the sweep identity stamped on
+        #: conflict-free batches (``plan_key``), so registers written
+        #: between runs (fault injection) can never alias a reused plan
+        self._run_serial = 0
         self._covered: Set[NodeId] = set()
         self._initialized = False
         self.dirty_aware = bool(dirty_aware) and (
@@ -948,6 +1073,7 @@ class AsynchronousScheduler:
         self._compiled = _ensure_storage(self.network, self.protocol,
                                          self._storage, self._compiled)
         self.initialize()
+        self._run_serial += 1
         network = self.network
         protocol = self.protocol
         nodes = network.graph.nodes()
@@ -981,6 +1107,33 @@ class AsynchronousScheduler:
             cf_ops = self._live_ops
             if cf_ops is None or cf_ops.store is not store:
                 cf_ops = self._live_ops = ColumnarBulkOps(store)
+        daemon = self.daemon
+        # coalescing (implementation-only): fuse the rest of the daemon
+        # sweep into one super-batch, replaying gate/after/stop checks
+        # at the original batch boundaries via ``boundary``; engages
+        # only when the fused conflict-free route is live and both the
+        # daemon and the protocol support the segment contract.
+        coalesce = (cf_step is not None and self.coalesce and
+                    getattr(protocol, "bulk_segments", False) and
+                    hasattr(daemon, "take_pending"))
+        # a sweep-lifetime vector plan is sound only while nothing
+        # outside the batch stream writes registers mid-sweep: a
+        # protocol round-end hook may, so it disables the key.
+        plan_ok = cf_step is not None and \
+            type(protocol).on_round_end is Protocol.on_round_end
+        seg_done = [0]
+
+        def boundary(i):
+            # everything the uncoalesced loop does between consecutive
+            # conflict-free batches: the batch-boundary stop-condition
+            # check and the while-condition (rounds/budget) re-check.
+            nonlocal stopped
+            seg_done[0] = i + 1
+            if stop_when is not None and stop_when(network):
+                stopped = True
+                return True
+            return (self.rounds - start_rounds >= max_rounds or
+                    budget <= 0)
 
         # bulk-plane callbacks: the exact per-activation semantics of the
         # scalar loop below (skip check + write-tracker setup in ``gate``,
@@ -1040,12 +1193,40 @@ class AsynchronousScheduler:
         while self.rounds - start_rounds < max_rounds and budget > 0:
             batch_nodes = self.daemon.next_batch(nodes)
             multi = len(batch_nodes) > 1
-            if multi and cf_step is not None:
+            if cf_step is not None and (multi or coalesce or plan_ok):
                 # the conflict-free license: live fused column ops,
-                # commuting gate/after, stop at the batch boundary
+                # commuting gate/after, stop at the batch boundary.
+                # Singletons route here too whenever a sweep plan may
+                # be live — a scalar-loop activation would bypass the
+                # plan's write tracking and stale it.
+                plan_key = (self._run_serial, getattr(daemon, "sweeps", 0)) \
+                    if plan_ok else None
+                segs = ([batch_nodes] + daemon.take_pending()) \
+                    if coalesce else None
+                if segs is not None and len(segs) > 1:
+                    seg_done[0] = 0
+                    self.super_batches += 1
+                    self.batches_coalesced += len(segs)
+                    cf_step(BulkBatch(
+                        [contexts[v] for seg in segs for v in seg],
+                        None, cf_ops, gate=gate, after=after,
+                        conflict_free=True,
+                        segments=[len(seg) for seg in segs],
+                        boundary=boundary, plan_key=plan_key,
+                        vec_min_batch=self.vec_min_batch))
+                    if seg_done[0] < len(segs):
+                        # boundary aborted (or the protocol stopped
+                        # early): hand the un-executed tail back so the
+                        # daemon's queue and issue accounting match the
+                        # uncoalesced execution exactly
+                        daemon.requeue(segs[seg_done[0]:])
+                    if stopped:
+                        return self.rounds - start_rounds
+                    continue
                 cf_step(BulkBatch([contexts[v] for v in batch_nodes],
                                   None, cf_ops, gate=gate, after=after,
-                                  conflict_free=True))
+                                  conflict_free=True, plan_key=plan_key,
+                                  vec_min_batch=self.vec_min_batch))
                 if stop_when is not None and stop_when(network):
                     return self.rounds - start_rounds
                 continue

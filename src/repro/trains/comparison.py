@@ -1000,7 +1000,7 @@ class _VectorCmpKernel:
     """
 
     __slots__ = ("comp", "store", "snap", "topo", "ask_cache",
-                 "show_cache", "want_cache", "lvl_empty")
+                 "show_cache", "want_cache", "lvl_empty", "_want_ids")
 
     def __init__(self, comp, ops, topo):
         self.comp = comp
@@ -1086,6 +1086,11 @@ class _VectorCmpKernel:
         self.show_cache = PoolIdCache(store, 3, show_attrs)
         self.want_cache = PoolIdCache(store, 2, want_attrs)
         self.lvl_empty = None
+        # per-row memo of the last interned Want filing: a waiting
+        # client re-files the same (server, level) for many sweeps, and
+        # the pool id of a value never changes, so the memo needs no
+        # epoch guard
+        self._want_ids = None
 
     def rebuild(self, np, topo) -> None:
         """Refresh the level-rotation emptiness flags, filling the
@@ -1154,6 +1159,15 @@ class _VectorCmpKernel:
 
     # -- classifiers -------------------------------------------------------
     def classify(self, np, ia, row_of, aa, sv):
+        """``(trivial-mask, apply, publish)`` for the batch rows ``ia``.
+
+        ``apply(rows)`` performs the trivial writes for the row
+        *positions* kept (an int64 index array into ``ia``, O(|rows|)).
+        ``publish`` is None when no trivial write is ever visible to a
+        neighbour's classification, else a full-width mask of the rows
+        whose trivial step writes a register neighbours read (the Want
+        filings) — the persistent sweep plans invalidate around those
+        rows."""
         if self.comp.mode == MODE_SYNC_WINDOW:
             return self._classify_sync(np, ia, row_of, aa)
         return self._classify_want(np, ia, row_of, aa, sv)
@@ -1227,16 +1241,17 @@ class _VectorCmpKernel:
         h_wd, h_wait = comp.h_wd, comp.h_wait
         dc = store.dirty_cols
 
-        def apply(final):
-            sel = final & ~empty
-            if sel.any():
-                rows = ia[sel]
-                view64(data[h_wd])[rows] = wd_new[sel]
+        def apply(rows):
+            sel = rows[~empty[rows]]
+            if len(sel):
+                ri = ia[sel]
+                view64(data[h_wd])[ri] = wd_new[sel]
                 dc[h_wd] = 1
-                view64(data[h_wait])[rows] = wait[sel] - 1
+                view64(data[h_wait])[ri] = wait[sel] - 1
                 dc[h_wait] = 1
 
-        return triv, apply
+        # wd/wait are own-only registers no neighbour classifies on
+        return triv, apply, None
 
     def _classify_want(self, np, ia, row_of, aa, sv):
         comp, store, snap = self.comp, self.store, self.snap
@@ -1247,7 +1262,7 @@ class _VectorCmpKernel:
             self._prologue(np, ia)
         if int(topo.off[-1]) == 0:
             # no edges anywhere: every non-empty row advances (scalar)
-            return empty.copy(), lambda final: None
+            return empty.copy(), (lambda rows: None), None
         nr = view64(data[comp.h_nbr])[ia]
         idx = np.where((nr > 0) & (nr <= _NAT_CAP), nr, 0)
         in_rng = idx < topo.degs[ia]
@@ -1286,33 +1301,63 @@ class _VectorCmpKernel:
         w_wd = store.make_nat_writer(h_wd)
         w_svc = store.make_nat_writer(h_svc)
 
-        def apply(final):
-            b = final & triv_b
-            if b.any():
-                rows = ia[b]
-                view64(data[h_wd])[rows] = wd_new[b]
+        # intern the filings up front: publication is a *change*, and
+        # most filings re-assert the want the row already holds while
+        # it waits for service — an unchanged register cannot stale
+        # any neighbour's hold verdict
+        f_rows = np.flatnonzero(triv_f)
+        want_ids = None
+        cpub = np.zeros(m, bool)
+        if len(f_rows):
+            wc = self._want_ids
+            if wc is None or len(wc[0]) != topo.n:
+                wc = self._want_ids = (
+                    np.full(topo.n, -1, np.int64),
+                    np.full(topo.n, WL_NEVER, np.int64),
+                    np.zeros(topo.n, np.int64))
+            wcj, wcl, wcv = wc
+            ri = ia[f_rows]
+            jj = j[f_rows]
+            ll = lvl[f_rows]
+            ids = np.where((wcj[ri] == jj) & (wcl[ri] == ll),
+                           wcv[ri], -1)
+            for q in np.flatnonzero(ids < 0).tolist():
+                r = int(f_rows[q])
+                ids[q] = intern((nodes[int(j[r])], int(lvl[r])))
+            wcj[ri] = jj
+            wcl[ri] = ll
+            wcv[ri] = ids
+            want_ids = np.zeros(m, np.int64)
+            want_ids[f_rows] = ids
+            cpub[f_rows] = ids != view64(want_col)[ia[f_rows]]
+
+        def apply(rows):
+            b = rows[triv_b[rows]]
+            if len(b):
+                ri = ia[b]
+                view64(data[h_wd])[ri] = wd_new[b]
                 dc[h_wd] = 1
-                view64(data[h_nbr])[rows] = idx[b] + 1
+                view64(data[h_nbr])[ri] = idx[b] + 1
                 dc[h_nbr] = 1
-                view64(data[h_svc])[rows] = 0
+                view64(data[h_svc])[ri] = 0
                 dc[h_svc] = 1
-            f = final & triv_f
-            if f.any():
-                # the Want filing interns per-row tuples: a short
-                # python loop over the (few) waiting clients, through
-                # the store's canonical writers
+            f = rows[triv_f[rows]]
+            if len(f):
+                # the Want filing lands through the store's canonical
+                # writers: a short python loop over the (few) waiting
+                # clients
                 ovf = overflow[h_want]
-                for r in np.flatnonzero(f):
+                for r in f.tolist():
                     i = int(ia[r])
                     w_wd(i, int(wd_new[r]))
                     if ovf:
                         ovf.pop(i, None)
-                    want_col[i] = intern(
-                        (nodes[int(j[r])], int(lvl[r])))
+                    want_col[i] = int(want_ids[r])
                     w_svc(i, int(svc_new[r]))
                 dc[h_want] = 1
 
-        return triv, apply
+        # branch F writes ``want``, which neighbours' held() reads
+        return triv, apply, cpub
 
     # -- Want-mode hold flags ---------------------------------------------
     def held(self, np, ia, row_of):

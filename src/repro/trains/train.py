@@ -926,14 +926,20 @@ class _VectorTrainKernel:
     """
 
     __slots__ = ("comp", "store", "snap", "act_cache", "obs_cache",
-                 "pidx", "idle", "bad", "coff", "cflat", "ctxs",
-                 "ccs", "needs", "w_bseq", "w_seen", "w_cnt", "w_wd")
+                 "pidx", "idle", "bad", "coff", "cflat", "n_own",
+                 "ooff", "oflat", "ohash", "ctxs", "ccs", "needs",
+                 "w_src",
+                 "w_seq", "w_done", "w_bseq", "w_seen", "w_cnt",
+                 "w_wd", "_adopt_memo", "pub_extra")
 
     def __init__(self, comp, ops, topo):
         self.comp = comp
         self.store = ops.store
         self.snap = ops.snap
         store = ops.store
+        self.w_src = store.make_nat_writer(comp.h_src)
+        self.w_seq = store.make_nat_writer(comp.h_seq)
+        self.w_done = store.make_nat_writer(comp.h_done)
         self.w_bseq = store.make_nat_writer(comp.h_bseq)
         self.w_seen = store.make_nat_writer(comp.h_seen)
         self.w_cnt = store.make_nat_writer(comp.h_cnt)
@@ -957,9 +963,15 @@ class _VectorTrainKernel:
         self.bad = None
         self.coff = None
         self.cflat = None
+        self.n_own = None
+        self.ooff = None
+        self.oflat = None
+        self.ohash = None
         self.ctxs = None
         self.ccs = None
         self.needs = None
+        self._adopt_memo = {}
+        self.pub_extra = None
 
     def rebuild(self, np, topo) -> None:
         """Refresh label-derived row attributes (called when the joint
@@ -972,6 +984,10 @@ class _VectorTrainKernel:
         pidx = np.full(n, -1, np.int64)
         idle = np.zeros(n, bool)
         bad = np.zeros(n, bool)
+        n_own = np.zeros(n, np.int64)
+        ooff = np.zeros(n + 1, np.int64)
+        oflat = []
+        ohash = []
         ccs = [None] * n
         needs = [0] * n
         child_rows = []
@@ -980,7 +996,7 @@ class _VectorTrainKernel:
             sentinel = ctx.stable_sentinel()
             ent = cache.get(ctx.node)
             if ent is not None and ent[0] == sentinel:
-                parent, children, _own, count_claim, needed = ent[1]
+                parent, children, own, count_claim, needed = ent[1]
             else:
                 parent = comp.part_parent(ctx)
                 children = comp.part_children(ctx)
@@ -991,6 +1007,15 @@ class _VectorTrainKernel:
                     sentinel,
                     (parent, children, own, count_claim, needed))
             idle[i] = count_claim == 0 and needed == 0
+            n_own[i] = len(own)
+            ooff[i + 1] = ooff[i] + len(own)
+            for pc in own:
+                oflat.append(pc)
+                try:
+                    hash(pc)        # a planned emission must intern
+                    ohash.append(True)
+                except Exception:
+                    ohash.append(False)
             ccs[i] = count_claim
             needs[i] = needed
             crow = []
@@ -1011,8 +1036,16 @@ class _VectorTrainKernel:
             cflat[int(coff[i]):int(coff[i + 1])] = r
         self.pidx, self.idle, self.bad = pidx, idle, bad
         self.coff, self.cflat = coff, cflat
+        self.n_own = n_own
+        self.ooff = ooff
+        self.oflat = oflat
+        self.ohash = np.array(ohash, bool) if ohash \
+            else np.zeros(0, bool)
         self.ctxs = topo.ctxs
         self.ccs, self.needs = ccs, needs
+        # the adopt-vetting memo reads stable labels (roots, jmask);
+        # a stable-epoch move may change any of them
+        self._adopt_memo = {}
 
     def classify(self, np, ia, row_of, na, hold):
         """(trivial-mask, broadcast-done-mask, apply, adopt-plans) for
@@ -1020,8 +1053,12 @@ class _VectorTrainKernel:
 
         ``na`` is the per-row node-alarm budget (-1 where unknown, which
         simply fails the watchdog bound), ``hold`` the sweep's
-        hold_broadcast flag.  ``apply(final)`` performs the one masked
-        watchdog write for the rows the orchestrator kept.
+        hold_broadcast flag.  ``apply(rows)`` performs the one masked
+        watchdog write (plus any planned adopts) for the row *positions*
+        the orchestrator kept — an int64 index array into ``ia``, so
+        the cost is O(|rows|) however wide the classification was (the
+        persistent sweep plans replay tiny conflict-free segments
+        against a full-width classification).
 
         The broadcast-done mask marks rows whose *broadcast half* is
         proven silent (writes nothing, raises no alarm) or fully
@@ -1073,6 +1110,52 @@ class _VectorTrainKernel:
         done_eq = (done_v > SENT_CEIL) & (done_v == cyc)
         conv_triv = not_mine | (mine & ((ac == -1)
                                         | ((ac == cyc) & done_eq)))
+
+        # planned delivery: it IS my turn (named in the parent's car,
+        # matching cycle, subtree unfinished), no car is pending, and
+        # the transition is an *emission* (the next source is an own
+        # piece: write the car, bump seq and src) or a *completion*
+        # (sources exhausted: clear the activation, post done).  Both
+        # write only own registers plus the activation car the sweep
+        # plans already watch (chk_tr), so the verdicts are as durable
+        # as the plain trivial ones — unlike ack- and child-waits,
+        # whose proofs would have to watch the cars and acks themselves
+        # and go stale on every delivery in the subtree.
+        emit = exh = src = seq_new = None
+        deliver = (parented & mine & (ac == cyc) & ~done_eq
+                   & (done_v != BOX_S))
+        if deliver.any():
+            out_v = view64(data[comp.h_out])[ia]
+            o_none = deliver & (out_v == NONE_S)
+            if o_none.any():
+                src_v = view64(data[comp.h_src])[ia]
+                src = np.where((src_v >= 0) & (src_v <= 4096),
+                               src_v, 0)
+                no = self.n_own[ia]
+                emit = o_none & (src < no)
+                if emit.any():
+                    # an unhashable own piece could not intern: scalar
+                    apos = np.where(emit, self.ooff[ia] + src, 0)
+                    emit &= self.ohash[apos]
+                    sq_v = view64(data[comp.h_seq])[ia]
+                    seq_new = (np.where(
+                        (sq_v >= 0) & (sq_v <= SEQ_MOD), sq_v, 0)
+                        + 1) % SEQ_MOD
+                    conv_triv = conv_triv | emit
+                else:
+                    emit = None
+                exh = (o_none & (src >= no)
+                       & (src - no >= (self.coff[ia + 1]
+                                       - self.coff[ia])))
+                if exh.any():
+                    conv_triv = conv_triv | exh
+                else:
+                    exh = None
+        # completions clear the activation car — a register the
+        # neighbouring classifications read; the plan's publication
+        # mask must cover them (emissions touch no watched column)
+        self.pub_extra = np.flatnonzero(exh) if exh is not None \
+            else None
 
         pending = {}
         if hold is True:
@@ -1137,17 +1220,59 @@ class _VectorTrainKernel:
         dc = store.dirty_cols
 
         exec_adopt = self._exec_adopt
+        conv_exec = None
+        if emit is not None or exh is not None:
+            oflat, ooff = self.oflat, self.ooff
+            overflow = store.overflow
+            intern = store.intern
+            h_out, h_act = comp.h_out, comp.h_act
+            out_col, act_col = data[h_out], data[h_act]
+            w_seq, w_src, w_done = self.w_seq, self.w_src, self.w_done
 
-        def apply(final):
-            sel = final & ~idle
-            if sel.any():
+            def conv_exec(rows):
+                if emit is not None:
+                    e = rows[emit[rows]]
+                    if len(e):
+                        ovf = overflow[h_out]
+                        for k in e.tolist():
+                            i = int(ia[k])
+                            if ovf:
+                                ovf.pop(i, None)
+                            sq = int(seq_new[k])
+                            out_col[i] = intern(
+                                (sq,
+                                 oflat[int(ooff[i]) + int(src[k])]))
+                            w_seq(i, sq)
+                            w_src(i, int(src[k]) + 1)
+                        dc[h_out] = 1
+                if exh is not None:
+                    g = rows[exh[rows]]
+                    if len(g):
+                        ovf = overflow[h_act]
+                        for k in g.tolist():
+                            i = int(ia[k])
+                            if ovf:
+                                ovf.pop(i, None)
+                            act_col[i] = NONE_S
+                            w_done(i, int(cyc[k]))
+                        dc[h_act] = 1
+
+        def apply(rows):
+            sel = rows[~idle[rows]]
+            if len(sel):
                 view64(data[h_wd])[ia[sel]] = wd_new[sel]
                 dc[h_wd] = 1
-            for k, ent in pending.items():
-                # scalar order: the watchdog bump lands first, the
-                # adopted piece's accounting may then reset it
-                if final[k]:
-                    exec_adopt(ent)
+            if conv_exec is not None:
+                # scalar order inside the step: the convergecast's
+                # writes land after the watchdog bump ...
+                conv_exec(rows)
+            if pending:
+                kept = set(rows.tolist())
+                for k, ent in pending.items():
+                    # ... and before the broadcast's adopt (whose
+                    # accounting may reset the freshly bumped watchdog)
+                    if k in kept:
+                        exec_adopt(ent)
 
         return triv, bc_done, apply, pending
 
@@ -1175,30 +1300,50 @@ class _VectorTrainKernel:
         ctxs = self.ctxs
         ccs, needs = self.ccs, self.needs
         ia_l = ia
+        # the static half of the vetting — decode, membership flag,
+        # root-consistency, hashability — is a pure function of the
+        # row's stable labels and the slot's pool id, so it memoizes
+        # on (row, id) until the stable epoch moves (rebuild clears);
+        # only the boundary compare and sequence math are per call
+        amemo = self._adopt_memo
         pending = {}
         for k in rows.tolist():
             i = int(ia_l[k])
             v = int(pb[k])
-            memo = memos[h_bbuf]
-            try:
-                pobs = memo[v]
-            except (TypeError, IndexError):
-                pobs = NO_DECODE
-            if pobs is NO_DECODE:
-                pobs = decode_observation(pool[v])
-                memo_for(h_bbuf, v)[v] = pobs
-            piece = pobs.piece
-            level, root = piece[1], piece[0]
-            ctx = ctxs[i]
-            flag = membership(ctx, piece, pobs.flag)
-            rv = roots_col[i]
-            roots = pool[rv] if rv > SENT_CEIL else (
-                overflow[h_roots][i] if rv == BOX_S else None)
-            if flag and isinstance(roots, str) and level < len(roots):
-                rc = roots[level]
-                if (rc == "1" and root != ctx.node) or \
-                        (rc == "0" and root == ctx.node):
-                    continue        # would alarm: the scalar body owns it
+            mkey = (i, v)
+            ent = amemo.get(mkey, NO_DECODE)
+            if ent is NO_DECODE:
+                memo = memos[h_bbuf]
+                try:
+                    pobs = memo[v]
+                except (TypeError, IndexError):
+                    pobs = NO_DECODE
+                if pobs is NO_DECODE:
+                    pobs = decode_observation(pool[v])
+                    memo_for(h_bbuf, v)[v] = pobs
+                piece = pobs.piece
+                level, root = piece[1], piece[0]
+                ctx = ctxs[i]
+                flag = membership(ctx, piece, pobs.flag)
+                ent = (piece, flag, level, root)
+                rv = roots_col[i]
+                roots = pool[rv] if rv > SENT_CEIL else (
+                    overflow[h_roots][i] if rv == BOX_S else None)
+                if flag and isinstance(roots, str) and \
+                        level < len(roots):
+                    rc = roots[level]
+                    if (rc == "1" and root != ctx.node) or \
+                            (rc == "0" and root == ctx.node):
+                        ent = None  # would alarm: the scalar body owns it
+                if ent is not None:
+                    try:
+                        hash(piece)  # the new slot must intern cleanly
+                    except Exception:
+                        ent = None
+                amemo[mkey] = ent
+            if ent is None:
+                continue
+            piece, flag, level, root = ent
             lv = last_col[i]
             if lv == BOX_S:
                 continue            # boxed junk comparison stays scalar
@@ -1210,10 +1355,6 @@ class _VectorTrainKernel:
                 boundary = (level, root) <= last
             else:
                 continue            # junk tuple comparison stays scalar
-            try:
-                hash(piece)         # the new slot must intern cleanly
-            except Exception:
-                continue
             nbseq = ((int(psr[k]) - 1) % SEQ_MOD + 1) % SEQ_MOD
             pending[k] = (i, piece, flag, level, root, boundary, nbseq,
                           ccs[i], needs[i])

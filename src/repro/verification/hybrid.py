@@ -265,6 +265,9 @@ class HybridVerifierProtocol(Protocol):
 
     #: conflict-free asynchronous batches may fuse (see repro.sim.bulk)
     bulk_conflict_free = True
+    #: coalesced batches supported: the shared fused sweep drives
+    #: segments in order and replays ``boundary`` between them
+    bulk_segments = True
 
     def bulk_step(self, batch) -> None:
         """Bulk-activation sweep: the shared fused verifier sweep with

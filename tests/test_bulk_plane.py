@@ -21,7 +21,8 @@ from repro.graphs.generators import (grid_graph, random_connected_graph,
 from repro.sim import (STORAGE_KINDS, AsynchronousScheduler,
                        ConflictFreeDaemon, FaultInjector,
                        LocalityBatchDaemon, Network, PermutationDaemon,
-                       SynchronousScheduler, first_alarm)
+                       SynchronousScheduler, TiledConflictFreeDaemon,
+                       first_alarm)
 from repro.sim.columnar import ColumnStore
 from repro.sim.registers import CompiledSchema
 from repro.verification import make_network
@@ -91,11 +92,14 @@ def _daemon(kind, g, seed):
         return LocalityBatchDaemon(g, seed=seed)
     if kind == "independent":
         return ConflictFreeDaemon(g, seed=seed)
+    if kind == "tiled":
+        return TiledConflictFreeDaemon(g, seed=seed)
     return PermutationDaemon(seed=seed)
 
 
 @pytest.mark.parametrize("daemon_kind",
-                         ["permutation", "locality", "independent"])
+                         ["permutation", "locality", "independent",
+                          "tiled"])
 def test_async_bulk_vs_scalar_equal(daemon_kind, campaign_seed):
     """Asynchronous daemon batches routed through the bulk plane (the
     locality daemon's whole neighbourhoods engage it via ``bulk_live``;
@@ -106,7 +110,7 @@ def test_async_bulk_vs_scalar_equal(daemon_kind, campaign_seed):
     which must stay sound when a whole batch's writes land through
     ``bulk_step``."""
     g = random_connected_graph(12, 20, seed=campaign_seed % 983)
-    cf = daemon_kind == "independent"
+    cf = daemon_kind in ("independent", "tiled")
 
     def run(storage, bulk, dirty_aware=True):
         daemon = _daemon(daemon_kind, g, 5)
@@ -147,16 +151,23 @@ def test_engine_bulk_flag_matrix(campaign_seed):
              ("locality", "verifier"), ("locality", "hybrid"),
              ("locality", "sqlog"), ("permutation", "hybrid"),
              ("independent", "verifier"), ("independent", "hybrid"),
-             ("independent", "sqlog")]
+             ("independent", "sqlog"), ("tiled", "verifier"),
+             ("tiled", "hybrid"), ("tiled", "sqlog")]
     for sched, proto in cells:
         seed = derive_seed(campaign_seed, "bulk-flag", sched, proto)
         results = []
         for storage in STORAGES:
-            for bulk in (False, True):
+            flags = [{"bulk": False}, {"bulk": True}]
+            if sched in ("independent", "tiled"):
+                # the coalescing and vector-gate knobs are equally
+                # implementation-only on the conflict-free daemons
+                flags += [{"bulk": True, "coalesce": False},
+                          {"bulk": True, "vec_min_batch": 2}]
+            for extra in flags:
                 spec = ScenarioSpec(
                     topology=axis("random", n=12, extra=8),
                     fault=axis("corrupt", count=1, fraction=0.6),
-                    schedule=axis(sched, storage=storage, bulk=bulk),
+                    schedule=axis(sched, storage=storage, **extra),
                     protocol=axis(proto), seed=seed, max_rounds=20_000)
                 r = run_scenario(spec)
                 assert r.error is None, (spec.key, r.error)
@@ -290,6 +301,109 @@ def test_conflict_free_batches_are_independent(campaign_seed):
                 covered.extend(batch)
             assert sorted(covered) == sorted(nodes), \
                 (g.n, "a sweep must activate every node exactly once")
+
+
+def test_tiled_batches_are_independent_and_fair(campaign_seed):
+    """License soundness of the tiled hybrid daemon: every sub-batch it
+    issues is pairwise independent at the closed-neighbourhood radius
+    (exactly the ``ConflictFreeDaemon`` license — tiles only *order*
+    the sweep, they must not weaken independence), and every sweep
+    still covers every node exactly once."""
+    s = campaign_seed % 877
+    graphs = [
+        random_connected_graph(20, 34, seed=s),
+        star_graph(10, seed=s),
+        grid_graph(4, 5, seed=s),
+        TOPOLOGIES["subdivided"](seed=s, base_n=10, extra=14, tau=2),
+    ]
+    for g in graphs:
+        nodes = g.nodes()
+        closed = {v: {v, *g.neighbors(v)} for v in nodes}
+        daemon = TiledConflictFreeDaemon(g, seed=campaign_seed % 503)
+        for _sweep in range(3):
+            covered = []
+            while len(covered) < len(nodes):
+                batch = daemon.next_batch(nodes)
+                blocked = set()
+                for v in batch:
+                    assert blocked.isdisjoint(closed[v]), \
+                        (g.n, batch, v, "batchmates within the closed-"
+                         "neighbourhood radius")
+                    blocked |= closed[v]
+                covered.extend(batch)
+            assert sorted(covered) == sorted(nodes), \
+                (g.n, "a sweep must activate every node exactly once")
+
+
+@pytest.mark.parametrize("daemon_kind", ["independent", "tiled"])
+@pytest.mark.parametrize("proto_kind", ["verifier", "hybrid", "sqlog"])
+def test_coalescing_on_off_bitwise_equal(daemon_kind, proto_kind,
+                                         campaign_seed):
+    """Conflict-free super-batch coalescing is unobservable: with junk
+    planted mid-sweep, a coalescing run matches the uncoalesced one bit
+    for bit — register traces at every stop poll, rounds, activations,
+    skip accounting, alarms, and the daemon's own issue accounting —
+    on all four storage backends."""
+    g = random_connected_graph(14, 24, seed=campaign_seed % 919)
+
+    def run(storage, coalesce):
+        net = make_network(g)
+        proto = _protocol(proto_kind, False)
+        sched = AsynchronousScheduler(net, proto,
+                                      _daemon(daemon_kind, g, 5),
+                                      storage=storage, coalesce=coalesce)
+        sched.run(10)
+        _plant_junk(net)
+        trace = []
+
+        def record(n):
+            trace.append({v: dict(r) for v, r in n.registers.items()})
+            return bool(n.alarms())
+
+        r = sched.run(30, stop_when=record)
+        return (r, sched.rounds, sched.activations, sched.steps_skipped,
+                sched.daemon.sweeps, net.alarms(), trace,
+                {v: dict(regs) for v, regs in net.registers.items()})
+
+    for storage in STORAGES:
+        ref = run(storage, coalesce=False)
+        got = run(storage, coalesce=True)
+        assert got == ref, (storage, daemon_kind, proto_kind)
+
+
+def test_coalesced_stop_replays_batch_boundaries(campaign_seed):
+    """A stop condition that fires for a node of the sweep's *first*
+    daemon batch must halt the coalesced super-batch at that original
+    boundary: the later batches stay unexecuted (identical activation
+    counts to the uncoalesced run) and are handed back to the daemon,
+    so a later resume issues them exactly as an uncoalesced scheduler
+    would have."""
+    g = random_connected_graph(16, 28, seed=campaign_seed % 907)
+
+    def run(coalesce):
+        net = make_network(g)
+        proto = MstVerifierProtocol(synchronous=False)
+        sched = AsynchronousScheduler(net, proto,
+                                      ConflictFreeDaemon(g, seed=7),
+                                      storage="numpy", coalesce=coalesce)
+        sched.run(6)
+        polls = [0]
+        threshold = sched.activations + 1   # fire at the first boundary
+
+        def stop(n):
+            polls[0] += 1
+            return sched.activations >= threshold
+
+        r = sched.run(10, stop_when=stop)
+        out = [(r, sched.rounds, sched.activations, polls[0],
+                {v: dict(regs) for v, regs in net.registers.items()})]
+        # the requeued tail must replay exactly on resume
+        r2 = sched.run(4)
+        out.append((r2, sched.rounds, sched.activations,
+                    {v: dict(regs) for v, regs in net.registers.items()}))
+        return out
+
+    assert run(True) == run(False)
 
 
 def test_junk_mid_sweep_async_fused_equals_scalar(campaign_seed):

@@ -34,7 +34,8 @@ from repro.engine.warmcache import (WarmCache, WarmCacheWarning,
 from repro.graphs.generators import random_connected_graph
 from repro.sim import (AsynchronousScheduler, ConflictFreeDaemon,
                        FaultInjector, LocalityBatchDaemon, Network,
-                       PermutationDaemon, SynchronousScheduler)
+                       PermutationDaemon, SynchronousScheduler,
+                       TiledConflictFreeDaemon)
 from repro.sim.snapshot import (SnapshotError, capture_run_state,
                                 decode_snapshot, encode_snapshot,
                                 restore_run_state)
@@ -47,7 +48,8 @@ FAULT_SEED = 77
 
 STORAGES = ("dict", "schema", "columnar", "numpy")
 PROTOCOL_KINDS = ("verifier", "hybrid", "sqlog")
-SCHEDULE_KINDS = ("sync", "permutation", "locality", "independent")
+SCHEDULE_KINDS = ("sync", "permutation", "locality", "independent",
+                  "tiled")
 
 
 @pytest.fixture(scope="module")
@@ -56,7 +58,7 @@ def instance():
     return graph, run_marker(graph)
 
 
-def _build(instance, protocol_kind, schedule, storage):
+def _build(instance, protocol_kind, schedule, storage, coalesce=True):
     """A fresh network/scheduler pair exactly as the engine builds one."""
     graph, marker = instance
     entry = PROTOCOLS[protocol_kind]
@@ -72,11 +74,14 @@ def _build(instance, protocol_kind, schedule, storage):
                        graph, seed=DAEMON_SEED),
                    "independent": lambda: ConflictFreeDaemon(
                        graph, seed=DAEMON_SEED),
+                   "tiled": lambda: TiledConflictFreeDaemon(
+                       graph, seed=DAEMON_SEED),
                    "permutation": lambda: PermutationDaemon(
                        seed=DAEMON_SEED)}
         scheduler = AsynchronousScheduler(network, protocol,
                                           daemon=daemons[schedule](),
-                                          storage=storage)
+                                          storage=storage,
+                                          coalesce=coalesce)
     return network, scheduler
 
 
@@ -159,6 +164,29 @@ def test_restore_equivalence(instance, protocol_kind, schedule, storage):
     assert {v: dict(fresh_net.registers[v]) for v in
             fresh_net.graph.nodes()} == settled_registers
     assert _detect(fresh_net, fresh_sched) == reference
+
+
+@pytest.mark.parametrize("schedule", ("independent", "tiled"))
+def test_restore_crosses_coalescing_modes(instance, schedule):
+    """Coalescing is implementation-only across snapshots too: state
+    captured from a coalescing scheduler restores into a
+    non-coalescing one (and the numpy vector tier) with an identical
+    detection run — the super-batch replays daemon-batch boundaries
+    bit for bit, so the daemon's sweep state stays interchangeable."""
+    network, scheduler, settled = _settle(instance, "verifier", schedule,
+                                          "columnar")
+    payload = capture_run_state(network, scheduler, settled)
+    blob = encode_snapshot(payload)
+    reference = _detect(network, scheduler)
+    for storage, coalesce in (("columnar", False), ("numpy", False),
+                              ("numpy", True)):
+        fresh_net, fresh_sched = _build(instance, "verifier", schedule,
+                                        storage, coalesce=coalesce)
+        restored = restore_run_state(fresh_net, fresh_sched,
+                                     decode_snapshot(blob))
+        assert restored == settled
+        assert _detect(fresh_net, fresh_sched) == reference, \
+            (storage, coalesce)
 
 
 @pytest.mark.parametrize("target_storage", ("dict", "columnar", "numpy"))
@@ -325,8 +353,8 @@ def _key_of(spec, settle_budget=40, topology_seed=123):
 def test_impl_only_schedule_params_never_change_the_key():
     """For every registered schedule kind, every implementation-only
     param is invisible to both the key and the daemon seed."""
-    assert {"storage", "bulk", "fast_path",
-            "dirty_aware"} <= set(IMPL_SCHEDULE_PARAMS)
+    assert {"storage", "bulk", "fast_path", "dirty_aware",
+            "coalesce", "vec_min_batch"} <= set(IMPL_SCHEDULE_PARAMS)
     for kind in sorted(SCHEDULES):
         base = _spec(schedule=Axis(kind))
         for param in sorted(IMPL_SCHEDULE_PARAMS):
