@@ -1,0 +1,162 @@
+"""E15 — re-stabilization under sustained churn (ROADMAP 4(b)).
+
+Every other experiment freezes the topology after construction; this
+one makes the topology itself the fault axis.  Per cell of
+:func:`repro.engine.churn_recovery_campaign` the engine settles an
+honest instance, then drives the deterministic seed-derived churn
+script — ``crash`` (never a cut vertex, at most one node down at a
+time), ``rejoin`` (exact original ports back, working registers
+wiped), ``reweight`` (a non-MST edge bumped to a fresh larger weight,
+so the unique MST is preserved) — giving every event a fixed
+re-stabilization window.  Sweeping the event count at a fixed window
+sweeps the *event rate*, on all three label formats (train verifier /
+hybrid / sqlog baseline).
+
+What the records measure, per event:
+
+* ``rounds_to_redetect`` — rounds until the verifier re-raises an
+  alarm after the event.  Crash events must re-detect (a survivor's
+  port went dark mid-proof); reweight events must **not** — the MST
+  did not change, so an alarm there would be a false positive, and the
+  benchmark asserts none happens;
+* ``rounds_to_quiesce`` — rounds until the settle predicate holds
+  alarm-free again (the verifier family must re-quiesce inside the
+  window; sqlog has no settle predicate, so its column is empty);
+* ``alarms_per_event`` and the run's ``availability`` (alarm-free
+  fraction of churned rounds).
+
+The differ-facing scalars (``worst_redetect`` / ``worst_quiesce`` /
+``unavailability``) ride on every record, so
+``python -m repro.engine diff`` gates re-stabilization regressions
+across commits exactly like detection-time regressions —
+``benchmarks/baselines/e15_churn_quick.jsonl`` is the committed CI
+baseline for the ``--quick`` cells.
+
+``--quick`` shrinks the cells for CI smoke; ``--out`` dumps JSONL.
+"""
+
+from conftest import report
+
+from repro.analysis import format_table
+from repro.engine import CampaignRunner, churn_recovery_campaign
+
+#: CI smoke cells ``(n, events)``: same shape, toy sizes.  The window
+#: must cover a full re-rotation — a rejoined node restarts its
+#: rotation counter from zero, so re-quiescing after a crash takes the
+#: same order of rounds as the initial settle.
+QUICK_CELLS = ((24, 3), (24, 6))
+QUICK_WINDOW = 600
+
+
+def run_churn_recovery(quick=False, seed=0, workers=1, out=None):
+    if quick:
+        specs = churn_recovery_campaign(cells=QUICK_CELLS,
+                                        window=QUICK_WINDOW, seed=seed)
+    else:
+        specs = churn_recovery_campaign(seed=seed)
+    result = CampaignRunner(workers=workers).run(specs)
+    rows = []
+    for spec, res in zip(specs, result):
+        redetect = [r for r in res.rounds_to_redetect if r is not None]
+        quiesce = [q for q in res.rounds_to_quiesce if q is not None]
+        rows.append([
+            spec.topology.get("n"), spec.fault.get("events"),
+            spec.protocol.kind, res.churn_events,
+            "-" if not redetect else max(redetect),
+            "-" if not quiesce else max(quiesce),
+            "-" if res.availability is None
+            else f"{res.availability:.3f}",
+            "ok" if res.ok else str(res.violation),
+        ])
+    table = format_table(
+        ["n", "events", "protocol", "ran", "worst redetect",
+         "worst quiesce", "availability", "verdict"], rows)
+    if out:
+        written = result.dump_jsonl(out)
+        table += f"\nwrote {written} scenario record(s) to {out}"
+    return result, rows, table
+
+
+def _check(result, specs_table):
+    """The experiment's invariants (shared by the pytest entry and the
+    CLI): no violations, no false alarms on reweight events, and the
+    verifier family re-quiesces after every crash."""
+    problems = []
+    if result.violations():
+        problems.append(result.summary())
+    for res in result:
+        spec = res.spec
+        kinds = [k for _, k, *_ in _event_kinds(res)]
+        for (kind, redet) in zip(kinds, res.rounds_to_redetect):
+            if kind == "reweight" and redet is not None:
+                problems.append(
+                    f"{spec.key}: false alarm on a benign reweight")
+        if spec.protocol.kind != "sqlog" and res.rounds_to_quiesce and \
+                res.rounds_to_quiesce[-1] is None:
+            problems.append(f"{spec.key}: never re-quiesced after the "
+                            f"final event")
+        if res.availability is not None and \
+                not 0.0 <= res.availability <= 1.0:
+            problems.append(f"{spec.key}: availability out of range")
+    return problems
+
+
+def _event_kinds(res):
+    """Reconstruct the executed script's event kinds from the spec (the
+    script derives deterministically from the instance + fault seed)."""
+    from repro.engine.scenarios import graph_for
+    from repro.sim import ChurnScript
+    spec = res.spec
+    fp = dict(spec.fault.param_dict())
+    script = ChurnScript.generate(
+        graph_for(spec), spec.derived_seed("fault"),
+        events=int(fp.get("events", 6)),
+        crash=bool(fp.get("crash", True)),
+        reweight=bool(fp.get("reweight", True)))
+    return [e.key() for e in script]
+
+
+def test_churn_recovery(once):
+    result, rows, table = once(run_churn_recovery)
+    problems = _check(result, rows)
+    assert not problems, problems
+    body = (table + "\n\ncrash events re-detect and re-quiesce inside "
+            "the window on both verifier formats; reweight events stay "
+            "silent (the unique MST is preserved, so alarming would be "
+            "unsound); availability degrades smoothly with the event "
+            "rate instead of collapsing — the sustained-churn half of "
+            "ROADMAP item 4(b).")
+    report("E15", "re-stabilization under sustained churn "
+           "(crash/rejoin/reweight, all label formats)", body)
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true",
+                        help="toy cells (CI smoke, gated against "
+                             "benchmarks/baselines/e15_churn_quick"
+                             ".jsonl)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--out", default=None,
+                        help="dump the sweep as JSONL (joinable by "
+                             "`python -m repro.engine diff`)")
+    args = parser.parse_args(argv)
+    result, rows, table = run_churn_recovery(quick=args.quick,
+                                             seed=args.seed,
+                                             workers=args.workers,
+                                             out=args.out)
+    print(table)
+    problems = _check(result, rows)
+    if problems:
+        print("\n".join(str(p) for p in problems))
+        return 1
+    print("\nno false alarms on reweights; verifier formats "
+          "re-quiesced after every event window")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

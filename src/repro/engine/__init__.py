@@ -19,6 +19,7 @@ a :class:`CampaignResult`.
 """
 
 from .campaigns import (adversarial_labeling_matrix,
+                        churn_recovery_campaign,
                         detection_distance_campaign,
                         detection_time_campaign, kmw_sweep_campaign,
                         kmw_tau_trend_campaign, memory_campaign,
@@ -43,7 +44,8 @@ from .scenarios import (FAILURE_STATUSES, FAULTS, PROTOCOLS, SCHEDULES,
 from .supervise import (CampaignInterrupted, ChaosError, ChaosPolicy,
                         SuperviseConfig, run_supervised, size_hint)
 from .spec import Axis, ScenarioSpec, axis, derive_seed, grid
-from .warmcache import (WarmCache, WarmCacheWarning, get_warm_cache,
+from .warmcache import (SEMANTIC_FAULT_KINDS, WarmCache, WarmCacheWarning,
+                        get_warm_cache, mark_fault_semantic,
                         set_warm_cache, warm_key)
 
 __all__ = [
@@ -59,7 +61,7 @@ __all__ = [
     "register_topology",
     "CampaignResult", "CampaignRunner", "run_campaign",
     "dump_jsonl", "scenario_record",
-    "adversarial_labeling_matrix",
+    "adversarial_labeling_matrix", "churn_recovery_campaign",
     "detection_time_campaign", "detection_distance_campaign",
     "kmw_sweep_campaign", "kmw_tau_trend_campaign", "memory_campaign",
     "paper_example_campaign",
@@ -72,4 +74,5 @@ __all__ = [
     "SuperviseConfig", "run_supervised", "size_hint",
     "WarmCache", "WarmCacheWarning", "warm_key",
     "get_warm_cache", "set_warm_cache",
+    "SEMANTIC_FAULT_KINDS", "mark_fault_semantic",
 ]

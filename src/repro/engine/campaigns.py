@@ -278,6 +278,61 @@ def kmw_tau_trend_campaign(cells: Sequence[Tuple[int, int, int]]
     return specs
 
 
+#: the default churn-recovery cells ``(n, events)``: instance size x
+#: event-stream length over a fixed re-stabilization window.
+CHURN_RECOVERY_CELLS = ((48, 4), (48, 8), (96, 4), (96, 8))
+
+
+def churn_recovery_campaign(cells: Sequence[Tuple[int, int]]
+                            = CHURN_RECOVERY_CELLS,
+                            window: Optional[int] = None,
+                            seed: int = 0,
+                            storage: str = "columnar",
+                            protocols: Optional[Sequence[Axis]] = None,
+                            schedule_kind: str = "sync"
+                            ) -> List[ScenarioSpec]:
+    """E15 — re-stabilization under sustained churn (ROADMAP 4(b)).
+
+    Per cell ``(n, events)``: settle honestly, then drive the
+    seed-derived churn script — crash (never a cut vertex, at most one
+    node down), rejoin (wiped working registers), reweight (non-MST
+    edge, fresh larger weight) — giving each event a ``window``-round
+    re-stabilization budget.  Sweeping ``events`` at a fixed window
+    sweeps the *event rate* the network must absorb.  The default
+    window scales with n: a rejoined node restarts its rotation
+    counter, so re-quiescing costs a full re-rotation — the same order
+    of rounds as the initial settle.
+
+    The per-event metrics land on the scenario records
+    (``rounds_to_redetect`` / ``rounds_to_quiesce`` /
+    ``alarms_per_event`` / ``availability`` plus the differ-gated
+    ``worst_*`` / ``unavailability`` scalars): crash events must
+    re-detect, reweight events must *not* (the unique MST is
+    preserved — a false-alarm immunity check), and the verifier family
+    must re-quiesce inside the window.  All protocols in a cell share
+    one ``topology_seed`` so the cross-protocol comparison runs on the
+    same instance; sqlog has no settle predicate, so its quiesce column
+    is structurally empty and only redetect/availability compare.
+    """
+    if protocols is None:
+        protocols = (axis("verifier"), axis("hybrid"), axis("sqlog"))
+    specs: List[ScenarioSpec] = []
+    for n, events in cells:
+        tseed = derive_seed(seed, "churn-instance", n)
+        cell_window = window if window is not None else 25 * n + 100
+        for proto in protocols:
+            specs.append(ScenarioSpec(
+                topology=axis("random", n=n, extra=int(0.8 * n)),
+                fault=axis("churn", events=events, window=cell_window),
+                schedule=axis(schedule_kind, storage=storage),
+                protocol=proto,
+                seed=derive_seed(seed, "churn-recovery", n, events,
+                                 str(proto)),
+                topology_seed=tseed,
+            ))
+    return specs
+
+
 def paper_example_campaign(seed: int = 0,
                            rounds: int = 12) -> List[ScenarioSpec]:
     """The 18-node paper example (Figures 1-3 / Tables 1-2) as

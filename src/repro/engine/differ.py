@@ -10,6 +10,11 @@ on ``key`` + ``seed`` (the stable scenario identity
 * **memory bits** — ``max_memory_bits`` / ``total_memory_bits`` grew
   (``--mem-tol`` fractional tolerance, default exact: the accounting is
   deterministic, any growth is a real change);
+* **churn re-stabilization** — a churn cell's worst per-event
+  re-detection latency (``worst_redetect``), worst re-settle latency
+  (``worst_quiesce``), or alarmed fraction of churn rounds
+  (``unavailability``) grew (shares ``--rounds-tol``; inert on
+  non-churn records, which do not carry the fields);
 * **wall time** — ``--time-tol`` factor (default 1.5x; wall clock is
   noisy, so the default only catches blowups — tighten on quiet runners
   or disable with ``--no-time``);
@@ -279,6 +284,17 @@ def diff_records(old: Dict[Key, Dict[str, Any]],
              n.get("max_memory_bits"), config.mem_tol),
             ("total_memory_bits", o.get("total_memory_bits"),
              n.get("total_memory_bits"), config.mem_tol),
+            # churn cells: worst per-event re-detection/re-settle
+            # latency and the alarmed fraction of churn rounds
+            # (1 - availability, shaped so bigger is worse like every
+            # other gate); absent on non-churn records, where _worse
+            # returns None and the check is inert
+            ("worst_redetect", o.get("worst_redetect"),
+             n.get("worst_redetect"), config.rounds_tol),
+            ("worst_quiesce", o.get("worst_quiesce"),
+             n.get("worst_quiesce"), config.rounds_tol),
+            ("unavailability", o.get("unavailability"),
+             n.get("unavailability"), config.rounds_tol),
         ]
         if config.check_time:
             checks.append(("wall_time", o.get("wall_time"),

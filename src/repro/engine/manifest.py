@@ -252,6 +252,11 @@ def result_from_record(spec: ScenarioSpec,
         rows_scalar=rec.get("rows_scalar"),
         plan_rebuilds=rec.get("plan_rebuilds"),
         plan_refreshes=rec.get("plan_refreshes"),
+        churn_events=rec.get("churn_events"),
+        rounds_to_redetect=tuple(rec.get("rounds_to_redetect") or ()),
+        rounds_to_quiesce=tuple(rec.get("rounds_to_quiesce") or ()),
+        alarms_per_event=tuple(rec.get("alarms_per_event") or ()),
+        availability=rec.get("availability"),
         wall_time=rec.get("wall_time", 0.0),
         cache_hit=rec.get("cache_hit"),
         settle_rounds_saved=rec.get("settle_rounds_saved", 0),

@@ -95,6 +95,24 @@ def scenario_record(result: ScenarioResult) -> Dict[str, Any]:
         "rows_scalar": result.rows_scalar,
         "plan_rebuilds": result.plan_rebuilds,
         "plan_refreshes": result.plan_refreshes,
+        "churn_events": result.churn_events,
+        "rounds_to_redetect": list(result.rounds_to_redetect) or None,
+        "rounds_to_quiesce": list(result.rounds_to_quiesce) or None,
+        "alarms_per_event": list(result.alarms_per_event) or None,
+        "availability": (None if result.availability is None
+                         else round(result.availability, 6)),
+        # None-safe scalar aggregates of the per-event tuples, shaped
+        # so "bigger is worse" and the differ can gate them like
+        # rounds_to_detection (unavailability inverts availability for
+        # exactly that reason)
+        "worst_redetect": max(
+            (r for r in result.rounds_to_redetect if r is not None),
+            default=None),
+        "worst_quiesce": max(
+            (q for q in result.rounds_to_quiesce if q is not None),
+            default=None),
+        "unavailability": (None if result.availability is None
+                           else round(1.0 - result.availability, 6)),
         "wall_time": round(result.wall_time, 6),
         "cache_hit": result.cache_hit,
         "settle_rounds_saved": result.settle_rounds_saved,

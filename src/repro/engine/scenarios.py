@@ -50,6 +50,7 @@ from ..graphs.generators import (bounded_degree_graph, caterpillar_graph,
                                  ring_graph, star_graph)
 from ..graphs.mst_reference import kruskal_mst
 from ..graphs.weighted import NodeId, WeightedGraph
+from ..sim.churn import ChurnScript, run_with_churn
 from ..sim.faults import FaultInjector, detection_distance
 from ..sim.network import Network, Protocol, first_alarm
 from ..sim.schedulers import (AsynchronousScheduler, ConflictFreeDaemon,
@@ -68,7 +69,8 @@ from ..sim.snapshot import (SnapshotError, capture_run_state,
                             restore_run_state)
 from ..verification.verifier import MstVerifierProtocol
 from .spec import Axis, ScenarioSpec
-from .warmcache import WarmCacheWarning, get_warm_cache, warm_key
+from .warmcache import (WarmCacheWarning, get_warm_cache,
+                        mark_fault_semantic, warm_key)
 
 
 class ScenarioError(ValueError):
@@ -329,6 +331,7 @@ register_schedule("tiled", False, _make_tiled)
 MODE_NONE = "none"
 MODE_INJECT = "inject"
 MODE_LABELING = "labeling"
+MODE_CHURN = "churn"
 
 
 @dataclass(frozen=True)
@@ -407,6 +410,15 @@ register_fault("piece_lie", FaultEntry(mode=MODE_INJECT,
                                        inject=_inject_piece_lie))
 register_fault("label_swap", FaultEntry(mode=MODE_LABELING,
                                         marker=_label_swap_marker))
+# the sustained-churn fault axis (ROADMAP 4(b)): settle on honest
+# labels, then drain a seed-derived crash/rejoin/reweight event stream
+# (repro.sim.churn) while measuring per-event re-stabilization.
+# Parameters: events (count), window (rounds budget per event; default
+# budgets.cycle), crash / reweight (event-kind gates).  All of them are
+# semantic for warm-cache keys — churned cells must never alias
+# static-topology settle snapshots.
+register_fault("churn", FaultEntry(mode=MODE_CHURN))
+mark_fault_semantic("churn")
 
 
 #: the axis kinds registered by *importing this module* — what a
@@ -555,6 +567,19 @@ class ScenarioResult:
     rows_scalar: Optional[int] = None
     plan_rebuilds: Optional[int] = None
     plan_refreshes: Optional[int] = None
+    #: churn cells (``fault.kind == "churn"``) only — per-event
+    #: re-stabilization metrics from :func:`repro.sim.churn.
+    #: run_with_churn`: executed event count, rounds until the first
+    #: alarm after each event (``None`` = the event went undetected in
+    #: its window, e.g. a benign reweight), rounds until the settle
+    #: predicate held alarm-free again (``None`` = never within the
+    #: window, or no predicate), alarming nodes at each detection
+    #: point, and the alarm-free fraction of all churn rounds.
+    churn_events: Optional[int] = None
+    rounds_to_redetect: Tuple[Optional[int], ...] = ()
+    rounds_to_quiesce: Tuple[Optional[int], ...] = ()
+    alarms_per_event: Tuple[int, ...] = ()
+    availability: Optional[float] = None
     wall_time: float = 0.0
     #: warm-start cache outcome: ``None`` when no cache was consulted
     #: (no cache active, or the scenario has no settle phase), else
@@ -641,6 +666,10 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     daemon_seed = spec.derived_seed("daemon")
 
     graph = _graph_for(spec.topology, topo_seed)
+    if fault_entry.mode == MODE_CHURN:
+        # churn mutates the topology in place; the memoized instance is
+        # shared across every scenario of this (topology, seed) cell
+        graph = graph.copy()
     budgets = _budgets_for(graph, synchronous)
     max_rounds = spec.max_rounds if spec.max_rounds is not None else (
         budgets.settle + budgets.ask_alarm)
@@ -665,6 +694,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     dist: Optional[int] = None
     cache_hit: Optional[bool] = None
     settle_saved = 0
+    churn_report = None
 
     if fault_entry.mode == MODE_NONE:
         rounds = spec.completeness_rounds
@@ -680,6 +710,19 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         rounds_to_detection = rounds_run if detected else None
         expected = True
     else:
+        churn_params = None
+        if fault_entry.mode == MODE_CHURN:
+            fp = spec.fault.param_dict()
+            events = fp.pop("events", 6)
+            window = fp.pop("window", None)
+            crash = fp.pop("crash", True)
+            reweight = fp.pop("reweight", True)
+            if fp:
+                raise ScenarioError(
+                    f"churn: unknown parameters {sorted(fp)}")
+            churn_params = (int(events),
+                            budgets.cycle if window is None else int(window),
+                            bool(crash), bool(reweight))
         settle_budget = spec.settle_rounds if spec.settle_rounds is not None \
             else budgets.settle
         warm = get_warm_cache()
@@ -717,14 +760,31 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
                                             settle_rounds)
                 if payload is not None:
                     warm.store(wkey, payload)
-            injector = FaultInjector(network, seed=fault_seed)
-            fault_entry.inject(network, injector, spec.fault.param_dict())
-            faulty = tuple(injector.faulty_nodes)
-            rounds_run = scheduler.run(max_rounds, stop_when=first_alarm)
-            detected = bool(network.alarms())
-            rounds_to_detection = rounds_run if detected else None
-            dist = detection_distance(network, list(faulty))
-            expected = True
+            if churn_params is not None:
+                events, window, crash, reweight = churn_params
+                script = ChurnScript.generate(graph, fault_seed,
+                                              events=events, crash=crash,
+                                              reweight=reweight)
+                churn_report = run_with_churn(network, scheduler, protocol,
+                                              script, window=window,
+                                              settled=proto_entry.settled)
+                rounds_run = churn_report.rounds
+                # churn cells are metric-only: alarms are expected,
+                # latched, measured, and cleared per event by the
+                # driver, so neither soundness nor completeness applies
+                detected = bool(network.alarms())
+                expected = detected
+            else:
+                injector = FaultInjector(network, seed=fault_seed)
+                fault_entry.inject(network, injector,
+                                   spec.fault.param_dict())
+                faulty = tuple(injector.faulty_nodes)
+                rounds_run = scheduler.run(max_rounds,
+                                           stop_when=first_alarm)
+                detected = bool(network.alarms())
+                rounds_to_detection = rounds_run if detected else None
+                dist = detection_distance(network, list(faulty))
+                expected = True
 
     alarms = network.alarms()
     return ScenarioResult(
@@ -745,6 +805,16 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         activations=getattr(scheduler, "activations", None),
         super_batches=getattr(scheduler, "super_batches", None),
         batches_coalesced=getattr(scheduler, "batches_coalesced", None),
+        churn_events=(len(churn_report.events)
+                      if churn_report is not None else None),
+        rounds_to_redetect=(churn_report.redetect
+                            if churn_report is not None else ()),
+        rounds_to_quiesce=(churn_report.quiesce
+                           if churn_report is not None else ()),
+        alarms_per_event=(churn_report.alarms
+                          if churn_report is not None else ()),
+        availability=(churn_report.availability
+                      if churn_report is not None else None),
         wall_time=time.perf_counter() - start,
         **{k: v for k, v in (getattr(protocol, "bulk_stats", None)
                              or {}).items() if k in _BULK_STAT_FIELDS},

@@ -48,11 +48,29 @@ from ..sim.snapshot import SnapshotError, decode_snapshot, encode_snapshot
 from .spec import IMPL_SCHEDULE_PARAMS, ScenarioSpec
 
 __all__ = ["CACHE_VERSION", "WarmCache", "WarmCacheWarning", "warm_key",
+           "SEMANTIC_FAULT_KINDS", "mark_fault_semantic",
            "get_warm_cache", "set_warm_cache"]
 
 #: bumped whenever key derivation or payload semantics change — old
 #: entries then simply never hit again
 CACHE_VERSION = 1
+
+#: fault kinds whose axis (kind + every parameter) is part of the warm
+#: key.  Ordinary injection faults apply *after* the settle phase, so
+#: their parameters cannot influence the cached state and stay out of
+#: the key (cells differing only in fault share one settle).  Faults
+#: that go on to mutate the *topology* (churn) are keyed in full:
+#: their cells must never alias a static-topology settle snapshot —
+#: the restore-time topology signature would reject a mismatch, but a
+#: semantic key keeps hit accounting honest instead of turning every
+#: churned cell into a warned fallback.
+SEMANTIC_FAULT_KINDS: set = set()
+
+
+def mark_fault_semantic(kind: str) -> None:
+    """Declare a fault kind's full axis semantic for :func:`warm_key`
+    (registries call this next to ``register_fault``)."""
+    SEMANTIC_FAULT_KINDS.add(kind)
 
 
 class WarmCacheWarning(UserWarning):
@@ -79,6 +97,8 @@ def warm_key(spec: ScenarioSpec, synchronous: bool, settle_budget: int,
         "sync" if synchronous else f"daemon_seed={daemon_seed}",
         f"settle={settle_budget}",
     ]
+    if spec.fault.kind in SEMANTIC_FAULT_KINDS:
+        parts.append(f"fault={spec.fault}")
     return hashlib.sha256("|".join(parts).encode()).hexdigest()
 
 

@@ -82,6 +82,96 @@ class WeightedGraph:
         return g
 
     # ------------------------------------------------------------------
+    # dynamic topology (churn)
+    # ------------------------------------------------------------------
+    def remove_node(self, u: NodeId) -> dict:
+        """Remove ``u`` and its incident edges, returning a restore stub.
+
+        Surviving neighbours keep their port numbers: the slot that led
+        to ``u`` is tombstoned (set to ``None``) rather than compacted,
+        because labels bake port numbers in and must stay valid for the
+        nodes that did not crash.  The stub passed back records enough
+        to rebuild ``u`` with its exact original ports on both ends via
+        :meth:`restore_node`.
+        """
+        if u not in self._adj:
+            raise GraphError(f"no node {u}")
+        edges = []
+        for v, w in self._adj[u].items():
+            pu = self._port_of[u][v]
+            pv = self._port_of[v].pop(u)
+            self._ports[v][pv] = None
+            edges.append((v, pu, pv, w))
+        for v, _, _, _ in edges:
+            del self._adj[v][u]
+        index = list(self._adj).index(u)
+        del self._adj[u]
+        ports = len(self._ports.pop(u))
+        del self._port_of[u]
+        return {"node": u, "ports": ports, "edges": edges,
+                "index": index}
+
+    def restore_node(self, u: NodeId, stub: dict) -> None:
+        """Re-add a node removed by :meth:`remove_node` from its stub,
+        with every edge back at the exact original port on both ends."""
+        if stub["node"] != u:
+            raise GraphError(f"stub is for node {stub['node']}, not {u}")
+        if u in self._adj:
+            raise GraphError(f"node {u} is already present")
+        for v, _pu, pv, _w in stub["edges"]:
+            if v not in self._adj:
+                raise GraphError(
+                    f"cannot restore node {u}: neighbour {v} is absent")
+            if self._ports[v][pv] is not None:
+                raise GraphError(
+                    f"cannot restore node {u}: port {pv} at {v} is taken")
+        self._adj[u] = {}
+        self._ports[u] = [None] * stub["ports"]
+        self._port_of[u] = {}
+        for v, pu, pv, w in stub["edges"]:
+            self._adj[u][v] = w
+            self._adj[v][u] = w
+            self._ports[u][pu] = v
+            self._port_of[u][v] = pu
+            self._ports[v][pv] = u
+            self._port_of[v][u] = pv
+        index = stub.get("index")
+        if index is not None and index < len(self._adj) - 1:
+            # reinsert at the original position: node *order* is
+            # semantic (daemon sweeps and scheduler iteration follow
+            # ``nodes()``), so a crash + rejoin cycle must leave
+            # ``topology_key()`` — hence the snapshot signature —
+            # exactly where it started
+            order = list(self._adj)
+            order.remove(u)
+            order.insert(index, u)
+            self._adj = {k: self._adj[k] for k in order}
+            self._ports = {k: self._ports[k] for k in order}
+            self._port_of = {k: self._port_of[k] for k in order}
+
+    def set_weight(self, u: NodeId, v: NodeId, weight: Weight) -> None:
+        """Re-weight the existing edge ``{u, v}`` (both directions)."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"no edge ({u}, {v})")
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+
+    def topology_key(self) -> tuple:
+        """Canonical picklable structure of the full mutable topology:
+        node insertion order, every port slot (tombstones included),
+        and every weight.  Order is included deliberately — daemon
+        sweeps and scheduler iteration follow ``nodes()`` — which is
+        why :meth:`restore_node` reinserts at the recorded position: a
+        crash + rejoin cycle keys equal to the original.  Two graphs
+        behave identically for schedulers, contexts, and labels iff
+        their keys are equal — snapshots hash this to refuse restoring
+        churned state into a mismatched network."""
+        return tuple(
+            (u, tuple(None if v is None else (v, self._adj[u][v])
+                      for v in self._ports[u]))
+            for u in self._adj)
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def nodes(self) -> List[NodeId]:
@@ -95,8 +185,9 @@ class WeightedGraph:
         return u in self._adj and v in self._adj[u]
 
     def neighbors(self, u: NodeId) -> List[NodeId]:
-        """Neighbours of ``u`` in port order."""
-        return list(self._ports[u])
+        """Neighbours of ``u`` in port order (tombstoned slots of removed
+        neighbours are skipped)."""
+        return [v for v in self._ports[u] if v is not None]
 
     def weight(self, u: NodeId, v: NodeId) -> Weight:
         """Weight of edge ``{u, v}``; raises if absent."""
@@ -118,9 +209,15 @@ class WeightedGraph:
         """Port number of edge ``{u, v}`` at endpoint ``u``."""
         return self._port_of[u][v]
 
-    def neighbor_at_port(self, u: NodeId, port: int) -> NodeId:
-        """The neighbour of ``u`` reached through the given port."""
+    def neighbor_at_port(self, u: NodeId, port: int) -> Optional[NodeId]:
+        """The neighbour of ``u`` reached through the given port (``None``
+        for the tombstoned slot of a removed neighbour)."""
         return self._ports[u][port]
+
+    def port_count(self, u: NodeId) -> int:
+        """Number of port slots at ``u`` (tombstones included); equals
+        ``degree(u)`` until a neighbour is removed."""
+        return len(self._ports[u])
 
     @property
     def n(self) -> int:

@@ -45,20 +45,21 @@ class StaticView:
         return self.graph.port(self.node, neighbor)
 
     def neighbor_at_port(self, port: int) -> Optional[NodeId]:
-        nbrs = self.graph.neighbors(self.node)
-        if 0 <= port < len(nbrs):
+        if 0 <= port < self.graph.port_count(self.node):
             return self.graph.neighbor_at_port(self.node, port)
         return None
 
 
 def view_neighbor_at_port(view, port) -> Optional[NodeId]:
-    """``neighbor_at_port`` for any view (NodeContext lacks the method)."""
+    """``neighbor_at_port`` for any view (NodeContext lacks the method).
+    Out-of-range ports and the tombstoned slots of removed neighbours
+    both read as ``None``."""
     if hasattr(view, "neighbor_at_port"):
         return view.neighbor_at_port(port)
     graph = view.network.graph
     if not isinstance(port, int):
         return None
-    if 0 <= port < graph.degree(view.node):
+    if 0 <= port < graph.port_count(view.node):
         return graph.neighbor_at_port(view.node, port)
     return None
 

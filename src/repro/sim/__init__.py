@@ -20,6 +20,8 @@ from .schedulers import (STORAGE_COLUMNAR, STORAGE_DICT, STORAGE_KINDS,
                          SlowNodesDaemon, SynchronousScheduler,
                          TiledConflictFreeDaemon)
 from .faults import FAULT_MARK, FaultInjector, detection_distance
+from .churn import (ChurnEvent, ChurnReport, ChurnScript, clear_alarms,
+                    run_with_churn)
 from .snapshot import (SnapshotError, capture_network, capture_run_state,
                        capture_scheduler, decode_snapshot, encode_snapshot,
                        restore_network, restore_run_state,
@@ -41,6 +43,8 @@ __all__ = [
     "RoundRobinDaemon", "SlowNodesDaemon", "SynchronousScheduler",
     "TiledConflictFreeDaemon",
     "FAULT_MARK", "FaultInjector", "detection_distance",
+    "ChurnEvent", "ChurnReport", "ChurnScript", "clear_alarms",
+    "run_with_churn",
     "SnapshotError", "capture_network", "capture_run_state",
     "capture_scheduler", "decode_snapshot", "encode_snapshot",
     "restore_network", "restore_run_state", "restore_scheduler",

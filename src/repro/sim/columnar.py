@@ -154,6 +154,7 @@ class ColumnStore:
                  "decoded", "decode_memo", "none_decode", "overflow",
                  "stable_versions", "stable_epoch",
                  "extras", "pool_values", "pool_index", "pool_typed",
+                 "detached",
                  "dirty_cols", "dirty_nodes", "dirty_node_list",
                  "extras_dirty", "_zero_cols", "_zero_nodes")
 
@@ -190,6 +191,12 @@ class ColumnStore:
         self.pool_values: List[Any] = []
         self.pool_index: Dict[Any, int] = {}
         self.pool_typed: Dict[Any, int] = {}
+        #: dense-index freelist for churned nodes: node id -> the dense
+        #: row it vacated.  Columns never change length and survivors
+        #: never move, so live handles (facades, numpy views) stay valid
+        #: across crash/rejoin; a rejoining node reclaims its exact
+        #: original row.
+        self.detached: Dict[NodeId, int] = {}
         # -- write tracking (conservative: every write marks) ----------
         self.dirty_cols = bytearray(size)
         self.dirty_nodes = bytearray(n)
@@ -472,6 +479,35 @@ class ColumnStore:
         self.stable_versions[i] += 1
         self.stable_epoch += 1
 
+    # -- dynamic node membership (churn) --------------------------------
+    def detach_node(self, node: NodeId) -> None:
+        """Remove ``node`` from the store without reindexing: its row is
+        cleared and parked on the :attr:`detached` freelist.  Column
+        lengths and the dense indices of every other node are untouched,
+        so live handles (contexts are rebuilt by the schedulers'
+        ``topology_changed``; facades and numpy column views need no
+        rebuild) stay valid."""
+        index = self.index
+        if type(index) is list:
+            index = self.index = {v: i for i, v in enumerate(self.nodes)}
+        i = index.pop(node)
+        self.clear_node(i)
+        self.nodes[i] = None
+        self.detached[node] = i
+
+    def attach_node(self, node: NodeId) -> None:
+        """Re-admit a node parked by :meth:`detach_node` at its exact
+        original dense row (all registers unset).  The store cannot
+        grow: attaching a node it never held is an error."""
+        try:
+            i = self.detached.pop(node)
+        except KeyError:
+            raise ValueError(
+                f"node {node!r} is not detached from this store; "
+                f"columns cannot grow") from None
+        self.nodes[i] = node
+        self.index[node] = i
+
     def node_dict(self, i: int) -> Dict[str, Any]:
         out = {}
         for slot, name in enumerate(self.schema.names):
@@ -508,6 +544,7 @@ class ColumnStore:
         snap.pool_values = self.pool_values
         snap.pool_index = self.pool_index
         snap.pool_typed = self.pool_typed
+        snap.detached = dict(self.detached)
         snap.decode_memo = self.decode_memo
         snap.none_decode = self.none_decode
         snap.data = [_copy_column(col) for col in self.data]
@@ -551,6 +588,7 @@ class ColumnStore:
             "extras": [dict(e) if e else None for e in self.extras],
             "stable_versions": self.stable_versions.tobytes(),
             "stable_epoch": self.stable_epoch,
+            "detached": dict(self.detached),
         }
 
     def _check_serialized(self, state: Mapping[str, Any]) -> None:
@@ -560,6 +598,9 @@ class ColumnStore:
                 list(state["nodes"]) != self.nodes:
             raise ValueError("serialized state does not match this "
                              "store's schema/node layout")
+        if (state.get("detached") or {}) != self.detached:
+            raise ValueError("serialized state does not match this "
+                             "store's detached-node freelist")
         cols = state["cols"]
         if len(cols) != self.schema.size:
             raise ValueError("serialized column count mismatch")

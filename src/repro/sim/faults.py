@@ -20,9 +20,17 @@ from .registers import is_ghost
 
 FAULT_MARK = "_faulty"
 
+#: sentinel returned by :func:`_perturb_value` for values of a kind it
+#: cannot meaningfully alter (opaque payloads: floats, lists, dicts...).
+#: Callers must skip such registers — writing the value back unchanged
+#: and still marking the node faulty would claim a corruption that
+#: never happened, skewing detection-distance metrics.
+UNPERTURBABLE = object()
+
 
 def _perturb_value(value: Any, rng: random.Random) -> Any:
-    """Return a value of the same general shape but different content."""
+    """Return a value of the same general shape but different content,
+    or :data:`UNPERTURBABLE` for kinds the perturber does not know."""
     if isinstance(value, bool):
         return not value
     if isinstance(value, int):
@@ -38,10 +46,13 @@ def _perturb_value(value: Any, rng: random.Random) -> Any:
         if not value:
             return (0,)
         i = rng.randrange(len(value))
-        return value[:i] + (_perturb_value(value[i], rng),) + value[i + 1:]
+        elem = _perturb_value(value[i], rng)
+        if elem is UNPERTURBABLE:
+            return UNPERTURBABLE
+        return value[:i] + (elem,) + value[i + 1:]
     if value is None:
         return 0
-    return value
+    return UNPERTURBABLE
 
 
 class FaultInjector:
@@ -74,6 +85,11 @@ class FaultInjector:
                     f"node {node!r} has no register {name!r} to perturb; "
                     "pass an explicit value to plant new state")
             value = _perturb_value(regs[name], self.rng)
+            if value is UNPERTURBABLE:
+                raise ValueError(
+                    f"register {name!r} at node {node!r} holds an opaque "
+                    "value the perturber cannot alter; pass an explicit "
+                    "value to corrupt it")
         regs[name] = value
         self._mark(node)
 
@@ -81,7 +97,11 @@ class FaultInjector:
                      protect: Sequence[str] = ()) -> List[str]:
         """Perturb a random subset of the node's non-ghost registers.
 
-        Returns the names of the corrupted registers.
+        Returns the names of the registers that actually changed.  A
+        register whose value the perturber cannot alter (an opaque
+        payload) is skipped rather than rewritten unchanged, and a node
+        where *nothing* changed is not marked faulty — the ghost fault
+        set must never claim a corruption that did not happen.
         """
         regs = self.network.registers[node]
         # sorted, not iteration order: the rng's draw sequence must not
@@ -94,10 +114,16 @@ class FaultInjector:
             return []
         k = max(1, int(len(names) * fraction))
         chosen = self.rng.sample(names, min(k, len(names)))
+        corrupted = []
         for name in chosen:
-            regs[name] = _perturb_value(regs[name], self.rng)
-        self._mark(node)
-        return chosen
+            value = _perturb_value(regs[name], self.rng)
+            if value is UNPERTURBABLE:
+                continue
+            regs[name] = value
+            corrupted.append(name)
+        if corrupted:
+            self._mark(node)
+        return corrupted
 
     def corrupt_random_nodes(self, count: int,
                              fraction: float = 0.5) -> List[NodeId]:

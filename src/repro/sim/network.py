@@ -135,6 +135,51 @@ class Network:
         for v, regs in assignments.items():
             self.registers[v].update(regs)
 
+    # -- dynamic topology (churn) ---------------------------------------
+    def remove_node(self, v: NodeId) -> Dict[str, Any]:
+        """Crash node ``v``: drop it from the graph (surviving ports are
+        tombstoned, not renumbered) and from the storage backend, and
+        return a stub from which :meth:`add_node` can rebuild it.  The
+        stub carries the node's final register contents so callers can
+        model either a wiped rejoin or a state-preserving one.
+
+        On columnar storage the node's dense row is parked on the
+        store's freelist (:meth:`~repro.sim.columnar.ColumnStore.
+        detach_node`) — columns never change length and no live handle
+        is reindexed.  Schedulers driving the network must be told via
+        their ``topology_changed()`` after any call here."""
+        regs = dict(self.registers[v])
+        stub = {"graph": self.graph.remove_node(v), "registers": regs}
+        if self.columns is not None:
+            self.columns.detach_node(v)
+            dict.pop(self.registers, v)
+        elif self.files is not None:
+            del self.files[v]
+            dict.pop(self.registers, v)
+        else:
+            del self.registers[v]
+        return stub
+
+    def add_node(self, v: NodeId, stub: Mapping[str, Any]) -> None:
+        """Rejoin a node crashed by :meth:`remove_node`: the graph edges
+        come back at their exact original ports on both endpoints, and
+        the node's registers start *empty* (a rejoining node wakes up
+        wiped; callers restore whatever survives — e.g. the stable
+        label registers from ``stub["registers"]`` — and re-run the
+        protocol's ``init_node``)."""
+        self.graph.restore_node(v, stub["graph"])
+        if self.columns is not None:
+            from .columnar import ColumnarNodeFacade
+            self.columns.attach_node(v)
+            facade = ColumnarNodeFacade(self.columns, v)
+            dict.__setitem__(self.registers, v, RegisterView(facade))
+        elif self.files is not None:
+            f = RegisterFile(self.schema)
+            self.files[v] = f
+            dict.__setitem__(self.registers, v, RegisterView(f))
+        else:
+            self.registers[v] = {}
+
     def clear(self) -> None:
         """Erase all registers (fresh adversarial start)."""
         if self.columns is not None:

@@ -197,6 +197,22 @@ class SynchronousScheduler:
             self._adjacency = {v: graph.neighbors(v) for v in graph.nodes()}
         return self._adjacency
 
+    def topology_changed(self) -> None:
+        """Invalidate every topology-derived cache after a churn event
+        (:mod:`repro.sim.churn`): the adjacency map, the columnar
+        snapshot/context pair, and the fused batch ops are rebuilt on
+        the next ``run()``, and the protocol is re-bound (binding
+        clears its label-derived verdict caches, whose stable-version
+        keys are not collision-free across a change of read scope).
+        Churn events apply *between* ``run()`` calls, which already
+        fence the fast path: every run starts from a full snapshot and
+        a full step round."""
+        self._adjacency = None
+        self._snap_store = None
+        self._col_contexts = None
+        self._bulk_ops = None
+        self.protocol._storage_binding = _UNBOUND
+
     def _columnar_state(self):
         """(snapshot store, per-node contexts), rebuilt when the network's
         column store was replaced (storage switch, re-adoption)."""
@@ -595,6 +611,19 @@ class Daemon:
     def next_batch(self, nodes: Sequence[NodeId]) -> List[NodeId]:
         raise NotImplementedError
 
+    def topology_changed(self) -> None:
+        """Invalidate topology-derived state after a churn event
+        (node crash/rejoin, edge reweight — see :mod:`repro.sim.churn`).
+
+        The contract: after this call the daemon must issue batches
+        drawn only from the *current* node set — memoized closed
+        neighbourhoods and distance-2 balls are dropped, and in-flight
+        sweep queues that may name removed nodes are discarded (the
+        next ``next_batch`` starts a fresh sweep over the survivors).
+        Decision state that is topology-independent (RNG streams,
+        cycle counters) is kept, so event streams stay deterministic.
+        """
+
 
 class RoundRobinDaemon(Daemon):
     """Activates nodes one at a time in a fixed cyclic order."""
@@ -651,6 +680,10 @@ class PermutationDaemon(Daemon):
         self.rng.setstate(state["rng"])
         self._pending = list(state["pending"])
 
+    def topology_changed(self) -> None:
+        # the pending permutation may name removed nodes
+        self._pending = []
+
 
 class LocalityBatchDaemon(Daemon):
     """Locality batching: each batch activates one whole *closed
@@ -702,6 +735,12 @@ class LocalityBatchDaemon(Daemon):
         self.rng.setstate(state["rng"])
         self._centers = list(state["centers"])
         self.batches = state["batches"]
+
+    def topology_changed(self) -> None:
+        # pending centers may name removed nodes; the closed-
+        # neighbourhood memo is stale for every survivor of the event
+        self._centers = []
+        self._closed = {}
 
 
 class _CoverDaemon(Daemon):
@@ -826,6 +865,17 @@ class _CoverDaemon(Daemon):
         self.batches = state["batches"]
         self.sweeps = state["sweeps"]
 
+    def topology_changed(self) -> None:
+        # queued batches are served *before* the ball-signature check
+        # (the signature is only consulted when the queue empties), so
+        # an in-flight sweep naming removed nodes must be discarded
+        # here; the ball memo is invalidated outright rather than left
+        # to the signature, which cannot see a pure edge reweight
+        self._queue = []
+        self._ball2 = None
+        self._order = None
+        self._ball_sig = None
+
 
 class ConflictFreeDaemon(_CoverDaemon):
     """Conflict-free batching: each batch activates a set of nodes with
@@ -943,6 +993,12 @@ class SlowNodesDaemon(Daemon):
         self._pending = list(state["pending"])
         self._cycle = state["cycle"]
 
+    def topology_changed(self) -> None:
+        # the pending cycle may name removed nodes; the slow set and
+        # cycle counter are semantic (a slow node stays slow across a
+        # crash/rejoin), so they survive
+        self._pending = []
+
 
 class AsynchronousScheduler:
     """Daemon-driven execution with asynchronous-round accounting.
@@ -1020,6 +1076,23 @@ class AsynchronousScheduler:
         self._live_ops = None
         self._storage = _storage_mode(storage, use_schema)
         self._compiled = _bind_storage(network, protocol, self._storage)
+
+    def topology_changed(self) -> None:
+        """Invalidate topology-derived state after a churn event
+        (:mod:`repro.sim.churn`).  Per-run state (contexts, neighbour
+        maps, skip tracking, coalescing queues, vector plan keys) is
+        already rebuilt every ``run()`` — churn events apply *between*
+        runs, so run boundaries fence super-batch coalescing and retire
+        per-sweep vector plans by construction.  What persists across
+        runs is handled here: the round-coverage set drops removed
+        nodes (a crashed node can never complete a round), the live
+        fused ops are rebuilt, the daemon drops its memoized balls and
+        in-flight sweeps, and the protocol is re-bound (clearing its
+        label-derived verdict caches)."""
+        self._covered.intersection_update(self.network.graph.nodes())
+        self._live_ops = None
+        self.daemon.topology_changed()
+        self.protocol._storage_binding = _UNBOUND
 
     def initialize(self) -> None:
         if self._initialized:

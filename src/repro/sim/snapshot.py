@@ -55,6 +55,7 @@ from .schedulers import AsynchronousScheduler, SynchronousScheduler
 
 __all__ = [
     "SNAPSHOT_VERSION", "MAGIC", "SnapshotError",
+    "topology_signature",
     "capture_network", "restore_network",
     "capture_scheduler", "restore_scheduler",
     "capture_run_state", "restore_run_state",
@@ -79,6 +80,18 @@ class SnapshotError(Exception):
 # network state
 # ---------------------------------------------------------------------------
 
+def topology_signature(graph: Any) -> str:
+    """sha256 over the graph's full mutable topology — node insertion
+    order, port lists including churn tombstones, and edge weights.
+    Since PR 10 the topology is run state (``crash``/``rejoin``/
+    ``reweight`` events mutate it), so a snapshot must pin it the same
+    way it pins register contents: restoring churned registers into a
+    pristine topology (or vice versa) would silently desynchronize
+    labels from ports."""
+    return hashlib.sha256(
+        repr(graph.topology_key()).encode("utf-8")).hexdigest()
+
+
 def capture_network(network: Network) -> Dict[str, Any]:
     """The network's register state as one picklable dict.
 
@@ -89,6 +102,7 @@ def capture_network(network: Network) -> Dict[str, Any]:
     nodes = list(network.graph.nodes())
     state: Dict[str, Any] = {
         "nodes": nodes,
+        "topo_sig": topology_signature(network.graph),
         "values": {v: dict(network.registers[v]) for v in nodes},
         "backend": "dict",
     }
@@ -238,6 +252,15 @@ def restore_run_state(network: Network, scheduler: Any,
             list(network.graph.nodes()):
         raise SnapshotError("snapshot topology does not match the "
                             "network")
+    sig = net_state.get("topo_sig")
+    if sig is not None and sig != topology_signature(network.graph):
+        # pre-PR-10 payloads carry no signature (nodes check only);
+        # new ones must match ports and weights exactly — a snapshot
+        # taken across churn events only restores into an identically
+        # churned network
+        raise SnapshotError("snapshot topology signature does not "
+                            "match the network (ports, weights, or "
+                            "churn state differ)")
     restore_network(network, net_state)
     restore_scheduler(scheduler, sched_state)
     protocol = getattr(scheduler, "protocol", None)

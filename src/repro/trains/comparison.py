@@ -84,6 +84,8 @@ def rotation_settled(network, min_rotations: int = 1,
         col = store.data[rot]
         nodes = store.nodes
         for i, v in enumerate(col):
+            if nodes[i] is None:
+                continue  # freelist-parked row (node crashed out)
             if v <= SENT_CEIL:
                 raw = store.get_value(i, rot)
                 v = (0 if raw is None else raw) or 0

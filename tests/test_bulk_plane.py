@@ -503,3 +503,69 @@ def test_gather_values_batch():
     assert store.gather_values([0, 1, 2, 3], t) == \
         [("a", 1), [9], None, None]
     assert store.gather_values([0, 1], o, 0) == [{"d": 1}, 0]
+
+
+# ---------------------------------------------------------------------------
+# churn crossing the bulk plane
+# ---------------------------------------------------------------------------
+
+def _churn_run(g, storage, make_sched, seed):
+    """Settle, then drive one churn script; the report plus final
+    registers are what the bulk/coalescing knobs may not perturb."""
+    from repro.sim import ChurnScript, run_with_churn
+    from repro.trains.comparison import rotation_settled
+    work = g.copy()
+    net = make_network(work)
+    proto, sched = make_sched(net, work)
+    sched.run(24)
+    script = ChurnScript.generate(work, seed=seed, events=4)
+    report = run_with_churn(net, sched, proto, script, window=40,
+                            settled=rotation_settled)
+    return (report.as_tuple(), dict(net.alarms()),
+            {v: dict(net.registers[v])
+             for v in sorted(net.graph.nodes())})
+
+
+def test_churn_sync_bulk_vs_scalar_equal(campaign_seed):
+    """Crash/rejoin/reweight events between runs: the fused column
+    sweeps (and the numpy vector tier's per-sweep plans, which the
+    events retire) must keep matching the scalar loop bit for bit."""
+    g = random_connected_graph(12, 20, seed=campaign_seed % 1019)
+
+    def make(bulk, storage, fast_path=True):
+        def build(net, work):
+            proto = _protocol("verifier", True)
+            return proto, SynchronousScheduler(
+                net, proto, storage=storage, bulk=bulk,
+                fast_path=fast_path)
+        return build
+
+    ref = _churn_run(g, "dict", make(False, "dict"), campaign_seed)
+    for storage in STORAGES:
+        for bulk in (True, False):
+            got = _churn_run(g, storage, make(bulk, storage),
+                             campaign_seed)
+            assert got == ref, (storage, bulk)
+    assert _churn_run(g, "numpy", make(True, "numpy", fast_path=False),
+                      campaign_seed) == ref
+
+
+@pytest.mark.parametrize("daemon_kind", ["independent", "tiled"])
+def test_churn_coalescing_on_off_equal(daemon_kind, campaign_seed):
+    """Churn events fence super-batch coalescing: a coalescing run
+    across crash/rejoin/reweight events matches the uncoalesced one —
+    no super-batch may span a topology change."""
+    g = random_connected_graph(12, 20, seed=campaign_seed % 911)
+
+    def make(coalesce, storage):
+        def build(net, work):
+            proto = _protocol("verifier", False)
+            return proto, AsynchronousScheduler(
+                net, proto, _daemon(daemon_kind, work, 5),
+                storage=storage, coalesce=coalesce)
+        return build
+
+    for storage in ("columnar", "numpy"):
+        ref = _churn_run(g, storage, make(False, storage), campaign_seed)
+        got = _churn_run(g, storage, make(True, storage), campaign_seed)
+        assert got == ref, (storage, daemon_kind)

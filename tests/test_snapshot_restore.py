@@ -27,18 +27,20 @@ from dataclasses import asdict, replace
 import pytest
 
 from repro.engine import ScenarioSpec, axis, run_scenario
-from repro.engine.scenarios import PROTOCOLS, SCHEDULES
+from repro.engine.scenarios import FAULTS, PROTOCOLS, SCHEDULES
 from repro.engine.spec import IMPL_SCHEDULE_PARAMS, Axis
-from repro.engine.warmcache import (WarmCache, WarmCacheWarning,
-                                    set_warm_cache, warm_key)
+from repro.engine.warmcache import (SEMANTIC_FAULT_KINDS, WarmCache,
+                                    WarmCacheWarning, set_warm_cache,
+                                    warm_key)
 from repro.graphs.generators import random_connected_graph
 from repro.sim import (AsynchronousScheduler, ConflictFreeDaemon,
                        FaultInjector, LocalityBatchDaemon, Network,
                        PermutationDaemon, SynchronousScheduler,
                        TiledConflictFreeDaemon)
+from repro.sim.churn import _articulation_points
 from repro.sim.snapshot import (SnapshotError, capture_run_state,
                                 decode_snapshot, encode_snapshot,
-                                restore_run_state)
+                                restore_run_state, topology_signature)
 from repro.verification.marker import run_marker
 
 SETTLE_ROUNDS = 16
@@ -237,6 +239,107 @@ def test_restore_validates_before_mutating(instance):
         restore_run_state(net3, sched3, {"version": 99})
 
 
+def _fresh_instance(instance):
+    """A private graph copy (the churn tests mutate topology in place;
+    the module-scoped instance must stay pristine)."""
+    graph, marker = instance
+    return graph.copy(), marker
+
+
+def test_snapshot_round_trips_across_crash_rejoin(instance):
+    """A snapshot taken *after* a crash + rejoin cycle restores into a
+    freshly built network on the original graph: the rejoin rebuilds
+    the exact original ports, so the topology signature matches and the
+    continuation is bit-for-bit."""
+    inst = _fresh_instance(instance)
+    network, scheduler = _build(inst, "verifier", "sync", "columnar")
+    scheduler.run(SETTLE_ROUNDS)
+    victim = next(v for v in network.graph.nodes()
+                  if v not in _articulation_points(network.graph))
+    stub = network.remove_node(victim)
+    scheduler.topology_changed()
+    scheduler.run(4)
+    network.add_node(victim, stub)
+    view = network.registers[victim]
+    for name in sorted(stub["registers"]):
+        view[name] = stub["registers"][name]
+    scheduler.topology_changed()
+    scheduler.run(4)
+    assert topology_signature(network.graph) == \
+        topology_signature(instance[0])
+    payload = capture_run_state(network, scheduler, scheduler.rounds)
+    blob = encode_snapshot(payload)
+    reference = _detect(network, scheduler)
+
+    fresh_net, fresh_sched = _build(_fresh_instance(instance),
+                                    "verifier", "sync", "columnar")
+    restore_run_state(fresh_net, fresh_sched, decode_snapshot(blob))
+    assert _detect(fresh_net, fresh_sched) == reference
+
+
+@pytest.mark.parametrize("storage", ("dict", "columnar", "numpy"))
+def test_snapshot_round_trips_while_node_is_down(instance, storage):
+    """A snapshot taken mid-churn — one node crashed out — restores
+    into a fresh network with the same node removed (identical port
+    tombstones, identical freelist state observably), on any backend."""
+    inst = _fresh_instance(instance)
+    network, scheduler = _build(inst, "verifier", "sync", storage)
+    scheduler.run(SETTLE_ROUNDS)
+    victim = next(v for v in network.graph.nodes()
+                  if v not in _articulation_points(network.graph))
+    network.remove_node(victim)
+    scheduler.topology_changed()
+    scheduler.run(4)
+    payload = capture_run_state(network, scheduler, scheduler.rounds)
+    blob = encode_snapshot(payload)
+    reference = _detect(network, scheduler)
+
+    fresh_net, fresh_sched = _build(_fresh_instance(instance),
+                                    "verifier", "sync", storage)
+    fresh_net.remove_node(victim)
+    fresh_sched.topology_changed()
+    restore_run_state(fresh_net, fresh_sched, decode_snapshot(blob))
+    assert _detect(fresh_net, fresh_sched) == reference
+
+
+def test_snapshot_signature_guards_churned_topology(instance):
+    """A settled snapshot must not restore onto a network whose
+    topology has since churned (reweighted edge or missing node) — the
+    signature check rejects it before any state is touched; payloads
+    from before the signature existed still restore."""
+    network, scheduler, settled = _settle(instance, "verifier", "sync",
+                                          "columnar")
+    payload = capture_run_state(network, scheduler, settled)
+    graph, marker = instance
+
+    # reweighted edge: same nodes, same ports, different weight
+    g2 = graph.copy()
+    u, v, w = next(iter(g2.edges()))
+    g2.set_weight(u, v, max(x for _, _, x in g2.edges()) + 1)
+    net2, sched2 = _build((g2, marker), "verifier", "sync", "columnar")
+    before = {x: dict(net2.registers[x]) for x in g2.nodes()}
+    with pytest.raises(SnapshotError, match="topology signature"):
+        restore_run_state(net2, sched2, payload)
+    assert {x: dict(net2.registers[x]) for x in g2.nodes()} == before
+
+    # a node crashed out after the snapshot was taken
+    net3, sched3 = _build(_fresh_instance(instance), "verifier", "sync",
+                          "columnar")
+    victim = next(x for x in net3.graph.nodes()
+                  if x not in _articulation_points(net3.graph))
+    net3.remove_node(victim)
+    sched3.topology_changed()
+    with pytest.raises(SnapshotError):
+        restore_run_state(net3, sched3, payload)
+
+    # pre-signature payloads (no ``topo_sig``) still restore
+    legacy = decode_snapshot(encode_snapshot(payload))
+    legacy["network"].pop("topo_sig")
+    net4, sched4 = _build(_fresh_instance(instance), "verifier", "sync",
+                          "columnar")
+    assert restore_run_state(net4, sched4, legacy) == settled
+
+
 def test_wire_format_rejects_corruption():
     payload = {"version": 1, "data": list(range(32))}
     blob = encode_snapshot(payload)
@@ -375,6 +478,50 @@ def test_semantic_schedule_params_always_change_the_key():
     slow2 = _spec(schedule=axis("slow_nodes", count=2, slowdown=4))
     slow3 = _spec(schedule=axis("slow_nodes", count=3, slowdown=4))
     assert _key_of(slow2) != _key_of(slow3)
+
+
+def test_fault_axis_keying_follows_semantic_registry():
+    """For every registered fault kind: semantic kinds (churn) key on
+    their full axis — kind and every parameter — while ordinary
+    injection faults stay invisible to the key (they apply after the
+    settle phase the cache stores).  Enumerated from the registry, so a
+    future topology-mutating fault kind must declare itself via
+    ``mark_fault_semantic`` or inherit the proven-safe default."""
+    for kind in sorted(FAULTS):
+        base = _spec(fault=Axis(kind))
+        varied = _spec(fault=axis(kind, zz_probe=1))
+        changed = _key_of(varied) != _key_of(base)
+        assert changed == (kind in SEMANTIC_FAULT_KINDS), kind
+
+
+def test_every_churn_param_changes_the_key():
+    """Each of the churn axis's parameters — events, window, crash,
+    reweight — lands in the warm key: a churned cell never aliases a
+    cell with a different event stream (and never a static one)."""
+    assert "churn" in SEMANTIC_FAULT_KINDS
+    base = _spec(fault=axis("churn"))
+    assert _key_of(base) != _key_of(_spec(fault=axis("corrupt",
+                                                     count=1)))
+    for params in ({"events": 9}, {"window": 13}, {"crash": False},
+                   {"reweight": False}):
+        varied = _spec(fault=axis("churn", **params))
+        assert _key_of(varied) != _key_of(base), params
+    # identical churn axes still share (the cache stays useful)
+    assert _key_of(_spec(fault=axis("churn", events=9))) == \
+        _key_of(_spec(fault=axis("churn", events=9)))
+
+
+def test_churn_cells_warm_start_cleanly(warm_dir):
+    """The settle phase precedes every churn event, so churn cells can
+    warm-start; the semantic key keeps their entries private, and a
+    warm churn run equals the cold one field for field."""
+    spec = _spec(fault=axis("churn", events=3))
+    miss = run_scenario(spec)
+    hit = run_scenario(spec)
+    assert miss.cache_hit is False and hit.cache_hit is True
+    assert hit.settle_rounds_saved > 0
+    assert _strip(hit) == _strip(miss)
+    assert (warm_dir.hits, warm_dir.misses) == (1, 1)
 
 
 def test_key_covers_semantic_axes_and_horizon():

@@ -83,6 +83,13 @@ def _spec_triples(campaign_seed):
         ("ring", dict(n=8), "scramble", dict(count=1), "tiled", "sqlog"),
         ("random", dict(n=14, extra=10), "corrupt", dict(count=1),
          "independent", "hybrid"),
+        # sustained churn: topology mutates mid-run — port tombstones,
+        # columnar freelist rows, and daemon cache invalidation must
+        # all stay invisible to the per-event metrics
+        ("random", dict(n=12, extra=8), "churn", dict(events=4),
+         "sync", "verifier"),
+        ("random", dict(n=10, extra=6), "churn", dict(events=3),
+         "independent", "hybrid"),
     ]
     triples = []
     for topo, tp, fault, fp, sched, proto in cells:
